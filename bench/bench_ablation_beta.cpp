@@ -1,0 +1,92 @@
+// Ablation: the cost-pressure weight β (Eq. 9's Lagrange multiplier).
+//
+// β is the knob the relaxation (Section IV-A) derives from the cost budget:
+// larger β pushes E[q] up, keeping more inputs on the edge at some accuracy
+// cost. This ablation trains black-box AppealNet heads at several β values
+// (the black-box objective isolates the predictor; no big network is
+// involved) and reports mean q, the skipping rate at δ = 0.5, the accuracy
+// of the kept subset, and the q-vs-correctness AUROC.
+//
+// Expected shape: mean q and SR(δ=0.5) increase monotonically-ish with β;
+// ranking quality (AUROC) stays roughly flat — β trades operating point,
+// not separation ability.
+//
+// Usage: bench_ablation_beta [--nocache]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/metrics.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  const util::artifact_cache cache = util::default_cache();
+  const util::artifact_cache* cache_ptr =
+      args.get_bool_or("nocache", false) ? nullptr : &cache;
+
+  const double betas[] = {0.01, 0.05, 0.15, 0.40};
+
+  util::ascii_table table({"beta", "mean q", "SR(delta=0.5)",
+                           "edge-subset acc%", "q AUROC", "little acc%"});
+  util::csv_writer csv(bench::results_path("ablation_beta.csv"));
+  csv.write_row(std::vector<std::string>{"beta", "mean_q", "sr_at_half",
+                                         "edge_subset_accuracy", "q_auroc",
+                                         "little_accuracy"});
+
+  std::printf("=== Ablation: cost-pressure weight beta (black-box, "
+              "cifar10_like / mobilenet) ===\n");
+
+  for (const double beta : betas) {
+    collab::experiment_config cfg = collab::default_experiment(
+        data::preset::cifar10_like, models::model_family::mobilenet,
+        /*black_box=*/true);
+    cfg.beta = beta;
+    const collab::experiment_outputs outputs =
+        collab::run_experiment(cfg, cache_ptr);
+
+    const auto preds = ops::argmax_rows(outputs.test.little_joint_logits);
+    double q_total = 0.0;
+    std::size_t kept = 0;
+    std::size_t kept_correct = 0;
+    std::vector<double> q_pos, q_neg;
+    for (std::size_t i = 0; i < outputs.test.labels.size(); ++i) {
+      const double q = outputs.test.q[i];
+      q_total += q;
+      const bool correct = preds[i] == outputs.test.labels[i];
+      (correct ? q_pos : q_neg).push_back(q);
+      if (q >= 0.5) {
+        ++kept;
+        if (correct) ++kept_correct;
+      }
+    }
+    const auto n = static_cast<double>(outputs.test.labels.size());
+    const double mean_q = q_total / n;
+    const double sr = static_cast<double>(kept) / n;
+    const double edge_acc =
+        kept > 0 ? static_cast<double>(kept_correct) / static_cast<double>(kept)
+                 : 0.0;
+    const double auroc =
+        (!q_pos.empty() && !q_neg.empty()) ? metrics::auroc(q_pos, q_neg) : 0.5;
+
+    table.add_row({util::format_fixed(beta, 2), util::format_fixed(mean_q, 3),
+                   util::format_percent(sr),
+                   util::format_fixed(edge_acc * 100.0, 2),
+                   util::format_fixed(auroc, 4),
+                   util::format_fixed(outputs.little_joint_accuracy * 100.0,
+                                      2)});
+    csv.write_row(std::vector<double>{beta, mean_q, sr, edge_acc, auroc,
+                                      outputs.little_joint_accuracy});
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("rows written to %s\n",
+              bench::results_path("ablation_beta.csv").c_str());
+  return 0;
+}

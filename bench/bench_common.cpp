@@ -1,0 +1,23 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace appeal::bench {
+
+std::string results_dir() {
+  if (const char* env = std::getenv("APPEAL_RESULTS_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  return "results";
+}
+
+std::string results_path(const std::string& name) {
+  const std::string dir = results_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir + "/" + name;
+}
+
+}  // namespace appeal::bench

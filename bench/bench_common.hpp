@@ -1,0 +1,61 @@
+// Shared helpers for the experiment benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collab/experiment.hpp"
+#include "collab/system_eval.hpp"
+#include "core/scores.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace appeal::bench {
+
+/// Routed val/test splits for one scoring method over an experiment.
+struct method_splits {
+  collab::routed_split val;
+  collab::routed_split test;
+  std::string name;
+};
+
+/// Builds val/test routed splits for one method. Baselines (MSP/SM/Entropy)
+/// score and predict with the phase-1 standalone little model; AppealNet
+/// predicts with the joint two-head model and scores with q(1|x) — exactly
+/// the paper's protocol.
+inline method_splits make_method_splits(
+    const collab::experiment_outputs& outputs, core::score_method method) {
+  method_splits out;
+  out.name = core::score_method_name(method);
+
+  const auto build = [&](const collab::split_outputs& split) {
+    if (method == core::score_method::appealnet_q) {
+      return collab::make_routed_split(split.little_joint_logits,
+                                       split.big_logits, split.labels,
+                                       core::q_to_scores(split.q));
+    }
+    const tensor probs = ops::softmax_rows(split.little_base_logits);
+    return collab::make_routed_split(split.little_base_logits,
+                                     split.big_logits, split.labels,
+                                     core::confidence_scores(method, probs));
+  };
+  out.val = build(outputs.val);
+  out.test = build(outputs.test);
+  return out;
+}
+
+/// Little-model accuracy for the method's own little model (base for the
+/// baselines, joint for AppealNet) on the test split.
+inline double method_little_accuracy(
+    const collab::experiment_outputs& outputs, core::score_method method) {
+  return method == core::score_method::appealnet_q
+             ? outputs.little_joint_accuracy
+             : outputs.little_base_accuracy;
+}
+
+/// Output directory for bench CSVs (created on demand).
+std::string results_dir();
+
+/// Ensures `results_dir()` exists and returns `<results_dir>/<name>`.
+std::string results_path(const std::string& name);
+
+}  // namespace appeal::bench

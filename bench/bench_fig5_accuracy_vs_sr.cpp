@@ -1,0 +1,85 @@
+// Fig. 5 reproduction: overall edge/cloud accuracy vs skipping rate.
+//
+// Paper setup: MobileNet little / ResNet-101 big on GTSRB, CIFAR-10,
+// CIFAR-100, Tiny-ImageNet; methods MSP, SM, Entropy (confidence baselines
+// on the standalone little net) and AppealNet (two-head q); the dotted
+// reference line is the standalone big network.
+//
+// Shape expectations (DESIGN.md §4): the AppealNet series sits at or above
+// the baselines at most skipping rates with the margin growing toward high
+// SR, and on the easier datasets the collaborative system exceeds the big
+// network in a band of skipping rates (accuracy boosting).
+//
+// Usage: bench_fig5_accuracy_vs_sr [--dataset=cifar10] [--nocache]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  std::vector<data::preset> presets = data::all_presets();
+  if (args.has("dataset")) {
+    presets = {data::parse_preset(args.get_string("dataset"))};
+  }
+  const util::artifact_cache cache = util::default_cache();
+  const util::artifact_cache* cache_ptr =
+      args.get_bool_or("nocache", false) ? nullptr : &cache;
+
+  util::csv_writer csv(bench::results_path("fig5_accuracy_vs_sr.csv"));
+  csv.write_row(std::vector<std::string>{"dataset", "method", "target_sr",
+                                         "achieved_sr", "accuracy"});
+
+  const auto sr_grid = collab::paper_sr_grid();
+  std::printf("=== Fig. 5: overall accuracy vs skipping rate "
+              "(MobileNet little / ResNet big) ===\n");
+
+  for (const data::preset preset : presets) {
+    const collab::experiment_config cfg = collab::default_experiment(
+        preset, models::model_family::mobilenet, /*black_box=*/false);
+    const collab::experiment_outputs outputs =
+        collab::run_experiment(cfg, cache_ptr);
+
+    std::vector<std::string> headers{"method"};
+    for (const double sr : sr_grid) {
+      headers.push_back("SR=" + util::format_fixed(sr * 100.0, 0) + "%");
+    }
+    util::ascii_table table(headers);
+
+    for (const core::score_method method : core::all_score_methods()) {
+      const bench::method_splits splits =
+          bench::make_method_splits(outputs, method);
+      const auto curve =
+          collab::accuracy_vs_sr_curve(splits.test, &splits.val, sr_grid);
+
+      std::vector<std::string> row{splits.name};
+      for (const collab::sweep_point& point : curve) {
+        row.push_back(util::format_fixed(point.accuracy * 100.0, 2));
+        csv.write_row(std::vector<std::string>{
+            data::preset_name(preset), splits.name,
+            util::format_fixed(point.target_sr, 2),
+            util::format_fixed(point.achieved_sr, 4),
+            util::format_fixed(point.accuracy, 5)});
+      }
+      table.add_row(std::move(row));
+    }
+
+    std::printf("\n--- %s ---\n%s", data::preset_name(preset).c_str(),
+                table.render().c_str());
+    std::printf("standalone big (ResNet) accuracy: %.2f%%   "
+                "standalone little accuracies: base %.2f%% / joint %.2f%%\n",
+                outputs.big_accuracy * 100.0,
+                outputs.little_base_accuracy * 100.0,
+                outputs.little_joint_accuracy * 100.0);
+  }
+  std::printf("\nseries written to %s\n",
+              bench::results_path("fig5_accuracy_vs_sr.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks for whole-model inference and training steps across the
+// model zoo — the per-sample latencies behind the experiment benches and
+// the hardware profiler's latency estimates.
+#include <benchmark/benchmark.h>
+
+#include "core/joint_loss.hpp"
+#include "core/two_head_network.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+models::model_spec spec_for(models::model_family family) {
+  models::model_spec spec;
+  spec.family = family;
+  spec.image_size = 16;
+  spec.num_classes = 10;
+  spec.depth = family == models::model_family::resnet ? 2 : 1;
+  spec.width = family == models::model_family::resnet ? 0.75F : 1.0F;
+  return spec;
+}
+
+void bm_model_inference(benchmark::State& state,
+                        models::model_family family) {
+  util::rng gen(1);
+  auto net = models::make_classifier(spec_for(family), gen);
+  const tensor x = tensor::randn(shape{1, 3, 16, 16}, gen);
+  net->forward(x, true);  // initialize batchnorm stats
+  for (auto _ : state) {
+    tensor logits = net->forward(x, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK_CAPTURE(bm_model_inference, mobilenet,
+                  models::model_family::mobilenet);
+BENCHMARK_CAPTURE(bm_model_inference, shufflenet,
+                  models::model_family::shufflenet);
+BENCHMARK_CAPTURE(bm_model_inference, efficientnet,
+                  models::model_family::efficientnet);
+BENCHMARK_CAPTURE(bm_model_inference, resnet_big,
+                  models::model_family::resnet);
+
+void bm_training_step(benchmark::State& state, models::model_family family) {
+  util::rng gen(2);
+  auto net = models::make_classifier(spec_for(family), gen);
+  nn::adam opt(1e-3);
+  opt.attach(net->parameters());
+  const tensor x = tensor::randn(shape{32, 3, 16, 16}, gen);
+  std::vector<std::size_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = i % 10;
+
+  for (auto _ : state) {
+    const tensor logits = net->forward(x, true);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    opt.zero_grad();
+    net->backward(loss.grad);
+    opt.step();
+    benchmark::DoNotOptimize(loss.mean_loss);
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      32.0, benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK_CAPTURE(bm_training_step, mobilenet,
+                  models::model_family::mobilenet);
+BENCHMARK_CAPTURE(bm_training_step, resnet_big,
+                  models::model_family::resnet);
+
+void bm_two_head_joint_step(benchmark::State& state) {
+  core::two_head_config cfg;
+  cfg.spec = spec_for(models::model_family::mobilenet);
+  core::two_head_network net(cfg);
+  nn::adam opt(1e-3);
+  opt.attach(net.all_parameters());
+  util::rng gen(3);
+  const tensor x = tensor::randn(shape{32, 3, 16, 16}, gen);
+  std::vector<std::size_t> labels(32);
+  std::vector<float> big_losses(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    labels[i] = i % 10;
+    big_losses[i] = gen.uniform(0.0F, 1.0F);
+  }
+  core::joint_loss_config loss_cfg;
+
+  for (auto _ : state) {
+    core::two_head_output out = net.forward(x, true);
+    const auto loss = core::compute_joint_loss(out.logits, out.q_logits,
+                                               labels, big_losses, loss_cfg);
+    opt.zero_grad();
+    net.backward(loss.grad_logits, loss.grad_q_logits);
+    opt.step();
+    benchmark::DoNotOptimize(loss.total_loss);
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      32.0, benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(bm_two_head_joint_step);
+
+void bm_predictor_head_overhead(benchmark::State& state) {
+  // The runtime cost of the paper's "minimal overhead" claim: two-head
+  // forward vs approximator-only forward.
+  core::two_head_config cfg;
+  cfg.spec = spec_for(models::model_family::mobilenet);
+  core::two_head_network net(cfg);
+  util::rng gen(4);
+  const tensor x = tensor::randn(shape{1, 3, 16, 16}, gen);
+  net.forward(x, true);
+  const bool full = state.range(0) == 1;
+  for (auto _ : state) {
+    if (full) {
+      core::two_head_output out = net.forward(x, false);
+      benchmark::DoNotOptimize(out.logits.data());
+    } else {
+      tensor logits = net.forward_approximator(x, false);
+      benchmark::DoNotOptimize(logits.data());
+    }
+  }
+}
+BENCHMARK(bm_predictor_head_overhead)
+    ->Arg(0)   // approximator only
+    ->Arg(1);  // both heads
+
+}  // namespace

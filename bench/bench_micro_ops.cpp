@@ -1,0 +1,94 @@
+// Micro-benchmarks for the tensor substrate: GEMM, im2col, softmax,
+// elementwise kernels. These are google-benchmark timings that establish
+// the training stack's raw throughput (the experiment benches' runtime is
+// dominated by these kernels).
+#include <benchmark/benchmark.h>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+void bm_sgemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng gen(1);
+  const tensor a = tensor::rand_uniform(shape{n, n}, gen, -1.0F, 1.0F);
+  const tensor b = tensor::rand_uniform(shape{n, n}, gen, -1.0F, 1.0F);
+  tensor c(shape{n, n});
+  for (auto _ : state) {
+    ops::sgemm(n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n, benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(bm_sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void bm_sgemm_shapes_conv_like(benchmark::State& state) {
+  // The shape class conv lowers to: [out_c x patch] * [patch x positions].
+  const std::size_t m = 32, k = 144, n = 256;
+  util::rng gen(2);
+  const tensor a = tensor::rand_uniform(shape{m, k}, gen, -1.0F, 1.0F);
+  const tensor b = tensor::rand_uniform(shape{k, n}, gen, -1.0F, 1.0F);
+  tensor c(shape{m, n});
+  for (auto _ : state) {
+    ops::sgemm(m, n, k, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * m * k * n, benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(bm_sgemm_shapes_conv_like);
+
+void bm_im2col(benchmark::State& state) {
+  ops::conv_geometry g;
+  g.channels = static_cast<std::size_t>(state.range(0));
+  g.height = 16;
+  g.width = 16;
+  g.kernel = 3;
+  g.stride = 1;
+  g.padding = 1;
+  util::rng gen(3);
+  const tensor image =
+      tensor::rand_uniform(shape{g.channels, 16, 16}, gen, -1.0F, 1.0F);
+  std::vector<float> columns(g.patch_size() * g.column_count());
+  for (auto _ : state) {
+    ops::im2col(g, image.data(), columns.data());
+    benchmark::DoNotOptimize(columns.data());
+  }
+}
+BENCHMARK(bm_im2col)->Arg(3)->Arg(32)->Arg(128);
+
+void bm_softmax_rows(benchmark::State& state) {
+  const auto classes = static_cast<std::size_t>(state.range(0));
+  util::rng gen(4);
+  const tensor logits =
+      tensor::rand_uniform(shape{64, classes}, gen, -5.0F, 5.0F);
+  for (auto _ : state) {
+    tensor probs = ops::softmax_rows(logits);
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(bm_softmax_rows)->Arg(10)->Arg(100)->Arg(200);
+
+void bm_elementwise_axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng gen(5);
+  tensor a = tensor::rand_uniform(shape{n}, gen, -1.0F, 1.0F);
+  const tensor b = tensor::rand_uniform(shape{n}, gen, -1.0F, 1.0F);
+  for (auto _ : state) {
+    ops::axpy(a, 0.5F, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 2 * sizeof(float));
+}
+BENCHMARK(bm_elementwise_axpy)->Arg(1024)->Arg(65536);
+
+}  // namespace

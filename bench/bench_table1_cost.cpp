@@ -1,0 +1,159 @@
+// Table I reproduction: overall computational cost of the edge/cloud
+// architecture under different accuracy requirements.
+//
+// Paper setup: MobileNet little / ResNet-101 big on all four datasets.
+// For each AccI target in {50, 75, 90, 95}% the threshold δ is tuned (on
+// the validation split) to the cheapest operating point that still meets
+// the target, for both the score-margin baseline (the strongest of the
+// three confidence baselines) and AppealNet. Reported: the Eq. 15 overall
+// cost in MFLOPs and the relative saving of AppealNet over SM.
+//
+// Shape expectation (DESIGN.md §4): AppealNet cost below SM cost at every
+// reachable target, with double-digit relative savings at most points.
+//
+// Usage: bench_table1_cost [--dataset=cifar10] [--nocache]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "collab/cost_model.hpp"
+#include "metrics/metrics.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace appeal;
+
+/// Finds the cheapest validation operating point meeting the AccI target
+/// and evaluates it on the test split.
+core::operating_point tuned_test_point(const bench::method_splits& splits,
+                                       const core::accuracy_context& val_ctx,
+                                       const core::accuracy_context& test_ctx,
+                                       double target) {
+  const auto val_sweep = core::sweep_thresholds(
+      splits.val.little_predictions, splits.val.big_predictions,
+      splits.val.labels, splits.val.scores, val_ctx);
+  const core::operating_point chosen =
+      core::cheapest_point_for_acci(val_sweep, target);
+  return core::evaluate_at_delta(
+      splits.test.little_predictions, splits.test.big_predictions,
+      splits.test.labels, splits.test.scores, chosen.delta, test_ctx);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  std::vector<data::preset> presets = data::all_presets();
+  if (args.has("dataset")) {
+    presets = {data::parse_preset(args.get_string("dataset"))};
+  }
+  const util::artifact_cache cache = util::default_cache();
+  const util::artifact_cache* cache_ptr =
+      args.get_bool_or("nocache", false) ? nullptr : &cache;
+
+  const auto targets = collab::paper_acci_targets();
+
+  std::vector<std::string> headers{"dataset", "Acc% R/M/A", "MFLOPs R/M/A"};
+  for (const double t : targets) {
+    headers.push_back("cost@" + util::format_fixed(t * 100.0, 0) +
+                      "% (SM/AN)");
+    headers.push_back("saving");
+  }
+  util::ascii_table table(headers);
+
+  util::csv_writer csv(bench::results_path("table1_cost.csv"));
+  csv.write_row(std::vector<std::string>{"dataset", "acci_target", "method",
+                                         "skipping_rate", "accuracy",
+                                         "cost_mflops"});
+
+  std::printf("=== Table I: overall computational cost under accuracy "
+              "requirements (MobileNet/ResNet) ===\n");
+
+  for (const data::preset preset : presets) {
+    const collab::experiment_config cfg = collab::default_experiment(
+        preset, models::model_family::mobilenet, /*black_box=*/false);
+    const collab::experiment_outputs outputs =
+        collab::run_experiment(cfg, cache_ptr);
+
+    // Per-input raw-image upload size (fp32 pixels), for the comm charge.
+    const data::synthetic_config data_cfg =
+        data::preset_config(preset, cfg.seed);
+    const double input_kb =
+        static_cast<double>(data_cfg.channels * data_cfg.image_size *
+                            data_cfg.image_size * sizeof(float)) /
+        1024.0;
+    const collab::cost_model costs = collab::make_cost_model(
+        outputs.little_mflops, outputs.big_mflops, input_kb);
+
+    const bench::method_splits sm =
+        bench::make_method_splits(outputs, core::score_method::score_margin);
+    const bench::method_splits an =
+        bench::make_method_splits(outputs, core::score_method::appealnet_q);
+
+    // AccI (Eq. 14) is defined against "the stand-alone small DNN deployed
+    // on the edges" — the ORIGINAL little model — for every method, so all
+    // methods chase the same absolute accuracy bar and only their cost
+    // differs.
+    const auto ctx_for = [&](const collab::split_outputs& split,
+                             core::score_method /*method*/) {
+      core::accuracy_context ctx;
+      const auto little = ops::argmax_rows(split.little_base_logits);
+      const auto big = ops::argmax_rows(split.big_logits);
+      ctx.little_accuracy = metrics::accuracy(little, split.labels);
+      ctx.big_accuracy = metrics::accuracy(big, split.labels);
+      return ctx;
+    };
+
+    std::vector<std::string> row{
+        data::preset_name(preset),
+        util::format_fixed(outputs.big_accuracy * 100.0, 2) + "/" +
+            util::format_fixed(outputs.little_base_accuracy * 100.0, 2) + "/" +
+            util::format_fixed(outputs.little_joint_accuracy * 100.0, 2),
+        util::format_fixed(outputs.big_mflops, 1) + "/" +
+            util::format_fixed(outputs.little_mflops, 2) + "/" +
+            util::format_fixed(outputs.little_mflops, 2)};
+
+    for (const double target : targets) {
+      const auto sm_point = tuned_test_point(
+          sm, ctx_for(outputs.val, core::score_method::score_margin),
+          ctx_for(outputs.test, core::score_method::score_margin), target);
+      const auto an_point = tuned_test_point(
+          an, ctx_for(outputs.val, core::score_method::appealnet_q),
+          ctx_for(outputs.test, core::score_method::appealnet_q), target);
+
+      const double sm_cost = costs.overall_mflops(sm_point.skipping_rate);
+      const double an_cost = costs.overall_mflops(an_point.skipping_rate);
+      const double saving = 1.0 - an_cost / sm_cost;
+
+      row.push_back(util::format_fixed(sm_cost, 2) + "/" +
+                    util::format_fixed(an_cost, 2));
+      row.push_back(util::format_percent(saving));
+
+      csv.write_row(std::vector<std::string>{
+          data::preset_name(preset), util::format_fixed(target, 2), "SM",
+          util::format_fixed(sm_point.skipping_rate, 4),
+          util::format_fixed(sm_point.overall_accuracy, 5),
+          util::format_fixed(sm_cost, 3)});
+      csv.write_row(std::vector<std::string>{
+          data::preset_name(preset), util::format_fixed(target, 2),
+          "AppealNet", util::format_fixed(an_point.skipping_rate, 4),
+          util::format_fixed(an_point.overall_accuracy, 5),
+          util::format_fixed(an_cost, 3)});
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("Acc%% columns: ResNet / MobileNet(base) / AppealNet(two-head); "
+              "cost pairs: score-margin / AppealNet (Eq. 15 MFLOPs)\n");
+  std::printf("rows written to %s\n",
+              bench::results_path("table1_cost.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Table II reproduction: appealing rate of black-box approximation under
+// different accuracy requirements on CIFAR-10.
+//
+// Paper setup: the cloud model is an opaque vendor service treated as an
+// oracle (always correct); the little network is trained with the Eq. 10
+// black-box objective. For each of three edge families (EfficientNet,
+// MobileNet, ShuffleNet) and each AccI target in {50, 75, 90, 95}%, report
+// the appealing rate (Eq. 12, lower = cheaper) of the score-margin baseline
+// vs AppealNet, plus the relative saving.
+//
+// Shape expectation (DESIGN.md §4): AppealNet AR below SM AR at most
+// operating points.
+//
+// Usage: bench_table2_blackbox [--nocache]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/metrics.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace appeal;
+
+/// δ tuned on validation for the cheapest point meeting the target, then
+/// evaluated on test; returns the test appealing rate.
+core::operating_point tuned_test_point(const bench::method_splits& splits,
+                                       const core::accuracy_context& val_ctx,
+                                       const core::accuracy_context& test_ctx,
+                                       double target) {
+  const auto sweep = core::sweep_thresholds(
+      splits.val.little_predictions, splits.val.big_predictions,
+      splits.val.labels, splits.val.scores, val_ctx);
+  const auto chosen = core::cheapest_point_for_acci(sweep, target);
+  return core::evaluate_at_delta(
+      splits.test.little_predictions, splits.test.big_predictions,
+      splits.test.labels, splits.test.scores, chosen.delta, test_ctx);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  const util::artifact_cache cache = util::default_cache();
+  const util::artifact_cache* cache_ptr =
+      args.get_bool_or("nocache", false) ? nullptr : &cache;
+
+  const auto targets = collab::paper_acci_targets();
+  const models::model_family families[] = {
+      models::model_family::efficientnet,
+      models::model_family::mobilenet,
+      models::model_family::shufflenet,
+  };
+
+  std::vector<std::string> headers{"model", "orig acc%", "AppealNet acc%"};
+  for (const double t : targets) {
+    headers.push_back("AR@" + util::format_fixed(t * 100.0, 0) + "% (SM/AN)");
+    headers.push_back("saving");
+  }
+  util::ascii_table table(headers);
+
+  util::csv_writer csv(bench::results_path("table2_blackbox.csv"));
+  csv.write_row(std::vector<std::string>{"family", "acci_target", "method",
+                                         "appealing_rate", "accuracy"});
+
+  std::printf("=== Table II: black-box (oracle cloud) appealing rate on "
+              "cifar10_like ===\n");
+
+  for (const auto family : families) {
+    const collab::experiment_config cfg = collab::default_experiment(
+        data::preset::cifar10_like, family, /*black_box=*/true);
+    const collab::experiment_outputs outputs =
+        collab::run_experiment(cfg, cache_ptr);
+
+    const bench::method_splits sm =
+        bench::make_method_splits(outputs, core::score_method::score_margin);
+    const bench::method_splits an =
+        bench::make_method_splits(outputs, core::score_method::appealnet_q);
+
+    // AccI reference for every method: the ORIGINAL little model's accuracy
+    // (paper Eq. 14's "stand-alone small DNN"), so both methods chase the
+    // same absolute bar and only their appealing rate differs.
+    const auto ctx_for = [&](const collab::split_outputs& split,
+                             core::score_method /*method*/) {
+      core::accuracy_context ctx;
+      const auto little =
+          ops::argmax_rows(split.little_base_logits);
+      ctx.little_accuracy = metrics::accuracy(little, split.labels);
+      ctx.big_accuracy = 1.0;  // oracle cloud
+      return ctx;
+    };
+
+    std::vector<std::string> row{
+        models::family_name(family),
+        util::format_fixed(outputs.little_base_accuracy * 100.0, 2),
+        util::format_fixed(outputs.little_joint_accuracy * 100.0, 2)};
+
+    for (const double target : targets) {
+      const auto sm_point = tuned_test_point(
+          sm, ctx_for(outputs.val, core::score_method::score_margin),
+          ctx_for(outputs.test, core::score_method::score_margin), target);
+      const auto an_point = tuned_test_point(
+          an, ctx_for(outputs.val, core::score_method::appealnet_q),
+          ctx_for(outputs.test, core::score_method::appealnet_q), target);
+
+      const double sm_ar = 1.0 - sm_point.skipping_rate;
+      const double an_ar = 1.0 - an_point.skipping_rate;
+      const double saving = sm_ar > 0.0 ? 1.0 - an_ar / sm_ar : 0.0;
+
+      row.push_back(util::format_fixed(sm_ar * 100.0, 2) + "/" +
+                    util::format_fixed(an_ar * 100.0, 2));
+      row.push_back(util::format_percent(saving));
+
+      csv.write_row(std::vector<std::string>{
+          models::family_name(family), util::format_fixed(target, 2), "SM",
+          util::format_fixed(sm_ar, 4),
+          util::format_fixed(sm_point.overall_accuracy, 5)});
+      csv.write_row(std::vector<std::string>{
+          models::family_name(family), util::format_fixed(target, 2),
+          "AppealNet", util::format_fixed(an_ar, 4),
+          util::format_fixed(an_point.overall_accuracy, 5)});
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("AR pairs: score-margin / AppealNet appealing rate (Eq. 12); "
+              "lower = less cloud traffic\n");
+  std::printf("rows written to %s\n",
+              bench::results_path("table2_blackbox.csv").c_str());
+  return 0;
+}

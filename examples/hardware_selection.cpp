@@ -1,0 +1,63 @@
+// Hardware-aware model selection (paper Fig. 3, the front of the AppealNet
+// workflow).
+//
+// Given a device specification and the efficient-DNN candidate pool, the
+// hardware profiler measures every candidate's compute/memory/latency on
+// the device and selects the most capable model that fits. The chosen
+// backbone is then handed to the AppealNet trainer.
+//
+// Run: ./hardware_selection [--budget_mflops=1.0] [--memory_kb=256]
+//                           [--peak_gflops=0.5] [--latency_ms=10]
+#include <cstdio>
+
+#include "core/hardware_profile.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  core::hardware_spec device;
+  device.name = "iot-camera";
+  device.compute_budget_mflops = args.get_double_or("budget_mflops", 1.0);
+  device.memory_budget_kb = args.get_double_or("memory_kb", 256.0);
+  device.peak_gflops = args.get_double_or("peak_gflops", 0.5);
+  device.latency_budget_ms = args.get_double_or("latency_ms", 10.0);
+
+  const auto pool = core::default_model_pool(/*image_size=*/16,
+                                             /*num_classes=*/10);
+  const auto profiled = core::profile_pool(device, pool);
+
+  util::ascii_table table(
+      {"candidate", "MFLOPs", "params KB", "latency ms", "fits"});
+  for (const auto& p : profiled) {
+    table.add_row({p.spec.canonical(), util::format_fixed(p.mflops, 3),
+                   util::format_fixed(p.params_kb, 1),
+                   util::format_fixed(p.latency_ms, 2),
+                   p.fits ? "yes" : "no"});
+  }
+
+  std::printf("=== hardware profiler: device '%s' ===\n", device.name.c_str());
+  std::printf("budgets: %.2f MFLOPs, %.0f KB, %.1f ms at %.2f GFLOPS\n\n",
+              device.compute_budget_mflops, device.memory_budget_kb,
+              device.latency_budget_ms, device.peak_gflops);
+  std::printf("%s", table.render().c_str());
+
+  try {
+    const auto chosen = core::select_edge_model(device, pool);
+    std::printf("\nselected edge backbone: %s (%.3f MFLOPs, %.1f KB)\n",
+                chosen.spec.canonical().c_str(), chosen.mflops,
+                chosen.params_kb);
+    std::printf("next step: add the predictor head and run the AppealNet "
+                "trainer (see quickstart.cpp).\n");
+  } catch (const util::error& e) {
+    std::printf("\nno candidate fits this device: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "collab/cost_model.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::collab {
+
+double cost_model::overall_mflops(double skipping_rate) const {
+  APPEAL_CHECK(skipping_rate >= 0.0 && skipping_rate <= 1.0,
+               "skipping rate outside [0, 1]");
+  return skipping_rate * c1() + (1.0 - skipping_rate) * c0();
+}
+
+double cost_model::overall_energy_mj(double skipping_rate) const {
+  APPEAL_CHECK(skipping_rate >= 0.0 && skipping_rate <= 1.0,
+               "skipping rate outside [0, 1]");
+  // Edge compute always runs (the predictor must execute for every input).
+  const double edge = edge_mflops * edge_mj_per_mflop;
+  // Offloaded fraction pays communication + cloud compute.
+  const double offload = (1.0 - skipping_rate) *
+                         (input_kb * comm_mj_per_kb +
+                          cloud_mflops * cloud_mj_per_mflop);
+  return edge + offload;
+}
+
+double cost_model::overall_latency_ms(double skipping_rate) const {
+  APPEAL_CHECK(skipping_rate >= 0.0 && skipping_rate <= 1.0,
+               "skipping rate outside [0, 1]");
+  const double edge_ms = edge_mflops / (edge_gflops * 1e3) * 1e3;
+  const double offload_ms = input_kb * comm_ms_per_kb + comm_round_trip_ms +
+                            cloud_mflops / (cloud_gflops * 1e3) * 1e3;
+  return edge_ms + (1.0 - skipping_rate) * offload_ms;
+}
+
+double cost_model::energy_saving_vs_cloud_only(double skipping_rate) const {
+  const double cloud_only = overall_energy_mj(0.0);
+  return 1.0 - overall_energy_mj(skipping_rate) / cloud_only;
+}
+
+cost_model make_cost_model(double edge_mflops, double cloud_mflops,
+                           double input_kb) {
+  APPEAL_CHECK(edge_mflops > 0.0 && cloud_mflops > 0.0 && input_kb >= 0.0,
+               "cost model requires positive compute costs");
+  cost_model model;
+  model.edge_mflops = edge_mflops;
+  model.cloud_mflops = cloud_mflops;
+  model.input_kb = input_kb;
+  return model;
+}
+
+}  // namespace appeal::collab

@@ -1,0 +1,62 @@
+// Edge/cloud system cost model (paper Section IV-A + Eq. 15).
+//
+// The paper reduces per-input cost to two constants:
+//   c1 = cost(f1, q): running the two-head little network on the edge,
+//   c0 = cost(f0, q): running the little network (the predictor must run to
+//        decide), plus uploading the input, plus the big network.
+// Compute is measured in MFLOPs, communication in KB mapped to
+// MFLOP-equivalents, and the energy model charges per-MFLOP and per-KB
+// coefficients so the Eq. 15 cost translates into energy/latency estimates.
+#pragma once
+
+namespace appeal::collab {
+
+/// Static per-system constants; see make_cost_model for a convenient setup.
+struct cost_model {
+  // Compute (MFLOPs per inference).
+  double edge_mflops = 1.0;   // two-head little network (includes predictor)
+  double cloud_mflops = 50.0; // big network
+
+  // Communication.
+  double input_kb = 3.0;              // raw input upload size
+  double comm_mflops_per_kb = 1.0;    // comm cost in MFLOP-equivalents
+
+  // Energy coefficients (millijoules).
+  double edge_mj_per_mflop = 0.8;     // constrained edge silicon
+  double cloud_mj_per_mflop = 0.15;   // datacenter accelerator
+  double comm_mj_per_kb = 4.0;        // radio dominates offload energy
+
+  // Latency coefficients.
+  double edge_gflops = 1.0;           // edge device throughput
+  double cloud_gflops = 50.0;         // cloud throughput
+  double comm_ms_per_kb = 0.4;        // uplink
+  double comm_round_trip_ms = 5.0;    // fixed network latency
+
+  /// c1: per-input cost when kept on the edge (MFLOPs).
+  double c1() const { return edge_mflops; }
+
+  /// c0: per-input cost when appealed — predictor ran on the edge, input
+  /// shipped, big network ran in the cloud (MFLOP-equivalents).
+  double c0() const {
+    return edge_mflops + input_kb * comm_mflops_per_kb + cloud_mflops;
+  }
+
+  /// Eq. 15: expected per-input compute cost at a given skipping rate.
+  double overall_mflops(double skipping_rate) const;
+
+  /// Expected per-input energy (mJ) at a given skipping rate.
+  double overall_energy_mj(double skipping_rate) const;
+
+  /// Expected per-input latency (ms) at a given skipping rate.
+  double overall_latency_ms(double skipping_rate) const;
+
+  /// Energy saving of operating at `sr` relative to cloud-only (SR = 0).
+  double energy_saving_vs_cloud_only(double skipping_rate) const;
+};
+
+/// Builds a cost model from measured model costs; the remaining
+/// coefficients take the defaults above.
+cost_model make_cost_model(double edge_mflops, double cloud_mflops,
+                           double input_kb);
+
+}  // namespace appeal::collab

@@ -1,0 +1,333 @@
+#include "collab/experiment.hpp"
+
+#include <sstream>
+
+#include "collab/oracle.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace appeal::collab {
+
+std::string experiment_config::canonical() const {
+  std::ostringstream os;
+  os << "exp-v6"
+     << "-ds=" << data::preset_name(dataset)
+     << "-edge=" << models::family_name(edge_family)
+     << "-bb=" << (black_box ? 1 : 0)
+     << "-beta=" << util::format_fixed(beta, 4) << "-seed=" << seed
+     << "-be=" << big_epochs << "-pe=" << pretrain_epochs
+     << "-je=" << joint_epochs << "-jlr=" << util::format_fixed(joint_lr, 5)
+     << "-bs=" << batch_size
+     << "-ew=" << util::format_fixed(edge_width, 3) << "-ed=" << edge_depth
+     << "-bw=" << util::format_fixed(big_width, 3) << "-bd=" << big_depth
+     << "-aug=" << (augment ? 1 : 0);
+  return os.str();
+}
+
+experiment_config default_experiment(data::preset dataset,
+                                     models::model_family family,
+                                     bool black_box) {
+  experiment_config cfg;
+  cfg.dataset = dataset;
+  cfg.edge_family = family;
+  cfg.black_box = black_box;
+  switch (dataset) {
+    case data::preset::gtsrb_like:
+    case data::preset::cifar10_like:
+      break;  // defaults
+    case data::preset::cifar100_like:
+      cfg.big_epochs = 10;
+      cfg.pretrain_epochs = 10;
+      cfg.joint_epochs = 22;
+      break;
+    case data::preset::tiny_imagenet_like:
+      cfg.big_epochs = 10;
+      cfg.pretrain_epochs = 10;
+      cfg.joint_epochs = 20;
+      break;
+  }
+  return cfg;
+}
+
+models::model_spec edge_spec_for(const experiment_config& cfg) {
+  const data::synthetic_config base = data::preset_config(cfg.dataset, cfg.seed);
+  models::model_spec spec;
+  spec.family = cfg.edge_family;
+  spec.in_channels = base.channels;
+  spec.image_size = base.image_size;
+  spec.num_classes = base.num_classes;
+  spec.width = cfg.edge_width;
+  spec.depth = cfg.edge_depth;
+  return spec;
+}
+
+models::model_spec big_spec_for(const experiment_config& cfg) {
+  const data::synthetic_config base = data::preset_config(cfg.dataset, cfg.seed);
+  models::model_spec spec;
+  spec.family = models::model_family::resnet;
+  spec.in_channels = base.channels;
+  spec.image_size = base.image_size;
+  spec.num_classes = base.num_classes;
+  spec.width = cfg.big_width;
+  spec.depth = cfg.big_depth;
+  return spec;
+}
+
+namespace {
+
+/// Converts an index/float vector into a tensor for cache serialization.
+tensor to_tensor(const std::vector<std::size_t>& values) {
+  tensor out(shape{values.size()});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<float>(values[i]);
+  }
+  return out;
+}
+
+tensor to_tensor(const std::vector<float>& values) {
+  tensor out(shape{values.size()});
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = values[i];
+  return out;
+}
+
+std::vector<std::size_t> to_indices(const tensor& t) {
+  std::vector<std::size_t> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = static_cast<std::size_t>(t[i]);
+  }
+  return out;
+}
+
+std::vector<float> to_floats(const tensor& t) {
+  std::vector<float> out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = t[i];
+  return out;
+}
+
+/// Cache layout: a flat list of named tensors for both splits plus meta.
+struct cache_image {
+  tensor val_labels, val_difficulty, val_big, val_base, val_joint, val_q;
+  tensor test_labels, test_difficulty, test_big, test_base, test_joint,
+      test_q;
+  tensor meta;  // [3]: little_mflops, big_mflops, num_classes
+
+  std::vector<nn::named_tensor> names() {
+    return {
+        {"val.labels", &val_labels},       {"val.difficulty", &val_difficulty},
+        {"val.big", &val_big},             {"val.base", &val_base},
+        {"val.joint", &val_joint},         {"val.q", &val_q},
+        {"test.labels", &test_labels},     {"test.difficulty", &test_difficulty},
+        {"test.big", &test_big},           {"test.base", &test_base},
+        {"test.joint", &test_joint},       {"test.q", &test_q},
+        {"meta", &meta},
+    };
+  }
+};
+
+split_outputs split_from_cache(const tensor& labels, const tensor& difficulty,
+                               const tensor& big, const tensor& base,
+                               const tensor& joint, const tensor& q,
+                               std::size_t num_classes) {
+  split_outputs out;
+  out.labels = to_indices(labels);
+  out.difficulty = to_floats(difficulty);
+  const std::size_t n = out.labels.size();
+  out.big_logits = big.reshaped(shape{n, num_classes});
+  out.little_base_logits = base.reshaped(shape{n, num_classes});
+  out.little_joint_logits = joint.reshaped(shape{n, num_classes});
+  out.q = to_floats(q);
+  return out;
+}
+
+double split_accuracy(const tensor& logits,
+                      const std::vector<std::size_t>& labels) {
+  const auto preds = ops::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+void fill_headline_accuracies(experiment_outputs& out) {
+  out.little_base_accuracy =
+      split_accuracy(out.test.little_base_logits, out.test.labels);
+  out.little_joint_accuracy =
+      split_accuracy(out.test.little_joint_logits, out.test.labels);
+  out.big_accuracy = split_accuracy(out.test.big_logits, out.test.labels);
+}
+
+}  // namespace
+
+experiment_outputs run_experiment(const experiment_config& cfg,
+                                  const util::artifact_cache* cache) {
+  const std::string key = cfg.canonical();
+
+  if (cache != nullptr) {
+    if (const auto path = cache->find(key)) {
+      const auto doc = nn::load_tensors_dynamic(*path);
+      const auto get = [&](const std::string& name) -> const tensor& {
+        const auto it = doc.find(name);
+        APPEAL_CHECK(it != doc.end(), "cache missing tensor " + name);
+        return it->second;
+      };
+      experiment_outputs out;
+      const tensor& meta = get("meta");
+      APPEAL_CHECK(meta.size() == 3, "bad cache meta");
+      out.little_mflops = meta[0];
+      out.big_mflops = meta[1];
+      out.num_classes = static_cast<std::size_t>(meta[2]);
+      out.val = split_from_cache(get("val.labels"), get("val.difficulty"),
+                                 get("val.big"), get("val.base"),
+                                 get("val.joint"), get("val.q"),
+                                 out.num_classes);
+      out.test = split_from_cache(get("test.labels"), get("test.difficulty"),
+                                  get("test.big"), get("test.base"),
+                                  get("test.joint"), get("test.q"),
+                                  out.num_classes);
+      fill_headline_accuracies(out);
+      APPEAL_LOG_DEBUG << "experiment loaded from cache: " << key;
+      return out;
+    }
+  }
+
+  util::timer total_timer;
+  APPEAL_LOG_INFO << "running experiment " << key;
+
+  const data::dataset_bundle bundle = data::make_bundle(cfg.dataset, cfg.seed);
+  const models::model_spec edge_spec = edge_spec_for(cfg);
+  const models::model_spec big_spec = big_spec_for(cfg);
+
+  // Shared augmentation policy: shifts + noise keep train-set losses honest
+  // (the q head needs a live difficulty signal); flips are not
+  // label-preserving for the synthetic prototypes.
+  data::augment_config augmentation;
+  augmentation.max_shift = 2;
+  augmentation.flip_probability = 0.0;
+  augmentation.noise_sigma = 0.04F;
+
+  // --- Big network. In the black-box setting (paper IV-B, Table II) the
+  // cloud is an oracle: no big model is trained, and its "logits" are
+  // one-hot ground truth. The white-box setting trains a real ResNet.
+  util::rng big_gen(cfg.seed * 97 + 5);
+  auto big = models::make_classifier(big_spec, big_gen);
+  if (!cfg.black_box) {
+    core::trainer_config big_train;
+    big_train.epochs = cfg.big_epochs;
+    big_train.batch_size = cfg.batch_size;
+    big_train.learning_rate = 2.5e-3;
+    big_train.seed = cfg.seed * 31 + 1;
+    big_train.verbose = cfg.verbose;
+    big_train.augment = cfg.augment;
+    big_train.augmentation = augmentation;
+    core::train_classifier(*big, *bundle.train, bundle.val.get(), big_train);
+  }
+
+  const auto oracle_logits = [](const data::dataset& ds,
+                                std::size_t num_classes) {
+    tensor logits(shape{ds.size(), num_classes});
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      logits[i * num_classes + ds.get(i).label] = 10.0F;
+    }
+    return logits;
+  };
+
+  // --- Two-head little network: phase 1 (Algorithm 1 line 1). ---
+  core::two_head_config little_cfg;
+  little_cfg.spec = edge_spec;
+  little_cfg.init_seed = cfg.seed * 131 + 7;
+  core::two_head_network little(little_cfg);
+
+  core::trainer_config pre_train;
+  pre_train.epochs = cfg.pretrain_epochs;
+  pre_train.batch_size = cfg.batch_size;
+  pre_train.learning_rate = 2.5e-3;
+  pre_train.seed = cfg.seed * 31 + 2;
+  pre_train.verbose = cfg.verbose;
+  pre_train.augment = cfg.augment;
+  pre_train.augmentation = augmentation;
+  core::pretrain_two_head(little, *bundle.train, bundle.val.get(), pre_train);
+
+  // Snapshot the phase-1 model — this is the standalone little network the
+  // confidence baselines (MSP/SM/Entropy) run on.
+  const tensor base_val = core::eval_approximator_logits(little, *bundle.val);
+  const tensor base_test =
+      core::eval_approximator_logits(little, *bundle.test);
+
+  // --- Joint training (Algorithm 1 lines 2-9). The frozen big network is
+  // passed in so l0 is evaluated on each (augmented) batch, matching the
+  // algorithm's per-batch loss. ---
+  core::trainer_config joint_train;
+  joint_train.epochs = cfg.joint_epochs;
+  joint_train.batch_size = cfg.batch_size;
+  joint_train.learning_rate = cfg.joint_lr;
+  joint_train.seed = cfg.seed * 31 + 3;
+  joint_train.verbose = cfg.verbose;
+  joint_train.augment = cfg.augment;
+  joint_train.augmentation = augmentation;
+
+  core::joint_loss_config loss_cfg;
+  loss_cfg.beta = cfg.beta;
+  loss_cfg.black_box = cfg.black_box;
+  core::train_joint(little, *bundle.train, bundle.val.get(), {}, joint_train,
+                    loss_cfg, cfg.black_box ? nullptr : big.get());
+
+  // --- Evaluate everything. ---
+  experiment_outputs out;
+  out.num_classes = edge_spec.num_classes;
+
+  const auto fill_split = [&](const data::dataset& ds, split_outputs& split,
+                              const tensor& base_logits) {
+    split.labels = dataset_labels(ds);
+    split.difficulty = dataset_difficulties(ds);
+    split.big_logits = cfg.black_box
+                           ? oracle_logits(ds, edge_spec.num_classes)
+                           : core::eval_logits(*big, ds);
+    split.little_base_logits = base_logits;
+    const core::two_head_eval joint_eval = core::eval_two_head(little, ds);
+    split.little_joint_logits = joint_eval.logits;
+    split.q = joint_eval.q;
+  };
+  fill_split(*bundle.val, out.val, base_val);
+  fill_split(*bundle.test, out.test, base_test);
+
+  const shape single{1, edge_spec.in_channels, edge_spec.image_size,
+                     edge_spec.image_size};
+  out.little_mflops = static_cast<double>(little.flops(single)) / 1e6;
+  out.big_mflops = static_cast<double>(big->flops(single)) / 1e6;
+  fill_headline_accuracies(out);
+
+  APPEAL_LOG_INFO << "experiment finished in "
+                  << util::format_fixed(total_timer.seconds(), 1) << "s ("
+                  << "little=" << util::format_percent(out.little_joint_accuracy)
+                  << ", big=" << util::format_percent(out.big_accuracy) << ")";
+
+  if (cache != nullptr) {
+    cache_image image;
+    image.val_labels = to_tensor(out.val.labels);
+    image.val_difficulty = to_tensor(out.val.difficulty);
+    image.val_big = out.val.big_logits;
+    image.val_base = out.val.little_base_logits;
+    image.val_joint = out.val.little_joint_logits;
+    image.val_q = to_tensor(out.val.q);
+    image.test_labels = to_tensor(out.test.labels);
+    image.test_difficulty = to_tensor(out.test.difficulty);
+    image.test_big = out.test.big_logits;
+    image.test_base = out.test.little_base_logits;
+    image.test_joint = out.test.little_joint_logits;
+    image.test_q = to_tensor(out.test.q);
+    image.meta = tensor(shape{3});
+    image.meta[0] = static_cast<float>(out.little_mflops);
+    image.meta[1] = static_cast<float>(out.big_mflops);
+    image.meta[2] = static_cast<float>(out.num_classes);
+    nn::save_tensors(image.names(), cache->prepare_write(key));
+  }
+  return out;
+}
+
+}  // namespace appeal::collab

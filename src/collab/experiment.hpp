@@ -1,0 +1,96 @@
+// Cached experiment runner.
+//
+// Every paper table/figure consumes the same artifacts for a
+// (dataset, edge-family, objective) triple:
+//   - big-network logits on val/test,
+//   - phase-1 ("standalone little", the baselines' model) logits,
+//   - joint-trained two-head logits + q scores,
+//   - per-sample latent difficulties and model costs.
+// run_experiment() trains everything once per configuration and caches the
+// outputs (keyed by the config's canonical string) so the four experiment
+// benches and the ablations share work instead of retraining.
+#pragma once
+
+#include <string>
+
+#include "core/joint_trainer.hpp"
+#include "data/presets.hpp"
+#include "models/model_spec.hpp"
+#include "tensor/tensor.hpp"
+#include "util/artifact_cache.hpp"
+
+namespace appeal::collab {
+
+/// One experiment = one trained (big, little, two-head) triple.
+struct experiment_config {
+  data::preset dataset = data::preset::cifar10_like;
+  models::model_family edge_family = models::model_family::mobilenet;
+  bool black_box = false;  // Eq. 10 objective instead of Eq. 9
+  double beta = 0.05;      // joint-loss cost pressure
+  std::uint64_t seed = 42;
+
+  // Training budget (defaults are tuned per dataset by default_experiment).
+  // Most of the little network's budget sits in the joint phase: the shared
+  // features must learn difficulty, not only class identity (pretraining is
+  // only the Algorithm 1 line-1 warm start).
+  std::size_t big_epochs = 8;
+  std::size_t pretrain_epochs = 8;
+  std::size_t joint_epochs = 24;
+  double joint_lr = 1e-3;
+  std::size_t batch_size = 32;
+
+  // Model scale knobs.
+  float edge_width = 1.0F;
+  std::size_t edge_depth = 1;
+  float big_width = 0.75F;
+  std::size_t big_depth = 2;
+
+  // Train-time augmentation (shift + noise; flips are NOT label-preserving
+  // for the grating prototypes, so they stay off).
+  bool augment = true;
+
+  bool verbose = false;
+
+  /// Stable cache key (excludes `verbose`).
+  std::string canonical() const;
+};
+
+/// Sensible defaults for a (dataset, family, objective) triple.
+experiment_config default_experiment(data::preset dataset,
+                                     models::model_family family,
+                                     bool black_box);
+
+/// Model outputs over one dataset split.
+struct split_outputs {
+  std::vector<std::size_t> labels;
+  std::vector<float> difficulty;
+  tensor big_logits;           // [N, K]
+  tensor little_base_logits;   // phase-1 snapshot — the baselines' model
+  tensor little_joint_logits;  // after joint training
+  std::vector<float> q;        // predictor head scores q(1|x)
+};
+
+/// Everything the benches need.
+struct experiment_outputs {
+  split_outputs val;
+  split_outputs test;
+  double little_mflops = 0.0;  // two-head little network cost (c1)
+  double big_mflops = 0.0;     // big network cost
+  std::size_t num_classes = 0;
+
+  // Headline accuracies on the test split.
+  double little_base_accuracy = 0.0;
+  double little_joint_accuracy = 0.0;
+  double big_accuracy = 0.0;
+};
+
+/// Runs (or loads) an experiment. When `cache` is non-null, artifacts are
+/// stored/loaded under the config's canonical key.
+experiment_outputs run_experiment(const experiment_config& cfg,
+                                  const util::artifact_cache* cache);
+
+/// Builds the model specs an experiment uses (exposed for tests/benches).
+models::model_spec edge_spec_for(const experiment_config& cfg);
+models::model_spec big_spec_for(const experiment_config& cfg);
+
+}  // namespace appeal::collab

@@ -1,0 +1,25 @@
+#include "collab/oracle.hpp"
+
+namespace appeal::collab {
+
+std::vector<std::size_t> oracle_predictions(const data::dataset& ds) {
+  return dataset_labels(ds);
+}
+
+std::vector<std::size_t> dataset_labels(const data::dataset& ds) {
+  std::vector<std::size_t> out(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    out[i] = ds.get(i).label;
+  }
+  return out;
+}
+
+std::vector<float> dataset_difficulties(const data::dataset& ds) {
+  std::vector<float> out(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    out[i] = ds.get(i).difficulty;
+  }
+  return out;
+}
+
+}  // namespace appeal::collab

@@ -1,0 +1,25 @@
+// Oracle cloud model (paper Section IV-B, black-box setting).
+//
+// When the cloud model belongs to an external vendor, AppealNet trains
+// against an oracle assumption: the cloud always answers correctly
+// (l0 = 0). For evaluation this wrapper produces ground-truth predictions
+// for offloaded inputs, matching the paper's Table II protocol where "the
+// oracle function always predicts correct results".
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace appeal::collab {
+
+/// Predictions of an always-correct cloud service over a dataset.
+std::vector<std::size_t> oracle_predictions(const data::dataset& ds);
+
+/// Labels of a dataset (convenience used everywhere in evaluation).
+std::vector<std::size_t> dataset_labels(const data::dataset& ds);
+
+/// Per-sample latent difficulties (generator metadata used for analysis).
+std::vector<float> dataset_difficulties(const data::dataset& ds);
+
+}  // namespace appeal::collab

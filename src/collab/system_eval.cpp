@@ -1,0 +1,59 @@
+#include "collab/system_eval.hpp"
+
+#include "metrics/metrics.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace appeal::collab {
+
+routed_split make_routed_split(const tensor& little_logits,
+                               const tensor& big_logits,
+                               const std::vector<std::size_t>& labels,
+                               std::vector<double> scores) {
+  APPEAL_CHECK(little_logits.dims().dim(0) == labels.size() &&
+                   big_logits.dims().dim(0) == labels.size() &&
+                   scores.size() == labels.size(),
+               "make_routed_split: size mismatch");
+  routed_split split;
+  split.labels = labels;
+  split.little_predictions = ops::argmax_rows(little_logits);
+  split.big_predictions = ops::argmax_rows(big_logits);
+  split.scores = std::move(scores);
+  return split;
+}
+
+std::vector<sweep_point> accuracy_vs_sr_curve(
+    const routed_split& eval, const routed_split* tuning,
+    const std::vector<double>& target_srs) {
+  APPEAL_CHECK(!eval.labels.empty(), "accuracy_vs_sr_curve on empty split");
+
+  std::vector<sweep_point> curve;
+  curve.reserve(target_srs.size());
+  for (const double target : target_srs) {
+    const std::vector<double>& tuning_scores =
+        tuning != nullptr ? tuning->scores : eval.scores;
+    const double delta = core::delta_for_skipping_rate(tuning_scores, target);
+
+    const metrics::collaborative_outcome outcome =
+        metrics::evaluate_collaborative(eval.little_predictions,
+                                        eval.big_predictions, eval.labels,
+                                        eval.scores, delta);
+    sweep_point point;
+    point.target_sr = target;
+    point.achieved_sr = outcome.skipping_rate;
+    point.accuracy = outcome.overall_accuracy;
+    point.delta = delta;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<double> paper_sr_grid() {
+  return {0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00};
+}
+
+std::vector<double> paper_acci_targets() {
+  return {0.50, 0.75, 0.90, 0.95};
+}
+
+}  // namespace appeal::collab

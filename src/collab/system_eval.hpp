@@ -1,0 +1,49 @@
+// System-level evaluation: accuracy-vs-skipping-rate sweeps over routing
+// methods (the machinery behind Fig. 5 and Tables I/II).
+#pragma once
+
+#include <vector>
+
+#include "core/scores.hpp"
+#include "core/threshold.hpp"
+#include "tensor/tensor.hpp"
+
+namespace appeal::collab {
+
+/// Everything needed to evaluate one (little, big, scores) system on a
+/// labelled split, with predictions precomputed.
+struct routed_split {
+  std::vector<std::size_t> labels;
+  std::vector<std::size_t> little_predictions;
+  std::vector<std::size_t> big_predictions;
+  std::vector<double> scores;  // higher = easier
+};
+
+/// Builds a routed_split from logits (+ labels); predictions are row argmax.
+routed_split make_routed_split(const tensor& little_logits,
+                               const tensor& big_logits,
+                               const std::vector<std::size_t>& labels,
+                               std::vector<double> scores);
+
+/// One point of an accuracy-vs-SR curve.
+struct sweep_point {
+  double target_sr = 0.0;    // requested skipping rate
+  double achieved_sr = 0.0;  // SR actually achieved on this split
+  double accuracy = 0.0;     // Eq. 13
+  double delta = 0.0;
+};
+
+/// Evaluates the split at each target skipping rate. When `tuning` is
+/// non-null, δ is chosen on the tuning split (validation) and applied to
+/// `eval` — the honest protocol used by all experiment benches.
+std::vector<sweep_point> accuracy_vs_sr_curve(
+    const routed_split& eval, const routed_split* tuning,
+    const std::vector<double>& target_srs);
+
+/// The paper's Fig. 5 skipping-rate grid {70, 75, ..., 100}%.
+std::vector<double> paper_sr_grid();
+
+/// The paper's Table I/II AccI targets {50, 75, 90, 95}%.
+std::vector<double> paper_acci_targets();
+
+}  // namespace appeal::collab

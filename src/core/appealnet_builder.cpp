@@ -1,0 +1,143 @@
+#include "core/appealnet_builder.hpp"
+
+#include "core/scores.hpp"
+#include "nn/flops.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::core {
+
+appealnet_system::appealnet_system(std::unique_ptr<two_head_network> little,
+                                   std::unique_ptr<nn::sequential> big,
+                                   double delta)
+    : little_(std::move(little)), big_(std::move(big)), delta_(delta) {
+  APPEAL_CHECK(little_ != nullptr && big_ != nullptr,
+               "appealnet_system requires both models");
+}
+
+appealnet_system::decision appealnet_system::infer(const tensor& image) {
+  tensor batch_input = image;
+  if (image.dims().rank() == 3) {
+    batch_input = image.reshaped(shape{1, image.dims().dim(0),
+                                       image.dims().dim(1),
+                                       image.dims().dim(2)});
+  }
+  APPEAL_CHECK(batch_input.dims().rank() == 4 && batch_input.batch() == 1,
+               "infer expects a single image");
+
+  two_head_output out = little_->forward(batch_input, /*training=*/false);
+  decision d;
+  d.q = out.q[0];
+  if (d.q >= delta_) {
+    d.offloaded = false;
+    d.predicted_class = ops::argmax(out.logits);
+  } else {
+    d.offloaded = true;
+    const tensor big_logits = big_->forward(batch_input, /*training=*/false);
+    d.predicted_class = ops::argmax(big_logits);
+  }
+  return d;
+}
+
+std::vector<appealnet_system::decision> appealnet_system::infer_all(
+    const data::dataset& ds, std::size_t batch_size) {
+  // Run the little network over everything, then the big network only on
+  // the appealed subset — mirroring the deployment data flow.
+  const two_head_eval little_eval = eval_two_head(*little_, ds, batch_size);
+  const auto little_preds = ops::argmax_rows(little_eval.logits);
+
+  std::vector<decision> out(ds.size());
+  std::vector<std::size_t> appealed;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    out[i].q = little_eval.q[i];
+    if (out[i].q >= delta_) {
+      out[i].offloaded = false;
+      out[i].predicted_class = little_preds[i];
+    } else {
+      out[i].offloaded = true;
+      appealed.push_back(i);
+    }
+  }
+
+  std::size_t cursor = 0;
+  while (cursor < appealed.size()) {
+    const std::size_t end = std::min(cursor + batch_size, appealed.size());
+    const std::vector<std::size_t> rows(appealed.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                        appealed.begin() + static_cast<std::ptrdiff_t>(end));
+    const data::batch b = data::make_batch(ds, rows);
+    const tensor logits = big_->forward(b.images, /*training=*/false);
+    const auto preds = ops::argmax_rows(logits);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out[rows[i]].predicted_class = preds[i];
+    }
+    cursor = end;
+  }
+  return out;
+}
+
+void appealnet_system::calibrate_for_skipping_rate(
+    const data::dataset& calibration, double target_sr) {
+  const two_head_eval eval = eval_two_head(*little_, calibration);
+  delta_ = delta_for_skipping_rate(q_to_scores(eval.q), target_sr);
+}
+
+double appealnet_system::edge_mflops() const {
+  const auto& spec = little_->config().spec;
+  const shape input{1, spec.in_channels, spec.image_size, spec.image_size};
+  return static_cast<double>(little_->flops(input)) / 1e6;
+}
+
+double appealnet_system::cloud_mflops() const {
+  const auto& spec = little_->config().spec;
+  const shape input{1, spec.in_channels, spec.image_size, spec.image_size};
+  return static_cast<double>(big_->flops(input)) / 1e6;
+}
+
+appealnet_system build_appealnet(const data::dataset& train,
+                                 const data::dataset& val,
+                                 const appealnet_build_config& cfg,
+                                 appealnet_build_report* report,
+                                 std::unique_ptr<nn::sequential>
+                                     pretrained_big) {
+  appealnet_build_report local_report;
+  appealnet_build_report& rep = report != nullptr ? *report : local_report;
+
+  // 1. Big/cloud network.
+  std::unique_ptr<nn::sequential> big = std::move(pretrained_big);
+  if (big == nullptr) {
+    util::rng gen(cfg.seed);
+    big = models::make_classifier(cfg.big_spec, gen);
+    APPEAL_LOG_INFO << "training big network ("
+                    << models::family_name(cfg.big_spec.family) << ")";
+    rep.big_log = train_classifier(*big, train, &val, cfg.big_training);
+  }
+  rep.big_val_accuracy = logits_accuracy(eval_logits(*big, val), val);
+
+  // 2. Two-head little network, phase-1 pretraining (Algorithm 1, line 1).
+  auto little = std::make_unique<two_head_network>(cfg.little);
+  APPEAL_LOG_INFO << "pretraining little network ("
+                  << models::family_name(cfg.little.spec.family) << ")";
+  rep.pretrain_log = pretrain_two_head(*little, train, &val, cfg.pretraining);
+
+  // 3+4. Joint training (Algorithm 1, lines 2-9); the frozen big model
+  // supplies l0 on each training batch in white-box mode.
+  APPEAL_LOG_INFO << "joint training (beta="
+                  << cfg.loss.beta << (cfg.loss.black_box ? ", black-box)"
+                                                          : ", white-box)");
+  rep.joint_log =
+      train_joint(*little, train, &val, {}, cfg.joint_training, cfg.loss,
+                  cfg.loss.black_box ? nullptr : big.get());
+  {
+    const two_head_eval eval = eval_two_head(*little, val);
+    rep.little_val_accuracy = logits_accuracy(eval.logits, val);
+  }
+
+  // 5. Calibrate δ on the validation split.
+  appealnet_system system(std::move(little), std::move(big), 0.5);
+  system.calibrate_for_skipping_rate(val, cfg.target_skipping_rate);
+  return system;
+}
+
+}  // namespace appeal::core

@@ -1,0 +1,98 @@
+// End-to-end AppealNet construction (paper Fig. 3, full workflow).
+//
+// build_appealnet() runs the whole pipeline on a dataset:
+//   1. train (or accept) the big/cloud network,
+//   2. phase-1 pretrain the two-head little network's approximator
+//      (Algorithm 1 line 1: "initialize with the pre-trained model"),
+//   3. compute the big network's per-sample losses (white box) or use the
+//      oracle assumption (black box),
+//   4. jointly train (f1, q) with the Eq. 9 / Eq. 10 objective,
+//   5. calibrate the offload threshold δ on the validation split.
+// The result is a deployable edge/cloud system.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/joint_loss.hpp"
+#include "core/joint_trainer.hpp"
+#include "core/threshold.hpp"
+#include "core/two_head_network.hpp"
+#include "data/dataset.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/sequential.hpp"
+
+namespace appeal::core {
+
+/// Everything needed to build one AppealNet system.
+struct appealnet_build_config {
+  two_head_config little;
+  models::model_spec big_spec;       // ignored when a big model is supplied
+  trainer_config big_training;
+  trainer_config pretraining;
+  trainer_config joint_training;
+  joint_loss_config loss;
+  /// δ calibration: target skipping rate on the validation split.
+  double target_skipping_rate = 0.9;
+  std::uint64_t seed = 42;
+};
+
+/// A deployed edge/cloud system: the two-head little network at the edge,
+/// the big network in the (simulated) cloud, and the calibrated threshold.
+class appealnet_system {
+ public:
+  appealnet_system(std::unique_ptr<two_head_network> little,
+                   std::unique_ptr<nn::sequential> big, double delta);
+
+  /// Per-input decision for a [1, C, H, W] (or [C, H, W]) image.
+  struct decision {
+    std::size_t predicted_class = 0;
+    bool offloaded = false;  // true: the cloud model produced the answer
+    double q = 0.0;          // predictor score q(1|x)
+  };
+  decision infer(const tensor& image);
+
+  /// Batch evaluation over a dataset; returns per-sample decisions.
+  std::vector<decision> infer_all(const data::dataset& ds,
+                                  std::size_t batch_size = 64);
+
+  two_head_network& little() { return *little_; }
+  nn::sequential& big() { return *big_; }
+  double delta() const { return delta_; }
+  void set_delta(double delta) { delta_ = delta; }
+
+  /// Re-tunes δ for a target skipping rate on a calibration set.
+  void calibrate_for_skipping_rate(const data::dataset& calibration,
+                                   double target_sr);
+
+  /// Per-inference edge cost (two-head little network) in MFLOPs.
+  double edge_mflops() const;
+  /// Per-inference cloud-path compute (big network) in MFLOPs.
+  double cloud_mflops() const;
+
+ private:
+  std::unique_ptr<two_head_network> little_;
+  std::unique_ptr<nn::sequential> big_;
+  double delta_;
+};
+
+/// Build report: training logs + reference accuracies.
+struct appealnet_build_report {
+  training_log big_log;
+  training_log pretrain_log;
+  training_log joint_log;
+  double little_val_accuracy = 0.0;  // after joint training
+  double big_val_accuracy = 0.0;
+};
+
+/// Runs the full pipeline. When `pretrained_big` is provided it is used
+/// as-is (its training is skipped) — the "machine-learning service vendor"
+/// scenario of Section IV-B.
+appealnet_system build_appealnet(const data::dataset& train,
+                                 const data::dataset& val,
+                                 const appealnet_build_config& cfg,
+                                 appealnet_build_report* report = nullptr,
+                                 std::unique_ptr<nn::sequential>
+                                     pretrained_big = nullptr);
+
+}  // namespace appeal::core

@@ -1,0 +1,75 @@
+#include "core/hardware_profile.hpp"
+
+#include "models/model_zoo.hpp"
+#include "nn/flops.hpp"
+#include "nn/linear.hpp"
+#include "util/error.hpp"
+
+namespace appeal::core {
+
+std::vector<profiled_model> profile_pool(
+    const hardware_spec& device, const std::vector<models::model_spec>& pool) {
+  APPEAL_CHECK(!pool.empty(), "profile_pool requires at least one candidate");
+  APPEAL_CHECK(device.peak_gflops > 0.0, "device peak_gflops must be > 0");
+
+  std::vector<profiled_model> out;
+  out.reserve(pool.size());
+  for (const models::model_spec& spec : pool) {
+    // Build the full little model (backbone + classification head) to
+    // measure what would actually be deployed.
+    models::backbone bb = models::make_backbone(spec);
+    bb.features->emplace<nn::linear>(bb.feature_dim, spec.num_classes);
+
+    const shape input{1, spec.in_channels, spec.image_size, spec.image_size};
+    profiled_model profiled;
+    profiled.spec = spec;
+    profiled.mflops = nn::mflops(*bb.features, input);
+    profiled.params_kb =
+        static_cast<double>(nn::parameter_count(*bb.features)) * 4.0 / 1024.0;
+    profiled.latency_ms = profiled.mflops / (device.peak_gflops * 1e3) * 1e3;
+    profiled.fits = profiled.mflops <= device.compute_budget_mflops &&
+                    profiled.params_kb <= device.memory_budget_kb &&
+                    profiled.latency_ms <= device.latency_budget_ms;
+    out.push_back(profiled);
+  }
+  return out;
+}
+
+profiled_model select_edge_model(const hardware_spec& device,
+                                 const std::vector<models::model_spec>& pool) {
+  const std::vector<profiled_model> profiled = profile_pool(device, pool);
+  const profiled_model* best = nullptr;
+  for (const profiled_model& candidate : profiled) {
+    if (!candidate.fits) continue;
+    if (best == nullptr || candidate.mflops > best->mflops) {
+      best = &candidate;
+    }
+  }
+  APPEAL_CHECK(best != nullptr,
+               "no pool candidate fits device '" + device.name + "'");
+  return *best;
+}
+
+std::vector<models::model_spec> default_model_pool(std::size_t image_size,
+                                                   std::size_t num_classes) {
+  std::vector<models::model_spec> pool;
+  const models::model_family families[] = {
+      models::model_family::mobilenet,
+      models::model_family::shufflenet,
+      models::model_family::efficientnet,
+  };
+  const float widths[] = {0.5F, 0.75F, 1.0F, 1.5F};
+  for (const auto family : families) {
+    for (const float width : widths) {
+      models::model_spec spec;
+      spec.family = family;
+      spec.image_size = image_size;
+      spec.num_classes = num_classes;
+      spec.width = width;
+      pool.push_back(spec);
+    }
+  }
+  return pool;
+}
+
+}  // namespace appeal::core

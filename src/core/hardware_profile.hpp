@@ -1,0 +1,49 @@
+// Hardware profiler + efficient-DNN pool selection (paper Fig. 3).
+//
+// Given a hardware specification and a pool of candidate edge models, the
+// profiler computes each candidate's cost on the device and selects the
+// most capable model that fits the constraints — the front half of the
+// AppealNet workflow, before the trainer takes over.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/model_spec.hpp"
+#include "tensor/shape.hpp"
+
+namespace appeal::core {
+
+/// Resource constraints of an edge device.
+struct hardware_spec {
+  std::string name = "edge-device";
+  double compute_budget_mflops = 10.0;  // max per-inference cost
+  double memory_budget_kb = 512.0;      // max parameter storage (fp32)
+  double peak_gflops = 1.0;             // device throughput, for latency
+  double latency_budget_ms = 50.0;      // max per-inference latency
+};
+
+/// One profiled candidate.
+struct profiled_model {
+  models::model_spec spec;
+  double mflops = 0.0;       // per-inference forward cost
+  double params_kb = 0.0;    // fp32 parameter storage
+  double latency_ms = 0.0;   // mflops / device throughput
+  bool fits = false;         // meets all three budgets
+};
+
+/// Profiles every pool candidate against the device (input shape
+/// [1, C, H, W] built from the spec's image size).
+std::vector<profiled_model> profile_pool(
+    const hardware_spec& device, const std::vector<models::model_spec>& pool);
+
+/// Selects the candidate with the highest compute (capacity proxy) among
+/// those that fit; throws when nothing fits.
+profiled_model select_edge_model(const hardware_spec& device,
+                                 const std::vector<models::model_spec>& pool);
+
+/// A default candidate pool: the three efficient families at a few widths.
+std::vector<models::model_spec> default_model_pool(std::size_t image_size,
+                                                   std::size_t num_classes);
+
+}  // namespace appeal::core

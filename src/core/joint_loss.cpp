@@ -1,0 +1,81 @@
+#include "core/joint_loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace appeal::core {
+
+joint_loss_result compute_joint_loss(const tensor& little_logits,
+                                     const tensor& q_logits,
+                                     const std::vector<std::size_t>& labels,
+                                     const std::vector<float>& big_losses,
+                                     const joint_loss_config& cfg) {
+  APPEAL_CHECK(little_logits.dims().rank() == 2,
+               "joint loss: little logits must be [N, K]");
+  const std::size_t n = little_logits.dims().dim(0);
+  const std::size_t k = little_logits.dims().dim(1);
+  APPEAL_CHECK(n > 0, "joint loss on an empty batch");
+  APPEAL_CHECK(q_logits.dims() == shape({n}),
+               "joint loss: q_logits must be [N]");
+  APPEAL_CHECK(labels.size() == n, "joint loss: label count mismatch");
+  APPEAL_CHECK(cfg.black_box || big_losses.size() == n,
+               "joint loss: white-box mode requires per-sample big losses");
+  APPEAL_CHECK(cfg.beta >= 0.0, "joint loss: beta must be >= 0");
+
+  const tensor log_probs = ops::log_softmax_rows(little_logits);
+
+  joint_loss_result result;
+  result.grad_logits = tensor(little_logits.dims());
+  result.grad_q_logits = tensor(q_logits.dims());
+  result.q.resize(n);
+  result.little_losses.resize(n);
+
+  const float inv_n = 1.0F / static_cast<float>(n);
+  const auto beta = static_cast<float>(cfg.beta);
+  const float* lp = log_probs.data();
+  const float* s = q_logits.data();
+  float* gz = result.grad_logits.data();
+  float* gs = result.grad_q_logits.data();
+
+  double system_total = 0.0;
+  double cost_total = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t y = labels[i];
+    APPEAL_CHECK(y < k, "joint loss: label out of range");
+    const float* row = lp + i * k;
+
+    const float l1 = -row[y];
+    const float l0 = cfg.black_box ? 0.0F : big_losses[i];
+    const float q_raw = 1.0F / (1.0F + std::exp(-s[i]));
+    const float q = std::clamp(q_raw, cfg.q_floor, 1.0F - cfg.q_floor);
+
+    result.q[i] = q_raw;
+    result.little_losses[i] = l1;
+
+    system_total += static_cast<double>(q) * l1 +
+                    static_cast<double>(1.0F - q) * l0;
+    cost_total += -std::log(static_cast<double>(q));
+
+    // dL/dz = q * (p - onehot) / N.
+    float* grow = gz + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      const float p = std::exp(row[j]);
+      const float target = (j == y) ? 1.0F : 0.0F;
+      grow[j] = q * (p - target) * inv_n;
+    }
+
+    // dL/ds = [(l1 - l0) * q * (1 - q) - beta * (1 - q)] / N.
+    gs[i] = ((l1 - l0) * q * (1.0F - q) - beta * (1.0F - q)) * inv_n;
+  }
+
+  result.system_loss = system_total / static_cast<double>(n);
+  result.cost_loss = cost_total / static_cast<double>(n);
+  result.total_loss = result.system_loss + cfg.beta * result.cost_loss;
+  return result;
+}
+
+}  // namespace appeal::core

@@ -1,0 +1,53 @@
+// The AppealNet joint training objective (paper Eq. 9 / Eq. 10).
+//
+// Per sample, with q = sigmoid(s) the predictor output:
+//
+//   L = q * l1 + (1 - q) * l0 + beta * (-log q)          (white box, Eq. 9)
+//   L = q * l1 +               beta * (-log q)           (black box, Eq. 10)
+//
+// where l1 is the little network's cross-entropy on this sample and l0 the
+// (frozen) big network's. beta is the Lagrange multiplier of the cost
+// constraint E[q] >= b-hat (Eq. 6-8): larger beta pushes q up, keeping more
+// inputs on the edge.
+//
+// Closed-form gradients (averaged over the batch of size M):
+//   dL/dz  = q * (softmax(z) - onehot(y)) / M            (little logits z)
+//   dL/ds  = [ (l1 - l0) * q * (1 - q) - beta * (1 - q) ] / M
+// The black-box case sets l0 = 0 (the oracle is always right).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::core {
+
+/// Objective parameters.
+struct joint_loss_config {
+  double beta = 0.3;       // cost-pressure weight
+  bool black_box = false;  // Eq. 10 instead of Eq. 9
+  float q_floor = 1e-6F;   // clamp for log(q) stability
+};
+
+/// Loss value and gradients for one batch.
+struct joint_loss_result {
+  double total_loss = 0.0;   // L_p + beta * L_q (batch mean)
+  double system_loss = 0.0;  // L_p term (batch mean)
+  double cost_loss = 0.0;    // L_q = -log q term (batch mean, un-scaled)
+  tensor grad_logits;        // [N, K], includes the 1/M factor
+  tensor grad_q_logits;      // [N], includes the 1/M factor
+  std::vector<float> q;      // q(1|x) per sample
+  std::vector<float> little_losses;  // l1 per sample
+};
+
+/// Evaluates the joint objective.
+/// `big_losses` holds l0 per sample; it is ignored (treated as zero) when
+/// `cfg.black_box` is set, and required otherwise.
+joint_loss_result compute_joint_loss(const tensor& little_logits,
+                                     const tensor& q_logits,
+                                     const std::vector<std::size_t>& labels,
+                                     const std::vector<float>& big_losses,
+                                     const joint_loss_config& cfg);
+
+}  // namespace appeal::core

@@ -1,0 +1,319 @@
+#include "core/joint_trainer.hpp"
+
+#include <memory>
+
+#include "data/dataloader.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace appeal::core {
+
+namespace {
+
+std::unique_ptr<nn::optimizer> make_optimizer(const trainer_config& cfg) {
+  if (cfg.optimizer == "sgd") {
+    return std::make_unique<nn::sgd>(cfg.learning_rate, cfg.momentum,
+                                     cfg.weight_decay);
+  }
+  APPEAL_CHECK(cfg.optimizer == "adam",
+               "unknown optimizer: " + cfg.optimizer);
+  return std::make_unique<nn::adam>(cfg.learning_rate, 0.9, 0.999, 1e-8,
+                                    cfg.weight_decay);
+}
+
+std::unique_ptr<nn::lr_schedule> make_schedule(const trainer_config& cfg) {
+  if (cfg.cosine_schedule) {
+    return std::make_unique<nn::cosine_lr>(cfg.learning_rate, cfg.epochs,
+                                           cfg.learning_rate * 0.05);
+  }
+  return std::make_unique<nn::constant_lr>(cfg.learning_rate);
+}
+
+double batch_accuracy(const tensor& logits,
+                      const std::vector<std::size_t>& labels) {
+  const auto preds = ops::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace
+
+training_log train_classifier(nn::layer& model, const data::dataset& train,
+                              const data::dataset* val,
+                              const trainer_config& cfg) {
+  APPEAL_CHECK(cfg.epochs > 0, "train_classifier: epochs must be > 0");
+  util::rng gen(cfg.seed);
+  auto opt = make_optimizer(cfg);
+  opt->attach(model.parameters());
+  const auto schedule = make_schedule(cfg);
+
+  data::data_loader loader(train, cfg.batch_size, /*shuffle=*/true,
+                           gen.split());
+  util::rng augment_gen = gen.split();
+
+  training_log log;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    opt->set_learning_rate(schedule->learning_rate(epoch));
+    loader.start_epoch();
+
+    double loss_total = 0.0;
+    double acc_total = 0.0;
+    std::size_t batches = 0;
+    while (auto maybe_batch = loader.next()) {
+      data::batch& b = *maybe_batch;
+      if (cfg.augment) {
+        data::augment_batch(b.images, augment_gen, cfg.augmentation);
+      }
+      const tensor logits = model.forward(b.images, /*training=*/true);
+      const nn::loss_result loss = nn::softmax_cross_entropy(logits, b.labels);
+      opt->zero_grad();
+      model.backward(loss.grad);
+      opt->step();
+
+      loss_total += loss.mean_loss;
+      acc_total += batch_accuracy(logits, b.labels);
+      ++batches;
+    }
+
+    epoch_stats stats;
+    stats.mean_loss = loss_total / static_cast<double>(batches);
+    stats.train_accuracy = acc_total / static_cast<double>(batches);
+    log.epochs.push_back(stats);
+    if (cfg.verbose) {
+      APPEAL_LOG_INFO << "epoch " << epoch + 1 << "/" << cfg.epochs
+                      << " loss=" << util::format_fixed(stats.mean_loss, 4)
+                      << " acc="
+                      << util::format_percent(stats.train_accuracy);
+    }
+  }
+
+  if (val != nullptr) {
+    const tensor val_logits = eval_logits(model, *val);
+    log.val_accuracy = logits_accuracy(val_logits, *val);
+    if (cfg.verbose) {
+      APPEAL_LOG_INFO << "validation acc="
+                      << util::format_percent(log.val_accuracy);
+    }
+  }
+  return log;
+}
+
+namespace {
+
+/// Adapter exposing the two-head approximator path as a plain layer so the
+/// classifier trainer and evaluators can drive it.
+class approximator_view : public nn::layer {
+ public:
+  explicit approximator_view(two_head_network& net) : net_(net) {}
+
+  const char* kind() const override { return "approximator_view"; }
+  tensor forward(const tensor& input, bool training) override {
+    return net_.forward_approximator(input, training);
+  }
+  tensor backward(const tensor& grad_output) override {
+    net_.backward_approximator(grad_output);
+    return tensor();  // input gradient unused by the trainers
+  }
+  std::vector<nn::parameter*> parameters() override {
+    return net_.approximator_parameters();
+  }
+  shape output_shape(const shape& input) const override {
+    return shape{input.dim(0), net_.config().spec.num_classes};
+  }
+
+ private:
+  two_head_network& net_;
+};
+
+}  // namespace
+
+training_log pretrain_two_head(two_head_network& net,
+                               const data::dataset& train,
+                               const data::dataset* val,
+                               const trainer_config& cfg) {
+  approximator_view view(net);
+  return train_classifier(view, train, val, cfg);
+}
+
+training_log train_joint(two_head_network& net, const data::dataset& train,
+                         const data::dataset* val,
+                         const std::vector<float>& big_losses,
+                         const trainer_config& cfg,
+                         const joint_loss_config& loss_cfg,
+                         nn::layer* big_model) {
+  APPEAL_CHECK(cfg.epochs > 0, "train_joint: epochs must be > 0");
+  APPEAL_CHECK(loss_cfg.black_box || big_model != nullptr ||
+                   big_losses.size() == train.size(),
+               "train_joint: white-box mode needs a big model or one "
+               "precomputed big loss per train sample");
+  util::rng gen(cfg.seed);
+  auto opt = make_optimizer(cfg);
+  opt->attach(net.all_parameters());
+  const auto schedule = make_schedule(cfg);
+
+  data::data_loader loader(train, cfg.batch_size, /*shuffle=*/true,
+                           gen.split());
+  util::rng augment_gen = gen.split();
+
+  training_log log;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    opt->set_learning_rate(schedule->learning_rate(epoch));
+    loader.start_epoch();
+
+    double loss_total = 0.0;
+    double acc_total = 0.0;
+    double q_total = 0.0;
+    std::size_t batches = 0;
+    while (auto maybe_batch = loader.next()) {
+      data::batch& b = *maybe_batch;
+      if (cfg.augment) {
+        data::augment_batch(b.images, augment_gen, cfg.augmentation);
+      }
+
+      // l0 for this batch: run the frozen big network on the exact batch
+      // (including augmentation) when available, else use the precomputed
+      // per-sample values.
+      std::vector<float> batch_big;
+      if (!loss_cfg.black_box) {
+        if (big_model != nullptr) {
+          const tensor big_logits =
+              big_model->forward(b.images, /*training=*/false);
+          batch_big = nn::cross_entropy_values(big_logits, b.labels);
+        } else {
+          batch_big.resize(b.indices.size());
+          for (std::size_t i = 0; i < b.indices.size(); ++i) {
+            batch_big[i] = big_losses[b.indices[i]];
+          }
+        }
+      }
+
+      two_head_output out = net.forward(b.images, /*training=*/true);
+      const joint_loss_result loss = compute_joint_loss(
+          out.logits, out.q_logits, b.labels, batch_big, loss_cfg);
+      opt->zero_grad();
+      net.backward(loss.grad_logits, loss.grad_q_logits);
+      opt->step();
+
+      loss_total += loss.total_loss;
+      acc_total += batch_accuracy(out.logits, b.labels);
+      double q_sum = 0.0;
+      for (const float q : loss.q) q_sum += q;
+      q_total += q_sum / static_cast<double>(loss.q.size());
+      ++batches;
+    }
+
+    epoch_stats stats;
+    stats.mean_loss = loss_total / static_cast<double>(batches);
+    stats.train_accuracy = acc_total / static_cast<double>(batches);
+    stats.mean_q = q_total / static_cast<double>(batches);
+    log.epochs.push_back(stats);
+    if (cfg.verbose) {
+      APPEAL_LOG_INFO << "joint epoch " << epoch + 1 << "/" << cfg.epochs
+                      << " loss=" << util::format_fixed(stats.mean_loss, 4)
+                      << " acc=" << util::format_percent(stats.train_accuracy)
+                      << " mean_q=" << util::format_fixed(stats.mean_q, 3);
+    }
+  }
+
+  if (val != nullptr) {
+    const two_head_eval eval = eval_two_head(net, *val);
+    log.val_accuracy = logits_accuracy(eval.logits, *val);
+    if (cfg.verbose) {
+      APPEAL_LOG_INFO << "joint validation acc="
+                      << util::format_percent(log.val_accuracy);
+    }
+  }
+  return log;
+}
+
+tensor eval_logits(nn::layer& model, const data::dataset& ds,
+                   std::size_t batch_size) {
+  APPEAL_CHECK(ds.size() > 0, "eval_logits on empty dataset");
+  tensor all;
+  std::size_t cursor = 0;
+  std::size_t k = 0;
+  while (cursor < ds.size()) {
+    const std::size_t end = std::min(cursor + batch_size, ds.size());
+    std::vector<std::size_t> rows;
+    rows.reserve(end - cursor);
+    for (std::size_t i = cursor; i < end; ++i) rows.push_back(i);
+    const data::batch b = data::make_batch(ds, rows);
+    const tensor logits = model.forward(b.images, /*training=*/false);
+    if (all.empty()) {
+      k = logits.dims().dim(1);
+      all = tensor(shape{ds.size(), k});
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        all[(cursor + i) * k + j] = logits[i * k + j];
+      }
+    }
+    cursor = end;
+  }
+  return all;
+}
+
+two_head_eval eval_two_head(two_head_network& net, const data::dataset& ds,
+                            std::size_t batch_size) {
+  APPEAL_CHECK(ds.size() > 0, "eval_two_head on empty dataset");
+  two_head_eval result;
+  result.q.resize(ds.size());
+  std::size_t cursor = 0;
+  std::size_t k = 0;
+  while (cursor < ds.size()) {
+    const std::size_t end = std::min(cursor + batch_size, ds.size());
+    std::vector<std::size_t> rows;
+    rows.reserve(end - cursor);
+    for (std::size_t i = cursor; i < end; ++i) rows.push_back(i);
+    const data::batch b = data::make_batch(ds, rows);
+    two_head_output out = net.forward(b.images, /*training=*/false);
+    if (result.logits.empty()) {
+      k = out.logits.dims().dim(1);
+      result.logits = tensor(shape{ds.size(), k});
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        result.logits[(cursor + i) * k + j] = out.logits[i * k + j];
+      }
+      result.q[cursor + i] = out.q[i];
+    }
+    cursor = end;
+  }
+  return result;
+}
+
+tensor eval_approximator_logits(two_head_network& net,
+                                const data::dataset& ds,
+                                std::size_t batch_size) {
+  approximator_view view(net);
+  return eval_logits(view, ds, batch_size);
+}
+
+std::vector<float> per_sample_losses(nn::layer& model,
+                                     const data::dataset& ds,
+                                     std::size_t batch_size) {
+  const tensor logits = eval_logits(model, ds, batch_size);
+  std::vector<std::size_t> labels(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) labels[i] = ds.get(i).label;
+  return nn::cross_entropy_values(logits, labels);
+}
+
+double logits_accuracy(const tensor& logits, const data::dataset& ds) {
+  APPEAL_CHECK(logits.dims().dim(0) == ds.size(),
+               "logits_accuracy: row count mismatch");
+  const auto preds = ops::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == ds.get(i).label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace appeal::core

@@ -1,0 +1,103 @@
+// Training loops: standalone classifier training (used for the big/cloud
+// network and the phase-1 pretraining of Algorithm 1) and the AppealNet
+// joint training scheme (Algorithm 1's main loop).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/joint_loss.hpp"
+#include "core/two_head_network.hpp"
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "nn/layer.hpp"
+
+namespace appeal::core {
+
+/// Shared optimization settings.
+struct trainer_config {
+  std::size_t epochs = 15;
+  std::size_t batch_size = 32;
+  double learning_rate = 2e-3;
+  double weight_decay = 1e-4;
+  std::string optimizer = "adam";  // "adam" | "sgd"
+  double momentum = 0.9;           // sgd only
+  bool cosine_schedule = true;     // anneal LR to ~0 across the run
+  bool augment = false;            // train-time augmentation
+  data::augment_config augmentation;
+  std::uint64_t seed = 7;
+  bool verbose = false;  // log one line per epoch
+};
+
+/// Per-epoch observations.
+struct epoch_stats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;  // on the (possibly augmented) train batches
+  double mean_q = 0.0;          // joint training only: batch-mean q(1|x)
+};
+
+/// Outcome of one training run.
+struct training_log {
+  std::vector<epoch_stats> epochs;
+  double val_accuracy = 0.0;  // 0 when no validation set was given
+};
+
+/// Trains any classifier (a layer producing [N, K] logits) with softmax
+/// cross-entropy. Used for the big network and anywhere a plain classifier
+/// is needed.
+training_log train_classifier(nn::layer& model, const data::dataset& train,
+                              const data::dataset* val,
+                              const trainer_config& cfg);
+
+/// Algorithm 1, line 1: phase-1 pretraining of the two-head network's
+/// extractor + approximator head (predictor head untouched).
+training_log pretrain_two_head(two_head_network& net,
+                               const data::dataset& train,
+                               const data::dataset* val,
+                               const trainer_config& cfg);
+
+/// Algorithm 1, lines 2-9: joint training of (f1, q).
+///
+/// White-box l0 source (line 3's ℓ(f0(x), y) term), in priority order:
+///  - `big_model` non-null: f0 runs on each training batch (after
+///    augmentation), exactly as Algorithm 1 evaluates both models on the
+///    same x. This is the recommended mode.
+///  - otherwise `big_losses[i]` must hold f0's cross-entropy on train
+///    sample i (precomputed on clean images — cheaper but blind to
+///    augmentation).
+/// Black-box mode ignores both (l0 = 0, Eq. 10).
+training_log train_joint(two_head_network& net, const data::dataset& train,
+                         const data::dataset* val,
+                         const std::vector<float>& big_losses,
+                         const trainer_config& cfg,
+                         const joint_loss_config& loss_cfg,
+                         nn::layer* big_model = nullptr);
+
+/// Runs a classifier over a dataset in eval mode; returns [N, K] logits.
+tensor eval_logits(nn::layer& model, const data::dataset& ds,
+                   std::size_t batch_size = 64);
+
+/// Runs the two-head network over a dataset in eval mode.
+struct two_head_eval {
+  tensor logits;         // [N, K]
+  std::vector<float> q;  // [N]
+};
+two_head_eval eval_two_head(two_head_network& net, const data::dataset& ds,
+                            std::size_t batch_size = 64);
+
+/// Runs only the approximator path of the two-head network over a dataset
+/// (eval mode) — evaluates the phase-1 "standalone little" model.
+tensor eval_approximator_logits(two_head_network& net,
+                                const data::dataset& ds,
+                                std::size_t batch_size = 64);
+
+/// Per-sample cross-entropy of `model` over `ds` (eval mode) — produces the
+/// l0 vector the white-box joint loss consumes.
+std::vector<float> per_sample_losses(nn::layer& model,
+                                     const data::dataset& ds,
+                                     std::size_t batch_size = 64);
+
+/// Top-1 accuracy of [N, K] logits against dataset labels.
+double logits_accuracy(const tensor& logits, const data::dataset& ds);
+
+}  // namespace appeal::core

@@ -1,0 +1,136 @@
+#include "core/scores.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace appeal::core {
+
+score_method parse_score_method(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "msp") return score_method::msp;
+  if (lower == "sm" || lower == "score_margin" || lower == "margin") {
+    return score_method::score_margin;
+  }
+  if (lower == "entropy") return score_method::entropy;
+  if (lower == "appealnet" || lower == "q" || lower == "appealnet_q") {
+    return score_method::appealnet_q;
+  }
+  APPEAL_CHECK(false, "unknown score method: " + name);
+  return score_method::msp;
+}
+
+std::string score_method_name(score_method method) {
+  switch (method) {
+    case score_method::msp:
+      return "MSP";
+    case score_method::score_margin:
+      return "SM";
+    case score_method::entropy:
+      return "Entropy";
+    case score_method::appealnet_q:
+      return "AppealNet";
+  }
+  return "unknown";
+}
+
+std::vector<score_method> all_score_methods() {
+  return {score_method::msp, score_method::score_margin,
+          score_method::entropy, score_method::appealnet_q};
+}
+
+namespace {
+
+void check_probs(const tensor& probabilities) {
+  APPEAL_CHECK(probabilities.dims().rank() == 2,
+               "scores expect [N, K] probabilities");
+  APPEAL_CHECK(probabilities.dims().dim(1) >= 2,
+               "scores require at least two classes");
+}
+
+}  // namespace
+
+std::vector<double> msp_scores(const tensor& probabilities) {
+  check_probs(probabilities);
+  const std::size_t n = probabilities.dims().dim(0);
+  const std::size_t k = probabilities.dims().dim(1);
+  std::vector<double> out(n);
+  const float* p = probabilities.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = p + i * k;
+    out[i] = *std::max_element(row, row + k);
+  }
+  return out;
+}
+
+std::vector<double> score_margin_scores(const tensor& probabilities) {
+  check_probs(probabilities);
+  const std::size_t n = probabilities.dims().dim(0);
+  const std::size_t k = probabilities.dims().dim(1);
+  std::vector<double> out(n);
+  const float* p = probabilities.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = p + i * k;
+    float best = -1.0F;
+    float second = -1.0F;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (row[j] > best) {
+        second = best;
+        best = row[j];
+      } else if (row[j] > second) {
+        second = row[j];
+      }
+    }
+    out[i] = static_cast<double>(best) - static_cast<double>(second);
+  }
+  return out;
+}
+
+std::vector<double> entropy_scores(const tensor& probabilities) {
+  check_probs(probabilities);
+  const std::size_t n = probabilities.dims().dim(0);
+  const std::size_t k = probabilities.dims().dim(1);
+  std::vector<double> out(n);
+  const float* p = probabilities.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = p + i * k;
+    double negative_entropy = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (row[j] > 0.0F) {
+        negative_entropy += static_cast<double>(row[j]) *
+                            std::log(static_cast<double>(row[j]));
+      }
+    }
+    out[i] = negative_entropy;  // paper's Entropy = sum p log p
+  }
+  return out;
+}
+
+std::vector<double> confidence_scores(score_method method,
+                                      const tensor& probabilities) {
+  switch (method) {
+    case score_method::msp:
+      return msp_scores(probabilities);
+    case score_method::score_margin:
+      return score_margin_scores(probabilities);
+    case score_method::entropy:
+      return entropy_scores(probabilities);
+    case score_method::appealnet_q:
+      APPEAL_CHECK(false,
+                   "appealnet_q scores come from the predictor head; use "
+                   "q_to_scores");
+  }
+  return {};
+}
+
+std::vector<double> q_to_scores(const std::vector<float>& q) {
+  std::vector<double> out(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    out[i] = static_cast<double>(q[i]);
+  }
+  return out;
+}
+
+}  // namespace appeal::core

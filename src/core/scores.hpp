@@ -1,0 +1,41 @@
+// Routing scores: the paper's three confidence baselines plus AppealNet's q.
+//
+// All scores follow the convention "higher = easier" (keep on the edge):
+//   MSP      = max_j p(y=j|x)                       [Hendrycks & Gimpel]
+//   SM       = p_(1) - p_(2)  (score margin / gap)  [Park et al.]
+//   Entropy  = sum_j p_j log p_j  (negative entropy) [BranchyNet]
+//   AppealNet q = q(1|x) from the predictor head.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::core {
+
+enum class score_method { msp, score_margin, entropy, appealnet_q };
+
+/// Parses "msp" / "sm" / "entropy" / "appealnet".
+score_method parse_score_method(const std::string& name);
+
+/// Display name ("MSP", "SM", "Entropy", "AppealNet").
+std::string score_method_name(score_method method);
+
+/// All methods in the paper's comparison order.
+std::vector<score_method> all_score_methods();
+
+/// Confidence scores from [N, K] softmax probabilities.
+std::vector<double> msp_scores(const tensor& probabilities);
+std::vector<double> score_margin_scores(const tensor& probabilities);
+std::vector<double> entropy_scores(const tensor& probabilities);
+
+/// Dispatcher for probability-based methods; `appealnet_q` is not valid
+/// here (its scores come from the predictor head, not from probabilities).
+std::vector<double> confidence_scores(score_method method,
+                                      const tensor& probabilities);
+
+/// Converts the predictor head's q values into the common score type.
+std::vector<double> q_to_scores(const std::vector<float>& q);
+
+}  // namespace appeal::core

@@ -1,0 +1,101 @@
+#include "core/threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "metrics/metrics.hpp"
+#include "util/error.hpp"
+
+namespace appeal::core {
+
+double delta_for_skipping_rate(const std::vector<double>& scores,
+                               double target_sr) {
+  APPEAL_CHECK(!scores.empty(), "delta_for_skipping_rate on empty scores");
+  APPEAL_CHECK(target_sr >= 0.0 && target_sr <= 1.0,
+               "target skipping rate outside [0, 1]");
+
+  // SR(δ) = fraction of scores >= δ. Sorting descending, keeping the first
+  // round(target * n) samples means δ = that sample's score.
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto n = sorted.size();
+  const auto keep = static_cast<std::size_t>(
+      std::llround(target_sr * static_cast<double>(n)));
+  if (keep == 0) {
+    return sorted.front() + 1.0;  // above every score: SR = 0
+  }
+  if (keep >= n) {
+    return sorted.back();  // at or below every score: SR = 1
+  }
+  return sorted[keep - 1];
+}
+
+operating_point evaluate_at_delta(
+    const std::vector<std::size_t>& little_predictions,
+    const std::vector<std::size_t>& big_predictions,
+    const std::vector<std::size_t>& labels, const std::vector<double>& scores,
+    double delta, const accuracy_context& ctx) {
+  const metrics::collaborative_outcome outcome = metrics::evaluate_collaborative(
+      little_predictions, big_predictions, labels, scores, delta);
+  operating_point point;
+  point.delta = delta;
+  point.skipping_rate = outcome.skipping_rate;
+  point.overall_accuracy = outcome.overall_accuracy;
+  point.acc_improvement = metrics::relative_accuracy_improvement(
+      outcome.overall_accuracy, ctx.little_accuracy, ctx.big_accuracy);
+  return point;
+}
+
+std::vector<operating_point> sweep_thresholds(
+    const std::vector<std::size_t>& little_predictions,
+    const std::vector<std::size_t>& big_predictions,
+    const std::vector<std::size_t>& labels, const std::vector<double>& scores,
+    const accuracy_context& ctx) {
+  APPEAL_CHECK(!scores.empty(), "sweep_thresholds on empty scores");
+
+  // Candidate thresholds: one above all scores (SR = 0), then each distinct
+  // score value (δ = score keeps that sample and everything above).
+  std::vector<double> candidates = scores;
+  std::sort(candidates.begin(), candidates.end(), std::greater<>());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<operating_point> sweep;
+  sweep.reserve(candidates.size() + 1);
+  sweep.push_back(evaluate_at_delta(little_predictions, big_predictions,
+                                    labels, scores, candidates.front() + 1.0,
+                                    ctx));
+  for (const double delta : candidates) {
+    sweep.push_back(evaluate_at_delta(little_predictions, big_predictions,
+                                      labels, scores, delta, ctx));
+  }
+  // candidates are descending, so skipping rate is already non-decreasing.
+  return sweep;
+}
+
+operating_point cheapest_point_for_acci(
+    const std::vector<operating_point>& sweep, double target_acci) {
+  APPEAL_CHECK(!sweep.empty(), "cheapest_point_for_acci on empty sweep");
+
+  const operating_point* best = nullptr;
+  for (const operating_point& point : sweep) {
+    if (point.acc_improvement + 1e-12 < target_acci) continue;
+    if (best == nullptr || point.skipping_rate > best->skipping_rate) {
+      best = &point;
+    }
+  }
+  if (best != nullptr) return *best;
+
+  // Unreachable target: return the most accurate point (the paper's tables
+  // only query reachable targets; this keeps the API total).
+  const operating_point* fallback = &sweep.front();
+  for (const operating_point& point : sweep) {
+    if (point.acc_improvement > fallback->acc_improvement) {
+      fallback = &point;
+    }
+  }
+  return *fallback;
+}
+
+}  // namespace appeal::core

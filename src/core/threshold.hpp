@@ -1,0 +1,54 @@
+// Threshold (δ) tuning.
+//
+// The runtime decision rule is q(1|x) >= δ (Eq. 1). The paper tunes δ on a
+// held-out set for two kinds of targets:
+//   - a target skipping rate (Fig. 5's x-axis),
+//   - a target relative accuracy improvement AccI (Tables I/II), picking
+//     the cheapest δ (highest SR) that still meets the target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace appeal::core {
+
+/// One evaluated operating point of a (little, big, score) system.
+struct operating_point {
+  double delta = 0.0;
+  double skipping_rate = 0.0;
+  double overall_accuracy = 0.0;
+  double acc_improvement = 0.0;  // AccI, Eq. 14
+};
+
+/// Reference accuracies needed to compute AccI.
+struct accuracy_context {
+  double little_accuracy = 0.0;
+  double big_accuracy = 0.0;
+};
+
+/// Returns δ achieving a skipping rate as close as possible to `target_sr`
+/// (ties broken toward the higher rate). Scores follow higher-is-easier.
+double delta_for_skipping_rate(const std::vector<double>& scores,
+                               double target_sr);
+
+/// Evaluates the collaborative system at one threshold.
+operating_point evaluate_at_delta(
+    const std::vector<std::size_t>& little_predictions,
+    const std::vector<std::size_t>& big_predictions,
+    const std::vector<std::size_t>& labels, const std::vector<double>& scores,
+    double delta, const accuracy_context& ctx);
+
+/// Sweeps every distinct threshold (each candidate sits between consecutive
+/// sorted scores) and returns the operating points in increasing-SR order.
+std::vector<operating_point> sweep_thresholds(
+    const std::vector<std::size_t>& little_predictions,
+    const std::vector<std::size_t>& big_predictions,
+    const std::vector<std::size_t>& labels, const std::vector<double>& scores,
+    const accuracy_context& ctx);
+
+/// Picks the cheapest operating point (max SR) whose AccI >= `target_acci`.
+/// Falls back to the most accurate point when the target is unreachable.
+operating_point cheapest_point_for_acci(
+    const std::vector<operating_point>& sweep, double target_acci);
+
+}  // namespace appeal::core

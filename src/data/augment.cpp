@@ -1,0 +1,74 @@
+#include "data/augment.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::data {
+
+namespace {
+
+/// Shifts one [C, H, W] image by (dy, dx) with zero fill, in place.
+void shift_image(float* image, std::size_t channels, std::size_t height,
+                 std::size_t width, int dy, int dx) {
+  if (dy == 0 && dx == 0) return;
+  std::vector<float> buffer(height * width);
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = image + c * height * width;
+    for (auto& v : buffer) v = 0.0F;
+    for (std::size_t y = 0; y < height; ++y) {
+      const auto sy = static_cast<std::ptrdiff_t>(y) - dy;
+      if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(height)) continue;
+      for (std::size_t x = 0; x < width; ++x) {
+        const auto sx = static_cast<std::ptrdiff_t>(x) - dx;
+        if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(width)) continue;
+        buffer[y * width + x] =
+            plane[static_cast<std::size_t>(sy) * width +
+                  static_cast<std::size_t>(sx)];
+      }
+    }
+    for (std::size_t i = 0; i < buffer.size(); ++i) plane[i] = buffer[i];
+  }
+}
+
+/// Horizontally flips one [C, H, W] image in place.
+void flip_image(float* image, std::size_t channels, std::size_t height,
+                std::size_t width) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = image + c * height * width;
+    for (std::size_t y = 0; y < height; ++y) {
+      float* row = plane + y * width;
+      for (std::size_t x = 0; x < width / 2; ++x) {
+        std::swap(row[x], row[width - 1 - x]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void augment_batch(tensor& images, util::rng& gen, const augment_config& cfg) {
+  APPEAL_CHECK(images.dims().rank() == 4, "augment_batch expects NCHW");
+  const std::size_t n = images.batch();
+  const std::size_t c = images.channels();
+  const std::size_t h = images.height();
+  const std::size_t w = images.width();
+  const std::size_t per_image = c * h * w;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    float* image = images.data() + i * per_image;
+    if (cfg.max_shift > 0) {
+      const int bound = static_cast<int>(cfg.max_shift);
+      shift_image(image, c, h, w, gen.uniform_int(-bound, bound),
+                  gen.uniform_int(-bound, bound));
+    }
+    if (gen.bernoulli(cfg.flip_probability)) {
+      flip_image(image, c, h, w);
+    }
+    if (cfg.noise_sigma > 0.0F) {
+      for (std::size_t j = 0; j < per_image; ++j) {
+        image[j] += static_cast<float>(gen.normal(0.0, cfg.noise_sigma));
+      }
+    }
+  }
+}
+
+}  // namespace appeal::data

@@ -1,0 +1,21 @@
+// Train-time batch augmentation: shifts, flips, additive noise.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::data {
+
+/// Augmentation policy. All augmentations are label-preserving for the
+/// synthetic tasks in this repo (prototypes have no canonical left/right
+/// orientation).
+struct augment_config {
+  std::size_t max_shift = 2;      // random translate in [-max_shift, max_shift]
+  double flip_probability = 0.5;  // horizontal flip
+  float noise_sigma = 0.02F;      // small additive Gaussian noise
+};
+
+/// Applies the policy in place to an NCHW batch.
+void augment_batch(tensor& images, util::rng& gen, const augment_config& cfg);
+
+}  // namespace appeal::data

@@ -1,0 +1,40 @@
+#include "data/dataloader.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::data {
+
+data_loader::data_loader(const dataset& source, std::size_t batch_size,
+                         bool shuffle, util::rng gen)
+    : source_(source),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      gen_(gen),
+      order_(source.size()) {
+  APPEAL_CHECK(batch_size > 0, "data_loader requires batch_size > 0");
+  APPEAL_CHECK(source.size() > 0, "data_loader requires a non-empty dataset");
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  start_epoch();
+}
+
+std::size_t data_loader::batches_per_epoch() const {
+  return (source_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void data_loader::start_epoch() {
+  cursor_ = 0;
+  if (shuffle_) {
+    gen_.shuffle(order_);
+  }
+}
+
+std::optional<batch> data_loader::next() {
+  if (cursor_ >= order_.size()) return std::nullopt;
+  const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  const std::vector<std::size_t> rows(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                      order_.begin() + static_cast<std::ptrdiff_t>(end));
+  cursor_ = end;
+  return make_batch(source_, rows);
+}
+
+}  // namespace appeal::data

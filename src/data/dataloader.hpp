@@ -1,0 +1,38 @@
+// Minibatch iteration with per-epoch shuffling.
+#pragma once
+
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::data {
+
+/// Iterates a dataset in (optionally shuffled) minibatches. The trailing
+/// partial batch is kept — dropping it would bias small datasets.
+class data_loader {
+ public:
+  data_loader(const dataset& source, std::size_t batch_size, bool shuffle,
+              util::rng gen);
+
+  /// Number of batches one epoch yields.
+  std::size_t batches_per_epoch() const;
+
+  /// Resets to the start of a new epoch (reshuffles when enabled).
+  void start_epoch();
+
+  /// Next batch, or nullopt at the end of the epoch.
+  std::optional<batch> next();
+
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  const dataset& source_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  util::rng gen_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace appeal::data

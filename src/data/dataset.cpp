@@ -1,0 +1,48 @@
+#include "data/dataset.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::data {
+
+batch make_batch(const dataset& source, const std::vector<std::size_t>& rows) {
+  APPEAL_CHECK(!rows.empty(), "make_batch requires at least one row");
+  const shape img = source.image_shape();
+  APPEAL_CHECK(img.rank() == 3, "dataset image_shape must be [C, H, W]");
+
+  batch out;
+  out.images = tensor(shape{rows.size(), img.dim(0), img.dim(1), img.dim(2)});
+  out.labels.resize(rows.size());
+  out.indices = rows;
+
+  const std::size_t per_image = img.element_count();
+  float* dst = out.images.data();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    APPEAL_CHECK(rows[i] < source.size(), "batch row index out of range");
+    const sample& s = source.get(rows[i]);
+    APPEAL_CHECK(s.image.dims() == img, "sample image shape mismatch");
+    const float* src = s.image.data();
+    for (std::size_t j = 0; j < per_image; ++j) {
+      dst[i * per_image + j] = src[j];
+    }
+    out.labels[i] = s.label;
+  }
+  return out;
+}
+
+batch make_full_batch(const dataset& source) {
+  std::vector<std::size_t> rows(source.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return make_batch(source, rows);
+}
+
+std::vector<std::size_t> class_histogram(const dataset& source) {
+  std::vector<std::size_t> counts(source.num_classes(), 0);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const std::size_t label = source.get(i).label;
+    APPEAL_CHECK(label < counts.size(), "sample label out of range");
+    ++counts[label];
+  }
+  return counts;
+}
+
+}  // namespace appeal::data

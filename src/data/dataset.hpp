@@ -1,0 +1,49 @@
+// Dataset interface and batch assembly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::data {
+
+/// One labelled image with its latent generation difficulty. `difficulty`
+/// is metadata from the generator (0 = pristine, 1 = maximally distorted);
+/// models never see it — it exists so experiments can verify the predictor
+/// actually learned difficulty rather than class identity.
+struct sample {
+  tensor image;             // [C, H, W]
+  std::size_t label = 0;
+  float difficulty = 0.0F;
+};
+
+/// Abstract in-memory dataset.
+class dataset {
+ public:
+  virtual ~dataset() = default;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t num_classes() const = 0;
+  /// Shape of one image, [C, H, W].
+  virtual shape image_shape() const = 0;
+  virtual const sample& get(std::size_t index) const = 0;
+};
+
+/// A materialized minibatch.
+struct batch {
+  tensor images;                     // [N, C, H, W]
+  std::vector<std::size_t> labels;   // [N]
+  std::vector<std::size_t> indices;  // source dataset indices, [N]
+};
+
+/// Stacks the given dataset rows into one NCHW tensor + label vector.
+batch make_batch(const dataset& source, const std::vector<std::size_t>& rows);
+
+/// Stacks the whole dataset (use only for small evaluation sets).
+batch make_full_batch(const dataset& source);
+
+/// Class frequency histogram (length num_classes).
+std::vector<std::size_t> class_histogram(const dataset& source);
+
+}  // namespace appeal::data

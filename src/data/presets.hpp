@@ -1,0 +1,52 @@
+// Dataset presets mirroring the paper's four benchmarks.
+//
+// Class counts match the originals (GTSRB 43, CIFAR-10 10, CIFAR-100 100,
+// Tiny-ImageNet 200); sizes and difficulty parameters are scaled for a
+// single-core budget while preserving the relative ordering the paper's
+// evaluation depends on (GTSRB easiest ... tiny-imagenet hardest with the
+// largest big/little accuracy gap).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/synthetic.hpp"
+
+namespace appeal::data {
+
+enum class preset {
+  gtsrb_like,
+  cifar10_like,
+  cifar100_like,
+  tiny_imagenet_like,
+};
+
+/// Parses "gtsrb" / "cifar10" / "cifar100" / "tiny_imagenet" (with or
+/// without a "_like" suffix).
+preset parse_preset(const std::string& name);
+
+/// Display name, e.g. "cifar10_like".
+std::string preset_name(preset p);
+
+/// All presets in paper order.
+std::vector<preset> all_presets();
+
+/// Train/validation/test splits of one task. Splits share class prototypes
+/// (same class_seed) but have disjoint sample streams.
+struct dataset_bundle {
+  std::unique_ptr<synthetic_dataset> train;
+  std::unique_ptr<synthetic_dataset> val;
+  std::unique_ptr<synthetic_dataset> test;
+  std::string name;
+};
+
+/// Base generation config for a preset (before split sizes/seeds).
+synthetic_config preset_config(preset p, std::uint64_t seed);
+
+/// Materializes the three splits of a preset.
+dataset_bundle make_bundle(preset p, std::uint64_t seed);
+
+/// Smaller variant for tests and quick examples (a few hundred samples).
+dataset_bundle make_small_bundle(preset p, std::uint64_t seed);
+
+}  // namespace appeal::data

@@ -1,0 +1,266 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::data {
+
+namespace {
+
+constexpr double two_pi = 6.283185307179586;
+
+/// Kumaraswamy(a, b) draw via its closed-form inverse CDF — a Beta-like
+/// long-tail shape without needing gamma sampling.
+double kumaraswamy(util::rng& gen, double a, double b) {
+  const double u = gen.uniform();
+  return std::pow(1.0 - std::pow(1.0 - u, 1.0 / b), 1.0 / a);
+}
+
+/// Bilinear sample with reflect padding.
+float sample_bilinear(const float* plane, std::size_t size, float y, float x) {
+  const auto reflect = [size](float v) {
+    const float limit = static_cast<float>(size) - 1.0F;
+    if (limit <= 0.0F) return 0.0F;
+    // Reflect into [0, limit] (triangle wave).
+    float t = std::fabs(v);
+    const float period = 2.0F * limit;
+    t = std::fmod(t, period);
+    if (t > limit) t = period - t;
+    return t;
+  };
+  const float fy = reflect(y);
+  const float fx = reflect(x);
+  const auto y0 = static_cast<std::size_t>(fy);
+  const auto x0 = static_cast<std::size_t>(fx);
+  const std::size_t y1 = std::min(y0 + 1, size - 1);
+  const std::size_t x1 = std::min(x0 + 1, size - 1);
+  const float wy = fy - static_cast<float>(y0);
+  const float wx = fx - static_cast<float>(x0);
+  const float top = plane[y0 * size + x0] * (1.0F - wx) +
+                    plane[y0 * size + x1] * wx;
+  const float bottom = plane[y1 * size + x0] * (1.0F - wx) +
+                       plane[y1 * size + x1] * wx;
+  return top * (1.0F - wy) + bottom * wy;
+}
+
+/// Applies an inverse-mapped affine warp (rotate, scale, translate about the
+/// image centre) to every channel of `src`.
+tensor affine_warp(const tensor& src, float angle, float log_scale, float tx,
+                   float ty) {
+  const std::size_t channels = src.dims().dim(0);
+  const std::size_t size = src.dims().dim(1);
+  tensor out(src.dims());
+  const float c = std::cos(angle);
+  const float s = std::sin(angle);
+  const float inv_scale = std::exp(-log_scale);
+  const float centre = (static_cast<float>(size) - 1.0F) / 2.0F;
+
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    const float* plane = src.data() + ch * size * size;
+    float* dst = out.data() + ch * size * size;
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        // Destination pixel -> source coordinates (inverse transform).
+        const float dy = static_cast<float>(y) - centre - ty;
+        const float dx = static_cast<float>(x) - centre - tx;
+        const float sy = (c * dy - s * dx) * inv_scale + centre;
+        const float sx = (s * dy + c * dx) * inv_scale + centre;
+        dst[y * size + x] = sample_bilinear(plane, size, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+synthetic_dataset::synthetic_dataset(const synthetic_config& cfg)
+    : config_(cfg) {
+  APPEAL_CHECK(cfg.num_classes >= 2, "synthetic dataset needs >= 2 classes");
+  APPEAL_CHECK(cfg.image_size >= 8, "synthetic dataset needs image_size >= 8");
+  APPEAL_CHECK(cfg.channels >= 1, "synthetic dataset needs >= 1 channel");
+  APPEAL_CHECK(cfg.tail_fraction >= 0.0 && cfg.tail_fraction <= 1.0,
+               "tail_fraction must be in [0, 1]");
+  APPEAL_CHECK(cfg.blend_strength >= 0.0F && cfg.blend_strength < 1.0F,
+               "blend_strength must be in [0, 1)");
+
+  prototypes_.reserve(cfg.num_classes);
+  for (std::size_t k = 0; k < cfg.num_classes; ++k) {
+    prototypes_.push_back(make_prototype(k));
+  }
+
+  util::rng stream(cfg.sample_seed);
+  samples_.reserve(cfg.sample_count);
+  for (std::size_t i = 0; i < cfg.sample_count; ++i) {
+    const auto label = static_cast<std::size_t>(
+        stream.uniform_index(cfg.num_classes));
+    samples_.push_back(make_sample(label, stream));
+  }
+}
+
+shape synthetic_dataset::image_shape() const {
+  return shape{config_.channels, config_.image_size, config_.image_size};
+}
+
+const sample& synthetic_dataset::get(std::size_t index) const {
+  APPEAL_CHECK(index < samples_.size(), "sample index out of range");
+  return samples_[index];
+}
+
+std::size_t synthetic_dataset::confuser_of(std::size_t label,
+                                           std::size_t which) const {
+  // Two fixed confusers per class, stable across splits because they depend
+  // only on the label and class count.
+  const std::size_t k = config_.num_classes;
+  const std::size_t offset = (which % 2 == 0) ? 1 : (k / 2) | 1;
+  return (label + offset) % k;
+}
+
+tensor synthetic_dataset::make_prototype(std::size_t label) const {
+  // Prototype RNG depends only on (class_seed, label) so train/val/test
+  // splits built with the same class_seed share class identities.
+  util::rng gen(config_.class_seed * 1000003ULL + label * 7919ULL + 17ULL);
+  const std::size_t size = config_.image_size;
+  tensor proto(image_shape());
+
+  for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+    float* plane = proto.data() + ch * size * size;
+
+    // Six gratings: three coarse (the easy cues), three fine (the
+    // capacity-demanding cues).
+    constexpr std::size_t grating_count = 6;
+    float amp[grating_count];
+    float fy[grating_count];
+    float fx[grating_count];
+    float phase[grating_count];
+    for (std::size_t j = 0; j < grating_count; ++j) {
+      const bool fine = j >= 3;
+      amp[j] = fine ? config_.fine_detail_amplitude *
+                          gen.uniform(0.7F, 1.0F)
+                    : gen.uniform(0.5F, 1.0F);
+      const float lo = fine ? 3.0F : 0.5F;
+      const float hi = fine ? 6.5F : 2.0F;
+      fy[j] = gen.uniform(lo, hi) * (gen.bernoulli(0.5) ? 1.0F : -1.0F);
+      fx[j] = gen.uniform(lo, hi) * (gen.bernoulli(0.5) ? 1.0F : -1.0F);
+      phase[j] = static_cast<float>(gen.uniform() * two_pi);
+    }
+
+    // Class blob: a Gaussian bump whose position encodes the class.
+    const float by = gen.uniform(0.2F, 0.8F) * static_cast<float>(size);
+    const float bx = gen.uniform(0.2F, 0.8F) * static_cast<float>(size);
+    const float bsigma = gen.uniform(0.12F, 0.22F) * static_cast<float>(size);
+    const float bamp = gen.uniform(0.6F, 1.0F);
+
+    const float inv_size = 1.0F / static_cast<float>(size);
+    for (std::size_t y = 0; y < size; ++y) {
+      for (std::size_t x = 0; x < size; ++x) {
+        float v = 0.0F;
+        for (std::size_t j = 0; j < grating_count; ++j) {
+          const float arg = static_cast<float>(two_pi) *
+                                (fy[j] * static_cast<float>(y) +
+                                 fx[j] * static_cast<float>(x)) *
+                                inv_size +
+                            phase[j];
+          v += amp[j] * std::cos(arg);
+        }
+        const float dy = (static_cast<float>(y) - by) / bsigma;
+        const float dx = (static_cast<float>(x) - bx) / bsigma;
+        v += bamp * std::exp(-0.5F * (dy * dy + dx * dx));
+        plane[y * size + x] = v;
+      }
+    }
+
+    // Standardize the channel so every class has comparable dynamic range.
+    double mean = 0.0;
+    for (std::size_t i = 0; i < size * size; ++i) mean += plane[i];
+    mean /= static_cast<double>(size * size);
+    double var = 0.0;
+    for (std::size_t i = 0; i < size * size; ++i) {
+      const double d = plane[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(size * size);
+    const float inv_std = 1.0F / static_cast<float>(std::sqrt(var) + 1e-6);
+    for (std::size_t i = 0; i < size * size; ++i) {
+      plane[i] = (plane[i] - static_cast<float>(mean)) * inv_std;
+    }
+  }
+  return proto;
+}
+
+sample synthetic_dataset::make_sample(std::size_t label,
+                                      util::rng& gen) const {
+  const std::size_t size = config_.image_size;
+
+  // Long-tailed difficulty draw.
+  float d = 0.0F;
+  if (gen.bernoulli(config_.tail_fraction)) {
+    d = 0.55F + 0.45F * static_cast<float>(
+                            std::pow(gen.uniform(), 0.7));
+  } else {
+    d = 0.55F *
+        static_cast<float>(kumaraswamy(gen, config_.bulk_a, config_.bulk_b));
+  }
+
+  // Affine warp of the class prototype.
+  const float angle = d * config_.warp_rotate * gen.uniform(-1.0F, 1.0F);
+  const float log_scale = d * config_.warp_scale * gen.uniform(-1.0F, 1.0F);
+  const float tx = d * config_.warp_translate * gen.uniform(-1.0F, 1.0F);
+  const float ty = d * config_.warp_translate * gen.uniform(-1.0F, 1.0F);
+  tensor image = affine_warp(prototypes_[label], angle, log_scale, tx, ty);
+
+  // Confuser blending: suppresses the coarse cues while the warped true
+  // class retains its fine structure. Deep-tail samples (d near 1) blend so
+  // strongly that a small model confidently predicts the confuser class —
+  // the "overconfident wrong prediction" regime that motivates the paper.
+  if (gen.bernoulli(std::min(0.95, static_cast<double>(d) * 1.2))) {
+    const std::size_t which = gen.bernoulli(0.5) ? 0 : 1;
+    const std::size_t confuser = confuser_of(label, which);
+    const float deep_tail_boost = d > 0.8F ? 1.25F : 1.0F;
+    const float lambda = std::min(
+        0.9F, config_.blend_strength * d * deep_tail_boost *
+                  gen.uniform(0.55F, 1.0F));
+    const tensor& other = prototypes_[confuser];
+    float* dst = image.data();
+    const float* src = other.data();
+    for (std::size_t i = 0; i < image.size(); ++i) {
+      dst[i] = (1.0F - lambda) * dst[i] + lambda * src[i];
+    }
+  }
+
+  // Additive noise.
+  const float sigma = config_.noise_floor + config_.noise_scale * d;
+  for (auto& v : image.values()) {
+    v += static_cast<float>(gen.normal(0.0, sigma));
+  }
+
+  // Occlusion.
+  if (gen.bernoulli(static_cast<double>(config_.occlusion_scale) * d)) {
+    const auto rect_h = static_cast<std::size_t>(
+        2 + gen.uniform_index(1 + size / 4));
+    const auto rect_w = static_cast<std::size_t>(
+        2 + gen.uniform_index(1 + size / 4));
+    const auto oy = static_cast<std::size_t>(
+        gen.uniform_index(size - std::min(rect_h, size - 1)));
+    const auto ox = static_cast<std::size_t>(
+        gen.uniform_index(size - std::min(rect_w, size - 1)));
+    for (std::size_t ch = 0; ch < config_.channels; ++ch) {
+      float* plane = image.data() + ch * size * size;
+      for (std::size_t y = oy; y < std::min(oy + rect_h, size); ++y) {
+        for (std::size_t x = ox; x < std::min(ox + rect_w, size); ++x) {
+          plane[y * size + x] = 0.0F;
+        }
+      }
+    }
+  }
+
+  sample out;
+  out.image = std::move(image);
+  out.label = label;
+  out.difficulty = d;
+  return out;
+}
+
+}  // namespace appeal::data

@@ -1,0 +1,87 @@
+// Procedural synthetic image-classification datasets.
+//
+// This is the repo's substitution for GTSRB / CIFAR-10 / CIFAR-100 /
+// Tiny-ImageNet (see DESIGN.md §2). Each class has a deterministic
+// prototype built from multi-scale cosine gratings plus a class blob:
+// low-frequency components are the "easy" cues a low-capacity model learns,
+// high-frequency components are the fine detail that requires capacity.
+//
+// Each sample draws a latent difficulty d from a long-tailed distribution
+// and applies d-proportional distortions:
+//   - affine warp (translation / rotation / scale, bilinear resampling)
+//   - confuser blending: mixes in another class's prototype, destroying the
+//     low-frequency cues while fine detail still identifies the true class
+//   - additive Gaussian noise
+//   - rectangular occlusion
+// The result reproduces the phenomenon AppealNet exploits: a bulk of easy
+// inputs a small model handles and a long tail it cannot, with difficulty
+// latent and continuous so the predictor must learn it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace appeal::data {
+
+/// Generation parameters for one synthetic dataset split.
+struct synthetic_config {
+  std::size_t num_classes = 10;
+  std::size_t image_size = 16;
+  std::size_t channels = 3;
+  std::size_t sample_count = 1000;
+
+  /// Seed for class prototypes — splits of the same task share this.
+  std::uint64_t class_seed = 1;
+  /// Seed for the sample stream — differs per split.
+  std::uint64_t sample_seed = 2;
+
+  /// Difficulty distribution: with probability `tail_fraction` a sample is
+  /// drawn from the hard tail [0.55, 1]; otherwise from a bulk
+  /// Kumaraswamy(bulk_a, bulk_b) scaled into [0, 0.55).
+  double tail_fraction = 0.2;
+  double bulk_a = 1.4;
+  double bulk_b = 3.0;
+
+  /// Distortion strengths (all scaled by the sample's difficulty).
+  float warp_translate = 3.0F;   // max |translation| in pixels at d = 1
+  float warp_rotate = 0.45F;     // max |rotation| in radians at d = 1
+  float warp_scale = 0.25F;      // max |log-scale| at d = 1
+  float blend_strength = 0.6F;   // max confuser mix-in at d = 1
+  float noise_floor = 0.04F;     // additive noise sigma at d = 0
+  float noise_scale = 0.30F;     // extra noise sigma at d = 1
+  float occlusion_scale = 0.5F;  // occlusion probability at d = 1
+
+  /// Relative amplitude of the high-frequency (fine-detail) components.
+  float fine_detail_amplitude = 0.35F;
+};
+
+/// Fully materialized synthetic dataset (all samples generated eagerly).
+class synthetic_dataset : public dataset {
+ public:
+  explicit synthetic_dataset(const synthetic_config& cfg);
+
+  std::size_t size() const override { return samples_.size(); }
+  std::size_t num_classes() const override { return config_.num_classes; }
+  shape image_shape() const override;
+  const sample& get(std::size_t index) const override;
+
+  const synthetic_config& config() const { return config_; }
+
+  /// Class prototype images (for inspection/tests), one [C, H, W] each.
+  const std::vector<tensor>& prototypes() const { return prototypes_; }
+
+  /// The confuser class blended into hard samples of `label`.
+  std::size_t confuser_of(std::size_t label, std::size_t which) const;
+
+ private:
+  tensor make_prototype(std::size_t label) const;
+  sample make_sample(std::size_t label, util::rng& gen) const;
+
+  synthetic_config config_;
+  std::vector<tensor> prototypes_;
+  std::vector<sample> samples_;
+};
+
+}  // namespace appeal::data

@@ -1,0 +1,175 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::metrics {
+
+double accuracy(const std::vector<std::size_t>& predictions,
+                const std::vector<std::size_t>& labels) {
+  APPEAL_CHECK(!predictions.empty() && predictions.size() == labels.size(),
+               "accuracy: prediction/label size mismatch");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+double skipping_rate(const std::vector<double>& scores, double delta) {
+  APPEAL_CHECK(!scores.empty(), "skipping_rate on empty scores");
+  std::size_t kept = 0;
+  for (const double s : scores) {
+    if (s >= delta) ++kept;
+  }
+  return static_cast<double>(kept) / static_cast<double>(scores.size());
+}
+
+double appealing_rate(const std::vector<double>& scores, double delta) {
+  return 1.0 - skipping_rate(scores, delta);
+}
+
+collaborative_outcome evaluate_collaborative(
+    const std::vector<std::size_t>& little_predictions,
+    const std::vector<std::size_t>& big_predictions,
+    const std::vector<std::size_t>& labels,
+    const std::vector<double>& scores, double delta) {
+  const std::size_t n = labels.size();
+  APPEAL_CHECK(n > 0, "evaluate_collaborative on empty set");
+  APPEAL_CHECK(little_predictions.size() == n && big_predictions.size() == n &&
+                   scores.size() == n,
+               "evaluate_collaborative: size mismatch");
+
+  collaborative_outcome out;
+  out.total = n;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scores[i] >= delta) {
+      ++kept;
+      if (little_predictions[i] == labels[i]) ++out.edge_correct;
+    } else if (big_predictions[i] == labels[i]) {
+      ++out.cloud_correct;
+    }
+  }
+  out.skipping_rate = static_cast<double>(kept) / static_cast<double>(n);
+  out.overall_accuracy =
+      static_cast<double>(out.edge_correct + out.cloud_correct) /
+      static_cast<double>(n);
+  return out;
+}
+
+double relative_accuracy_improvement(double collaborative_accuracy,
+                                     double little_accuracy,
+                                     double big_accuracy) {
+  const double gap = big_accuracy - little_accuracy;
+  APPEAL_CHECK(std::fabs(gap) > 1e-12,
+               "AccI undefined: big and little accuracy are equal");
+  return (collaborative_accuracy - little_accuracy) / gap;
+}
+
+double overall_cost(double skipping_rate, double edge_cost,
+                    double cloud_cost) {
+  APPEAL_CHECK(skipping_rate >= 0.0 && skipping_rate <= 1.0,
+               "overall_cost: skipping rate outside [0, 1]");
+  return skipping_rate * edge_cost + (1.0 - skipping_rate) * cloud_cost;
+}
+
+double auroc(const std::vector<double>& positive_scores,
+             const std::vector<double>& negative_scores) {
+  APPEAL_CHECK(!positive_scores.empty() && !negative_scores.empty(),
+               "auroc requires both positive and negative scores");
+  // Rank-sum (Mann-Whitney) formulation with tie handling via sorting the
+  // negatives and binary-searching bounds for each positive.
+  std::vector<double> neg = negative_scores;
+  std::sort(neg.begin(), neg.end());
+  double wins = 0.0;
+  for (const double p : positive_scores) {
+    const auto lower = std::lower_bound(neg.begin(), neg.end(), p);
+    const auto upper = std::upper_bound(neg.begin(), neg.end(), p);
+    const auto below = static_cast<double>(lower - neg.begin());
+    const auto ties = static_cast<double>(upper - lower);
+    wins += below + 0.5 * ties;
+  }
+  return wins / (static_cast<double>(positive_scores.size()) *
+                 static_cast<double>(neg.size()));
+}
+
+double expected_calibration_error(const std::vector<double>& confidences,
+                                  const std::vector<bool>& correct,
+                                  std::size_t bins) {
+  APPEAL_CHECK(!confidences.empty() && confidences.size() == correct.size(),
+               "ECE: confidence/correct size mismatch");
+  APPEAL_CHECK(bins > 0, "ECE requires at least one bin");
+
+  std::vector<double> bin_conf(bins, 0.0);
+  std::vector<double> bin_acc(bins, 0.0);
+  std::vector<std::size_t> bin_count(bins, 0);
+  for (std::size_t i = 0; i < confidences.size(); ++i) {
+    const double c = std::clamp(confidences[i], 0.0, 1.0);
+    auto b = static_cast<std::size_t>(c * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;
+    bin_conf[b] += c;
+    bin_acc[b] += correct[i] ? 1.0 : 0.0;
+    ++bin_count[b];
+  }
+  double ece = 0.0;
+  const auto n = static_cast<double>(confidences.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (bin_count[b] == 0) continue;
+    const auto count = static_cast<double>(bin_count[b]);
+    ece += (count / n) * std::fabs(bin_acc[b] / count - bin_conf[b] / count);
+  }
+  return ece;
+}
+
+confusion_matrix::confusion_matrix(std::size_t num_classes)
+    : num_classes_(num_classes), cells_(num_classes * num_classes, 0) {
+  APPEAL_CHECK(num_classes > 0, "confusion_matrix requires >= 1 class");
+}
+
+void confusion_matrix::add(std::size_t predicted, std::size_t actual) {
+  APPEAL_CHECK(predicted < num_classes_ && actual < num_classes_,
+               "confusion_matrix: class index out of range");
+  ++cells_[predicted * num_classes_ + actual];
+  ++total_;
+}
+
+void confusion_matrix::add_all(const std::vector<std::size_t>& predictions,
+                               const std::vector<std::size_t>& labels) {
+  APPEAL_CHECK(predictions.size() == labels.size(),
+               "confusion_matrix: size mismatch");
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    add(predictions[i], labels[i]);
+  }
+}
+
+std::size_t confusion_matrix::at(std::size_t predicted,
+                                 std::size_t actual) const {
+  APPEAL_CHECK(predicted < num_classes_ && actual < num_classes_,
+               "confusion_matrix: class index out of range");
+  return cells_[predicted * num_classes_ + actual];
+}
+
+double confusion_matrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diagonal = 0;
+  for (std::size_t k = 0; k < num_classes_; ++k) {
+    diagonal += cells_[k * num_classes_ + k];
+  }
+  return static_cast<double>(diagonal) / static_cast<double>(total_);
+}
+
+double confusion_matrix::recall(std::size_t cls) const {
+  APPEAL_CHECK(cls < num_classes_, "confusion_matrix: class out of range");
+  std::size_t actual_total = 0;
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    actual_total += cells_[p * num_classes_ + cls];
+  }
+  if (actual_total == 0) return 0.0;
+  return static_cast<double>(cells_[cls * num_classes_ + cls]) /
+         static_cast<double>(actual_total);
+}
+
+}  // namespace appeal::metrics

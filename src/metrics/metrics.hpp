@@ -1,0 +1,88 @@
+// Evaluation metrics for edge/cloud collaborative inference.
+//
+// Direct implementations of the paper's Section VI definitions:
+//   Eq. 11  skipping rate  SR(δ)  = fraction with q(1|x) >= δ
+//   Eq. 12  appealing rate AR(δ)  = 1 - SR(δ)
+//   Eq. 13  overall collaborative accuracy
+//   Eq. 14  relative accuracy improvement AccI
+//   Eq. 15  overall computational cost
+// plus separation/calibration statistics used to quantify Fig. 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace appeal::metrics {
+
+/// Plain classification accuracy; vectors must be the same non-zero length.
+double accuracy(const std::vector<std::size_t>& predictions,
+                const std::vector<std::size_t>& labels);
+
+/// Eq. 11: fraction of inputs the predictor keeps on the edge
+/// (score >= delta). Scores follow the paper's convention: higher = easier.
+double skipping_rate(const std::vector<double>& scores, double delta);
+
+/// Eq. 12: fraction of inputs appealed to the cloud.
+double appealing_rate(const std::vector<double>& scores, double delta);
+
+/// Outcome of routing a labelled set through (little, big, predictor, δ).
+struct collaborative_outcome {
+  double overall_accuracy = 0.0;  // Eq. 13
+  double skipping_rate = 0.0;     // Eq. 11
+  std::size_t edge_correct = 0;   // kept on edge and correct
+  std::size_t cloud_correct = 0;  // offloaded and correct
+  std::size_t total = 0;
+};
+
+/// Evaluates Eq. 13 for a fixed threshold.
+collaborative_outcome evaluate_collaborative(
+    const std::vector<std::size_t>& little_predictions,
+    const std::vector<std::size_t>& big_predictions,
+    const std::vector<std::size_t>& labels,
+    const std::vector<double>& scores, double delta);
+
+/// Eq. 14: (collab - little) / (big - little). Requires big != little
+/// accuracy (the paper's settings always have a gap).
+double relative_accuracy_improvement(double collaborative_accuracy,
+                                     double little_accuracy,
+                                     double big_accuracy);
+
+/// Eq. 15: SR * c1 + (1 - SR) * c0, in whatever cost unit c0/c1 carry.
+double overall_cost(double skipping_rate, double edge_cost, double cloud_cost);
+
+/// Area under the ROC curve for a score meant to rank `positives` above
+/// `negatives` (ties count half). 1.0 = perfect separation, 0.5 = chance.
+/// Fig. 4's visual claim, quantified.
+double auroc(const std::vector<double>& positive_scores,
+             const std::vector<double>& negative_scores);
+
+/// Expected calibration error of confidence scores against correctness,
+/// with equal-width bins over [0, 1]. Motivates the paper's critique of
+/// softmax confidence.
+double expected_calibration_error(const std::vector<double>& confidences,
+                                  const std::vector<bool>& correct,
+                                  std::size_t bins = 10);
+
+/// Dense confusion matrix.
+class confusion_matrix {
+ public:
+  explicit confusion_matrix(std::size_t num_classes);
+
+  void add(std::size_t predicted, std::size_t actual);
+  void add_all(const std::vector<std::size_t>& predictions,
+               const std::vector<std::size_t>& labels);
+
+  std::size_t at(std::size_t predicted, std::size_t actual) const;
+  std::size_t num_classes() const { return num_classes_; }
+  std::size_t total() const { return total_; }
+  double accuracy() const;
+  /// Recall of one class (0 when the class never occurs).
+  double recall(std::size_t cls) const;
+
+ private:
+  std::size_t num_classes_;
+  std::vector<std::size_t> cells_;  // [predicted * K + actual]
+  std::size_t total_ = 0;
+};
+
+}  // namespace appeal::metrics

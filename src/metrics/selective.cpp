@@ -1,0 +1,109 @@
+#include "metrics/selective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace appeal::metrics {
+
+std::vector<risk_coverage_point> risk_coverage_curve(
+    const std::vector<double>& scores, const std::vector<bool>& correct) {
+  const std::size_t n = scores.size();
+  APPEAL_CHECK(n > 0 && correct.size() == n,
+               "risk_coverage_curve: size mismatch or empty input");
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<risk_coverage_point> curve(n);
+  std::size_t errors = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!correct[order[k]]) ++errors;
+    curve[k].coverage = static_cast<double>(k + 1) / static_cast<double>(n);
+    curve[k].risk = static_cast<double>(errors) / static_cast<double>(k + 1);
+  }
+  return curve;
+}
+
+double aurc(const std::vector<double>& scores,
+            const std::vector<bool>& correct) {
+  const auto curve = risk_coverage_curve(scores, correct);
+  double total = 0.0;
+  for (const auto& point : curve) total += point.risk;
+  return total / static_cast<double>(curve.size());
+}
+
+double risk_at_coverage(const std::vector<double>& scores,
+                        const std::vector<bool>& correct, double coverage) {
+  APPEAL_CHECK(coverage > 0.0 && coverage <= 1.0,
+               "risk_at_coverage: coverage must be in (0, 1]");
+  const auto curve = risk_coverage_curve(scores, correct);
+  const auto n = static_cast<double>(curve.size());
+  const double position = coverage * n;
+  const auto upper = static_cast<std::size_t>(std::ceil(position));
+  const std::size_t index = std::min(curve.size(), std::max<std::size_t>(1, upper)) - 1;
+  return curve[index].risk;
+}
+
+namespace {
+
+double nll_at_temperature(const tensor& logits,
+                          const std::vector<std::size_t>& labels, double t) {
+  const tensor scaled = appeal::ops::scale(logits, static_cast<float>(1.0 / t));
+  const tensor log_probs = appeal::ops::log_softmax_rows(scaled);
+  const std::size_t n = logits.dims().dim(0);
+  const std::size_t k = logits.dims().dim(1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total -= log_probs[i * k + labels[i]];
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace
+
+double fit_temperature(const tensor& logits,
+                       const std::vector<std::size_t>& labels) {
+  APPEAL_CHECK(logits.dims().rank() == 2 &&
+                   logits.dims().dim(0) == labels.size(),
+               "fit_temperature: logits/labels mismatch");
+
+  // Golden-section search over log T in [log 0.25, log 8].
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = std::log(0.25);
+  double hi = std::log(8.0);
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = nll_at_temperature(logits, labels, std::exp(x1));
+  double f2 = nll_at_temperature(logits, labels, std::exp(x2));
+  for (int iter = 0; iter < 60; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = nll_at_temperature(logits, labels, std::exp(x1));
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = nll_at_temperature(logits, labels, std::exp(x2));
+    }
+  }
+  return std::exp((lo + hi) / 2.0);
+}
+
+tensor apply_temperature(const tensor& logits, double temperature) {
+  APPEAL_CHECK(temperature > 0.0, "temperature must be positive");
+  return appeal::ops::softmax_rows(
+      appeal::ops::scale(logits, static_cast<float>(1.0 / temperature)));
+}
+
+}  // namespace appeal::metrics

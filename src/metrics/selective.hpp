@@ -1,0 +1,53 @@
+// Selective-prediction metrics: risk–coverage analysis and temperature
+// scaling.
+//
+// The edge/cloud routing problem is a selective-prediction problem: the
+// predictor "selects" inputs to answer on the edge (coverage = skipping
+// rate) and the selective risk is the edge error rate on that subset. The
+// risk–coverage curve and its area (AURC) summarize a score's routing
+// quality across ALL thresholds — a threshold-free companion to Fig. 5.
+//
+// Temperature scaling (Guo et al., the calibration critique the paper
+// cites) is included as the standard post-hoc fix for softmax confidence;
+// the calibrated-MSP baseline quantifies how much of AppealNet's advantage
+// survives when the baseline is given the best possible calibration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::metrics {
+
+/// One point of a risk-coverage curve.
+struct risk_coverage_point {
+  double coverage = 0.0;  // fraction of inputs answered (kept on edge)
+  double risk = 0.0;      // error rate among answered inputs
+};
+
+/// Full risk-coverage curve: inputs sorted by descending score; point k
+/// covers the k highest-scoring inputs. Scores follow higher-is-easier.
+std::vector<risk_coverage_point> risk_coverage_curve(
+    const std::vector<double>& scores, const std::vector<bool>& correct);
+
+/// Area under the risk-coverage curve (lower = better ranking), averaged
+/// over coverage levels 1/N ... 1.
+double aurc(const std::vector<double>& scores,
+            const std::vector<bool>& correct);
+
+/// Selective risk at a specific coverage (linear interpolation between
+/// curve points).
+double risk_at_coverage(const std::vector<double>& scores,
+                        const std::vector<bool>& correct, double coverage);
+
+/// Fits a softmax temperature T > 0 minimizing NLL of `logits` against
+/// `labels` (golden-section search on log T). T > 1 softens over-confident
+/// models; T = 1 leaves them unchanged.
+double fit_temperature(const tensor& logits,
+                       const std::vector<std::size_t>& labels);
+
+/// Returns softmax(logits / temperature) rows.
+tensor apply_temperature(const tensor& logits, double temperature);
+
+}  // namespace appeal::metrics

@@ -1,0 +1,54 @@
+#include "models/model_spec.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace appeal::models {
+
+model_family parse_family(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "mobilenet") return model_family::mobilenet;
+  if (lower == "shufflenet") return model_family::shufflenet;
+  if (lower == "efficientnet") return model_family::efficientnet;
+  if (lower == "resnet") return model_family::resnet;
+  APPEAL_CHECK(false, "unknown model family: " + name);
+  return model_family::mobilenet;
+}
+
+std::string family_name(model_family family) {
+  switch (family) {
+    case model_family::mobilenet:
+      return "mobilenet";
+    case model_family::shufflenet:
+      return "shufflenet";
+    case model_family::efficientnet:
+      return "efficientnet";
+    case model_family::resnet:
+      return "resnet";
+  }
+  return "unknown";
+}
+
+std::string model_spec::canonical() const {
+  std::ostringstream os;
+  os << family_name(family) << "-c" << in_channels << "-s" << image_size
+     << "-k" << num_classes << "-w" << util::format_fixed(width, 3) << "-d"
+     << depth;
+  return os.str();
+}
+
+std::size_t scaled_channels(std::size_t base, float width, std::size_t floor,
+                            std::size_t round_to) {
+  APPEAL_CHECK(width > 0.0F, "width multiplier must be positive");
+  APPEAL_CHECK(round_to > 0, "round_to must be positive");
+  const auto scaled = static_cast<std::size_t>(
+      std::lround(static_cast<double>(base) * static_cast<double>(width)));
+  const std::size_t rounded =
+      ((scaled + round_to / 2) / round_to) * round_to;
+  return std::max(floor, std::max<std::size_t>(rounded, round_to));
+}
+
+}  // namespace appeal::models

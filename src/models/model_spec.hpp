@@ -1,0 +1,47 @@
+// Model specification shared by all backbone families.
+//
+// The paper evaluates three efficient edge families (MobileNet,
+// EfficientNet, ShuffleNet) against a ResNet-101 cloud model. This repo
+// builds structurally faithful, scaled-down members of each family; `width`
+// and `depth` are the scaling knobs the Fig. 3 hardware profiler tunes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace appeal::models {
+
+/// Backbone families available in the zoo.
+enum class model_family {
+  mobilenet,     // depthwise-separable stacks (MobileNetV1 style)
+  shufflenet,    // grouped 1x1 convs + channel shuffle
+  efficientnet,  // MBConv with squeeze-excitation
+  resnet,        // basic-block residual network (the cloud model)
+};
+
+/// Parses "mobilenet" / "shufflenet" / "efficientnet" / "resnet".
+model_family parse_family(const std::string& name);
+
+/// Family name for display.
+std::string family_name(model_family family);
+
+/// Complete description of one concrete model instance.
+struct model_spec {
+  model_family family = model_family::mobilenet;
+  std::size_t in_channels = 3;
+  std::size_t image_size = 16;   // square inputs
+  std::size_t num_classes = 10;
+  float width = 1.0F;            // channel multiplier
+  std::size_t depth = 1;         // blocks per stage (resnet) / extra blocks
+
+  /// Canonical string (stable across runs) for cache keys and logs.
+  std::string canonical() const;
+};
+
+/// Applies the width multiplier, keeping at least `floor` channels and
+/// rounding to the nearest multiple of `round_to` (grouped convs need
+/// divisible channel counts).
+std::size_t scaled_channels(std::size_t base, float width,
+                            std::size_t floor = 4, std::size_t round_to = 4);
+
+}  // namespace appeal::models

@@ -1,0 +1,35 @@
+#include "models/model_zoo.hpp"
+
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "util/error.hpp"
+
+namespace appeal::models {
+
+backbone make_backbone(const model_spec& spec) {
+  APPEAL_CHECK(spec.in_channels > 0 && spec.num_classes > 0,
+               "model_spec must have positive channels/classes");
+  switch (spec.family) {
+    case model_family::mobilenet:
+      return make_mobilenet_backbone(spec);
+    case model_family::shufflenet:
+      return make_shufflenet_backbone(spec);
+    case model_family::efficientnet:
+      return make_efficientnet_backbone(spec);
+    case model_family::resnet:
+      return make_resnet_backbone(spec);
+  }
+  APPEAL_CHECK(false, "unreachable: bad model family");
+  return {};
+}
+
+std::unique_ptr<nn::sequential> make_classifier(const model_spec& spec,
+                                                util::rng& gen) {
+  backbone bb = make_backbone(spec);
+  auto net = std::move(bb.features);
+  net->emplace<nn::linear>(bb.feature_dim, spec.num_classes);
+  nn::initialize_model(*net, gen);
+  return net;
+}
+
+}  // namespace appeal::models

@@ -1,0 +1,34 @@
+// Model zoo: backbone builders + standalone classifier factory.
+#pragma once
+
+#include <memory>
+
+#include "models/model_spec.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::models {
+
+/// A feature extractor: maps [N, C, H, W] images to [N, feature_dim]
+/// embeddings (the stack ends with global average pooling).
+struct backbone {
+  std::unique_ptr<nn::sequential> features;
+  std::size_t feature_dim = 0;
+};
+
+/// Builds the family-appropriate feature extractor for `spec`.
+/// Weights are NOT initialized; see make_classifier or nn::initialize_model.
+backbone make_backbone(const model_spec& spec);
+
+/// Builds a complete initialized classifier: backbone + linear head
+/// producing [N, num_classes] logits.
+std::unique_ptr<nn::sequential> make_classifier(const model_spec& spec,
+                                                util::rng& gen);
+
+/// Per-family builders (exposed for tests; make_backbone dispatches).
+backbone make_mobilenet_backbone(const model_spec& spec);
+backbone make_shufflenet_backbone(const model_spec& spec);
+backbone make_efficientnet_backbone(const model_spec& spec);
+backbone make_resnet_backbone(const model_spec& spec);
+
+}  // namespace appeal::models

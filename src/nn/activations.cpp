@@ -1,0 +1,64 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+tensor elementwise_activation::forward(const tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  tensor out = input;
+  for (auto& v : out.values()) v = apply(v);
+  return out;
+}
+
+tensor elementwise_activation::backward(const tensor& grad_output) {
+  APPEAL_CHECK(!cached_input_.empty(), "activation backward before forward");
+  APPEAL_CHECK(grad_output.dims() == cached_input_.dims(),
+               "activation backward: grad shape mismatch");
+  tensor grad_input = grad_output;
+  float* g = grad_input.data();
+  const float* x = cached_input_.data();
+  const std::size_t n = grad_input.size();
+  for (std::size_t i = 0; i < n; ++i) g[i] *= derivative(x[i]);
+  return grad_input;
+}
+
+float relu::apply(float x) const { return x > 0.0F ? x : 0.0F; }
+float relu::derivative(float x) const { return x > 0.0F ? 1.0F : 0.0F; }
+
+float relu6::apply(float x) const {
+  if (x <= 0.0F) return 0.0F;
+  return x < 6.0F ? x : 6.0F;
+}
+float relu6::derivative(float x) const {
+  return (x > 0.0F && x < 6.0F) ? 1.0F : 0.0F;
+}
+
+float sigmoid_layer::apply(float x) const {
+  return 1.0F / (1.0F + std::exp(-x));
+}
+float sigmoid_layer::derivative(float x) const {
+  const float s = apply(x);
+  return s * (1.0F - s);
+}
+
+float silu::apply(float x) const { return x / (1.0F + std::exp(-x)); }
+float silu::derivative(float x) const {
+  const float s = 1.0F / (1.0F + std::exp(-x));
+  return s * (1.0F + x * (1.0F - s));
+}
+
+float hardswish::apply(float x) const {
+  if (x <= -3.0F) return 0.0F;
+  if (x >= 3.0F) return x;
+  return x * (x + 3.0F) / 6.0F;
+}
+float hardswish::derivative(float x) const {
+  if (x <= -3.0F) return 0.0F;
+  if (x >= 3.0F) return 1.0F;
+  return (2.0F * x + 3.0F) / 6.0F;
+}
+
+}  // namespace appeal::nn

@@ -1,0 +1,78 @@
+// Elementwise activation layers: ReLU, ReLU6, sigmoid, SiLU, hard-swish.
+//
+// MobileNet-style backbones use ReLU6/hard-swish; EfficientNet-style ones
+// use SiLU; the predictor head uses sigmoid.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Shared base for stateless elementwise activations; caches the input.
+class elementwise_activation : public layer {
+ public:
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  shape output_shape(const shape& input) const override { return input; }
+  std::uint64_t flops(const shape& input) const override {
+    return input.element_count();
+  }
+
+ protected:
+  /// f(x).
+  virtual float apply(float x) const = 0;
+  /// f'(x).
+  virtual float derivative(float x) const = 0;
+
+ private:
+  tensor cached_input_;
+};
+
+class relu : public elementwise_activation {
+ public:
+  const char* kind() const override { return "relu"; }
+
+ protected:
+  float apply(float x) const override;
+  float derivative(float x) const override;
+};
+
+class relu6 : public elementwise_activation {
+ public:
+  const char* kind() const override { return "relu6"; }
+
+ protected:
+  float apply(float x) const override;
+  float derivative(float x) const override;
+};
+
+class sigmoid_layer : public elementwise_activation {
+ public:
+  const char* kind() const override { return "sigmoid"; }
+
+ protected:
+  float apply(float x) const override;
+  float derivative(float x) const override;
+};
+
+/// SiLU / swish: x * sigmoid(x).
+class silu : public elementwise_activation {
+ public:
+  const char* kind() const override { return "silu"; }
+
+ protected:
+  float apply(float x) const override;
+  float derivative(float x) const override;
+};
+
+/// Hard-swish: x * relu6(x + 3) / 6 (MobileNetV3 form).
+class hardswish : public elementwise_activation {
+ public:
+  const char* kind() const override { return "hardswish"; }
+
+ protected:
+  float apply(float x) const override;
+  float derivative(float x) const override;
+};
+
+}  // namespace appeal::nn

@@ -1,0 +1,168 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+batchnorm2d::batchnorm2d(std::size_t channels, float epsilon, float momentum)
+    : channels_(channels),
+      epsilon_(epsilon),
+      momentum_(momentum),
+      gamma_("gamma", tensor(shape{channels}, 1.0F)),
+      beta_("beta", tensor(shape{channels})),
+      running_mean_(shape{channels}),
+      running_var_(shape{channels}, 1.0F) {
+  APPEAL_CHECK(channels > 0, "batchnorm2d requires at least one channel");
+}
+
+tensor batchnorm2d::forward(const tensor& input, bool training) {
+  APPEAL_CHECK(input.dims().rank() == 4 && input.channels() == channels_,
+               "batchnorm2d forward: expected NCHW with " +
+                   std::to_string(channels_) + " channels, got " +
+                   input.dims().to_string());
+  const std::size_t n = input.batch();
+  const std::size_t hw = input.height() * input.width();
+  const std::size_t reduce = n * hw;
+  APPEAL_CHECK(reduce > 0, "batchnorm2d forward on empty batch");
+
+  tensor out(input.dims());
+  cached_training_ = training;
+  cached_input_shape_ = input.dims();
+
+  const float* in = input.data();
+  float* po = out.data();
+  const float* pg = gamma_.value.data();
+  const float* pb = beta_.value.data();
+
+  if (!training) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float inv_std =
+          1.0F / std::sqrt(running_var_[c] + epsilon_);
+      const float scale = pg[c] * inv_std;
+      const float shift = pb[c] - running_mean_[c] * scale;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = in + (s * channels_ + c) * hw;
+        float* dst = po + (s * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) dst[i] = src[i] * scale + shift;
+      }
+    }
+    return out;
+  }
+
+  cached_xhat_ = tensor(input.dims());
+  cached_inv_std_ = tensor(shape{channels_});
+  float* pxhat = cached_xhat_.data();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* src = in + (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) total += src[i];
+    }
+    const float mu = static_cast<float>(total / static_cast<double>(reduce));
+
+    double var_total = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* src = in + (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        const double d = src[i] - mu;
+        var_total += d * d;
+      }
+    }
+    const float var =
+        static_cast<float>(var_total / static_cast<double>(reduce));
+    const float inv_std = 1.0F / std::sqrt(var + epsilon_);
+    cached_inv_std_[c] = inv_std;
+
+    running_mean_[c] = (1.0F - momentum_) * running_mean_[c] + momentum_ * mu;
+    running_var_[c] = (1.0F - momentum_) * running_var_[c] + momentum_ * var;
+
+    const float scale = pg[c];
+    const float shift = pb[c];
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* src = in + (s * channels_ + c) * hw;
+      float* xh = pxhat + (s * channels_ + c) * hw;
+      float* dst = po + (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        xh[i] = (src[i] - mu) * inv_std;
+        dst[i] = xh[i] * scale + shift;
+      }
+    }
+  }
+  return out;
+}
+
+tensor batchnorm2d::backward(const tensor& grad_output) {
+  APPEAL_CHECK(cached_input_shape_.rank() == 4,
+               "batchnorm2d backward before forward");
+  APPEAL_CHECK(grad_output.dims() == cached_input_shape_,
+               "batchnorm2d backward: grad shape mismatch");
+  APPEAL_CHECK(cached_training_,
+               "batchnorm2d backward is only defined after a training-mode "
+               "forward pass");
+
+  const std::size_t n = cached_input_shape_.batch();
+  const std::size_t hw =
+      cached_input_shape_.height() * cached_input_shape_.width();
+  const auto reduce = static_cast<float>(n * hw);
+
+  tensor grad_input(cached_input_shape_);
+  const float* gy = grad_output.data();
+  const float* xh = cached_xhat_.data();
+  float* gx = grad_input.data();
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Channel-wise reductions: sum(gy), sum(gy * xhat).
+    double sum_gy = 0.0;
+    double sum_gy_xhat = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t base = (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_gy += gy[base + i];
+        sum_gy_xhat += static_cast<double>(gy[base + i]) * xh[base + i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_gy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_gy);
+
+    // dx = gamma * inv_std * (gy - mean(gy) - xhat * mean(gy*xhat)).
+    const float k = gamma_.value[c] * cached_inv_std_[c];
+    const float mean_gy = static_cast<float>(sum_gy) / reduce;
+    const float mean_gy_xhat = static_cast<float>(sum_gy_xhat) / reduce;
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t base = (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        gx[base + i] =
+            k * (gy[base + i] - mean_gy - xh[base + i] * mean_gy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<parameter*> batchnorm2d::parameters() {
+  return {&gamma_, &beta_};
+}
+
+std::vector<named_tensor> batchnorm2d::state(const std::string& prefix) {
+  std::vector<named_tensor> out = layer::state(prefix);
+  const std::string dot = prefix.empty() ? "" : prefix + ".";
+  out.push_back(named_tensor{dot + "running_mean", &running_mean_});
+  out.push_back(named_tensor{dot + "running_var", &running_var_});
+  return out;
+}
+
+shape batchnorm2d::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 4 && input.channels() == channels_,
+               "batchnorm2d output_shape: bad input " + input.to_string());
+  return input;
+}
+
+std::uint64_t batchnorm2d::flops(const shape& input) const {
+  // One multiply + one add per element (scale/shift form).
+  return 2ULL * input.element_count();
+}
+
+}  // namespace appeal::nn

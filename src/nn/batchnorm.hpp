@@ -1,0 +1,47 @@
+// Batch normalization over NCHW tensors (per-channel statistics).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// BatchNorm2d: training mode normalizes with batch statistics and updates
+/// running estimates; eval mode normalizes with the running estimates.
+class batchnorm2d : public layer {
+ public:
+  explicit batchnorm2d(std::size_t channels, float epsilon = 1e-5F,
+                       float momentum = 0.1F);
+
+  const char* kind() const override { return "batchnorm2d"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  std::vector<parameter*> parameters() override;
+  std::vector<named_tensor> state(const std::string& prefix) override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override;
+
+  std::size_t channels() const { return channels_; }
+
+  /// Running statistics (exposed for serialization).
+  tensor& running_mean() { return running_mean_; }
+  tensor& running_var() { return running_var_; }
+  parameter& gamma() { return gamma_; }
+  parameter& beta() { return beta_; }
+
+ private:
+  std::size_t channels_;
+  float epsilon_;
+  float momentum_;
+  parameter gamma_;  // scale, initialized to 1
+  parameter beta_;   // shift, initialized to 0
+  tensor running_mean_;
+  tensor running_var_;
+
+  // Cached forward state (training mode) for backward.
+  tensor cached_xhat_;
+  tensor cached_inv_std_;  // [C]
+  shape cached_input_shape_;
+  bool cached_training_ = false;
+};
+
+}  // namespace appeal::nn

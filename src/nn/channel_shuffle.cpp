@@ -1,0 +1,55 @@
+#include "nn/channel_shuffle.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+channel_shuffle::channel_shuffle(std::size_t groups) : groups_(groups) {
+  APPEAL_CHECK(groups > 0, "channel_shuffle requires groups > 0");
+}
+
+tensor channel_shuffle::permute(const tensor& input, bool inverse) const {
+  const std::size_t n = input.batch();
+  const std::size_t c = input.channels();
+  const std::size_t hw = input.height() * input.width();
+  const std::size_t per_group = c / groups_;
+
+  tensor out(input.dims());
+  const float* in = input.data();
+  float* po = out.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t g = 0; g < groups_; ++g) {
+      for (std::size_t k = 0; k < per_group; ++k) {
+        // forward: destination channel k*groups + g takes source g*per_group + k
+        const std::size_t src_c = inverse ? k * groups_ + g : g * per_group + k;
+        const std::size_t dst_c = inverse ? g * per_group + k : k * groups_ + g;
+        const float* src = in + (s * c + src_c) * hw;
+        float* dst = po + (s * c + dst_c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) dst[i] = src[i];
+      }
+    }
+  }
+  return out;
+}
+
+tensor channel_shuffle::forward(const tensor& input, bool /*training*/) {
+  APPEAL_CHECK(input.dims().rank() == 4, "channel_shuffle expects NCHW input");
+  APPEAL_CHECK(input.channels() % groups_ == 0,
+               "channel_shuffle: channels must divide into groups");
+  cached_input_shape_ = input.dims();
+  return permute(input, /*inverse=*/false);
+}
+
+tensor channel_shuffle::backward(const tensor& grad_output) {
+  APPEAL_CHECK(grad_output.dims() == cached_input_shape_,
+               "channel_shuffle backward: grad shape mismatch");
+  return permute(grad_output, /*inverse=*/true);
+}
+
+shape channel_shuffle::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 4 && input.channels() % groups_ == 0,
+               "channel_shuffle output_shape: bad input " + input.to_string());
+  return input;
+}
+
+}  // namespace appeal::nn

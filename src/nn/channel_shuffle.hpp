@@ -1,0 +1,29 @@
+// Channel shuffle (ShuffleNet): interleaves channels across groups so
+// grouped 1x1 convolutions exchange information between groups.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Permutes channels: channel (g, c) -> (c, g) when channels are viewed as
+/// a [groups, channels/groups] grid. Backward applies the inverse permute.
+class channel_shuffle : public layer {
+ public:
+  explicit channel_shuffle(std::size_t groups);
+
+  const char* kind() const override { return "channel_shuffle"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  shape output_shape(const shape& input) const override;
+
+  std::size_t groups() const { return groups_; }
+
+ private:
+  tensor permute(const tensor& input, bool inverse) const;
+
+  std::size_t groups_;
+  shape cached_input_shape_;
+};
+
+}  // namespace appeal::nn

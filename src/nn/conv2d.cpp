@@ -1,0 +1,165 @@
+#include "nn/conv2d.hpp"
+
+#include "tensor/gemm.hpp"
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+conv2d::conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               std::size_t groups, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      groups_(groups),
+      has_bias_(bias),
+      weight_("weight", tensor(shape{out_channels, in_channels / groups,
+                                     kernel, kernel})),
+      bias_("bias", tensor(shape{out_channels})) {
+  APPEAL_CHECK(groups > 0 && in_channels % groups == 0 &&
+                   out_channels % groups == 0,
+               "conv2d: channels must divide evenly into groups");
+  APPEAL_CHECK(kernel > 0 && stride > 0, "conv2d: kernel/stride must be > 0");
+}
+
+ops::conv_geometry conv2d::group_geometry(const shape& input) const {
+  ops::conv_geometry g;
+  g.channels = in_channels_ / groups_;
+  g.height = input.height();
+  g.width = input.width();
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.padding = padding_;
+  return g;
+}
+
+tensor conv2d::forward(const tensor& input, bool /*training*/) {
+  APPEAL_CHECK(input.dims().rank() == 4 && input.channels() == in_channels_,
+               "conv2d forward: expected NCHW with " +
+                   std::to_string(in_channels_) + " channels, got " +
+                   input.dims().to_string());
+  const ops::conv_geometry g = group_geometry(input.dims());
+  APPEAL_CHECK(g.valid(), "conv2d forward: kernel larger than padded input " +
+                              input.dims().to_string());
+  cached_input_ = input;
+
+  const std::size_t n = input.batch();
+  const std::size_t out_h = g.out_height();
+  const std::size_t out_w = g.out_width();
+  const std::size_t cols = g.column_count();
+  const std::size_t patch = g.patch_size();
+  const std::size_t oc_per_group = out_channels_ / groups_;
+  const std::size_t ic_per_group = in_channels_ / groups_;
+  const std::size_t in_plane = input.height() * input.width();
+
+  columns_.resize(patch * cols);
+  tensor out(shape{n, out_channels_, out_h, out_w});
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* sample = input.data() + s * in_channels_ * in_plane;
+    float* out_sample = out.data() + s * out_channels_ * cols;
+    for (std::size_t grp = 0; grp < groups_; ++grp) {
+      ops::im2col(g, sample + grp * ic_per_group * in_plane, columns_.data());
+      // out_g[oc/g, cols] = W_g[oc/g, patch] * columns[patch, cols]
+      ops::sgemm(oc_per_group, cols, patch, 1.0F,
+                 weight_.value.data() + grp * oc_per_group * patch,
+                 columns_.data(), 0.0F,
+                 out_sample + grp * oc_per_group * cols);
+    }
+    if (has_bias_) {
+      const float* pb = bias_.value.data();
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        float* plane = out_sample + c * cols;
+        const float b = pb[c];
+        for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+tensor conv2d::backward(const tensor& grad_output) {
+  APPEAL_CHECK(!cached_input_.empty(), "conv2d backward before forward");
+  const ops::conv_geometry g = group_geometry(cached_input_.dims());
+  const std::size_t n = cached_input_.batch();
+  const std::size_t cols = g.column_count();
+  const std::size_t patch = g.patch_size();
+  const std::size_t oc_per_group = out_channels_ / groups_;
+  const std::size_t ic_per_group = in_channels_ / groups_;
+  const std::size_t in_plane = cached_input_.height() * cached_input_.width();
+
+  APPEAL_CHECK(
+      grad_output.dims() ==
+          shape({n, out_channels_, g.out_height(), g.out_width()}),
+      "conv2d backward: grad shape mismatch " + grad_output.dims().to_string());
+
+  tensor grad_input(cached_input_.dims());
+  std::vector<float> grad_columns(patch * cols);
+  columns_.resize(patch * cols);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* sample = cached_input_.data() + s * in_channels_ * in_plane;
+    const float* gout_sample = grad_output.data() + s * out_channels_ * cols;
+    float* gin_sample = grad_input.data() + s * in_channels_ * in_plane;
+    for (std::size_t grp = 0; grp < groups_; ++grp) {
+      const float* gout_g = gout_sample + grp * oc_per_group * cols;
+
+      // Recompute this group's im2col panel.
+      ops::im2col(g, sample + grp * ic_per_group * in_plane, columns_.data());
+
+      // dW_g[oc/g, patch] += gout_g[oc/g, cols] * columns^T[cols, patch].
+      ops::sgemm_bt(oc_per_group, patch, cols, 1.0F, gout_g, columns_.data(),
+                    1.0F, weight_.grad.data() + grp * oc_per_group * patch);
+
+      // grad_columns[patch, cols] = W_g^T[patch, oc/g] * gout_g[oc/g, cols].
+      ops::sgemm_at(patch, cols, oc_per_group, 1.0F,
+                    weight_.value.data() + grp * oc_per_group * patch, gout_g,
+                    0.0F, grad_columns.data());
+      ops::col2im(g, grad_columns.data(),
+                  gin_sample + grp * ic_per_group * in_plane);
+    }
+    if (has_bias_) {
+      float* pb = bias_.grad.data();
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float* plane = gout_sample + c * cols;
+        float acc = 0.0F;
+        for (std::size_t i = 0; i < cols; ++i) acc += plane[i];
+        pb[c] += acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<parameter*> conv2d::parameters() {
+  std::vector<parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+shape conv2d::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 4 && input.channels() == in_channels_,
+               "conv2d output_shape: bad input " + input.to_string());
+  const ops::conv_geometry g = group_geometry(input);
+  APPEAL_CHECK(g.valid(), "conv2d output_shape: kernel larger than input");
+  return shape{input.batch(), out_channels_, g.out_height(), g.out_width()};
+}
+
+std::uint64_t conv2d::flops(const shape& input) const {
+  const ops::conv_geometry g = group_geometry(input);
+  const std::uint64_t cols = g.column_count();
+  // Each output element of each group: patch_size MACs.
+  std::uint64_t macs =
+      input.batch() * out_channels_ * cols * g.patch_size();
+  if (has_bias_) macs += input.batch() * out_channels_ * cols;
+  return 2 * macs;
+}
+
+parameter& conv2d::bias() {
+  APPEAL_CHECK(has_bias_, "bias() on a bias-free conv2d layer");
+  return bias_;
+}
+
+}  // namespace appeal::nn

@@ -1,0 +1,56 @@
+// 2-D convolution with grouping (groups == channels gives depthwise conv).
+//
+// Lowered to GEMM via im2col per sample and group. Backward recomputes the
+// im2col panels instead of caching them — for the small images this library
+// targets, recompute is cheaper than the memory traffic of storing every
+// panel for a whole batch.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace appeal::nn {
+
+/// Square-kernel grouped convolution over NCHW tensors.
+class conv2d : public layer {
+ public:
+  conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride = 1, std::size_t padding = 0,
+         std::size_t groups = 1, bool bias = true);
+
+  const char* kind() const override { return "conv2d"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  std::vector<parameter*> parameters() override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override;
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t padding() const { return padding_; }
+  std::size_t groups() const { return groups_; }
+
+  parameter& weight() { return weight_; }
+  parameter& bias();
+
+ private:
+  ops::conv_geometry group_geometry(const shape& input) const;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t padding_;
+  std::size_t groups_;
+  bool has_bias_;
+  parameter weight_;  // [out_c, in_c/groups, k, k]
+  parameter bias_;    // [out_c]
+  tensor cached_input_;
+  std::vector<float> columns_;  // im2col scratch, reused across samples
+};
+
+}  // namespace appeal::nn

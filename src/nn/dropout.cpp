@@ -1,0 +1,47 @@
+#include "nn/dropout.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+dropout::dropout(float drop_probability, std::uint64_t seed)
+    : p_(drop_probability), gen_(seed) {
+  APPEAL_CHECK(p_ >= 0.0F && p_ < 1.0F,
+               "dropout probability must be in [0, 1)");
+}
+
+tensor dropout::forward(const tensor& input, bool training) {
+  cached_input_shape_ = input.dims();
+  last_was_training_ = training;
+  if (!training || p_ == 0.0F) {
+    return input;
+  }
+  const float keep_scale = 1.0F / (1.0F - p_);
+  mask_ = tensor(input.dims());
+  tensor out = input;
+  float* pm = mask_.data();
+  float* po = out.data();
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float m = gen_.bernoulli(p_) ? 0.0F : keep_scale;
+    pm[i] = m;
+    po[i] *= m;
+  }
+  return out;
+}
+
+tensor dropout::backward(const tensor& grad_output) {
+  APPEAL_CHECK(grad_output.dims() == cached_input_shape_,
+               "dropout backward: grad shape mismatch");
+  if (!last_was_training_ || p_ == 0.0F) {
+    return grad_output;
+  }
+  tensor grad_input = grad_output;
+  float* g = grad_input.data();
+  const float* pm = mask_.data();
+  const std::size_t n = grad_input.size();
+  for (std::size_t i = 0; i < n; ++i) g[i] *= pm[i];
+  return grad_input;
+}
+
+}  // namespace appeal::nn

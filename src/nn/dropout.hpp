@@ -1,0 +1,31 @@
+// Inverted dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::nn {
+
+/// Inverted dropout: training scales kept activations by 1/(1-p) so eval
+/// mode is the identity. The layer owns a deterministic RNG stream seeded
+/// at construction, keeping whole-model runs reproducible.
+class dropout : public layer {
+ public:
+  explicit dropout(float drop_probability, std::uint64_t seed = 0x5EED);
+
+  const char* kind() const override { return "dropout"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  shape output_shape(const shape& input) const override { return input; }
+
+  float drop_probability() const { return p_; }
+
+ private:
+  float p_;
+  util::rng gen_;
+  tensor mask_;  // scaled keep-mask from the last training forward
+  bool last_was_training_ = false;
+  shape cached_input_shape_;
+};
+
+}  // namespace appeal::nn

@@ -1,0 +1,38 @@
+#include "nn/flops.hpp"
+
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace appeal::nn {
+
+std::uint64_t total_flops(const layer& model, const shape& input) {
+  return model.flops(input);
+}
+
+double mflops(const layer& model, const shape& input) {
+  return static_cast<double>(model.flops(input)) / 1e6;
+}
+
+std::size_t parameter_count(layer& model) {
+  std::size_t total = 0;
+  for (parameter* p : model.parameters()) {
+    total += p->value.size();
+  }
+  return total;
+}
+
+std::string model_summary(layer& model, const shape& input) {
+  std::ostringstream os;
+  os << "model summary (input " << input.to_string() << ")\n";
+  for (named_parameter& np : model.named_parameters("")) {
+    os << "  " << np.qualified_name << ' ' << np.param->value.dims().to_string()
+       << " (" << np.param->value.size() << ")\n";
+  }
+  os << "  parameters: " << parameter_count(model) << '\n';
+  os << "  forward cost: " << util::format_fixed(mflops(model, input), 3)
+     << " MFLOPs\n";
+  return os.str();
+}
+
+}  // namespace appeal::nn

@@ -1,0 +1,27 @@
+// FLOPs accounting and model summaries.
+//
+// The paper reports model and system cost in MFLOPs (Table I uses the
+// convention 1 MAC = 2 FLOPs); these helpers aggregate the per-layer
+// estimates the layer interface exposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Total forward-pass FLOPs for one input of shape `input`.
+std::uint64_t total_flops(const layer& model, const shape& input);
+
+/// FLOPs scaled to MFLOPs (1e6), matching the paper's unit.
+double mflops(const layer& model, const shape& input);
+
+/// Number of learnable scalars in the model.
+std::size_t parameter_count(layer& model);
+
+/// Human-readable multi-line summary: per-parameter shapes plus totals.
+std::string model_summary(layer& model, const shape& input);
+
+}  // namespace appeal::nn

@@ -1,0 +1,56 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace appeal::nn {
+
+void kaiming_normal(tensor& weights, util::rng& gen, std::size_t fan_in) {
+  APPEAL_CHECK(fan_in > 0, "kaiming_normal requires fan_in > 0");
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& v : weights.values()) {
+    v = static_cast<float>(gen.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(tensor& weights, util::rng& gen, std::size_t fan_in,
+                    std::size_t fan_out) {
+  APPEAL_CHECK(fan_in + fan_out > 0, "xavier_uniform requires positive fans");
+  const auto bound = static_cast<float>(
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out)));
+  for (auto& v : weights.values()) {
+    v = gen.uniform(-bound, bound);
+  }
+}
+
+void initialize_model(layer& model, util::rng& gen) {
+  for (named_parameter& np : model.named_parameters("")) {
+    const std::string& name = np.qualified_name;
+    tensor& value = np.param->value;
+    const bool is_weight =
+        name.size() >= 6 && name.rfind("weight") == name.size() - 6;
+    const bool is_bias =
+        name.size() >= 4 && name.rfind("bias") == name.size() - 4;
+    const bool is_beta =
+        name.size() >= 4 && name.rfind("beta") == name.size() - 4;
+    const bool is_gamma =
+        name.size() >= 5 && name.rfind("gamma") == name.size() - 5;
+
+    if (is_weight && value.dims().rank() >= 2) {
+      std::size_t fan_in = 1;
+      for (std::size_t i = 1; i < value.dims().rank(); ++i) {
+        fan_in *= value.dims().dim(i);
+      }
+      kaiming_normal(value, gen, fan_in);
+    } else if (is_bias || is_beta) {
+      value.fill(0.0F);
+    } else if (is_gamma) {
+      value.fill(1.0F);
+    }
+    np.param->zero_grad();
+  }
+}
+
+}  // namespace appeal::nn

@@ -1,0 +1,23 @@
+// Weight initialization.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::nn {
+
+/// Kaiming/He normal init: N(0, sqrt(2 / fan_in)).
+void kaiming_normal(tensor& weights, util::rng& gen, std::size_t fan_in);
+
+/// Xavier/Glorot uniform init: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(tensor& weights, util::rng& gen, std::size_t fan_in,
+                    std::size_t fan_out);
+
+/// Initializes every parameter of `model` by name convention:
+///  - "weight" with rank >= 2: Kaiming normal (fan_in = product of dims[1:])
+///  - "bias" / "beta": zero
+///  - "gamma": one
+/// Unknown names are left untouched.
+void initialize_model(layer& model, util::rng& gen);
+
+}  // namespace appeal::nn

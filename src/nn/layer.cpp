@@ -1,0 +1,26 @@
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+std::vector<named_parameter> layer::named_parameters(
+    const std::string& prefix) {
+  std::vector<named_parameter> out;
+  for (parameter* p : parameters()) {
+    const std::string qualified =
+        prefix.empty() ? p->name : prefix + "." + p->name;
+    out.push_back(named_parameter{qualified, p});
+  }
+  return out;
+}
+
+std::vector<named_tensor> layer::state(const std::string& prefix) {
+  std::vector<named_tensor> out;
+  for (named_parameter& np : named_parameters(prefix)) {
+    out.push_back(named_tensor{np.qualified_name, &np.param->value});
+  }
+  return out;
+}
+
+std::uint64_t layer::flops(const shape& /*input*/) const { return 0; }
+
+}  // namespace appeal::nn

@@ -1,0 +1,90 @@
+// Layer interface for the training stack.
+//
+// The framework is Caffe-style: each layer owns its parameters and
+// implements an explicit forward/backward pair. backward() must be called
+// after the forward() whose activations it differentiates; layers cache
+// whatever they need between the two calls. Parameter gradients are
+// *accumulated* (+=) so multi-head architectures can sum gradient
+// contributions before an optimizer step.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct parameter {
+  std::string name;  // local name, e.g. "weight"; qualified by containers
+  tensor value;
+  tensor grad;
+
+  parameter() = default;
+  parameter(std::string n, tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.dims()) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// A (qualified-name, parameter) pair used for serialization and reporting.
+struct named_parameter {
+  std::string qualified_name;
+  parameter* param = nullptr;
+};
+
+/// A (qualified-name, tensor) pair covering all persistent state — learnable
+/// parameters plus non-learnable buffers such as batchnorm running stats.
+struct named_tensor {
+  std::string qualified_name;
+  tensor* value = nullptr;
+};
+
+/// Abstract differentiable layer.
+class layer {
+ public:
+  virtual ~layer() = default;
+
+  /// Short type tag ("conv2d", "linear", ...) for summaries/errors.
+  virtual const char* kind() const = 0;
+
+  /// Computes the layer output. `training` toggles train-time behaviour
+  /// (batchnorm statistics, dropout masks). Must cache enough state for a
+  /// following backward().
+  virtual tensor forward(const tensor& input, bool training) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Requires a preceding forward() on this layer.
+  virtual tensor backward(const tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<parameter*> parameters() { return {}; }
+
+  /// Parameters with names qualified by `prefix` (containers recurse).
+  virtual std::vector<named_parameter> named_parameters(
+      const std::string& prefix);
+
+  /// All persistent tensors (parameter values plus buffers like batchnorm
+  /// running statistics) — the serialization surface. Default: parameter
+  /// values only.
+  virtual std::vector<named_tensor> state(const std::string& prefix);
+
+  /// Output shape produced for a given input shape (shape inference,
+  /// also used by the FLOPs accounting and model summaries).
+  virtual shape output_shape(const shape& input) const = 0;
+
+  /// Multiply-accumulate-based FLOP estimate for one forward pass on
+  /// `input` (2 FLOPs per MAC, the convention the paper's MFLOPs use).
+  virtual std::uint64_t flops(const shape& input) const;
+
+  layer() = default;
+  layer(const layer&) = delete;
+  layer& operator=(const layer&) = delete;
+};
+
+using layer_ptr = std::unique_ptr<layer>;
+
+}  // namespace appeal::nn

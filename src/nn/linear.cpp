@@ -1,0 +1,93 @@
+#include "nn/linear.hpp"
+
+#include "tensor/gemm.hpp"
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+linear::linear(std::size_t in_features, std::size_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_("weight", tensor(shape{out_features, in_features})),
+      bias_("bias", tensor(shape{out_features})) {
+  APPEAL_CHECK(in_features > 0 && out_features > 0,
+               "linear layer requires positive dimensions");
+}
+
+tensor linear::forward(const tensor& input, bool /*training*/) {
+  APPEAL_CHECK(input.dims().rank() == 2 &&
+                   input.dims().dim(1) == in_features_,
+               "linear forward: expected [N, " + std::to_string(in_features_) +
+                   "], got " + input.dims().to_string());
+  cached_input_ = input;
+  const std::size_t n = input.dims().dim(0);
+  tensor out(shape{n, out_features_});
+  // y[N, out] = x[N, in] * W^T, W stored [out, in].
+  ops::sgemm_bt(n, out_features_, in_features_, 1.0F, input.data(),
+                weight_.value.data(), 0.0F, out.data());
+  if (has_bias_) {
+    float* po = out.data();
+    const float* pb = bias_.value.data();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < out_features_; ++c) {
+        po[r * out_features_ + c] += pb[c];
+      }
+    }
+  }
+  return out;
+}
+
+tensor linear::backward(const tensor& grad_output) {
+  APPEAL_CHECK(!cached_input_.empty(), "linear backward before forward");
+  const std::size_t n = cached_input_.dims().dim(0);
+  APPEAL_CHECK(grad_output.dims() == shape({n, out_features_}),
+               "linear backward: grad shape mismatch " +
+                   grad_output.dims().to_string());
+
+  // dW[out, in] += gy^T[out, N] * x[N, in]  (gy stored [N, out]).
+  ops::sgemm_at(out_features_, in_features_, n, 1.0F, grad_output.data(),
+                cached_input_.data(), 1.0F, weight_.grad.data());
+
+  if (has_bias_) {
+    const float* pg = grad_output.data();
+    float* pb = bias_.grad.data();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < out_features_; ++c) {
+        pb[c] += pg[r * out_features_ + c];
+      }
+    }
+  }
+
+  // dx[N, in] = gy[N, out] * W[out, in].
+  tensor grad_input(shape{n, in_features_});
+  ops::sgemm(n, in_features_, out_features_, 1.0F, grad_output.data(),
+             weight_.value.data(), 0.0F, grad_input.data());
+  return grad_input;
+}
+
+std::vector<parameter*> linear::parameters() {
+  std::vector<parameter*> out{&weight_};
+  if (has_bias_) out.push_back(&bias_);
+  return out;
+}
+
+shape linear::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 2 && input.dim(1) == in_features_,
+               "linear output_shape: bad input " + input.to_string());
+  return shape{input.dim(0), out_features_};
+}
+
+std::uint64_t linear::flops(const shape& input) const {
+  const std::uint64_t n = input.dim(0);
+  std::uint64_t macs = n * in_features_ * out_features_;
+  if (has_bias_) macs += n * out_features_;
+  return 2 * macs;
+}
+
+parameter& linear::bias() {
+  APPEAL_CHECK(has_bias_, "bias() on a bias-free linear layer");
+  return bias_;
+}
+
+}  // namespace appeal::nn

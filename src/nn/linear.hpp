@@ -1,0 +1,38 @@
+// Fully-connected layer: y = x * W^T + b.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Dense layer over [batch, in_features] inputs. Inputs of higher rank are
+/// rejected — callers flatten explicitly (see flatten_layer).
+class linear : public layer {
+ public:
+  /// Weights are zero until initialized (see nn/init.hpp).
+  linear(std::size_t in_features, std::size_t out_features, bool bias = true);
+
+  const char* kind() const override { return "linear"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  std::vector<parameter*> parameters() override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  bool has_bias() const { return has_bias_; }
+
+  parameter& weight() { return weight_; }
+  parameter& bias();
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  bool has_bias_;
+  parameter weight_;  // [out, in]
+  parameter bias_;    // [out]
+  tensor cached_input_;
+};
+
+}  // namespace appeal::nn

@@ -1,0 +1,110 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+loss_result softmax_cross_entropy(const tensor& logits,
+                                  const std::vector<std::size_t>& labels,
+                                  float label_smoothing) {
+  APPEAL_CHECK(logits.dims().rank() == 2, "softmax_cross_entropy: logits must be [N, K]");
+  const std::size_t n = logits.dims().dim(0);
+  const std::size_t k = logits.dims().dim(1);
+  APPEAL_CHECK(labels.size() == n,
+               "softmax_cross_entropy: label count mismatch");
+  APPEAL_CHECK(label_smoothing >= 0.0F && label_smoothing < 1.0F,
+               "label_smoothing must be in [0, 1)");
+  APPEAL_CHECK(n > 0, "softmax_cross_entropy on an empty batch");
+
+  const tensor log_probs = ops::log_softmax_rows(logits);
+  loss_result result;
+  result.per_sample.resize(n);
+  result.grad = tensor(logits.dims());
+
+  const float off_target = label_smoothing / static_cast<float>(k);
+  const float on_target = 1.0F - label_smoothing + off_target;
+  const float inv_n = 1.0F / static_cast<float>(n);
+  const float* lp = log_probs.data();
+  float* g = result.grad.data();
+  double total = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t y = labels[i];
+    APPEAL_CHECK(y < k, "label out of range");
+    const float* row = lp + i * k;
+    float* grow = g + i * k;
+
+    // Loss: -sum_j target_j * log p_j with smoothed targets.
+    double sample_loss = -static_cast<double>(on_target - off_target) * row[y];
+    if (label_smoothing > 0.0F) {
+      double smooth_term = 0.0;
+      for (std::size_t j = 0; j < k; ++j) smooth_term += row[j];
+      sample_loss -= static_cast<double>(off_target) * smooth_term;
+    }
+    result.per_sample[i] = static_cast<float>(sample_loss);
+    total += sample_loss;
+
+    // Gradient: (softmax - target) / N.
+    for (std::size_t j = 0; j < k; ++j) {
+      const float p = std::exp(row[j]);
+      const float target = (j == y) ? on_target : off_target;
+      grow[j] = (p - target) * inv_n;
+    }
+  }
+  result.mean_loss = total / static_cast<double>(n);
+  return result;
+}
+
+std::vector<float> cross_entropy_values(
+    const tensor& logits, const std::vector<std::size_t>& labels) {
+  APPEAL_CHECK(logits.dims().rank() == 2, "cross_entropy_values: logits must be [N, K]");
+  const std::size_t n = logits.dims().dim(0);
+  const std::size_t k = logits.dims().dim(1);
+  APPEAL_CHECK(labels.size() == n, "cross_entropy_values: label count mismatch");
+
+  const tensor log_probs = ops::log_softmax_rows(logits);
+  std::vector<float> out(n);
+  const float* lp = log_probs.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    APPEAL_CHECK(labels[i] < k, "label out of range");
+    out[i] = -lp[i * k + labels[i]];
+  }
+  return out;
+}
+
+loss_result sigmoid_binary_cross_entropy(const tensor& scores,
+                                         const std::vector<float>& targets) {
+  APPEAL_CHECK(scores.dims().rank() == 1, "sigmoid_bce: scores must be [N]");
+  const std::size_t n = scores.dims().dim(0);
+  APPEAL_CHECK(targets.size() == n, "sigmoid_bce: target count mismatch");
+  APPEAL_CHECK(n > 0, "sigmoid_bce on an empty batch");
+
+  loss_result result;
+  result.per_sample.resize(n);
+  result.grad = tensor(scores.dims());
+  const float inv_n = 1.0F / static_cast<float>(n);
+  const float* s = scores.data();
+  float* g = result.grad.data();
+  double total = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float t = targets[i];
+    APPEAL_CHECK(t >= 0.0F && t <= 1.0F, "sigmoid_bce: target outside [0, 1]");
+    // Numerically-stable form: max(s,0) - s*t + log(1 + exp(-|s|)).
+    const float x = s[i];
+    const float loss = std::max(x, 0.0F) - x * t +
+                       std::log1p(std::exp(-std::fabs(x)));
+    result.per_sample[i] = loss;
+    total += loss;
+    const float sig = 1.0F / (1.0F + std::exp(-x));
+    g[i] = (sig - t) * inv_n;
+  }
+  result.mean_loss = total / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace appeal::nn

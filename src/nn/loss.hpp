@@ -1,0 +1,40 @@
+// Loss functions.
+//
+// Losses are free functions returning both the scalar loss and the gradient
+// with respect to the network output, plus per-sample losses — the joint
+// AppealNet objective (src/core/joint_loss) needs per-sample cross-entropy
+// terms for both the little and the big network.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::nn {
+
+/// Result of a classification loss over a batch.
+struct loss_result {
+  double mean_loss = 0.0;          // average over the batch
+  tensor grad;                     // dL/d(logits), includes the 1/N factor
+  std::vector<float> per_sample;   // loss per batch element
+};
+
+/// Softmax cross-entropy with integer labels over [N, K] logits.
+/// `label_smoothing` in [0, 1) mixes the one-hot target with uniform mass.
+loss_result softmax_cross_entropy(const tensor& logits,
+                                  const std::vector<std::size_t>& labels,
+                                  float label_smoothing = 0.0F);
+
+/// Per-sample cross-entropy of [N, K] logits without gradients — used to
+/// evaluate the frozen big network inside the joint loss.
+std::vector<float> cross_entropy_values(const tensor& logits,
+                                        const std::vector<std::size_t>& labels);
+
+/// Binary cross-entropy on raw scores through a fused sigmoid:
+/// loss_i = -[t_i * log(sigmoid(s_i)) + (1 - t_i) * log(1 - sigmoid(s_i))].
+/// `scores` and `targets` are [N]; grad is with respect to the raw scores.
+loss_result sigmoid_binary_cross_entropy(const tensor& scores,
+                                         const std::vector<float>& targets);
+
+}  // namespace appeal::nn

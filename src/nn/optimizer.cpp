@@ -1,0 +1,133 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+void optimizer::attach(std::vector<parameter*> params) {
+  for (parameter* p : params) {
+    APPEAL_CHECK(p != nullptr, "optimizer::attach received a null parameter");
+  }
+  params_ = std::move(params);
+  on_attach();
+}
+
+void optimizer::zero_grad() {
+  for (parameter* p : params_) p->zero_grad();
+}
+
+sgd::sgd(double learning_rate, double momentum, double weight_decay,
+         bool nesterov)
+    : optimizer(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay),
+      nesterov_(nesterov) {
+  APPEAL_CHECK(momentum >= 0.0 && momentum < 1.0,
+               "sgd momentum must be in [0, 1)");
+  APPEAL_CHECK(weight_decay >= 0.0, "sgd weight decay must be >= 0");
+}
+
+void sgd::on_attach() {
+  velocity_.clear();
+  velocity_.reserve(params_.size());
+  for (parameter* p : params_) {
+    velocity_.emplace_back(p->value.dims());
+  }
+}
+
+void sgd::step() {
+  const auto lr = static_cast<float>(learning_rate_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    parameter& p = *params_[pi];
+    tensor& vel = velocity_[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* v = vel.data();
+    const std::size_t n = p.value.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      v[i] = mu * v[i] + grad;
+      const float update = nesterov_ ? grad + mu * v[i] : v[i];
+      w[i] -= lr * update;
+    }
+  }
+}
+
+adam::adam(double learning_rate, double beta1, double beta2, double epsilon,
+           double weight_decay)
+    : optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  APPEAL_CHECK(beta1 >= 0.0 && beta1 < 1.0, "adam beta1 must be in [0, 1)");
+  APPEAL_CHECK(beta2 >= 0.0 && beta2 < 1.0, "adam beta2 must be in [0, 1)");
+  APPEAL_CHECK(epsilon > 0.0, "adam epsilon must be > 0");
+}
+
+void adam::on_attach() {
+  m_.clear();
+  v_.clear();
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (parameter* p : params_) {
+    m_.emplace_back(p->value.dims());
+    v_.emplace_back(p->value.dims());
+  }
+  step_count_ = 0;
+}
+
+void adam::step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  const auto lr = static_cast<float>(learning_rate_ * std::sqrt(bias2) / bias1);
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto eps = static_cast<float>(epsilon_);
+  const auto wd = static_cast<float>(weight_decay_);
+
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    parameter& p = *params_[pi];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[pi].data();
+    float* v = v_[pi].data();
+    const std::size_t n = p.value.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      m[i] = b1 * m[i] + (1.0F - b1) * grad;
+      v[i] = b2 * v[i] + (1.0F - b2) * grad * grad;
+      w[i] -= lr * m[i] / (std::sqrt(v[i]) + eps);
+    }
+  }
+}
+
+step_lr::step_lr(double base_lr, std::size_t step_size, double gamma)
+    : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+  APPEAL_CHECK(step_size > 0, "step_lr requires step_size > 0");
+}
+
+double step_lr::learning_rate(std::size_t epoch) const {
+  return base_lr_ * std::pow(gamma_, static_cast<double>(epoch / step_size_));
+}
+
+cosine_lr::cosine_lr(double base_lr, std::size_t total_epochs, double min_lr)
+    : base_lr_(base_lr), total_epochs_(total_epochs), min_lr_(min_lr) {
+  APPEAL_CHECK(total_epochs > 0, "cosine_lr requires total_epochs > 0");
+  APPEAL_CHECK(min_lr <= base_lr, "cosine_lr requires min_lr <= base_lr");
+}
+
+double cosine_lr::learning_rate(std::size_t epoch) const {
+  const double t =
+      std::min(1.0, static_cast<double>(epoch) /
+                        static_cast<double>(total_epochs_));
+  const double cosine = 0.5 * (1.0 + std::cos(3.14159265358979323846 * t));
+  return min_lr_ + (base_lr_ - min_lr_) * cosine;
+}
+
+}  // namespace appeal::nn

@@ -1,0 +1,121 @@
+// First-order optimizers and learning-rate schedules.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Base optimizer over an attached parameter set.
+class optimizer {
+ public:
+  virtual ~optimizer() = default;
+
+  /// Attaches the parameters to optimize. Replaces any previous set and
+  /// resets per-parameter state (momentum/Adam moments).
+  void attach(std::vector<parameter*> params);
+
+  /// Zeroes every attached parameter's gradient accumulator.
+  void zero_grad();
+
+  /// Applies one update step from the accumulated gradients.
+  virtual void step() = 0;
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  double learning_rate() const { return learning_rate_; }
+
+  std::size_t parameter_count() const { return params_.size(); }
+
+ protected:
+  explicit optimizer(double learning_rate) : learning_rate_(learning_rate) {}
+
+  /// Called from attach() so subclasses can size their state buffers.
+  virtual void on_attach() {}
+
+  std::vector<parameter*> params_;
+  double learning_rate_;
+};
+
+/// SGD with momentum and decoupled L2 weight decay.
+class sgd : public optimizer {
+ public:
+  explicit sgd(double learning_rate, double momentum = 0.9,
+               double weight_decay = 0.0, bool nesterov = false);
+
+  void step() override;
+
+ protected:
+  void on_attach() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  bool nesterov_;
+  std::vector<tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class adam : public optimizer {
+ public:
+  explicit adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8, double weight_decay = 0.0);
+
+  void step() override;
+
+ protected:
+  void on_attach() override;
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  std::vector<tensor> m_;
+  std::vector<tensor> v_;
+  long step_count_ = 0;
+};
+
+/// Learning-rate schedule interface: lr for a given 0-based epoch.
+class lr_schedule {
+ public:
+  virtual ~lr_schedule() = default;
+  virtual double learning_rate(std::size_t epoch) const = 0;
+};
+
+/// Constant learning rate.
+class constant_lr : public lr_schedule {
+ public:
+  explicit constant_lr(double lr) : lr_(lr) {}
+  double learning_rate(std::size_t /*epoch*/) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Multiplies the base rate by `gamma` every `step_size` epochs.
+class step_lr : public lr_schedule {
+ public:
+  step_lr(double base_lr, std::size_t step_size, double gamma);
+  double learning_rate(std::size_t epoch) const override;
+
+ private:
+  double base_lr_;
+  std::size_t step_size_;
+  double gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over `total_epochs`.
+class cosine_lr : public lr_schedule {
+ public:
+  cosine_lr(double base_lr, std::size_t total_epochs, double min_lr = 0.0);
+  double learning_rate(std::size_t epoch) const override;
+
+ private:
+  double base_lr_;
+  std::size_t total_epochs_;
+  double min_lr_;
+};
+
+}  // namespace appeal::nn

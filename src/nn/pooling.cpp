@@ -1,0 +1,249 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+namespace {
+
+std::size_t pooled_extent(std::size_t in, std::size_t kernel,
+                          std::size_t stride) {
+  APPEAL_CHECK(in >= kernel, "pooling window larger than input");
+  return (in - kernel) / stride + 1;
+}
+
+}  // namespace
+
+maxpool2d::maxpool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  APPEAL_CHECK(kernel > 0 && stride > 0,
+               "maxpool2d: kernel/stride must be > 0");
+}
+
+tensor maxpool2d::forward(const tensor& input, bool /*training*/) {
+  APPEAL_CHECK(input.dims().rank() == 4, "maxpool2d expects NCHW input");
+  cached_input_shape_ = input.dims();
+  const std::size_t n = input.batch();
+  const std::size_t c = input.channels();
+  const std::size_t h = input.height();
+  const std::size_t w = input.width();
+  const std::size_t oh = pooled_extent(h, kernel_, stride_);
+  const std::size_t ow = pooled_extent(w, kernel_, stride_);
+
+  tensor out(shape{n, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+  const float* in = input.data();
+  float* po = out.data();
+
+  std::size_t out_idx = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (s * c + ch) * h * w;
+      const std::size_t plane_base = (s * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = plane_base;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::size_t iy = oy * stride_ + ky;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t ix = ox * stride_ + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * w + ix;
+              }
+            }
+          }
+          po[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor maxpool2d::backward(const tensor& grad_output) {
+  APPEAL_CHECK(cached_input_shape_.rank() == 4,
+               "maxpool2d backward before forward");
+  APPEAL_CHECK(grad_output.size() == argmax_.size(),
+               "maxpool2d backward: grad size mismatch");
+  tensor grad_input(cached_input_shape_);
+  float* gx = grad_input.data();
+  const float* gy = grad_output.data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    gx[argmax_[i]] += gy[i];
+  }
+  return grad_input;
+}
+
+shape maxpool2d::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 4, "maxpool2d expects NCHW input");
+  return shape{input.batch(), input.channels(),
+               pooled_extent(input.height(), kernel_, stride_),
+               pooled_extent(input.width(), kernel_, stride_)};
+}
+
+avgpool2d::avgpool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  APPEAL_CHECK(kernel > 0 && stride > 0,
+               "avgpool2d: kernel/stride must be > 0");
+}
+
+tensor avgpool2d::forward(const tensor& input, bool /*training*/) {
+  APPEAL_CHECK(input.dims().rank() == 4, "avgpool2d expects NCHW input");
+  cached_input_shape_ = input.dims();
+  const std::size_t n = input.batch();
+  const std::size_t c = input.channels();
+  const std::size_t h = input.height();
+  const std::size_t w = input.width();
+  const std::size_t oh = pooled_extent(h, kernel_, stride_);
+  const std::size_t ow = pooled_extent(w, kernel_, stride_);
+  const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+
+  tensor out(shape{n, c, oh, ow});
+  const float* in = input.data();
+  float* po = out.data();
+  std::size_t out_idx = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (s * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float acc = 0.0F;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::size_t iy = oy * stride_ + ky;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              acc += plane[iy * w + ox * stride_ + kx];
+            }
+          }
+          po[out_idx] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor avgpool2d::backward(const tensor& grad_output) {
+  APPEAL_CHECK(cached_input_shape_.rank() == 4,
+               "avgpool2d backward before forward");
+  const std::size_t n = cached_input_shape_.batch();
+  const std::size_t c = cached_input_shape_.channels();
+  const std::size_t h = cached_input_shape_.height();
+  const std::size_t w = cached_input_shape_.width();
+  const std::size_t oh = pooled_extent(h, kernel_, stride_);
+  const std::size_t ow = pooled_extent(w, kernel_, stride_);
+  APPEAL_CHECK(grad_output.dims() == shape({n, c, oh, ow}),
+               "avgpool2d backward: grad shape mismatch");
+  const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+
+  tensor grad_input(cached_input_shape_);
+  float* gx = grad_input.data();
+  const float* gy = grad_output.data();
+  std::size_t out_idx = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* plane = gx + (s * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          const float g = gy[out_idx] * inv;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::size_t iy = oy * stride_ + ky;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              plane[iy * w + ox * stride_ + kx] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+shape avgpool2d::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 4, "avgpool2d expects NCHW input");
+  return shape{input.batch(), input.channels(),
+               pooled_extent(input.height(), kernel_, stride_),
+               pooled_extent(input.width(), kernel_, stride_)};
+}
+
+std::uint64_t avgpool2d::flops(const shape& input) const {
+  return input.element_count();
+}
+
+tensor global_avgpool::forward(const tensor& input, bool /*training*/) {
+  APPEAL_CHECK(input.dims().rank() == 4, "global_avgpool expects NCHW input");
+  cached_input_shape_ = input.dims();
+  const std::size_t n = input.batch();
+  const std::size_t c = input.channels();
+  const std::size_t hw = input.height() * input.width();
+  APPEAL_CHECK(hw > 0, "global_avgpool on empty spatial extent");
+  const float inv = 1.0F / static_cast<float>(hw);
+
+  tensor out(shape{n, c});
+  const float* in = input.data();
+  float* po = out.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (s * c + ch) * hw;
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+      po[s * c + ch] = acc * inv;
+    }
+  }
+  return out;
+}
+
+tensor global_avgpool::backward(const tensor& grad_output) {
+  APPEAL_CHECK(cached_input_shape_.rank() == 4,
+               "global_avgpool backward before forward");
+  const std::size_t n = cached_input_shape_.batch();
+  const std::size_t c = cached_input_shape_.channels();
+  const std::size_t hw =
+      cached_input_shape_.height() * cached_input_shape_.width();
+  APPEAL_CHECK(grad_output.dims() == shape({n, c}),
+               "global_avgpool backward: grad shape mismatch");
+  const float inv = 1.0F / static_cast<float>(hw);
+
+  tensor grad_input(cached_input_shape_);
+  float* gx = grad_input.data();
+  const float* gy = grad_output.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = gy[s * c + ch] * inv;
+      float* plane = gx + (s * c + ch) * hw;
+      for (std::size_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+shape global_avgpool::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 4, "global_avgpool expects NCHW input");
+  return shape{input.batch(), input.channels()};
+}
+
+tensor flatten_layer::forward(const tensor& input, bool /*training*/) {
+  APPEAL_CHECK(input.dims().rank() >= 2, "flatten expects rank >= 2");
+  cached_input_shape_ = input.dims();
+  return input.reshaped(output_shape(input.dims()));
+}
+
+tensor flatten_layer::backward(const tensor& grad_output) {
+  APPEAL_CHECK(cached_input_shape_.rank() >= 2,
+               "flatten backward before forward");
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+shape flatten_layer::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() >= 2, "flatten expects rank >= 2");
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < input.rank(); ++i) rest *= input.dim(i);
+  return shape{input.dim(0), rest};
+}
+
+}  // namespace appeal::nn

@@ -1,0 +1,71 @@
+// Pooling layers: max, average, global average, plus flatten.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Max pooling over square windows; caches argmax indices for backward.
+class maxpool2d : public layer {
+ public:
+  maxpool2d(std::size_t kernel, std::size_t stride);
+
+  const char* kind() const override { return "maxpool2d"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  shape output_shape(const shape& input) const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  shape cached_input_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling over square windows.
+class avgpool2d : public layer {
+ public:
+  avgpool2d(std::size_t kernel, std::size_t stride);
+
+  const char* kind() const override { return "avgpool2d"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  shape cached_input_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class global_avgpool : public layer {
+ public:
+  const char* kind() const override { return "global_avgpool"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override {
+    return input.element_count();
+  }
+
+ private:
+  shape cached_input_shape_;
+};
+
+/// Flatten: [N, ...] -> [N, prod(...)]. Pure reshape, gradient reshapes back.
+class flatten_layer : public layer {
+ public:
+  const char* kind() const override { return "flatten"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  shape output_shape(const shape& input) const override;
+
+ private:
+  shape cached_input_shape_;
+};
+
+}  // namespace appeal::nn

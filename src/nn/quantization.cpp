@@ -1,0 +1,98 @@
+#include "nn/quantization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+quant_params choose_quant_params(std::span<const float> values, int bits,
+                                 bool symmetric) {
+  APPEAL_CHECK(bits >= 2 && bits <= 16, "quantization bits must be in [2, 16]");
+  APPEAL_CHECK(!values.empty(), "cannot choose quant params for empty data");
+
+  float lo = values[0];
+  float hi = values[0];
+  for (const float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  quant_params params;
+  params.bits = bits;
+  const auto levels = static_cast<float>((1 << bits) - 1);
+
+  if (symmetric) {
+    const float bound = std::max(std::fabs(lo), std::fabs(hi));
+    if (bound == 0.0F) {
+      params.scale = 1.0F;
+      params.zero_point = 0;
+      return params;
+    }
+    params.scale = 2.0F * bound / levels;
+    // Zero maps to the grid centre.
+    params.zero_point = (1 << (bits - 1));
+    return params;
+  }
+
+  // Asymmetric: grid spans [lo, hi]; zero must be representable so ReLU
+  // zeros survive quantization exactly.
+  lo = std::min(lo, 0.0F);
+  hi = std::max(hi, 0.0F);
+  if (hi == lo) {
+    params.scale = 1.0F;
+    params.zero_point = 0;
+    return params;
+  }
+  params.scale = (hi - lo) / levels;
+  params.zero_point = static_cast<std::int32_t>(
+      std::lround(-lo / params.scale));
+  params.zero_point =
+      std::clamp(params.zero_point, params.q_min(), params.q_max());
+  return params;
+}
+
+float fake_quantize_value(float value, const quant_params& params) {
+  const auto q = static_cast<std::int32_t>(
+      std::lround(value / params.scale) + params.zero_point);
+  const std::int32_t clamped = std::clamp(q, params.q_min(), params.q_max());
+  return params.scale * static_cast<float>(clamped - params.zero_point);
+}
+
+void fake_quantize_inplace(tensor& values, const quant_params& params) {
+  for (auto& v : values.values()) {
+    v = fake_quantize_value(v, params);
+  }
+}
+
+std::size_t quantize_model_weights(layer& model, int bits) {
+  std::size_t quantized = 0;
+  for (named_parameter& np : model.named_parameters("")) {
+    const std::string& name = np.qualified_name;
+    const bool is_weight =
+        name.size() >= 6 && name.rfind("weight") == name.size() - 6;
+    if (!is_weight) continue;
+    const quant_params params = choose_quant_params(
+        std::span<const float>(np.param->value.values()), bits,
+        /*symmetric=*/true);
+    fake_quantize_inplace(np.param->value, params);
+    ++quantized;
+  }
+  return quantized;
+}
+
+double quantization_rmse(const tensor& values, int bits, bool symmetric) {
+  APPEAL_CHECK(values.size() > 0, "quantization_rmse on empty tensor");
+  const quant_params params = choose_quant_params(
+      std::span<const float>(values.values()), bits, symmetric);
+  double total = 0.0;
+  for (const float v : values.values()) {
+    const double d = static_cast<double>(v) -
+                     static_cast<double>(fake_quantize_value(v, params));
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(values.size()));
+}
+
+}  // namespace appeal::nn

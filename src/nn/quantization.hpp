@@ -1,0 +1,51 @@
+// Simulated post-training quantization (PTQ).
+//
+// Edge deployments of the little network typically quantize weights to
+// int8 (paper Section II, "static techniques"). This module implements
+// affine fake-quantization: values are quantized to a b-bit grid and
+// immediately dequantized, so inference runs in float but with exactly the
+// precision loss a fixed-point deployment would see. That is the standard
+// way to evaluate PTQ accuracy without an int8 kernel library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Affine quantizer parameters: real = scale * (q - zero_point).
+struct quant_params {
+  float scale = 1.0F;
+  std::int32_t zero_point = 0;
+  int bits = 8;
+
+  std::int32_t q_min() const { return 0; }
+  std::int32_t q_max() const { return (1 << bits) - 1; }
+};
+
+/// Chooses affine parameters covering [min(values), max(values)].
+/// `symmetric` centres the grid on zero (common for weights); asymmetric
+/// uses the full range (common for activations). Degenerate all-equal
+/// inputs produce scale so quantization is exact for that value.
+quant_params choose_quant_params(std::span<const float> values, int bits,
+                                 bool symmetric);
+
+/// Quantizes one value to the grid and back.
+float fake_quantize_value(float value, const quant_params& params);
+
+/// Quantize-dequantizes every element in place.
+void fake_quantize_inplace(tensor& values, const quant_params& params);
+
+/// Fake-quantizes every parameter whose name ends in "weight" across the
+/// model (per-tensor symmetric affine grids). Biases and batchnorm
+/// parameters stay in float, as in standard int8 deployments.
+/// Returns the number of tensors quantized.
+std::size_t quantize_model_weights(layer& model, int bits);
+
+/// Root-mean-square error between a tensor and its fake-quantized copy —
+/// the distortion a deployment at this precision introduces.
+double quantization_rmse(const tensor& values, int bits, bool symmetric);
+
+}  // namespace appeal::nn

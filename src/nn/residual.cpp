@@ -1,0 +1,104 @@
+#include "nn/residual.hpp"
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+residual::residual(std::unique_ptr<sequential> body,
+                   std::unique_ptr<sequential> projection, bool final_relu)
+    : body_(std::move(body)),
+      projection_(std::move(projection)),
+      final_relu_(final_relu) {
+  APPEAL_CHECK(body_ != nullptr && !body_->empty(),
+               "residual requires a non-empty body");
+}
+
+tensor residual::forward(const tensor& input, bool training) {
+  tensor branch = body_->forward(input, training);
+  tensor skip =
+      projection_ != nullptr ? projection_->forward(input, training) : input;
+  APPEAL_CHECK(branch.dims() == skip.dims(),
+               "residual: body output " + branch.dims().to_string() +
+                   " does not match skip output " + skip.dims().to_string());
+  ops::add_inplace(branch, skip);
+  if (!final_relu_) {
+    return branch;
+  }
+  cached_sum_ = branch;
+  for (auto& v : branch.values()) {
+    if (v < 0.0F) v = 0.0F;
+  }
+  return branch;
+}
+
+tensor residual::backward(const tensor& grad_output) {
+  tensor grad_sum = grad_output;
+  if (final_relu_) {
+    APPEAL_CHECK(!cached_sum_.empty(), "residual backward before forward");
+    APPEAL_CHECK(grad_output.dims() == cached_sum_.dims(),
+                 "residual backward: grad shape mismatch");
+    float* g = grad_sum.data();
+    const float* s = cached_sum_.data();
+    for (std::size_t i = 0; i < grad_sum.size(); ++i) {
+      if (s[i] <= 0.0F) g[i] = 0.0F;
+    }
+  }
+  tensor grad_input = body_->backward(grad_sum);
+  if (projection_ != nullptr) {
+    ops::add_inplace(grad_input, projection_->backward(grad_sum));
+  } else {
+    ops::add_inplace(grad_input, grad_sum);
+  }
+  return grad_input;
+}
+
+std::vector<parameter*> residual::parameters() {
+  std::vector<parameter*> out = body_->parameters();
+  if (projection_ != nullptr) {
+    for (parameter* p : projection_->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<named_parameter> residual::named_parameters(
+    const std::string& prefix) {
+  const std::string dot = prefix.empty() ? "" : prefix + ".";
+  std::vector<named_parameter> out = body_->named_parameters(dot + "body");
+  if (projection_ != nullptr) {
+    for (named_parameter& np : projection_->named_parameters(dot + "proj")) {
+      out.push_back(np);
+    }
+  }
+  return out;
+}
+
+std::vector<named_tensor> residual::state(const std::string& prefix) {
+  const std::string dot = prefix.empty() ? "" : prefix + ".";
+  std::vector<named_tensor> out = body_->state(dot + "body");
+  if (projection_ != nullptr) {
+    for (named_tensor& nt : projection_->state(dot + "proj")) {
+      out.push_back(nt);
+    }
+  }
+  return out;
+}
+
+shape residual::output_shape(const shape& input) const {
+  const shape out = body_->output_shape(input);
+  const shape skip =
+      projection_ != nullptr ? projection_->output_shape(input) : input;
+  APPEAL_CHECK(out == skip, "residual output_shape: branch mismatch " +
+                                out.to_string() + " vs " + skip.to_string());
+  return out;
+}
+
+std::uint64_t residual::flops(const shape& input) const {
+  std::uint64_t total = body_->flops(input);
+  if (projection_ != nullptr) total += projection_->flops(input);
+  // The elementwise add (+ optional ReLU).
+  total += output_shape(input).element_count();
+  return total;
+}
+
+}  // namespace appeal::nn

@@ -1,0 +1,44 @@
+// Residual wrapper: y = [relu](body(x) + skip(x)).
+//
+// The skip path is identity when no projection is given; a projection
+// (typically 1x1 conv + batchnorm) handles stride/channel changes. This one
+// composite expresses ResNet basic blocks, MBConv residuals and ShuffleNet
+// units.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "nn/sequential.hpp"
+
+namespace appeal::nn {
+
+/// Two-branch additive block with an optional final ReLU.
+class residual : public layer {
+ public:
+  /// `body` must map the input shape to the skip path's output shape.
+  /// `projection` may be null (identity skip).
+  residual(std::unique_ptr<sequential> body,
+           std::unique_ptr<sequential> projection, bool final_relu);
+
+  const char* kind() const override { return "residual"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  std::vector<parameter*> parameters() override;
+  std::vector<named_parameter> named_parameters(
+      const std::string& prefix) override;
+  std::vector<named_tensor> state(const std::string& prefix) override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override;
+
+  sequential& body() { return *body_; }
+  bool has_projection() const { return projection_ != nullptr; }
+
+ private:
+  std::unique_ptr<sequential> body_;
+  std::unique_ptr<sequential> projection_;
+  bool final_relu_;
+  tensor cached_sum_;  // pre-ReLU activations (only kept when final_relu_)
+};
+
+}  // namespace appeal::nn

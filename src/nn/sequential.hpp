@@ -1,0 +1,57 @@
+// Sequential layer container.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Ordered chain of layers; forward runs front-to-back, backward back-to-
+/// front. Owns its children.
+class sequential : public layer {
+ public:
+  sequential() = default;
+
+  /// Appends an already-constructed layer.
+  void append(layer_ptr child);
+
+  /// Constructs a layer of type T in place and appends it.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto child = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *child;
+    append(std::move(child));
+    return ref;
+  }
+
+  std::size_t size() const { return children_.size(); }
+  bool empty() const { return children_.empty(); }
+  layer& child(std::size_t i);
+  const layer& child(std::size_t i) const;
+
+  const char* kind() const override { return "sequential"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  std::vector<parameter*> parameters() override;
+  std::vector<named_parameter> named_parameters(
+      const std::string& prefix) override;
+  std::vector<named_tensor> state(const std::string& prefix) override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override;
+
+  /// Per-child FLOPs and output shapes — model summary support.
+  struct child_report {
+    std::string name;  // "<index>:<kind>"
+    shape output;
+    std::uint64_t flops = 0;
+  };
+  std::vector<child_report> summarize(const shape& input) const;
+
+ private:
+  std::vector<layer_ptr> children_;
+};
+
+}  // namespace appeal::nn

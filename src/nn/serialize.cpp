@@ -1,0 +1,154 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+namespace {
+
+constexpr char magic[4] = {'A', 'P', 'N', 'W'};
+constexpr std::uint32_t version = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  APPEAL_CHECK(in.good(), "model file truncated");
+  return value;
+}
+
+}  // namespace
+
+void save_tensors(const std::vector<named_tensor>& tensors,
+                  const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  APPEAL_CHECK(out.good(), "cannot open model file for writing: " + path);
+
+  out.write(magic, sizeof(magic));
+  write_pod(out, version);
+  write_pod(out, static_cast<std::uint64_t>(tensors.size()));
+
+  for (const named_tensor& nt : tensors) {
+    const auto name_len = static_cast<std::uint32_t>(nt.qualified_name.size());
+    write_pod(out, name_len);
+    out.write(nt.qualified_name.data(), name_len);
+    const shape& s = nt.value->dims();
+    write_pod(out, static_cast<std::uint32_t>(s.rank()));
+    for (std::size_t i = 0; i < s.rank(); ++i) {
+      write_pod(out, static_cast<std::uint64_t>(s.dim(i)));
+    }
+    out.write(reinterpret_cast<const char*>(nt.value->data()),
+              static_cast<std::streamsize>(nt.value->size() * sizeof(float)));
+  }
+  APPEAL_CHECK(out.good(), "failed while writing model file: " + path);
+}
+
+void load_tensors(const std::vector<named_tensor>& targets,
+                  const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  APPEAL_CHECK(in.good(), "cannot open model file for reading: " + path);
+
+  char file_magic[4];
+  in.read(file_magic, sizeof(file_magic));
+  APPEAL_CHECK(in.good() && std::equal(file_magic, file_magic + 4, magic),
+               "not an AppealNet model file: " + path);
+  const auto file_version = read_pod<std::uint32_t>(in);
+  APPEAL_CHECK(file_version == version,
+               "unsupported model file version in " + path);
+  const auto count = read_pod<std::uint64_t>(in);
+
+  std::map<std::string, tensor*> expected;
+  for (const named_tensor& nt : targets) {
+    expected[nt.qualified_name] = nt.value;
+  }
+  APPEAL_CHECK(count == expected.size(),
+               "model file tensor count mismatch for " + path + ": file has " +
+                   std::to_string(count) + ", model expects " +
+                   std::to_string(expected.size()));
+
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    APPEAL_CHECK(in.good(), "model file truncated");
+
+    const auto rank = read_pod<std::uint32_t>(in);
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) {
+      d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    }
+    const shape file_shape{dims};
+
+    const auto it = expected.find(name);
+    APPEAL_CHECK(it != expected.end(),
+                 "model file contains unknown tensor: " + name);
+    APPEAL_CHECK(it->second->dims() == file_shape,
+                 "shape mismatch for tensor " + name + ": file " +
+                     file_shape.to_string() + ", model " +
+                     it->second->dims().to_string());
+    in.read(reinterpret_cast<char*>(it->second->data()),
+            static_cast<std::streamsize>(it->second->size() * sizeof(float)));
+    APPEAL_CHECK(in.good(), "model file truncated in tensor " + name);
+  }
+}
+
+std::map<std::string, tensor> load_tensors_dynamic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  APPEAL_CHECK(in.good(), "cannot open model file for reading: " + path);
+
+  char file_magic[4];
+  in.read(file_magic, sizeof(file_magic));
+  APPEAL_CHECK(in.good() && std::equal(file_magic, file_magic + 4, magic),
+               "not an AppealNet model file: " + path);
+  const auto file_version = read_pod<std::uint32_t>(in);
+  APPEAL_CHECK(file_version == version,
+               "unsupported model file version in " + path);
+  const auto count = read_pod<std::uint64_t>(in);
+
+  std::map<std::string, tensor> out;
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    APPEAL_CHECK(in.good(), "model file truncated");
+
+    const auto rank = read_pod<std::uint32_t>(in);
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) {
+      d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    }
+    tensor value{shape{dims}};
+    in.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+    APPEAL_CHECK(in.good(), "model file truncated in tensor " + name);
+    out.emplace(std::move(name), std::move(value));
+  }
+  return out;
+}
+
+void save_model(layer& model, const std::string& path) {
+  save_tensors(model.state(""), path);
+}
+
+void load_model(layer& model, const std::string& path) {
+  load_tensors(model.state(""), path);
+}
+
+bool is_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  char file_magic[4];
+  in.read(file_magic, sizeof(file_magic));
+  return in.good() && std::equal(file_magic, file_magic + 4, magic);
+}
+
+}  // namespace appeal::nn

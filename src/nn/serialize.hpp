@@ -1,0 +1,41 @@
+// Binary model serialization.
+//
+// Format (little-endian):
+//   magic "APNW", u32 version, u64 tensor count,
+//   then per tensor: u32 name length, name bytes, u32 rank, u64 dims...,
+//   f32 data...
+// Loading matches tensors by qualified name and requires identical shapes,
+// so architecture changes are caught instead of silently mis-loading.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace appeal::nn {
+
+/// Writes a set of named tensors to `path`.
+void save_tensors(const std::vector<named_tensor>& tensors,
+                  const std::string& path);
+
+/// Loads tensors into the given (name, tensor) targets. Throws if the file
+/// is missing a tensor, contains an unknown one, or shapes differ.
+void load_tensors(const std::vector<named_tensor>& targets,
+                  const std::string& path);
+
+/// Reads every tensor in the file into a name -> tensor map, without
+/// needing target shapes up front (used by the experiment artifact cache).
+std::map<std::string, tensor> load_tensors_dynamic(const std::string& path);
+
+/// Writes all of `model`'s state() tensors to `path`.
+void save_model(layer& model, const std::string& path);
+
+/// Loads tensors into `model` by name. Throws if the file is missing a
+/// tensor the model has, contains one the model lacks, or shapes differ.
+void load_model(layer& model, const std::string& path);
+
+/// True when `path` exists and carries the serialization magic.
+bool is_model_file(const std::string& path);
+
+}  // namespace appeal::nn

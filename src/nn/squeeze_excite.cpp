@@ -1,0 +1,153 @@
+#include "nn/squeeze_excite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+squeeze_excite::squeeze_excite(std::size_t channels, std::size_t reduction)
+    : channels_(channels),
+      fc1_(channels, std::max<std::size_t>(1, channels / reduction)),
+      fc2_(std::max<std::size_t>(1, channels / reduction), channels) {
+  APPEAL_CHECK(channels > 0, "squeeze_excite requires channels > 0");
+  APPEAL_CHECK(reduction > 0, "squeeze_excite requires reduction > 0");
+}
+
+tensor squeeze_excite::forward(const tensor& input, bool training) {
+  APPEAL_CHECK(input.dims().rank() == 4 && input.channels() == channels_,
+               "squeeze_excite forward: bad input " + input.dims().to_string());
+  cached_input_ = input;
+  const std::size_t n = input.batch();
+  const std::size_t hw = input.height() * input.width();
+  const float inv_hw = 1.0F / static_cast<float>(hw);
+
+  // Squeeze: global average pool to [N, C].
+  tensor squeezed(shape{n, channels_});
+  const float* in = input.data();
+  float* ps = squeezed.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* plane = in + (s * channels_ + c) * hw;
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < hw; ++i) acc += plane[i];
+      ps[s * channels_ + c] = acc * inv_hw;
+    }
+  }
+
+  // Excite: fc1 -> relu -> fc2 -> sigmoid.
+  tensor pre_hidden = fc1_.forward(squeezed, training);
+  cached_hidden_ = pre_hidden;
+  tensor hidden = pre_hidden;
+  for (auto& v : hidden.values()) v = v > 0.0F ? v : 0.0F;
+  tensor z2 = fc2_.forward(hidden, training);
+  cached_excite_ = z2;
+  for (auto& v : cached_excite_.values()) {
+    v = 1.0F / (1.0F + std::exp(-v));
+  }
+
+  // Scale: broadcast per channel.
+  tensor out = input;
+  float* po = out.data();
+  const float* pe = cached_excite_.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float e = pe[s * channels_ + c];
+      float* plane = po + (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) plane[i] *= e;
+    }
+  }
+  return out;
+}
+
+tensor squeeze_excite::backward(const tensor& grad_output) {
+  APPEAL_CHECK(!cached_input_.empty(), "squeeze_excite backward before forward");
+  APPEAL_CHECK(grad_output.dims() == cached_input_.dims(),
+               "squeeze_excite backward: grad shape mismatch");
+  const std::size_t n = cached_input_.batch();
+  const std::size_t hw = cached_input_.height() * cached_input_.width();
+  const float inv_hw = 1.0F / static_cast<float>(hw);
+
+  const float* gy = grad_output.data();
+  const float* x = cached_input_.data();
+  const float* pe = cached_excite_.data();
+
+  // Direct path: gx = gy * e (broadcast); attention path grad:
+  // ge[n, c] = sum_hw(gy * x).
+  tensor grad_input(cached_input_.dims());
+  tensor grad_excite(shape{n, channels_});
+  float* gx = grad_input.data();
+  float* ge = grad_excite.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const std::size_t base = (s * channels_ + c) * hw;
+      const float e = pe[s * channels_ + c];
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < hw; ++i) {
+        gx[base + i] = gy[base + i] * e;
+        acc += gy[base + i] * x[base + i];
+      }
+      ge[s * channels_ + c] = acc;
+    }
+  }
+
+  // Through the sigmoid: gz2 = ge * e * (1 - e).
+  tensor grad_z2 = grad_excite;
+  float* gz2 = grad_z2.data();
+  for (std::size_t i = 0; i < grad_z2.size(); ++i) {
+    gz2[i] *= pe[i] * (1.0F - pe[i]);
+  }
+
+  tensor grad_hidden = fc2_.backward(grad_z2);
+  // Through the ReLU on the cached pre-activation.
+  float* gh = grad_hidden.data();
+  const float* h = cached_hidden_.data();
+  for (std::size_t i = 0; i < grad_hidden.size(); ++i) {
+    if (h[i] <= 0.0F) gh[i] = 0.0F;
+  }
+  tensor grad_squeezed = fc1_.backward(grad_hidden);
+
+  // Through the global average pool: broadcast /hw back onto the input.
+  const float* gs = grad_squeezed.data();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float g = gs[s * channels_ + c] * inv_hw;
+      float* plane = gx + (s * channels_ + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) plane[i] += g;
+    }
+  }
+  return grad_input;
+}
+
+std::vector<parameter*> squeeze_excite::parameters() {
+  std::vector<parameter*> out = fc1_.parameters();
+  for (parameter* p : fc2_.parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<named_parameter> squeeze_excite::named_parameters(
+    const std::string& prefix) {
+  const std::string dot = prefix.empty() ? "" : prefix + ".";
+  std::vector<named_parameter> out = fc1_.named_parameters(dot + "fc1");
+  for (named_parameter& np : fc2_.named_parameters(dot + "fc2")) {
+    out.push_back(np);
+  }
+  return out;
+}
+
+shape squeeze_excite::output_shape(const shape& input) const {
+  APPEAL_CHECK(input.rank() == 4 && input.channels() == channels_,
+               "squeeze_excite output_shape: bad input " + input.to_string());
+  return input;
+}
+
+std::uint64_t squeeze_excite::flops(const shape& input) const {
+  const shape squeezed{input.batch(), channels_};
+  const shape hidden{input.batch(), fc1_.out_features()};
+  // GAP + two FCs + broadcast multiply.
+  return input.element_count() + fc1_.flops(squeezed) + fc2_.flops(hidden) +
+         input.element_count();
+}
+
+}  // namespace appeal::nn

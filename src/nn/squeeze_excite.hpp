@@ -1,0 +1,40 @@
+// Squeeze-and-excitation block (EfficientNet-style channel attention).
+//
+// y = x * sigmoid(W2 * relu(W1 * GAP(x))), broadcast per channel.
+// Implemented as a composite layer whose backward chains through the two
+// internal linear layers and both the direct and the attention paths.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+
+namespace appeal::nn {
+
+/// Squeeze-excitation over NCHW tensors with reduction ratio `reduction`.
+class squeeze_excite : public layer {
+ public:
+  squeeze_excite(std::size_t channels, std::size_t reduction = 4);
+
+  const char* kind() const override { return "squeeze_excite"; }
+  tensor forward(const tensor& input, bool training) override;
+  tensor backward(const tensor& grad_output) override;
+  std::vector<parameter*> parameters() override;
+  std::vector<named_parameter> named_parameters(
+      const std::string& prefix) override;
+  shape output_shape(const shape& input) const override;
+  std::uint64_t flops(const shape& input) const override;
+
+  std::size_t channels() const { return channels_; }
+  linear& reduce_fc() { return fc1_; }
+  linear& expand_fc() { return fc2_; }
+
+ private:
+  std::size_t channels_;
+  linear fc1_;  // channels -> channels/reduction
+  linear fc2_;  // channels/reduction -> channels
+  tensor cached_input_;
+  tensor cached_excite_;   // e = sigmoid(z2), [N, C]
+  tensor cached_hidden_;   // relu(fc1(s)) pre-activation, [N, C/r]
+};
+
+}  // namespace appeal::nn

@@ -1,0 +1,112 @@
+#include "tensor/gemm.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace appeal::ops {
+
+namespace {
+
+// Block sizes chosen so one A-panel + one B-panel fit in L1/L2 on typical
+// x86 cores; the inner kernel is written so GCC auto-vectorizes the n-loop.
+constexpr std::size_t block_m = 64;
+constexpr std::size_t block_n = 256;
+constexpr std::size_t block_k = 128;
+
+void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
+  if (beta == 1.0F) return;
+  const std::size_t total = m * n;
+  if (beta == 0.0F) {
+    for (std::size_t i = 0; i < total; ++i) c[i] = 0.0F;
+  } else {
+    for (std::size_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+}
+
+}  // namespace
+
+void sgemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0F || m == 0 || n == 0 || k == 0) return;
+
+  for (std::size_t k0 = 0; k0 < k; k0 += block_k) {
+    const std::size_t k1 = std::min(k0 + block_k, k);
+    for (std::size_t i0 = 0; i0 < m; i0 += block_m) {
+      const std::size_t i1 = std::min(i0 + block_m, m);
+      for (std::size_t j0 = 0; j0 < n; j0 += block_n) {
+        const std::size_t j1 = std::min(j0 + block_n, n);
+        // Micro-kernel: accumulate into C row by row; the innermost loop is
+        // over contiguous B/C columns, which GCC vectorizes with FMA.
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* crow = c + i * n;
+          const float* arow = a + i * k;
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float aik = alpha * arow[kk];
+            const float* brow = b + kk * n;
+            for (std::size_t j = j0; j < j1; ++j) {
+              crow[j] += aik * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void sgemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0F || m == 0 || n == 0 || k == 0) return;
+  // A is stored [k x m]; walk k rows and scatter into C rows. Row i of C
+  // accumulates a[kk*m + i] * B[kk, :].
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* acol = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aik = alpha * acol[i];
+      if (aik == 0.0F) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0F || m == 0 || n == 0 || k == 0) return;
+  // B is stored [n x k]; each C[i, j] is a dot product of contiguous rows,
+  // which vectorizes cleanly.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0F;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+tensor matmul(const tensor& a, const tensor& b) {
+  APPEAL_CHECK(a.dims().rank() == 2 && b.dims().rank() == 2,
+               "matmul expects rank-2 tensors");
+  const std::size_t m = a.dims().dim(0);
+  const std::size_t k = a.dims().dim(1);
+  APPEAL_CHECK(b.dims().dim(0) == k,
+               "matmul inner dimension mismatch: " + a.dims().to_string() +
+                   " x " + b.dims().to_string());
+  const std::size_t n = b.dims().dim(1);
+  tensor c(shape{m, n});
+  sgemm(m, n, k, 1.0F, a.data(), b.data(), 0.0F, c.data());
+  return c;
+}
+
+}  // namespace appeal::ops

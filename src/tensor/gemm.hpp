@@ -1,0 +1,31 @@
+// Single-precision GEMM — the compute kernel under every conv and linear
+// layer.
+//
+// C = alpha * op(A) * op(B) + beta * C, row-major, with a cache-blocked
+// kernel tuned for the small/medium matrices this workload produces
+// (im2col panels of a few hundred rows/cols).
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::ops {
+
+/// Raw pointer GEMM: C[m x n] = alpha * A[m x k] * B[k x n] + beta * C.
+/// All matrices row-major and non-aliasing.
+void sgemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+           const float* a, const float* b, float beta, float* c);
+
+/// C = alpha * A^T[m x k] * B[k x n] + beta * C, where A is stored [k x m].
+void sgemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// C = alpha * A[m x k] * B^T[k x n] + beta * C, where B is stored [n x k].
+void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// Tensor wrapper: returns A * B for rank-2 tensors with matching inner dim.
+tensor matmul(const tensor& a, const tensor& b);
+
+}  // namespace appeal::ops

@@ -1,0 +1,77 @@
+#include "tensor/im2col.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::ops {
+
+void im2col(const conv_geometry& g, const float* image, float* columns) {
+  APPEAL_CHECK(g.valid(), "invalid conv geometry");
+  const std::size_t out_h = g.out_height();
+  const std::size_t out_w = g.out_width();
+  const std::size_t cols = out_h * out_w;
+
+  std::size_t patch_row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    const float* plane = image + c * g.height * g.width;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++patch_row) {
+        float* out_row = columns + patch_row * cols;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          // Source row index may be "negative" (inside top padding); compute
+          // in signed space once per output row.
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.padding);
+          float* out = out_row + oy * out_w;
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.height)) {
+            for (std::size_t ox = 0; ox < out_w; ++ox) out[ox] = 0.0F;
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(iy) * g.width;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.padding);
+            out[ox] = (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.width))
+                          ? 0.0F
+                          : src[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const conv_geometry& g, const float* columns, float* image_grad) {
+  APPEAL_CHECK(g.valid(), "invalid conv geometry");
+  const std::size_t out_h = g.out_height();
+  const std::size_t out_w = g.out_width();
+  const std::size_t cols = out_h * out_w;
+
+  std::size_t patch_row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    float* plane = image_grad + c * g.height * g.width;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++patch_row) {
+        const float* in_row = columns + patch_row * cols;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.padding);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.height)) continue;
+          float* dst = plane + static_cast<std::size_t>(iy) * g.width;
+          const float* in = in_row + oy * out_w;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.padding);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.width)) continue;
+            dst[static_cast<std::size_t>(ix)] += in[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace appeal::ops

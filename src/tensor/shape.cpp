@@ -1,0 +1,60 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace appeal {
+
+std::size_t shape::dim(std::size_t axis) const {
+  APPEAL_CHECK(axis < dims_.size(),
+               "axis out of range for shape " + to_string());
+  return dims_[axis];
+}
+
+std::size_t shape::element_count() const {
+  std::size_t count = 1;
+  for (const std::size_t d : dims_) count *= d;
+  return count;
+}
+
+std::vector<std::size_t> shape::strides() const {
+  std::vector<std::size_t> out(dims_.size(), 1);
+  for (std::size_t i = dims_.size(); i-- > 1;) {
+    out[i - 1] = out[i] * dims_[i];
+  }
+  return out;
+}
+
+std::size_t shape::flat_index(const std::vector<std::size_t>& index) const {
+  APPEAL_CHECK(index.size() == dims_.size(),
+               "index rank does not match shape " + to_string());
+  std::size_t flat = 0;
+  std::size_t stride = 1;
+  for (std::size_t i = dims_.size(); i-- > 0;) {
+    APPEAL_CHECK(index[i] < dims_[i],
+                 "index out of bounds for shape " + to_string());
+    flat += index[i] * stride;
+    stride *= dims_[i];
+  }
+  return flat;
+}
+
+std::string shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::size_t shape::dim4(std::size_t axis) const {
+  APPEAL_CHECK(dims_.size() == 4,
+               "NCHW accessor on non-rank-4 shape " + to_string());
+  return dims_[axis];
+}
+
+}  // namespace appeal

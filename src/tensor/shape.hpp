@@ -1,0 +1,55 @@
+// N-dimensional shape for dense row-major tensors.
+//
+// Image batches use NCHW layout throughout the library.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace appeal {
+
+/// Immutable-ish dimension list with element-count and index helpers.
+class shape {
+ public:
+  shape() = default;
+  shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  /// Number of axes (0 for a default-constructed scalar-less shape).
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of axis `axis`; throws on out-of-range.
+  std::size_t dim(std::size_t axis) const;
+
+  /// Total number of elements (1 for rank-0; 0 if any axis is 0).
+  std::size_t element_count() const;
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Row-major strides (innermost axis has stride 1).
+  std::vector<std::size_t> strides() const;
+
+  /// Flat offset of a multi-index; size must equal rank, entries in range.
+  std::size_t flat_index(const std::vector<std::size_t>& index) const;
+
+  bool operator==(const shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]"-style rendering for error messages.
+  std::string to_string() const;
+
+  /// Convenience accessors for NCHW tensors (require rank 4).
+  std::size_t batch() const { return dim4(0); }
+  std::size_t channels() const { return dim4(1); }
+  std::size_t height() const { return dim4(2); }
+  std::size_t width() const { return dim4(3); }
+
+ private:
+  std::size_t dim4(std::size_t axis) const;
+
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace appeal

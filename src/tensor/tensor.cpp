@@ -1,0 +1,82 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace appeal {
+
+tensor::tensor(shape s) : shape_(std::move(s)), data_(shape_.element_count(), 0.0F) {}
+
+tensor::tensor(shape s, float fill)
+    : shape_(std::move(s)), data_(shape_.element_count(), fill) {}
+
+tensor::tensor(shape s, std::vector<float> data)
+    : shape_(std::move(s)), data_(std::move(data)) {
+  APPEAL_CHECK(data_.size() == shape_.element_count(),
+               "data size does not match shape " + shape_.to_string());
+}
+
+tensor tensor::randn(shape s, util::rng& gen, float mean, float stddev) {
+  tensor out(std::move(s));
+  for (auto& v : out.data_) {
+    v = static_cast<float>(gen.normal(mean, stddev));
+  }
+  return out;
+}
+
+tensor tensor::rand_uniform(shape s, util::rng& gen, float lo, float hi) {
+  tensor out(std::move(s));
+  for (auto& v : out.data_) {
+    v = gen.uniform(lo, hi);
+  }
+  return out;
+}
+
+float& tensor::at(std::size_t flat) {
+  APPEAL_CHECK(flat < data_.size(), "flat index out of range");
+  return data_[flat];
+}
+
+float tensor::at(std::size_t flat) const {
+  APPEAL_CHECK(flat < data_.size(), "flat index out of range");
+  return data_[flat];
+}
+
+float& tensor::at(const std::vector<std::size_t>& index) {
+  return data_[shape_.flat_index(index)];
+}
+
+float tensor::at(const std::vector<std::size_t>& index) const {
+  return data_[shape_.flat_index(index)];
+}
+
+tensor tensor::reshaped(shape new_shape) const {
+  APPEAL_CHECK(new_shape.element_count() == data_.size(),
+               "reshape element count mismatch: " + shape_.to_string() +
+                   " -> " + new_shape.to_string());
+  tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+void tensor::reshape(shape new_shape) {
+  APPEAL_CHECK(new_shape.element_count() == data_.size(),
+               "reshape element count mismatch: " + shape_.to_string() +
+                   " -> " + new_shape.to_string());
+  shape_ = std::move(new_shape);
+}
+
+void tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+bool tensor::has_non_finite() const {
+  for (const float v : data_) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace appeal

@@ -1,0 +1,94 @@
+// Dense float32 tensor.
+//
+// The training stack needs exactly one storage type: a contiguous row-major
+// float tensor. Views/strides are intentionally absent — layers copy where
+// reshaping would otherwise alias, which keeps backward passes auditable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace appeal {
+
+namespace util {
+class rng;
+}  // namespace util
+
+/// Contiguous row-major float32 tensor (NCHW for image batches).
+class tensor {
+ public:
+  /// Empty tensor (rank 0, one uninitialized slot is NOT allocated).
+  tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit tensor(shape s);
+
+  /// Tensor of the given shape filled with `fill`.
+  tensor(shape s, float fill);
+
+  /// Tensor adopting existing data; data.size() must match the shape.
+  tensor(shape s, std::vector<float> data);
+
+  /// Factory helpers.
+  static tensor zeros(shape s) { return tensor(std::move(s)); }
+  static tensor full(shape s, float value) { return tensor(std::move(s), value); }
+  static tensor from_values(shape s, std::vector<float> values) {
+    return tensor(std::move(s), std::move(values));
+  }
+  /// I.i.d. normal entries with the given moments.
+  static tensor randn(shape s, util::rng& gen, float mean = 0.0F,
+                      float stddev = 1.0F);
+  /// I.i.d. uniform entries in [lo, hi).
+  static tensor rand_uniform(shape s, util::rng& gen, float lo, float hi);
+
+  const shape& dims() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// NCHW convenience accessors (require rank 4; forwarded to shape).
+  std::size_t batch() const { return shape_.batch(); }
+  std::size_t channels() const { return shape_.channels(); }
+  std::size_t height() const { return shape_.height(); }
+  std::size_t width() const { return shape_.width(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> values() { return std::span<float>(data_); }
+  std::span<const float> values() const { return std::span<const float>(data_); }
+
+  /// Flat element access with bounds checks in debug-style code paths.
+  float& at(std::size_t flat);
+  float at(std::size_t flat) const;
+
+  /// Multi-index access (rank-checked).
+  float& at(const std::vector<std::size_t>& index);
+  float at(const std::vector<std::size_t>& index) const;
+
+  /// Unchecked flat access for hot loops.
+  float& operator[](std::size_t flat) { return data_[flat]; }
+  float operator[](std::size_t flat) const { return data_[flat]; }
+
+  /// Returns a copy with a new shape; element counts must match.
+  tensor reshaped(shape new_shape) const;
+
+  /// In-place reshape; element counts must match.
+  void reshape(shape new_shape);
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Sets every element to zero.
+  void zero() { fill(0.0F); }
+
+  /// True when any element is NaN or infinite.
+  bool has_non_finite() const;
+
+ private:
+  shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace appeal

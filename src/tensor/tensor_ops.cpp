@@ -1,0 +1,204 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::ops {
+
+namespace {
+
+void check_same_shape(const tensor& a, const tensor& b, const char* op) {
+  APPEAL_CHECK(a.dims() == b.dims(), std::string(op) + ": shape mismatch " +
+                                         a.dims().to_string() + " vs " +
+                                         b.dims().to_string());
+}
+
+void check_matrix(const tensor& m, const char* op) {
+  APPEAL_CHECK(m.dims().rank() == 2,
+               std::string(op) + ": expected a rank-2 tensor, got " +
+                   m.dims().to_string());
+}
+
+}  // namespace
+
+tensor add(const tensor& a, const tensor& b) {
+  check_same_shape(a, b, "add");
+  tensor out = a;
+  add_inplace(out, b);
+  return out;
+}
+
+void add_inplace(tensor& a, const tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void axpy(tensor& a, float alpha, const tensor& b) {
+  check_same_shape(a, b, "axpy");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+tensor subtract(const tensor& a, const tensor& b) {
+  check_same_shape(a, b, "subtract");
+  tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) po[i] -= pb[i];
+  return out;
+}
+
+tensor multiply(const tensor& a, const tensor& b) {
+  check_same_shape(a, b, "multiply");
+  tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) po[i] *= pb[i];
+  return out;
+}
+
+tensor scale(const tensor& a, float scalar) {
+  tensor out = a;
+  scale_inplace(out, scalar);
+  return out;
+}
+
+void scale_inplace(tensor& a, float scalar) {
+  float* pa = a.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) pa[i] *= scalar;
+}
+
+double sum(const tensor& a) {
+  double total = 0.0;
+  for (const float v : a.values()) total += v;
+  return total;
+}
+
+double mean(const tensor& a) {
+  if (a.size() == 0) return 0.0;
+  return sum(a) / static_cast<double>(a.size());
+}
+
+float max_value(const tensor& a) {
+  APPEAL_CHECK(a.size() > 0, "max_value on empty tensor");
+  return *std::max_element(a.values().begin(), a.values().end());
+}
+
+std::size_t argmax(const tensor& a) {
+  APPEAL_CHECK(a.size() > 0, "argmax on empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(a.values().begin(), a.values().end()) -
+      a.values().begin());
+}
+
+std::vector<std::size_t> argmax_rows(const tensor& matrix) {
+  check_matrix(matrix, "argmax_rows");
+  const std::size_t rows = matrix.dims().dim(0);
+  const std::size_t cols = matrix.dims().dim(1);
+  APPEAL_CHECK(cols > 0, "argmax_rows on zero-width matrix");
+  std::vector<std::size_t> out(rows, 0);
+  const float* p = matrix.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    out[r] = static_cast<std::size_t>(std::max_element(row, row + cols) - row);
+  }
+  return out;
+}
+
+tensor softmax_rows(const tensor& logits) {
+  check_matrix(logits, "softmax_rows");
+  const std::size_t rows = logits.dims().dim(0);
+  const std::size_t cols = logits.dims().dim(1);
+  tensor out(logits.dims());
+  const float* in = logits.data();
+  float* po = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = in + r * cols;
+    float* orow = po + r * cols;
+    const float m = *std::max_element(row, row + cols);
+    float total = 0.0F;
+    for (std::size_t c = 0; c < cols; ++c) {
+      orow[c] = std::exp(row[c] - m);
+      total += orow[c];
+    }
+    const float inv = 1.0F / total;
+    for (std::size_t c = 0; c < cols; ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+tensor log_softmax_rows(const tensor& logits) {
+  check_matrix(logits, "log_softmax_rows");
+  const std::size_t rows = logits.dims().dim(0);
+  const std::size_t cols = logits.dims().dim(1);
+  tensor out(logits.dims());
+  const float* in = logits.data();
+  float* po = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = in + r * cols;
+    float* orow = po + r * cols;
+    const float m = *std::max_element(row, row + cols);
+    float total = 0.0F;
+    for (std::size_t c = 0; c < cols; ++c) total += std::exp(row[c] - m);
+    const float log_z = m + std::log(total);
+    for (std::size_t c = 0; c < cols; ++c) orow[c] = row[c] - log_z;
+  }
+  return out;
+}
+
+tensor sigmoid(const tensor& a) {
+  tensor out = a;
+  for (auto& v : out.values()) {
+    v = 1.0F / (1.0F + std::exp(-v));
+  }
+  return out;
+}
+
+double l2_norm(const tensor& a) {
+  double total = 0.0;
+  for (const float v : a.values()) total += static_cast<double>(v) * v;
+  return std::sqrt(total);
+}
+
+float max_abs_diff(const tensor& a, const tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  float worst = 0.0F;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+void clamp_inplace(tensor& a, float lo, float hi) {
+  APPEAL_CHECK(lo <= hi, "clamp_inplace requires lo <= hi");
+  for (auto& v : a.values()) v = std::clamp(v, lo, hi);
+}
+
+tensor transpose(const tensor& matrix) {
+  check_matrix(matrix, "transpose");
+  const std::size_t rows = matrix.dims().dim(0);
+  const std::size_t cols = matrix.dims().dim(1);
+  tensor out(shape{cols, rows});
+  const float* in = matrix.data();
+  float* po = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      po[c * rows + r] = in[r * cols + c];
+    }
+  }
+  return out;
+}
+
+}  // namespace appeal::ops

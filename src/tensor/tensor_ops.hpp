@@ -1,0 +1,72 @@
+// Elementwise and reduction operations on tensors.
+//
+// These are the building blocks the nn layers compose; each op validates
+// shapes and never broadcasts implicitly (broadcasting bugs are the classic
+// silent-failure mode in hand-written training code).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::ops {
+
+/// out = a + b (same shape).
+tensor add(const tensor& a, const tensor& b);
+
+/// a += b (same shape).
+void add_inplace(tensor& a, const tensor& b);
+
+/// a += alpha * b (same shape) — the axpy used by optimizers/grad sums.
+void axpy(tensor& a, float alpha, const tensor& b);
+
+/// out = a - b (same shape).
+tensor subtract(const tensor& a, const tensor& b);
+
+/// out = a * b elementwise (same shape).
+tensor multiply(const tensor& a, const tensor& b);
+
+/// out = a * scalar.
+tensor scale(const tensor& a, float scalar);
+
+/// a *= scalar.
+void scale_inplace(tensor& a, float scalar);
+
+/// Sum of all elements.
+double sum(const tensor& a);
+
+/// Mean of all elements (0 for empty tensors).
+double mean(const tensor& a);
+
+/// Maximum element; throws on empty.
+float max_value(const tensor& a);
+
+/// Index of the maximum element; throws on empty.
+std::size_t argmax(const tensor& a);
+
+/// Row-wise argmax for a [rows, cols] matrix.
+std::vector<std::size_t> argmax_rows(const tensor& matrix);
+
+/// Numerically-stable row-wise softmax for a [rows, cols] matrix.
+tensor softmax_rows(const tensor& logits);
+
+/// Row-wise log-softmax for a [rows, cols] matrix.
+tensor log_softmax_rows(const tensor& logits);
+
+/// Elementwise logistic sigmoid.
+tensor sigmoid(const tensor& a);
+
+/// L2 norm of all elements.
+double l2_norm(const tensor& a);
+
+/// Largest absolute elementwise difference (shape-checked).
+float max_abs_diff(const tensor& a, const tensor& b);
+
+/// Clamps every element into [lo, hi] in place.
+void clamp_inplace(tensor& a, float lo, float hi);
+
+/// Transposes a [rows, cols] matrix.
+tensor transpose(const tensor& matrix);
+
+}  // namespace appeal::ops

@@ -1,0 +1,45 @@
+#include "util/artifact_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/hash.hpp"
+
+namespace appeal::util {
+
+namespace fs = std::filesystem;
+
+artifact_cache::artifact_cache(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string artifact_cache::path_for(const std::string& key) const {
+  return directory_ + "/" + hash_hex(fnv1a64(key)) + ".bin";
+}
+
+std::optional<std::string> artifact_cache::find(const std::string& key) const {
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (fs::exists(path, ec) && !ec) return path;
+  return std::nullopt;
+}
+
+std::string artifact_cache::prepare_write(const std::string& key) const {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  return path_for(key);
+}
+
+bool artifact_cache::evict(const std::string& key) const {
+  std::error_code ec;
+  return fs::remove(path_for(key), ec) && !ec;
+}
+
+artifact_cache default_cache() {
+  if (const char* env = std::getenv("APPEAL_CACHE_DIR");
+      env != nullptr && env[0] != '\0') {
+    return artifact_cache(env);
+  }
+  return artifact_cache(".cache/appealnet");
+}
+
+}  // namespace appeal::util

@@ -1,0 +1,42 @@
+// Hash-keyed artifact store.
+//
+// Training the experiment models takes minutes on a laptop core; the four
+// paper benches share models (e.g. the MobileNet/cifar10 AppealNet appears
+// in Fig 5, Table I and the ablations). The cache maps a canonical config
+// string to a file path so the first bench trains and the rest reload.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace appeal::util {
+
+/// Directory-backed cache keyed by the FNV-1a hash of a config string.
+class artifact_cache {
+ public:
+  /// Uses `directory` as the store; created on first put() if missing.
+  explicit artifact_cache(std::string directory);
+
+  /// Path an artifact with this key would live at (whether or not present).
+  std::string path_for(const std::string& key) const;
+
+  /// Returns the path when an artifact for `key` exists.
+  std::optional<std::string> find(const std::string& key) const;
+
+  /// Ensures the cache directory exists and returns the path to write to.
+  std::string prepare_write(const std::string& key) const;
+
+  /// Removes a cached artifact if present; returns whether one was removed.
+  bool evict(const std::string& key) const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string directory_;
+};
+
+/// Default cache used by benches/examples: `$APPEAL_CACHE_DIR` when set,
+/// otherwise `.cache/appealnet` under the current working directory.
+artifact_cache default_cache();
+
+}  // namespace appeal::util

@@ -1,0 +1,96 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace appeal::util {
+
+config config::from_args(int argc, const char* const* argv) {
+  config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    APPEAL_CHECK(starts_with(arg, "--"),
+                 "unrecognized positional argument: " + arg);
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      cfg.set(body, "true");
+    } else {
+      cfg.set(body.substr(0, eq), body.substr(eq + 1));
+    }
+  }
+  return cfg;
+}
+
+void config::set(const std::string& key, const std::string& value) {
+  if (values_.find(key) == values_.end()) {
+    order_.push_back(key);
+  }
+  values_[key] = value;
+}
+
+bool config::has(const std::string& key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string config::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  APPEAL_CHECK(it != values_.end(), "missing config key: " + key);
+  return it->second;
+}
+
+std::string config::get_string_or(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int config::get_int(const std::string& key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const long value = std::strtol(raw.c_str(), &end, 10);
+  APPEAL_CHECK(end != raw.c_str() && *end == '\0',
+               "config key " + key + " is not an integer: " + raw);
+  return static_cast<int>(value);
+}
+
+int config::get_int_or(const std::string& key, int fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+double config::get_double(const std::string& key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  APPEAL_CHECK(end != raw.c_str() && *end == '\0',
+               "config key " + key + " is not a number: " + raw);
+  return value;
+}
+
+double config::get_double_or(const std::string& key, double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+bool config::get_bool_or(const std::string& key, bool fallback) const {
+  if (!has(key)) return fallback;
+  const std::string raw = to_lower(get_string(key));
+  if (raw == "true" || raw == "1" || raw == "yes" || raw == "on") return true;
+  if (raw == "false" || raw == "0" || raw == "no" || raw == "off") return false;
+  APPEAL_CHECK(false, "config key " + key + " is not a boolean: " + raw);
+  return fallback;
+}
+
+std::vector<std::string> config::keys() const { return order_; }
+
+std::string config::canonical_string() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {  // std::map iterates sorted
+    if (!out.empty()) out += ',';
+    out += key + '=' + value;
+  }
+  return out;
+}
+
+}  // namespace appeal::util

@@ -1,0 +1,51 @@
+// Key-value configuration with typed accessors and CLI parsing.
+//
+// Examples and benches accept `--key=value` overrides; this keeps the
+// experiment entry points declarative and the defaults discoverable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace appeal::util {
+
+/// Ordered key -> string-value map with typed getters.
+class config {
+ public:
+  config() = default;
+
+  /// Parses `--key=value` / `--flag` style arguments (argv[0] is skipped).
+  /// Unrecognized positional arguments throw appeal::util::error.
+  static config from_args(int argc, const char* const* argv);
+
+  /// Sets (or overwrites) a key.
+  void set(const std::string& key, const std::string& value);
+
+  /// True when the key is present.
+  bool has(const std::string& key) const;
+
+  /// Typed getters; the `_or` variants return the fallback when the key is
+  /// absent, the plain variants throw when it is absent or malformed.
+  std::string get_string(const std::string& key) const;
+  std::string get_string_or(const std::string& key,
+                            const std::string& fallback) const;
+  int get_int(const std::string& key) const;
+  int get_int_or(const std::string& key, int fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  /// All keys in insertion order.
+  std::vector<std::string> keys() const;
+
+  /// Canonical "k1=v1,k2=v2" rendering (sorted by key) — used as the
+  /// artifact-cache hash input so identical configs share cached models.
+  std::string canonical_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace appeal::util

@@ -1,0 +1,107 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace appeal::util {
+
+struct csv_writer::impl {
+  std::ofstream out;
+};
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string escape_field(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+csv_writer::csv_writer(const std::string& path) : impl_(new impl) {
+  impl_->out.open(path, std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    impl_ = nullptr;
+    APPEAL_CHECK(false, "cannot open CSV file for writing: " + path);
+  }
+}
+
+csv_writer::~csv_writer() { delete impl_; }
+
+void csv_writer::write_row(const std::vector<std::string>& fields) {
+  APPEAL_CHECK(impl_ != nullptr && impl_->out.is_open(),
+               "write_row on a closed csv_writer");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) impl_->out << ',';
+    impl_->out << escape_field(fields[i]);
+  }
+  impl_->out << '\n';
+}
+
+void csv_writer::write_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    fields.push_back(os.str());
+  }
+  write_row(fields);
+}
+
+void csv_writer::close() {
+  if (impl_ != nullptr) impl_->out.close();
+}
+
+csv_document read_csv(const std::string& path) {
+  std::ifstream in(path);
+  APPEAL_CHECK(in.good(), "cannot open CSV file for reading: " + path);
+  csv_document doc;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> row;
+    std::string field;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            field += '"';
+            ++i;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field += c;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        row.push_back(field);
+        field.clear();
+      } else {
+        field += c;
+      }
+    }
+    row.push_back(field);
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+}  // namespace appeal::util

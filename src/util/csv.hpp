@@ -1,0 +1,48 @@
+// CSV writing/reading for experiment outputs.
+//
+// Benches emit their table/figure series as CSV next to the pretty-printed
+// text so results can be re-plotted without re-running training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace appeal::util {
+
+/// Streaming CSV writer. Quotes fields containing separators or quotes.
+class csv_writer {
+ public:
+  /// Opens `path` for writing (truncates). Throws appeal::util::error on
+  /// failure.
+  explicit csv_writer(const std::string& path);
+  ~csv_writer();
+
+  csv_writer(const csv_writer&) = delete;
+  csv_writer& operator=(const csv_writer&) = delete;
+
+  /// Writes one row; fields are escaped as needed.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles with full precision.
+  void write_row(const std::vector<double>& values);
+
+  /// Flushes and closes; further writes are invalid.
+  void close();
+
+ private:
+  struct impl;
+  impl* impl_;
+};
+
+/// Fully parsed CSV content.
+struct csv_document {
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t row_count() const { return rows.size(); }
+};
+
+/// Reads a CSV file produced by csv_writer (handles quoted fields).
+/// Throws appeal::util::error if the file cannot be opened.
+csv_document read_csv(const std::string& path);
+
+}  // namespace appeal::util

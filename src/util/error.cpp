@@ -1,0 +1,17 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace appeal::util {
+
+void throw_check_failure(const char* file, int line, const char* condition,
+                         const std::string& detail) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << condition;
+  if (!detail.empty()) {
+    os << ": " << detail;
+  }
+  throw error(os.str());
+}
+
+}  // namespace appeal::util

@@ -1,0 +1,37 @@
+// Error handling for the AppealNet library.
+//
+// All precondition violations throw appeal::util::error so that callers
+// (tests in particular) can assert on failure instead of aborting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace appeal::util {
+
+/// Exception type thrown on any library precondition violation.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the message "<file>:<line>: check failed: <cond>: <detail>" and
+/// throws appeal::util::error. Used by the APPEAL_CHECK macros below.
+[[noreturn]] void throw_check_failure(const char* file, int line,
+                                      const char* condition,
+                                      const std::string& detail);
+
+}  // namespace appeal::util
+
+/// Precondition check: throws appeal::util::error when `cond` is false.
+/// `detail` is any expression streamable into std::string via operator+.
+#define APPEAL_CHECK(cond, detail)                                       \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::appeal::util::throw_check_failure(__FILE__, __LINE__, #cond,     \
+                                          (detail));                     \
+    }                                                                    \
+  } while (false)
+
+/// Shorthand for checks whose condition is self-explanatory.
+#define APPEAL_REQUIRE(cond) APPEAL_CHECK(cond, "")

@@ -1,0 +1,77 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace appeal::util {
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  APPEAL_CHECK(hi > lo, "histogram range must be non-empty");
+  APPEAL_CHECK(bins > 0, "histogram requires at least one bin");
+}
+
+void histogram::add(double value) {
+  const double unit = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      std::floor(unit * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void histogram::add_all(const std::vector<double>& values) {
+  for (const double v : values) add(v);
+}
+
+std::vector<double> histogram::densities() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) /
+             (static_cast<double>(total_) * bin_width);
+  }
+  return out;
+}
+
+double histogram::bin_center(std::size_t i) const {
+  APPEAL_CHECK(i < counts_.size(), "bin index out of range");
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width;
+}
+
+std::string histogram::render(std::size_t width) const {
+  const std::size_t max_count =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        max_count == 0 ? 0 : counts_[i] * width / std::max<std::size_t>(max_count, 1);
+    os << format_fixed(bin_center(i), 3) << " | " << std::string(bar, '#')
+       << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+double histogram::overlap_coefficient(const histogram& a, const histogram& b) {
+  APPEAL_CHECK(a.counts_.size() == b.counts_.size() && a.lo_ == b.lo_ &&
+                   a.hi_ == b.hi_,
+               "histograms must share binning");
+  const auto da = a.densities();
+  const auto db = b.densities();
+  const double bin_width =
+      (a.hi_ - a.lo_) / static_cast<double>(a.counts_.size());
+  double overlap = 0.0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    overlap += std::min(da[i], db[i]) * bin_width;
+  }
+  return overlap;
+}
+
+}  // namespace appeal::util

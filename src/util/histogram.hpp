@@ -1,0 +1,55 @@
+// Fixed-bin histogram with density output and text rendering.
+//
+// Used to reproduce the Fig. 4 score histograms (MSP vs q(z|x)) as
+// terminal-friendly bar charts plus CSV densities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace appeal::util {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets.
+/// Values outside the range are clamped into the edge buckets so mass is
+/// never silently dropped (scores are already in [0, 1] in practice).
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void add(double value);
+
+  /// Adds many observations.
+  void add_all(const std::vector<double>& values);
+
+  /// Raw counts per bucket.
+  const std::vector<std::size_t>& counts() const { return counts_; }
+
+  /// Normalized densities (integrate to 1 over [lo, hi]); all-zero when
+  /// the histogram is empty.
+  std::vector<double> densities() const;
+
+  /// Total number of observations.
+  std::size_t total() const { return total_; }
+
+  /// Center of bucket `i`.
+  double bin_center(std::size_t i) const;
+
+  /// Renders a horizontal bar chart (one line per bucket), scaled so the
+  /// fullest bucket spans `width` characters.
+  std::string render(std::size_t width = 50) const;
+
+  /// Overlap coefficient between two histograms with identical binning:
+  /// sum over bins of min(density_a, density_b) * bin_width. 0 = perfectly
+  /// separated, 1 = identical distributions. This is the quantitative form
+  /// of the Fig. 4 visual claim.
+  static double overlap_coefficient(const histogram& a, const histogram& b);
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace appeal::util

@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace appeal::util {
+
+namespace {
+
+std::atomic<log_level> g_level{log_level::info};
+
+const char* level_tag(log_level level) {
+  switch (level) {
+    case log_level::debug:
+      return "[debug] ";
+    case log_level::info:
+      return "[info ] ";
+    case log_level::warn:
+      return "[warn ] ";
+    case log_level::err:
+      return "[error] ";
+    case log_level::off:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level); }
+
+log_level get_log_level() { return g_level.load(); }
+
+void log_message(log_level level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::cerr << level_tag(level) << message << '\n';
+}
+
+}  // namespace appeal::util

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Experiments and examples use this to narrate progress; the level is a
+// process-wide setting so benches can silence training chatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace appeal::util {
+
+enum class log_level { debug = 0, info = 1, warn = 2, err = 3, off = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(log_level level);
+
+/// Returns the current global minimum level.
+log_level get_log_level();
+
+/// Emits `message` to stderr when `level` passes the global threshold.
+void log_message(log_level level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style log line that emits on destruction.
+class log_line {
+ public:
+  explicit log_line(log_level level) : level_(level) {}
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+  ~log_line() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  log_line& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace appeal::util
+
+#define APPEAL_LOG_DEBUG ::appeal::util::detail::log_line(::appeal::util::log_level::debug)
+#define APPEAL_LOG_INFO ::appeal::util::detail::log_line(::appeal::util::log_level::info)
+#define APPEAL_LOG_WARN ::appeal::util::detail::log_line(::appeal::util::log_level::warn)
+#define APPEAL_LOG_ERROR ::appeal::util::detail::log_line(::appeal::util::log_level::err)

@@ -1,0 +1,122 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : state_) {
+    lane = splitmix64(sm);
+  }
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+std::uint64_t rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double rng::uniform() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float rng::uniform(float lo, float hi) {
+  return lo + static_cast<float>(uniform()) * (hi - lo);
+}
+
+std::uint64_t rng::uniform_index(std::uint64_t n) {
+  APPEAL_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling removes modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int rng::uniform_int(int lo, int hi) {
+  APPEAL_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<int>(uniform_index(span));
+}
+
+double rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Box–Muller; u is kept away from zero so log(u) is finite.
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 1e-300);
+  const double v = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * 3.14159265358979323846 * v;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t rng::categorical(const std::vector<double>& weights) {
+  APPEAL_CHECK(!weights.empty(), "categorical requires at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    APPEAL_CHECK(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  APPEAL_CHECK(total > 0.0, "categorical weights must have a positive sum");
+  double draw = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: land on the last bucket
+}
+
+std::vector<std::size_t> rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  shuffle(perm);
+  return perm;
+}
+
+rng rng::split() { return rng(next_u64()); }
+
+}  // namespace appeal::util

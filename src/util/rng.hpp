@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (weight init, data generation,
+// augmentation, shuffling, dropout) draws from an explicitly seeded
+// appeal::util::rng, so a fixed seed reproduces a run bit-for-bit.
+// The generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace appeal::util {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Not thread-safe; use one instance per thread (or `split()` child
+/// generators for independent streams).
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` using splitmix64.
+  explicit rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  std::uint64_t operator()() { return next_u64(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal draw (Box–Muller, cached spare).
+  double normal();
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p);
+
+  /// Draws an index in [0, weights.size()) proportionally to `weights`.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Returns a shuffled permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator; the parent state advances, so
+  /// successive splits yield distinct streams.
+  rng split();
+
+ private:
+  std::uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace appeal::util

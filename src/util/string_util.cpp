@@ -1,0 +1,67 @@
+#include "util/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace appeal::util {
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(text);
+  while (std::getline(stream, field, delimiter)) {
+    fields.push_back(field);
+  }
+  if (!text.empty() && text.back() == delimiter) {
+    fields.emplace_back();
+  }
+  if (text.empty()) {
+    fields.emplace_back();
+  }
+  return fields;
+}
+
+std::string trim(const std::string& text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  auto begin = text.begin();
+  while (begin != text.end() && is_space(*begin)) ++begin;
+  auto end = text.end();
+  while (end != begin && is_space(*(end - 1))) --end;
+  return std::string(begin, end);
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), text.begin());
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return text;
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string format_percent(double value, int digits) {
+  return format_fixed(value * 100.0, digits) + "%";
+}
+
+}  // namespace appeal::util

@@ -1,0 +1,31 @@
+// Small string helpers shared by CSV/config/table code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace appeal::util {
+
+/// Splits `text` on `delimiter`; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Removes leading and trailing whitespace.
+std::string trim(const std::string& text);
+
+/// True when `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(std::string text);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+/// Formats `value` as a percentage string, e.g. 0.356 -> "35.60%".
+std::string format_percent(double value, int digits = 2);
+
+}  // namespace appeal::util

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace appeal::util {
+
+ascii_table::ascii_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  APPEAL_CHECK(!headers_.empty(), "ascii_table requires at least one column");
+}
+
+void ascii_table::add_row(std::vector<std::string> row) {
+  APPEAL_CHECK(row.size() == headers_.size(),
+               "row width does not match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string ascii_table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  const auto rule = [&]() {
+    std::ostringstream os;
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::string out = rule() + render_row(headers_) + rule();
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace appeal::util

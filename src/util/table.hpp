@@ -1,0 +1,32 @@
+// ASCII table rendering.
+//
+// The experiment benches print the paper's tables (Table I, Table II) in the
+// same row/column layout; this helper keeps the formatting consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace appeal::util {
+
+/// Column-aligned ASCII table with a header row.
+class ascii_table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit ascii_table(std::vector<std::string> headers);
+
+  /// Appends a data row; it must have exactly as many fields as headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with box-drawing separators.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace appeal::util

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by benches and training-progress logs.
+#pragma once
+
+#include <chrono>
+
+namespace appeal::util {
+
+/// Monotonic stopwatch; starts on construction.
+class timer {
+ public:
+  timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace appeal::util

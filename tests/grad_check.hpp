@@ -1,0 +1,115 @@
+// Finite-difference gradient checking for layers.
+//
+// For a layer f and a fixed random cotangent c, define the scalar loss
+// L(x) = sum_i c_i * f(x)_i. The analytic input gradient is backward(c);
+// parameter gradients accumulate into each parameter's grad buffer. Both
+// are compared against central finite differences. Tolerances are float32-
+// realistic: the check uses relative error against the gradient magnitude.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace appeal::testing {
+
+struct grad_check_options {
+  float epsilon = 1e-2F;        // central-difference step
+  float tolerance = 2e-2F;      // max allowed |analytic - numeric| / scale
+  std::size_t max_probes = 48;  // elements probed per tensor (sampled)
+  bool training = true;         // forward mode used for the check
+};
+
+/// Scalar loss L(x) = sum(c * f(x)).
+inline double cotangent_loss(nn::layer& layer, const tensor& input,
+                             const tensor& cotangent, bool training) {
+  const tensor out = layer.forward(input, training);
+  double total = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    total += static_cast<double>(out[i]) * cotangent[i];
+  }
+  return total;
+}
+
+/// Checks dL/d(input) and every dL/d(parameter) by central differences.
+/// `gen` supplies the cotangent and probe sampling.
+inline void check_layer_gradients(nn::layer& layer, tensor input,
+                                  util::rng& gen,
+                                  const grad_check_options& opts = {}) {
+  // Build a fixed cotangent over the output.
+  const tensor probe_out = layer.forward(input, opts.training);
+  tensor cotangent = tensor::randn(probe_out.dims(), gen, 0.0F, 1.0F);
+
+  // Analytic gradients: fresh forward, then backward(c).
+  for (nn::parameter* p : layer.parameters()) p->zero_grad();
+  layer.forward(input, opts.training);
+  const tensor analytic_input_grad = layer.backward(cotangent);
+  ASSERT_EQ(analytic_input_grad.dims().dims(), input.dims().dims());
+
+  // Capture parameter grads now (backward accumulates).
+  std::vector<tensor> analytic_param_grads;
+  for (nn::parameter* p : layer.parameters()) {
+    analytic_param_grads.push_back(p->grad);
+  }
+
+  const auto probe_tensor = [&](tensor& target, const tensor& analytic,
+                                const char* what) {
+    const std::size_t n = target.size();
+    const std::size_t probes = std::min<std::size_t>(opts.max_probes, n);
+    // Scale for relative comparison: typical gradient magnitude.
+    double scale = 1e-3;
+    for (std::size_t i = 0; i < analytic.size(); ++i) {
+      scale = std::max(scale, static_cast<double>(std::fabs(analytic[i])));
+    }
+    const auto numeric_at = [&](std::size_t idx, float epsilon) {
+      const float saved = target[idx];
+      target[idx] = saved + epsilon;
+      const double plus = cotangent_loss(layer, input, cotangent,
+                                         opts.training);
+      target[idx] = saved - epsilon;
+      const double minus = cotangent_loss(layer, input, cotangent,
+                                          opts.training);
+      target[idx] = saved;
+      return (plus - minus) / (2.0 * static_cast<double>(epsilon));
+    };
+    for (std::size_t probe = 0; probe < probes; ++probe) {
+      const std::size_t idx =
+          n <= opts.max_probes
+              ? probe
+              : static_cast<std::size_t>(gen.uniform_index(n));
+      // ReLU-family kinks: a pre-activation crossing zero inside the probe
+      // interval adds an fd error of O(|cotangent|/2) regardless of epsilon,
+      // while the crossing probability shrinks linearly with epsilon. On
+      // mismatch, retry with smaller steps; a true analytic-gradient bug
+      // fails at every step size.
+      double best_diff = std::numeric_limits<double>::infinity();
+      double numeric = 0.0;
+      for (const float epsilon :
+           {opts.epsilon, opts.epsilon / 8.0F, opts.epsilon / 64.0F}) {
+        const double candidate = numeric_at(idx, epsilon);
+        const double diff =
+            std::fabs(candidate - static_cast<double>(analytic[idx]));
+        if (diff < best_diff) {
+          best_diff = diff;
+          numeric = candidate;
+        }
+        if (best_diff <= opts.tolerance * scale + 1e-4) break;
+      }
+      EXPECT_LE(best_diff, opts.tolerance * scale + 1e-4)
+          << what << " gradient mismatch at flat index " << idx
+          << ": analytic=" << analytic[idx] << " numeric=" << numeric;
+    }
+  };
+
+  probe_tensor(input, analytic_input_grad, "input");
+  const auto params = layer.parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    probe_tensor(params[pi]->value, analytic_param_grads[pi],
+                 params[pi]->name.c_str());
+  }
+}
+
+}  // namespace appeal::testing

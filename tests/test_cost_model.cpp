@@ -1,0 +1,72 @@
+// Tests for the edge/cloud cost model (Eq. 15 + energy/latency extensions).
+#include <gtest/gtest.h>
+
+#include "collab/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using appeal::collab::cost_model;
+using appeal::collab::make_cost_model;
+
+cost_model sample_model() { return make_cost_model(0.5, 10.0, 3.0); }
+
+TEST(cost_model, offload_path_costs_more_than_edge_path) {
+  const cost_model m = sample_model();
+  EXPECT_GT(m.c0(), m.c1());
+  // c0 includes the edge pass (the predictor always runs), comm, and cloud.
+  EXPECT_DOUBLE_EQ(m.c0(), 0.5 + 3.0 * m.comm_mflops_per_kb + 10.0);
+  EXPECT_DOUBLE_EQ(m.c1(), 0.5);
+}
+
+TEST(cost_model, eq15_endpoints_and_linearity) {
+  const cost_model m = sample_model();
+  EXPECT_DOUBLE_EQ(m.overall_mflops(1.0), m.c1());
+  EXPECT_DOUBLE_EQ(m.overall_mflops(0.0), m.c0());
+  EXPECT_DOUBLE_EQ(m.overall_mflops(0.5), 0.5 * (m.c0() + m.c1()));
+  EXPECT_THROW(m.overall_mflops(-0.1), appeal::util::error);
+  EXPECT_THROW(m.overall_mflops(1.1), appeal::util::error);
+}
+
+TEST(cost_model, energy_decreases_with_skipping_rate) {
+  const cost_model m = sample_model();
+  double previous = m.overall_energy_mj(0.0);
+  for (double sr = 0.1; sr <= 1.0; sr += 0.1) {
+    const double current = m.overall_energy_mj(sr);
+    EXPECT_LT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(cost_model, edge_energy_is_always_paid) {
+  // Even at SR = 0 (everything offloaded) the predictor ran on the edge.
+  const cost_model m = sample_model();
+  const double edge_only = m.edge_mflops * m.edge_mj_per_mflop;
+  EXPECT_GE(m.overall_energy_mj(0.0), edge_only);
+  EXPECT_DOUBLE_EQ(m.overall_energy_mj(1.0), edge_only);
+}
+
+TEST(cost_model, energy_saving_vs_cloud_only) {
+  const cost_model m = sample_model();
+  EXPECT_DOUBLE_EQ(m.energy_saving_vs_cloud_only(0.0), 0.0);
+  EXPECT_GT(m.energy_saving_vs_cloud_only(0.9), 0.5);
+  EXPECT_GT(m.energy_saving_vs_cloud_only(1.0),
+            m.energy_saving_vs_cloud_only(0.9));
+}
+
+TEST(cost_model, latency_decreases_with_skipping_rate) {
+  const cost_model m = sample_model();
+  EXPECT_GT(m.overall_latency_ms(0.0), m.overall_latency_ms(0.5));
+  EXPECT_GT(m.overall_latency_ms(0.5), m.overall_latency_ms(1.0));
+  // Offloading pays at least the fixed round trip.
+  EXPECT_GE(m.overall_latency_ms(0.0) - m.overall_latency_ms(1.0),
+            m.comm_round_trip_ms);
+}
+
+TEST(cost_model, factory_validates_inputs) {
+  EXPECT_THROW(make_cost_model(0.0, 10.0, 3.0), appeal::util::error);
+  EXPECT_THROW(make_cost_model(1.0, -1.0, 3.0), appeal::util::error);
+  EXPECT_NO_THROW(make_cost_model(1.0, 10.0, 0.0));
+}
+
+}  // namespace

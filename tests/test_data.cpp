@@ -1,0 +1,263 @@
+// Tests for the synthetic dataset generator, presets, loader, augmentation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/augment.hpp"
+#include "data/dataloader.hpp"
+#include "data/presets.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace appeal;
+
+data::synthetic_config small_config() {
+  data::synthetic_config cfg;
+  cfg.num_classes = 5;
+  cfg.image_size = 12;
+  cfg.sample_count = 300;
+  cfg.class_seed = 11;
+  cfg.sample_seed = 22;
+  return cfg;
+}
+
+TEST(synthetic_dataset, is_deterministic_for_fixed_seeds) {
+  const data::synthetic_dataset a(small_config());
+  const data::synthetic_dataset b(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_EQ(a.get(i).label, b.get(i).label);
+    EXPECT_EQ(a.get(i).difficulty, b.get(i).difficulty);
+    EXPECT_EQ(ops::max_abs_diff(a.get(i).image, b.get(i).image), 0.0F);
+  }
+}
+
+TEST(synthetic_dataset, different_sample_seed_changes_samples_not_classes) {
+  data::synthetic_config cfg = small_config();
+  const data::synthetic_dataset a(cfg);
+  cfg.sample_seed = 33;
+  const data::synthetic_dataset b(cfg);
+  // Same class prototypes...
+  for (std::size_t k = 0; k < cfg.num_classes; ++k) {
+    EXPECT_EQ(ops::max_abs_diff(a.prototypes()[k], b.prototypes()[k]), 0.0F);
+  }
+  // ...different sample streams.
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.get(i).label != b.get(i).label ||
+        ops::max_abs_diff(a.get(i).image, b.get(i).image) > 0.0F) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(synthetic_dataset, labels_and_difficulties_in_range) {
+  const data::synthetic_dataset ds(small_config());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_LT(ds.get(i).label, 5U);
+    EXPECT_GE(ds.get(i).difficulty, 0.0F);
+    EXPECT_LE(ds.get(i).difficulty, 1.0F);
+    EXPECT_FALSE(ds.get(i).image.has_non_finite());
+  }
+}
+
+TEST(synthetic_dataset, classes_are_roughly_balanced) {
+  data::synthetic_config cfg = small_config();
+  cfg.sample_count = 2000;
+  const data::synthetic_dataset ds(cfg);
+  const auto hist = data::class_histogram(ds);
+  for (const std::size_t count : hist) {
+    EXPECT_NEAR(static_cast<double>(count), 400.0, 100.0);
+  }
+}
+
+TEST(synthetic_dataset, difficulty_correlates_with_distance_from_prototype) {
+  // Harder samples should deviate more from their class prototype — the
+  // generator's core property (difficulty is visible in pixel space).
+  data::synthetic_config cfg = small_config();
+  cfg.sample_count = 1500;
+  const data::synthetic_dataset ds(cfg);
+
+  double easy_distance = 0.0;
+  double hard_distance = 0.0;
+  std::size_t easy_count = 0;
+  std::size_t hard_count = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const data::sample& s = ds.get(i);
+    const tensor diff = ops::subtract(s.image, ds.prototypes()[s.label]);
+    const double dist = ops::l2_norm(diff);
+    if (s.difficulty < 0.2F) {
+      easy_distance += dist;
+      ++easy_count;
+    } else if (s.difficulty > 0.7F) {
+      hard_distance += dist;
+      ++hard_count;
+    }
+  }
+  ASSERT_GT(easy_count, 10U);
+  ASSERT_GT(hard_count, 10U);
+  EXPECT_GT(hard_distance / static_cast<double>(hard_count),
+            1.5 * easy_distance / static_cast<double>(easy_count));
+}
+
+TEST(synthetic_dataset, tail_fraction_controls_hard_mass) {
+  data::synthetic_config cfg = small_config();
+  cfg.sample_count = 3000;
+  cfg.tail_fraction = 0.0;
+  const data::synthetic_dataset no_tail(cfg);
+  cfg.tail_fraction = 0.5;
+  const data::synthetic_dataset heavy_tail(cfg);
+
+  const auto hard_fraction = [](const data::synthetic_dataset& ds) {
+    std::size_t hard = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (ds.get(i).difficulty >= 0.55F) ++hard;
+    }
+    return static_cast<double>(hard) / static_cast<double>(ds.size());
+  };
+  EXPECT_NEAR(hard_fraction(no_tail), 0.0, 1e-9);
+  EXPECT_NEAR(hard_fraction(heavy_tail), 0.5, 0.05);
+}
+
+TEST(synthetic_dataset, confusers_differ_from_class) {
+  const data::synthetic_dataset ds(small_config());
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NE(ds.confuser_of(k, 0), k);
+    EXPECT_NE(ds.confuser_of(k, 1), k);
+  }
+}
+
+TEST(synthetic_dataset, validates_config) {
+  data::synthetic_config cfg = small_config();
+  cfg.num_classes = 1;
+  EXPECT_THROW(data::synthetic_dataset{cfg}, util::error);
+  cfg = small_config();
+  cfg.blend_strength = 1.0F;
+  EXPECT_THROW(data::synthetic_dataset{cfg}, util::error);
+}
+
+TEST(presets, parse_and_names) {
+  EXPECT_EQ(data::parse_preset("gtsrb"), data::preset::gtsrb_like);
+  EXPECT_EQ(data::parse_preset("cifar10_like"), data::preset::cifar10_like);
+  EXPECT_EQ(data::parse_preset("CIFAR100"), data::preset::cifar100_like);
+  EXPECT_EQ(data::parse_preset("tiny_imagenet"),
+            data::preset::tiny_imagenet_like);
+  EXPECT_THROW(data::parse_preset("imagenet21k"), util::error);
+  EXPECT_EQ(data::all_presets().size(), 4U);
+}
+
+TEST(presets, class_counts_match_paper) {
+  EXPECT_EQ(data::preset_config(data::preset::gtsrb_like, 1).num_classes, 43U);
+  EXPECT_EQ(data::preset_config(data::preset::cifar10_like, 1).num_classes,
+            10U);
+  EXPECT_EQ(data::preset_config(data::preset::cifar100_like, 1).num_classes,
+            100U);
+  EXPECT_EQ(
+      data::preset_config(data::preset::tiny_imagenet_like, 1).num_classes,
+      200U);
+}
+
+TEST(presets, small_bundle_has_three_consistent_splits) {
+  const data::dataset_bundle bundle =
+      data::make_small_bundle(data::preset::cifar10_like, 5);
+  ASSERT_NE(bundle.train, nullptr);
+  ASSERT_NE(bundle.val, nullptr);
+  ASSERT_NE(bundle.test, nullptr);
+  EXPECT_GT(bundle.train->size(), bundle.val->size());
+  EXPECT_EQ(bundle.train->num_classes(), bundle.test->num_classes());
+  // Shared prototypes across splits.
+  EXPECT_EQ(ops::max_abs_diff(bundle.train->prototypes()[0],
+                              bundle.test->prototypes()[0]),
+            0.0F);
+}
+
+TEST(batching, make_batch_stacks_rows) {
+  const data::synthetic_dataset ds(small_config());
+  const data::batch b = data::make_batch(ds, {3, 7, 11});
+  EXPECT_EQ(b.images.dims(), shape({3, 3, 12, 12}));
+  EXPECT_EQ(b.labels.size(), 3U);
+  EXPECT_EQ(b.labels[1], ds.get(7).label);
+  // Pixel content is copied verbatim.
+  const data::sample& s = ds.get(11);
+  for (std::size_t i = 0; i < s.image.size(); ++i) {
+    ASSERT_EQ(b.images[2 * s.image.size() + i], s.image[i]);
+  }
+  EXPECT_THROW(data::make_batch(ds, {ds.size()}), util::error);
+  EXPECT_THROW(data::make_batch(ds, {}), util::error);
+}
+
+TEST(data_loader, epoch_covers_every_index_exactly_once) {
+  const data::synthetic_dataset ds(small_config());
+  data::data_loader loader(ds, 64, /*shuffle=*/true, util::rng(3));
+  EXPECT_EQ(loader.batches_per_epoch(), (300 + 63) / 64);
+
+  std::multiset<std::size_t> seen;
+  while (auto b = loader.next()) {
+    for (const std::size_t idx : b->indices) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(seen.count(i), 1U);
+  }
+}
+
+TEST(data_loader, shuffle_changes_order_between_epochs) {
+  const data::synthetic_dataset ds(small_config());
+  data::data_loader loader(ds, 300, /*shuffle=*/true, util::rng(7));
+  const auto first = loader.next()->indices;
+  loader.start_epoch();
+  const auto second = loader.next()->indices;
+  EXPECT_NE(first, second);
+}
+
+TEST(data_loader, unshuffled_order_is_sequential) {
+  const data::synthetic_dataset ds(small_config());
+  data::data_loader loader(ds, 100, /*shuffle=*/false, util::rng(7));
+  const auto b = loader.next();
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(b->indices[i], i);
+  }
+}
+
+TEST(augment, preserves_shape_and_is_bounded) {
+  const data::synthetic_dataset ds(small_config());
+  data::batch b = data::make_batch(ds, {0, 1, 2, 3});
+  const tensor before = b.images;
+  util::rng gen(9);
+  data::augment_config cfg;
+  cfg.max_shift = 2;
+  cfg.flip_probability = 0.5;
+  cfg.noise_sigma = 0.01F;
+  data::augment_batch(b.images, gen, cfg);
+  EXPECT_EQ(b.images.dims(), before.dims());
+  EXPECT_FALSE(b.images.has_non_finite());
+  // Something actually changed.
+  EXPECT_GT(ops::max_abs_diff(b.images, before), 0.0F);
+}
+
+TEST(augment, zero_policy_with_flip_only_preserves_pixels_multiset) {
+  const data::synthetic_dataset ds(small_config());
+  data::batch b = data::make_batch(ds, {5});
+  const tensor before = b.images;
+  util::rng gen(1);
+  data::augment_config cfg;
+  cfg.max_shift = 0;
+  cfg.flip_probability = 1.0;
+  cfg.noise_sigma = 0.0F;
+  data::augment_batch(b.images, gen, cfg);
+  // A pure horizontal flip permutes pixels within each row.
+  std::multiset<float> pa(before.values().begin(), before.values().end());
+  std::multiset<float> pb(b.images.values().begin(), b.images.values().end());
+  EXPECT_EQ(pa, pb);
+  // Double flip restores the original exactly.
+  data::augment_batch(b.images, gen, cfg);
+  EXPECT_EQ(ops::max_abs_diff(b.images, before), 0.0F);
+}
+
+}  // namespace

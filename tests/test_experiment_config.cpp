@@ -1,0 +1,112 @@
+// Tests for the experiment configuration plumbing: spec builders, cache
+// keys, per-dataset defaults.
+#include <gtest/gtest.h>
+
+#include "collab/cost_model.hpp"
+#include "collab/experiment.hpp"
+#include "nn/flops.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace appeal;
+
+TEST(experiment_config, canonical_distinguishes_every_knob) {
+  const collab::experiment_config base;
+  const std::string key = base.canonical();
+
+  collab::experiment_config c = base;
+  c.dataset = data::preset::gtsrb_like;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.edge_family = models::model_family::shufflenet;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.black_box = true;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.beta += 0.01;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.seed += 1;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.joint_epochs += 1;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.joint_lr *= 2.0;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.edge_width = 0.5F;
+  EXPECT_NE(c.canonical(), key);
+
+  c = base;
+  c.augment = !c.augment;
+  EXPECT_NE(c.canonical(), key);
+
+  // verbose must NOT affect the key (it changes no artifact).
+  c = base;
+  c.verbose = !c.verbose;
+  EXPECT_EQ(c.canonical(), key);
+}
+
+TEST(experiment_config, spec_builders_match_dataset_geometry) {
+  for (const data::preset preset : data::all_presets()) {
+    const collab::experiment_config cfg = collab::default_experiment(
+        preset, models::model_family::mobilenet, false);
+    const data::synthetic_config data_cfg =
+        data::preset_config(preset, cfg.seed);
+
+    const models::model_spec edge = collab::edge_spec_for(cfg);
+    EXPECT_EQ(edge.num_classes, data_cfg.num_classes);
+    EXPECT_EQ(edge.image_size, data_cfg.image_size);
+    EXPECT_EQ(edge.in_channels, data_cfg.channels);
+    EXPECT_EQ(edge.family, models::model_family::mobilenet);
+
+    const models::model_spec big = collab::big_spec_for(cfg);
+    EXPECT_EQ(big.num_classes, data_cfg.num_classes);
+    EXPECT_EQ(big.family, models::model_family::resnet);
+  }
+}
+
+TEST(experiment_config, big_model_dominates_edge_cost) {
+  // The premise of the whole architecture: the cloud model is much more
+  // expensive than any edge candidate at the same input geometry.
+  const collab::experiment_config cfg = collab::default_experiment(
+      data::preset::cifar10_like, models::model_family::mobilenet, false);
+  const models::backbone edge =
+      models::make_backbone(collab::edge_spec_for(cfg));
+  const models::backbone big =
+      models::make_backbone(collab::big_spec_for(cfg));
+  const shape input{1, 3, 16, 16};
+  EXPECT_GT(big.features->flops(input), 10 * edge.features->flops(input));
+}
+
+TEST(experiment_config, per_dataset_defaults_scale_with_difficulty) {
+  const auto easy = collab::default_experiment(
+      data::preset::cifar10_like, models::model_family::mobilenet, false);
+  const auto hard = collab::default_experiment(
+      data::preset::tiny_imagenet_like, models::model_family::mobilenet,
+      false);
+  EXPECT_GE(hard.big_epochs, easy.big_epochs);
+  EXPECT_GE(hard.pretrain_epochs, easy.pretrain_epochs);
+}
+
+TEST(experiment_config, cost_model_from_experiment_outputs) {
+  // Eq. 15 wiring sanity on the numbers an experiment produces.
+  const collab::cost_model costs = collab::make_cost_model(0.48, 9.98, 3.0);
+  EXPECT_GT(costs.c0(), costs.c1());
+  EXPECT_GT(costs.c0() / costs.c1(), 10.0);
+  // At the paper's typical operating band the system is far cheaper than
+  // cloud-only.
+  EXPECT_LT(costs.overall_mflops(0.9), 0.25 * costs.overall_mflops(0.0));
+}
+
+}  // namespace

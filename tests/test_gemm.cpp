@@ -1,0 +1,155 @@
+// Tests for the GEMM kernels against a naive reference, across shapes and
+// alpha/beta combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using appeal::shape;
+using appeal::tensor;
+namespace ops = appeal::ops;
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 appeal::util::rng& gen) {
+  std::vector<float> out(rows * cols);
+  for (auto& v : out) v = gen.uniform(-1.0F, 1.0F);
+  return out;
+}
+
+void naive_gemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                const float* a, const float* b, float beta, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      c[i * n + j] = static_cast<float>(alpha * acc + beta * c[i * n + j]);
+    }
+  }
+}
+
+float max_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  float worst = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+/// Parameterized over (m, n, k) including degenerate and blocking-boundary
+/// sizes.
+class gemm_shapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(gemm_shapes, sgemm_matches_naive) {
+  const auto [mi, ni, ki] = GetParam();
+  const auto m = static_cast<std::size_t>(mi);
+  const auto n = static_cast<std::size_t>(ni);
+  const auto k = static_cast<std::size_t>(ki);
+  appeal::util::rng gen(m * 1000 + n * 100 + k);
+
+  const auto a = random_matrix(m, k, gen);
+  const auto b = random_matrix(k, n, gen);
+  auto c_ref = random_matrix(m, n, gen);
+  auto c = c_ref;
+
+  ops::sgemm(m, n, k, 1.3F, a.data(), b.data(), 0.7F, c.data());
+  naive_gemm(m, n, k, 1.3F, a.data(), b.data(), 0.7F, c_ref.data());
+  EXPECT_LE(max_diff(c, c_ref), 1e-3F * static_cast<float>(k));
+}
+
+TEST_P(gemm_shapes, sgemm_at_matches_transposed_input) {
+  const auto [mi, ni, ki] = GetParam();
+  const auto m = static_cast<std::size_t>(mi);
+  const auto n = static_cast<std::size_t>(ni);
+  const auto k = static_cast<std::size_t>(ki);
+  appeal::util::rng gen(m + n + k);
+
+  // A stored [k x m]; compare against naive on the explicit transpose.
+  const auto a_t = random_matrix(k, m, gen);
+  std::vector<float> a(m * k);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t i = 0; i < m; ++i) a[i * k + kk] = a_t[kk * m + i];
+  }
+  const auto b = random_matrix(k, n, gen);
+  std::vector<float> c(m * n, 0.0F);
+  std::vector<float> c_ref(m * n, 0.0F);
+
+  ops::sgemm_at(m, n, k, 1.0F, a_t.data(), b.data(), 0.0F, c.data());
+  naive_gemm(m, n, k, 1.0F, a.data(), b.data(), 0.0F, c_ref.data());
+  EXPECT_LE(max_diff(c, c_ref), 1e-3F * static_cast<float>(k));
+}
+
+TEST_P(gemm_shapes, sgemm_bt_matches_transposed_input) {
+  const auto [mi, ni, ki] = GetParam();
+  const auto m = static_cast<std::size_t>(mi);
+  const auto n = static_cast<std::size_t>(ni);
+  const auto k = static_cast<std::size_t>(ki);
+  appeal::util::rng gen(3 * m + 5 * n + 7 * k);
+
+  const auto a = random_matrix(m, k, gen);
+  // B stored [n x k].
+  const auto b_t = random_matrix(n, k, gen);
+  std::vector<float> b(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t kk = 0; kk < k; ++kk) b[kk * n + j] = b_t[j * k + kk];
+  }
+  std::vector<float> c(m * n, 0.0F);
+  std::vector<float> c_ref(m * n, 0.0F);
+
+  ops::sgemm_bt(m, n, k, 1.0F, a.data(), b_t.data(), 0.0F, c.data());
+  naive_gemm(m, n, k, 1.0F, a.data(), b.data(), 0.0F, c_ref.data());
+  EXPECT_LE(max_diff(c, c_ref), 1e-3F * static_cast<float>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    sizes, gemm_shapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(1, 64, 9),
+                      std::make_tuple(65, 7, 129),   // crosses block_m/block_k
+                      std::make_tuple(64, 257, 128), // exactly at block sizes
+                      std::make_tuple(31, 300, 5)));
+
+TEST(gemm, beta_zero_overwrites_garbage) {
+  // C may contain NaN-like garbage; beta = 0 must ignore it.
+  std::vector<float> a{1.0F};
+  std::vector<float> b{2.0F};
+  std::vector<float> c{std::numeric_limits<float>::quiet_NaN()};
+  ops::sgemm(1, 1, 1, 1.0F, a.data(), b.data(), 0.0F, c.data());
+  EXPECT_EQ(c[0], 2.0F);
+}
+
+TEST(gemm, alpha_zero_only_scales_c) {
+  std::vector<float> a{1.0F};
+  std::vector<float> b{2.0F};
+  std::vector<float> c{4.0F};
+  ops::sgemm(1, 1, 1, 0.0F, a.data(), b.data(), 0.5F, c.data());
+  EXPECT_EQ(c[0], 2.0F);
+}
+
+TEST(gemm, matmul_identity) {
+  appeal::util::rng gen(9);
+  const tensor m = tensor::randn(shape{4, 4}, gen);
+  tensor eye(shape{4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye[i * 4 + i] = 1.0F;
+  const tensor out = ops::matmul(m, eye);
+  EXPECT_LE(ops::max_abs_diff(out, m), 1e-6F);
+}
+
+TEST(gemm, matmul_validates_shapes) {
+  const tensor a(shape{2, 3});
+  const tensor b(shape{4, 2});
+  EXPECT_THROW(ops::matmul(a, b), appeal::util::error);
+  EXPECT_THROW(ops::matmul(a, tensor(shape{3})), appeal::util::error);
+}
+
+}  // namespace

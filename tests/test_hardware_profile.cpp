@@ -1,0 +1,110 @@
+// Tests for the hardware profiler / model-pool selection (Fig. 3 workflow).
+#include <gtest/gtest.h>
+
+#include "core/hardware_profile.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace appeal;
+
+core::hardware_spec roomy_device() {
+  core::hardware_spec device;
+  device.name = "roomy";
+  device.compute_budget_mflops = 1e6;
+  device.memory_budget_kb = 1e6;
+  device.peak_gflops = 10.0;
+  device.latency_budget_ms = 1e6;
+  return device;
+}
+
+TEST(hardware_profile, default_pool_spans_families_and_widths) {
+  const auto pool = core::default_model_pool(16, 10);
+  EXPECT_EQ(pool.size(), 12U);  // 3 families x 4 widths
+  bool has_shufflenet = false;
+  for (const auto& spec : pool) {
+    if (spec.family == models::model_family::shufflenet) has_shufflenet = true;
+    EXPECT_EQ(spec.num_classes, 10U);
+  }
+  EXPECT_TRUE(has_shufflenet);
+}
+
+TEST(hardware_profile, profiles_report_positive_costs) {
+  const auto pool = core::default_model_pool(16, 10);
+  const auto profiled = core::profile_pool(roomy_device(), pool);
+  ASSERT_EQ(profiled.size(), pool.size());
+  for (const auto& p : profiled) {
+    EXPECT_GT(p.mflops, 0.0);
+    EXPECT_GT(p.params_kb, 0.0);
+    EXPECT_GT(p.latency_ms, 0.0);
+    EXPECT_TRUE(p.fits);  // roomy device fits everything
+  }
+}
+
+TEST(hardware_profile, wider_models_cost_more) {
+  std::vector<models::model_spec> pool;
+  for (const float width : {0.5F, 1.0F, 1.5F}) {
+    models::model_spec spec;
+    spec.family = models::model_family::mobilenet;
+    spec.image_size = 16;
+    spec.num_classes = 10;
+    spec.width = width;
+    pool.push_back(spec);
+  }
+  const auto profiled = core::profile_pool(roomy_device(), pool);
+  EXPECT_LT(profiled[0].mflops, profiled[1].mflops);
+  EXPECT_LT(profiled[1].mflops, profiled[2].mflops);
+}
+
+TEST(hardware_profile, select_picks_most_capable_fitting_model) {
+  const auto pool = core::default_model_pool(16, 10);
+  const auto all = core::profile_pool(roomy_device(), pool);
+  double max_mflops = 0.0;
+  for (const auto& p : all) max_mflops = std::max(max_mflops, p.mflops);
+
+  const auto chosen = core::select_edge_model(roomy_device(), pool);
+  EXPECT_DOUBLE_EQ(chosen.mflops, max_mflops);
+}
+
+TEST(hardware_profile, tight_compute_budget_excludes_models) {
+  const auto pool = core::default_model_pool(16, 10);
+  core::hardware_spec device = roomy_device();
+  const auto all = core::profile_pool(device, pool);
+  // Set the budget between min and max so selection is constrained.
+  double min_mflops = 1e18;
+  double max_mflops = 0.0;
+  for (const auto& p : all) {
+    min_mflops = std::min(min_mflops, p.mflops);
+    max_mflops = std::max(max_mflops, p.mflops);
+  }
+  device.compute_budget_mflops = (min_mflops + max_mflops) / 2.0;
+  const auto chosen = core::select_edge_model(device, pool);
+  EXPECT_LE(chosen.mflops, device.compute_budget_mflops);
+  EXPECT_GT(chosen.mflops, min_mflops - 1e-12);
+}
+
+TEST(hardware_profile, latency_budget_is_enforced) {
+  const auto pool = core::default_model_pool(16, 10);
+  core::hardware_spec device = roomy_device();
+  device.peak_gflops = 0.001;      // very slow device
+  device.latency_budget_ms = 1.0;  // harsh budget
+  bool any_fits = false;
+  for (const auto& p : core::profile_pool(device, pool)) {
+    if (p.fits) any_fits = true;
+    EXPECT_GT(p.latency_ms, 0.0);
+  }
+  if (!any_fits) {
+    EXPECT_THROW(core::select_edge_model(device, pool), util::error);
+  }
+}
+
+TEST(hardware_profile, nothing_fits_throws) {
+  core::hardware_spec device = roomy_device();
+  device.compute_budget_mflops = 1e-9;
+  EXPECT_THROW(
+      core::select_edge_model(device, core::default_model_pool(16, 10)),
+      util::error);
+  EXPECT_THROW(core::profile_pool(device, {}), util::error);
+}
+
+}  // namespace

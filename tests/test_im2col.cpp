@@ -1,0 +1,200 @@
+// Tests for im2col/col2im: geometry, correctness vs direct convolution,
+// and the adjoint property that makes the conv backward pass valid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace ops = appeal::ops;
+
+TEST(conv_geometry, output_extents) {
+  ops::conv_geometry g;
+  g.channels = 3;
+  g.height = 16;
+  g.width = 16;
+  g.kernel = 3;
+  g.stride = 2;
+  g.padding = 1;
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.out_height(), 8U);
+  EXPECT_EQ(g.out_width(), 8U);
+  EXPECT_EQ(g.patch_size(), 27U);
+  EXPECT_EQ(g.column_count(), 64U);
+}
+
+TEST(conv_geometry, invalid_when_kernel_exceeds_padded_input) {
+  ops::conv_geometry g;
+  g.channels = 1;
+  g.height = 2;
+  g.width = 2;
+  g.kernel = 5;
+  g.stride = 1;
+  g.padding = 1;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(im2col, unit_kernel_is_identity) {
+  ops::conv_geometry g;
+  g.channels = 2;
+  g.height = 3;
+  g.width = 3;
+  g.kernel = 1;
+  const std::size_t n = 2 * 3 * 3;
+  std::vector<float> image(n);
+  for (std::size_t i = 0; i < n; ++i) image[i] = static_cast<float>(i);
+  std::vector<float> cols(g.patch_size() * g.column_count());
+  ops::im2col(g, image.data(), cols.data());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(cols[i], image[i]);
+}
+
+TEST(im2col, padding_reads_zero) {
+  ops::conv_geometry g;
+  g.channels = 1;
+  g.height = 2;
+  g.width = 2;
+  g.kernel = 3;
+  g.padding = 1;
+  std::vector<float> image{1, 2, 3, 4};
+  std::vector<float> cols(g.patch_size() * g.column_count());
+  ops::im2col(g, image.data(), cols.data());
+  // Output is 2x2; the (ky=0, kx=0) patch row reads the pixel up-left of
+  // each output position: all padding except the last output (reads pixel 0).
+  EXPECT_EQ(cols[0], 0.0F);
+  EXPECT_EQ(cols[1], 0.0F);
+  EXPECT_EQ(cols[2], 0.0F);
+  EXPECT_EQ(cols[3], 1.0F);
+  // Centre row (ky=1, kx=1) reads the pixel itself.
+  const std::size_t centre = (1 * 3 + 1) * g.column_count();
+  EXPECT_EQ(cols[centre + 0], 1.0F);
+  EXPECT_EQ(cols[centre + 3], 4.0F);
+}
+
+/// Direct (naive) convolution used as the reference.
+void naive_conv(const ops::conv_geometry& g, const float* image,
+                const float* weight, std::size_t out_channels, float* out) {
+  const std::size_t oh = g.out_height();
+  const std::size_t ow = g.out_width();
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < g.channels; ++c) {
+          for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                  static_cast<std::ptrdiff_t>(g.padding);
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                  static_cast<std::ptrdiff_t>(g.padding);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.height) ||
+                  ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.width)) {
+                continue;
+              }
+              const float pixel =
+                  image[(c * g.height + static_cast<std::size_t>(iy)) *
+                            g.width +
+                        static_cast<std::size_t>(ix)];
+              const float w =
+                  weight[((oc * g.channels + c) * g.kernel + ky) * g.kernel +
+                         kx];
+              acc += static_cast<double>(pixel) * w;
+            }
+          }
+        }
+        out[(oc * oh + oy) * ow + ox] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+/// Parameterized over (size, kernel, stride, padding, channels).
+class im2col_conv_property
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(im2col_conv_property, gemm_lowering_matches_direct_convolution) {
+  const auto [size, kernel, stride, padding, channels] = GetParam();
+  ops::conv_geometry g;
+  g.channels = static_cast<std::size_t>(channels);
+  g.height = static_cast<std::size_t>(size);
+  g.width = static_cast<std::size_t>(size);
+  g.kernel = static_cast<std::size_t>(kernel);
+  g.stride = static_cast<std::size_t>(stride);
+  g.padding = static_cast<std::size_t>(padding);
+  ASSERT_TRUE(g.valid());
+
+  constexpr std::size_t out_channels = 4;
+  appeal::util::rng gen(static_cast<std::uint64_t>(size * 131 + kernel));
+  std::vector<float> image(g.channels * g.height * g.width);
+  for (auto& v : image) v = gen.uniform(-1.0F, 1.0F);
+  std::vector<float> weight(out_channels * g.patch_size());
+  for (auto& v : weight) v = gen.uniform(-1.0F, 1.0F);
+
+  // GEMM path.
+  std::vector<float> cols(g.patch_size() * g.column_count());
+  ops::im2col(g, image.data(), cols.data());
+  std::vector<float> out_gemm(out_channels * g.column_count(), 0.0F);
+  ops::sgemm(out_channels, g.column_count(), g.patch_size(), 1.0F,
+             weight.data(), cols.data(), 0.0F, out_gemm.data());
+
+  // Direct path.
+  std::vector<float> out_ref(out_channels * g.column_count(), 0.0F);
+  naive_conv(g, image.data(), weight.data(), out_channels, out_ref.data());
+
+  for (std::size_t i = 0; i < out_gemm.size(); ++i) {
+    ASSERT_NEAR(out_gemm[i], out_ref[i], 1e-3F)
+        << "mismatch at " << i << " for size=" << size << " k=" << kernel
+        << " s=" << stride << " p=" << padding;
+  }
+}
+
+TEST_P(im2col_conv_property, col2im_is_the_adjoint_of_im2col) {
+  // Adjoint property: <im2col(x), y> == <x, col2im(y)> for random x, y.
+  const auto [size, kernel, stride, padding, channels] = GetParam();
+  ops::conv_geometry g;
+  g.channels = static_cast<std::size_t>(channels);
+  g.height = static_cast<std::size_t>(size);
+  g.width = static_cast<std::size_t>(size);
+  g.kernel = static_cast<std::size_t>(kernel);
+  g.stride = static_cast<std::size_t>(stride);
+  g.padding = static_cast<std::size_t>(padding);
+  ASSERT_TRUE(g.valid());
+
+  appeal::util::rng gen(static_cast<std::uint64_t>(size * 17 + kernel * 3));
+  std::vector<float> x(g.channels * g.height * g.width);
+  for (auto& v : x) v = gen.uniform(-1.0F, 1.0F);
+  std::vector<float> y(g.patch_size() * g.column_count());
+  for (auto& v : y) v = gen.uniform(-1.0F, 1.0F);
+
+  std::vector<float> ax(y.size());
+  ops::im2col(g, x.data(), ax.data());
+  std::vector<float> aty(x.size(), 0.0F);
+  ops::col2im(g, y.data(), aty.data());
+
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    lhs += static_cast<double>(ax[i]) * y[i];
+  }
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * aty[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    geometries, im2col_conv_property,
+    ::testing::Values(std::make_tuple(8, 3, 1, 1, 3),
+                      std::make_tuple(8, 3, 2, 1, 3),
+                      std::make_tuple(7, 3, 2, 0, 2),
+                      std::make_tuple(9, 5, 1, 2, 1),
+                      std::make_tuple(16, 1, 1, 0, 4),
+                      std::make_tuple(6, 3, 3, 0, 2)));
+
+}  // namespace

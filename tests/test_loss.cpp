@@ -1,0 +1,258 @@
+// Tests for loss functions: cross-entropy, BCE and the AppealNet joint
+// objective (values + closed-form gradients vs finite differences).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/joint_loss.hpp"
+#include "nn/loss.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+TEST(cross_entropy, uniform_logits_give_log_k) {
+  const tensor logits(shape{2, 4});  // all zeros -> uniform
+  const nn::loss_result r = nn::softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.mean_loss, std::log(4.0), 1e-5);
+  EXPECT_NEAR(r.per_sample[0], std::log(4.0F), 1e-5F);
+}
+
+TEST(cross_entropy, confident_correct_prediction_has_low_loss) {
+  tensor logits(shape{1, 3});
+  logits[0] = 10.0F;
+  const nn::loss_result r = nn::softmax_cross_entropy(logits, {0});
+  EXPECT_LT(r.mean_loss, 1e-3);
+}
+
+TEST(cross_entropy, gradient_matches_finite_differences) {
+  util::rng gen(3);
+  tensor logits = tensor::randn(shape{4, 5}, gen);
+  const std::vector<std::size_t> labels{0, 2, 4, 1};
+  const nn::loss_result r = nn::softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double plus =
+        nn::softmax_cross_entropy(logits, labels).mean_loss;
+    logits[i] = saved - eps;
+    const double minus =
+        nn::softmax_cross_entropy(logits, labels).mean_loss;
+    logits[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(numeric, r.grad[i], 2e-3) << "at flat index " << i;
+  }
+}
+
+TEST(cross_entropy, label_smoothing_softens_gradient_and_loss) {
+  tensor logits(shape{1, 4});
+  logits[1] = 8.0F;
+  const nn::loss_result hard = nn::softmax_cross_entropy(logits, {1}, 0.0F);
+  const nn::loss_result soft = nn::softmax_cross_entropy(logits, {1}, 0.2F);
+  EXPECT_GT(soft.mean_loss, hard.mean_loss);
+  // With smoothing the optimum is not a one-hot, so the gradient at a very
+  // confident point pushes away from over-confidence.
+  EXPECT_GT(soft.grad[1], hard.grad[1]);
+}
+
+TEST(cross_entropy, validates_inputs) {
+  const tensor logits(shape{2, 3});
+  EXPECT_THROW(nn::softmax_cross_entropy(logits, {0}), util::error);
+  EXPECT_THROW(nn::softmax_cross_entropy(logits, {0, 5}), util::error);
+  EXPECT_THROW(nn::softmax_cross_entropy(logits, {0, 1}, 1.0F), util::error);
+}
+
+TEST(cross_entropy_values, matches_loss_result) {
+  util::rng gen(5);
+  const tensor logits = tensor::randn(shape{6, 4}, gen);
+  const std::vector<std::size_t> labels{0, 1, 2, 3, 0, 1};
+  const auto values = nn::cross_entropy_values(logits, labels);
+  const nn::loss_result r = nn::softmax_cross_entropy(logits, labels);
+  ASSERT_EQ(values.size(), 6U);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(values[i], r.per_sample[i], 1e-5F);
+  }
+}
+
+TEST(sigmoid_bce, known_values_and_stability) {
+  const tensor scores = tensor::from_values(shape{3}, {0.0F, 80.0F, -80.0F});
+  const nn::loss_result r =
+      nn::sigmoid_binary_cross_entropy(scores, {1.0F, 1.0F, 0.0F});
+  EXPECT_NEAR(r.per_sample[0], std::log(2.0F), 1e-5F);
+  EXPECT_NEAR(r.per_sample[1], 0.0F, 1e-5F);
+  EXPECT_NEAR(r.per_sample[2], 0.0F, 1e-5F);
+  EXPECT_FALSE(r.grad.has_non_finite());
+}
+
+TEST(sigmoid_bce, gradient_matches_finite_differences) {
+  util::rng gen(7);
+  tensor scores = tensor::randn(shape{5}, gen);
+  const std::vector<float> targets{1.0F, 0.0F, 0.5F, 1.0F, 0.0F};
+  const nn::loss_result r = nn::sigmoid_binary_cross_entropy(scores, targets);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const float saved = scores[i];
+    scores[i] = saved + eps;
+    const double plus =
+        nn::sigmoid_binary_cross_entropy(scores, targets).mean_loss;
+    scores[i] = saved - eps;
+    const double minus =
+        nn::sigmoid_binary_cross_entropy(scores, targets).mean_loss;
+    scores[i] = saved;
+    EXPECT_NEAR((plus - minus) / (2.0 * eps), r.grad[i], 1e-3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Joint loss (Eq. 9 / Eq. 10).
+// ---------------------------------------------------------------------------
+
+double brute_force_joint_loss(const tensor& logits, const tensor& q_logits,
+                              const std::vector<std::size_t>& labels,
+                              const std::vector<float>& big_losses,
+                              const core::joint_loss_config& cfg) {
+  const tensor log_probs = ops::log_softmax_rows(logits);
+  const std::size_t n = logits.dims().dim(0);
+  const std::size_t k = logits.dims().dim(1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double l1 = -log_probs[i * k + labels[i]];
+    const double l0 = cfg.black_box ? 0.0 : big_losses[i];
+    double q = 1.0 / (1.0 + std::exp(-static_cast<double>(q_logits[i])));
+    q = std::clamp(q, static_cast<double>(cfg.q_floor),
+                   1.0 - static_cast<double>(cfg.q_floor));
+    total += q * l1 + (1.0 - q) * l0 + cfg.beta * (-std::log(q));
+  }
+  return total / static_cast<double>(n);
+}
+
+TEST(joint_loss, value_matches_brute_force) {
+  util::rng gen(11);
+  const tensor logits = tensor::randn(shape{6, 4}, gen);
+  const tensor q_logits = tensor::randn(shape{6}, gen);
+  const std::vector<std::size_t> labels{0, 1, 2, 3, 1, 0};
+  std::vector<float> big_losses(6);
+  for (auto& v : big_losses) v = gen.uniform(0.0F, 0.5F);
+
+  core::joint_loss_config cfg;
+  cfg.beta = 0.4;
+  const auto r =
+      core::compute_joint_loss(logits, q_logits, labels, big_losses, cfg);
+  EXPECT_NEAR(r.total_loss,
+              brute_force_joint_loss(logits, q_logits, labels, big_losses, cfg),
+              1e-5);
+  // total = system + beta * cost decomposition holds.
+  EXPECT_NEAR(r.total_loss, r.system_loss + cfg.beta * r.cost_loss, 1e-9);
+}
+
+TEST(joint_loss, black_box_ignores_big_losses) {
+  util::rng gen(13);
+  const tensor logits = tensor::randn(shape{4, 3}, gen);
+  const tensor q_logits = tensor::randn(shape{4}, gen);
+  const std::vector<std::size_t> labels{0, 1, 2, 0};
+
+  core::joint_loss_config cfg;
+  cfg.black_box = true;
+  const auto r_empty =
+      core::compute_joint_loss(logits, q_logits, labels, {}, cfg);
+  const auto r_filled = core::compute_joint_loss(
+      logits, q_logits, labels, {9.0F, 9.0F, 9.0F, 9.0F}, cfg);
+  EXPECT_NEAR(r_empty.total_loss, r_filled.total_loss, 1e-9);
+}
+
+TEST(joint_loss, gradients_match_finite_differences) {
+  util::rng gen(17);
+  tensor logits = tensor::randn(shape{5, 3}, gen);
+  tensor q_logits = tensor::randn(shape{5}, gen);
+  const std::vector<std::size_t> labels{0, 1, 2, 1, 0};
+  std::vector<float> big_losses{0.1F, 0.9F, 0.0F, 2.0F, 0.4F};
+
+  core::joint_loss_config cfg;
+  cfg.beta = 0.3;
+  const auto r =
+      core::compute_joint_loss(logits, q_logits, labels, big_losses, cfg);
+
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const double plus =
+        brute_force_joint_loss(logits, q_logits, labels, big_losses, cfg);
+    logits[i] = saved - eps;
+    const double minus =
+        brute_force_joint_loss(logits, q_logits, labels, big_losses, cfg);
+    logits[i] = saved;
+    EXPECT_NEAR((plus - minus) / (2.0 * eps), r.grad_logits[i], 2e-3)
+        << "logit grad at " << i;
+  }
+  for (std::size_t i = 0; i < q_logits.size(); ++i) {
+    const float saved = q_logits[i];
+    q_logits[i] = saved + eps;
+    const double plus =
+        brute_force_joint_loss(logits, q_logits, labels, big_losses, cfg);
+    q_logits[i] = saved - eps;
+    const double minus =
+        brute_force_joint_loss(logits, q_logits, labels, big_losses, cfg);
+    q_logits[i] = saved;
+    EXPECT_NEAR((plus - minus) / (2.0 * eps), r.grad_q_logits[i], 2e-3)
+        << "q grad at " << i;
+  }
+}
+
+TEST(joint_loss, q_gradient_direction_reflects_difficulty) {
+  // A sample the little net gets badly wrong (l1 >> l0) should push q DOWN
+  // (positive dL/ds) once l1 - l0 dominates beta; an easy sample (l1 < l0)
+  // should pull q UP (negative dL/ds).
+  tensor logits(shape{2, 2});
+  logits[0] = -6.0F;  // sample 0: wrong and confident -> big l1
+  logits[1] = 6.0F;
+  logits[2] = 6.0F;  // sample 1: right and confident -> tiny l1
+  logits[3] = -6.0F;
+  tensor q_logits(shape{2});  // q = 0.5 for both
+  const std::vector<std::size_t> labels{0, 0};
+  const std::vector<float> big_losses{0.0F, 0.0F};
+
+  core::joint_loss_config cfg;
+  cfg.beta = 0.1;
+  const auto r =
+      core::compute_joint_loss(logits, q_logits, labels, big_losses, cfg);
+  EXPECT_GT(r.grad_q_logits[0], 0.0F);  // push q(easy) down
+  EXPECT_LT(r.grad_q_logits[1], 0.0F);  // pull q up
+}
+
+TEST(joint_loss, larger_beta_pulls_q_up_harder) {
+  tensor logits(shape{1, 2});
+  tensor q_logits(shape{1});
+  const std::vector<std::size_t> labels{0};
+  const std::vector<float> big_losses{0.0F};
+
+  core::joint_loss_config low;
+  low.beta = 0.01;
+  core::joint_loss_config high;
+  high.beta = 1.0;
+  const auto r_low =
+      core::compute_joint_loss(logits, q_logits, labels, big_losses, low);
+  const auto r_high =
+      core::compute_joint_loss(logits, q_logits, labels, big_losses, high);
+  EXPECT_LT(r_high.grad_q_logits[0], r_low.grad_q_logits[0]);
+}
+
+TEST(joint_loss, validates_inputs) {
+  const tensor logits(shape{2, 3});
+  const tensor q_logits(shape{2});
+  core::joint_loss_config cfg;
+  EXPECT_THROW(core::compute_joint_loss(logits, q_logits, {0}, {0.0F, 0.0F}, cfg),
+               util::error);
+  EXPECT_THROW(core::compute_joint_loss(logits, q_logits, {0, 1}, {0.0F}, cfg),
+               util::error);
+  EXPECT_THROW(core::compute_joint_loss(logits, tensor(shape{3}), {0, 1},
+                                        {0.0F, 0.0F}, cfg),
+               util::error);
+}
+
+}  // namespace

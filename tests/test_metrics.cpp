@@ -1,0 +1,177 @@
+// Tests for the paper's evaluation metrics (Eq. 11-15) and the separation/
+// calibration statistics.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+TEST(accuracy_metric, basic_and_errors) {
+  EXPECT_DOUBLE_EQ(metrics::accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_THROW(metrics::accuracy({}, {}), util::error);
+  EXPECT_THROW(metrics::accuracy({1}, {1, 2}), util::error);
+}
+
+TEST(skipping_rate, counts_scores_at_or_above_delta) {
+  const std::vector<double> scores{0.1, 0.5, 0.5, 0.9};
+  EXPECT_DOUBLE_EQ(metrics::skipping_rate(scores, 0.5), 0.75);
+  EXPECT_DOUBLE_EQ(metrics::skipping_rate(scores, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::skipping_rate(scores, 0.95), 0.0);
+}
+
+TEST(skipping_rate, appealing_rate_complement) {
+  util::rng gen(3);
+  std::vector<double> scores(100);
+  for (auto& s : scores) s = gen.uniform();
+  for (const double delta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(metrics::skipping_rate(scores, delta) +
+                    metrics::appealing_rate(scores, delta),
+                1.0, 1e-12);
+  }
+}
+
+TEST(evaluate_collaborative, routes_by_threshold) {
+  // Eq. 13 by hand: 4 samples, little correct on kept {0}, big correct on
+  // offloaded {3}.
+  const std::vector<std::size_t> labels{0, 1, 2, 3};
+  const std::vector<std::size_t> little{0, 9, 9, 9};
+  const std::vector<std::size_t> big{9, 9, 9, 3};
+  const std::vector<double> scores{0.8, 0.9, 0.1, 0.2};
+
+  const auto outcome =
+      metrics::evaluate_collaborative(little, big, labels, scores, 0.5);
+  EXPECT_EQ(outcome.edge_correct, 1U);
+  EXPECT_EQ(outcome.cloud_correct, 1U);
+  EXPECT_DOUBLE_EQ(outcome.skipping_rate, 0.5);
+  EXPECT_DOUBLE_EQ(outcome.overall_accuracy, 0.5);
+}
+
+TEST(evaluate_collaborative, degenerate_thresholds) {
+  const std::vector<std::size_t> labels{0, 1};
+  const std::vector<std::size_t> little{0, 0};  // 50% accurate
+  const std::vector<std::size_t> big{0, 1};     // 100% accurate
+  const std::vector<double> scores{0.6, 0.4};
+
+  // δ below all scores: little-only.
+  auto all_edge = metrics::evaluate_collaborative(little, big, labels, scores,
+                                                  0.0);
+  EXPECT_DOUBLE_EQ(all_edge.overall_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(all_edge.skipping_rate, 1.0);
+  // δ above all scores: big-only.
+  auto all_cloud = metrics::evaluate_collaborative(little, big, labels,
+                                                   scores, 0.7);
+  EXPECT_DOUBLE_EQ(all_cloud.overall_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(all_cloud.skipping_rate, 0.0);
+}
+
+TEST(relative_accuracy_improvement, endpoints_and_boosting) {
+  // Eq. 14: AccI = 0 at little accuracy, 1 at big accuracy.
+  EXPECT_DOUBLE_EQ(metrics::relative_accuracy_improvement(0.9, 0.9, 0.95),
+                   0.0);
+  EXPECT_DOUBLE_EQ(metrics::relative_accuracy_improvement(0.95, 0.9, 0.95),
+                   1.0);
+  EXPECT_NEAR(metrics::relative_accuracy_improvement(0.925, 0.9, 0.95), 0.5,
+              1e-9);
+  // Accuracy boosting: collaborative above the big model gives AccI > 1.
+  EXPECT_GT(metrics::relative_accuracy_improvement(0.97, 0.9, 0.95), 1.0);
+  EXPECT_THROW(metrics::relative_accuracy_improvement(0.9, 0.9, 0.9),
+               util::error);
+}
+
+TEST(overall_cost, is_linear_in_skipping_rate) {
+  // Eq. 15 endpoints and midpoint.
+  EXPECT_DOUBLE_EQ(metrics::overall_cost(1.0, 10.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(metrics::overall_cost(0.0, 10.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(metrics::overall_cost(0.5, 10.0, 100.0), 55.0);
+  EXPECT_THROW(metrics::overall_cost(1.5, 10.0, 100.0), util::error);
+}
+
+TEST(auroc, known_values) {
+  // Perfect separation.
+  EXPECT_DOUBLE_EQ(metrics::auroc({0.9, 0.8}, {0.1, 0.2}), 1.0);
+  // Perfectly wrong.
+  EXPECT_DOUBLE_EQ(metrics::auroc({0.1, 0.2}, {0.9, 0.8}), 0.0);
+  // All tied -> chance.
+  EXPECT_DOUBLE_EQ(metrics::auroc({0.5, 0.5}, {0.5, 0.5}), 0.5);
+  EXPECT_THROW(metrics::auroc({}, {0.5}), util::error);
+}
+
+TEST(auroc, random_scores_near_half) {
+  util::rng gen(7);
+  std::vector<double> pos(2000), neg(2000);
+  for (auto& v : pos) v = gen.uniform();
+  for (auto& v : neg) v = gen.uniform();
+  EXPECT_NEAR(metrics::auroc(pos, neg), 0.5, 0.03);
+}
+
+TEST(expected_calibration_error, perfectly_calibrated_is_zero) {
+  // Two bins: confidence 0.25 with 25% accuracy, 0.75 with 75% accuracy.
+  std::vector<double> conf;
+  std::vector<bool> correct;
+  for (int i = 0; i < 100; ++i) {
+    conf.push_back(0.25);
+    correct.push_back(i < 25);
+    conf.push_back(0.75);
+    correct.push_back(i < 75);
+  }
+  EXPECT_NEAR(metrics::expected_calibration_error(conf, correct, 2), 0.0,
+              1e-9);
+}
+
+TEST(expected_calibration_error, overconfidence_is_measured) {
+  // Confidence 0.9 but only 50% correct -> ECE 0.4.
+  std::vector<double> conf(100, 0.9);
+  std::vector<bool> correct(100, false);
+  for (int i = 0; i < 50; ++i) correct[static_cast<std::size_t>(i)] = true;
+  EXPECT_NEAR(metrics::expected_calibration_error(conf, correct, 10), 0.4,
+              1e-9);
+}
+
+TEST(confusion_matrix, accumulates_and_reports) {
+  metrics::confusion_matrix cm(3);
+  cm.add_all({0, 1, 2, 0}, {0, 1, 1, 2});
+  EXPECT_EQ(cm.total(), 4U);
+  EXPECT_EQ(cm.at(0, 0), 1U);
+  EXPECT_EQ(cm.at(2, 1), 1U);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_THROW(cm.add(3, 0), util::error);
+}
+
+/// Property: Eq. 13 equals the weighted blend of conditional accuracies.
+class collaborative_identity : public ::testing::TestWithParam<double> {};
+
+TEST_P(collaborative_identity, equals_conditional_blend) {
+  const double delta = GetParam();
+  util::rng gen(17);
+  const std::size_t n = 500;
+  std::vector<std::size_t> labels(n), little(n), big(n);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = i % 7;
+    little[i] = gen.bernoulli(0.7) ? labels[i] : (labels[i] + 1) % 7;
+    big[i] = gen.bernoulli(0.9) ? labels[i] : (labels[i] + 1) % 7;
+    scores[i] = gen.uniform();
+  }
+  const auto outcome =
+      metrics::evaluate_collaborative(little, big, labels, scores, delta);
+  // Recompute via explicit partition.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t pred = scores[i] >= delta ? little[i] : big[i];
+    if (pred == labels[i]) ++correct;
+  }
+  EXPECT_DOUBLE_EQ(outcome.overall_accuracy,
+                   static_cast<double>(correct) / static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(deltas, collaborative_identity,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.8, 1.01));
+
+}  // namespace

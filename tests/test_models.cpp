@@ -1,0 +1,158 @@
+// Tests for the model zoo: all four families build, run, scale, and train.
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "nn/flops.hpp"
+#include "nn/init.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+models::model_spec spec_for(models::model_family family, float width = 1.0F,
+                            std::size_t depth = 1) {
+  models::model_spec spec;
+  spec.family = family;
+  spec.image_size = 16;
+  spec.num_classes = 10;
+  spec.width = width;
+  spec.depth = depth;
+  return spec;
+}
+
+class model_family_suite
+    : public ::testing::TestWithParam<models::model_family> {};
+
+TEST_P(model_family_suite, backbone_produces_flat_features) {
+  const models::backbone bb = models::make_backbone(spec_for(GetParam()));
+  ASSERT_NE(bb.features, nullptr);
+  EXPECT_GT(bb.feature_dim, 0U);
+  EXPECT_EQ(bb.features->output_shape(shape{2, 3, 16, 16}),
+            shape({2, bb.feature_dim}));
+}
+
+TEST_P(model_family_suite, classifier_forward_backward_runs) {
+  util::rng gen(7);
+  auto net = models::make_classifier(spec_for(GetParam()), gen);
+  const tensor x = tensor::randn(shape{2, 3, 16, 16}, gen);
+  const tensor logits = net->forward(x, true);
+  EXPECT_EQ(logits.dims(), shape({2, 10}));
+  EXPECT_FALSE(logits.has_non_finite());
+  // Backward accepts a cotangent of the logits shape.
+  net->backward(tensor::full(shape{2, 10}, 0.1F));
+  for (nn::parameter* p : net->parameters()) {
+    EXPECT_FALSE(p->grad.has_non_finite());
+  }
+}
+
+TEST_P(model_family_suite, eval_forward_is_deterministic) {
+  util::rng gen(11);
+  auto net = models::make_classifier(spec_for(GetParam()), gen);
+  const tensor x = tensor::randn(shape{1, 3, 16, 16}, gen);
+  // Run a training pass first so batchnorm has seen data.
+  net->forward(tensor::randn(shape{4, 3, 16, 16}, gen), true);
+  const tensor a = net->forward(x, false);
+  const tensor b = net->forward(x, false);
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.0F);
+}
+
+TEST_P(model_family_suite, width_scaling_increases_cost) {
+  const models::backbone narrow =
+      models::make_backbone(spec_for(GetParam(), 0.5F));
+  const models::backbone wide =
+      models::make_backbone(spec_for(GetParam(), 1.5F));
+  const shape input{1, 3, 16, 16};
+  EXPECT_LT(narrow.features->flops(input), wide.features->flops(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(families, model_family_suite,
+                         ::testing::Values(models::model_family::mobilenet,
+                                           models::model_family::shufflenet,
+                                           models::model_family::efficientnet,
+                                           models::model_family::resnet));
+
+TEST(model_zoo, resnet_is_much_larger_than_edge_families) {
+  const shape input{1, 3, 16, 16};
+  const auto resnet_flops =
+      models::make_backbone(spec_for(models::model_family::resnet, 1.0F, 2))
+          .features->flops(input);
+  for (const auto family :
+       {models::model_family::mobilenet, models::model_family::shufflenet,
+        models::model_family::efficientnet}) {
+    const auto edge_flops =
+        models::make_backbone(spec_for(family)).features->flops(input);
+    EXPECT_GT(resnet_flops, 5 * edge_flops)
+        << models::family_name(family) << " is too close to the big model";
+  }
+}
+
+TEST(model_zoo, depth_scaling_increases_resnet_cost) {
+  const shape input{1, 3, 16, 16};
+  const auto d1 =
+      models::make_backbone(spec_for(models::model_family::resnet, 1.0F, 1))
+          .features->flops(input);
+  const auto d3 =
+      models::make_backbone(spec_for(models::model_family::resnet, 1.0F, 3))
+          .features->flops(input);
+  EXPECT_GT(d3, 2 * d1);
+}
+
+TEST(model_zoo, family_parsing_roundtrip) {
+  for (const auto family :
+       {models::model_family::mobilenet, models::model_family::shufflenet,
+        models::model_family::efficientnet, models::model_family::resnet}) {
+    EXPECT_EQ(models::parse_family(models::family_name(family)), family);
+  }
+  EXPECT_THROW(models::parse_family("vgg"), util::error);
+}
+
+TEST(model_zoo, scaled_channels_rounds_and_floors) {
+  EXPECT_EQ(models::scaled_channels(16, 1.0F), 16U);
+  EXPECT_EQ(models::scaled_channels(16, 0.5F), 8U);
+  EXPECT_EQ(models::scaled_channels(16, 0.1F, 4, 4), 4U);  // floor
+  EXPECT_EQ(models::scaled_channels(10, 1.0F, 4, 4), 12U); // round to 4
+  EXPECT_THROW(models::scaled_channels(16, 0.0F), util::error);
+}
+
+TEST(model_zoo, spec_canonical_is_stable_and_distinct) {
+  const auto a = spec_for(models::model_family::mobilenet).canonical();
+  const auto b = spec_for(models::model_family::mobilenet).canonical();
+  const auto c = spec_for(models::model_family::shufflenet).canonical();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(spec_for(models::model_family::mobilenet, 0.5F).canonical(), a);
+}
+
+TEST(model_zoo, mobilenet_overfits_a_tiny_batch) {
+  // Sanity: 10 samples, enough steps -> near-perfect fit. Verifies the
+  // whole forward/backward/update loop end to end for a real backbone.
+  util::rng gen(13);
+  models::model_spec spec = spec_for(models::model_family::mobilenet, 0.5F);
+  spec.num_classes = 4;
+  auto net = models::make_classifier(spec, gen);
+
+  const std::size_t n = 10;
+  const tensor x = tensor::randn(shape{n, 3, 16, 16}, gen);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 4;
+
+  nn::adam opt(3e-3);
+  opt.attach(net->parameters());
+  double last_loss = 0.0;
+  for (int step = 0; step < 120; ++step) {
+    const tensor logits = net->forward(x, true);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    opt.zero_grad();
+    net->backward(loss.grad);
+    opt.step();
+    last_loss = loss.mean_loss;
+  }
+  EXPECT_LT(last_loss, 0.2) << "tiny-batch overfit failed to converge";
+}
+
+}  // namespace

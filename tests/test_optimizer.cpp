@@ -1,0 +1,180 @@
+// Tests for SGD/Adam and learning-rate schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+nn::parameter make_param(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return nn::parameter("p", tensor::from_values(shape{n}, std::move(values)));
+}
+
+TEST(sgd, plain_step_math) {
+  nn::parameter p = make_param({1.0F, -2.0F});
+  p.grad = tensor::from_values(shape{2}, {0.5F, -1.0F});
+  nn::sgd opt(0.1, /*momentum=*/0.0);
+  opt.attach({&p});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0F - 0.1F * 0.5F);
+  EXPECT_FLOAT_EQ(p.value[1], -2.0F + 0.1F * 1.0F);
+}
+
+TEST(sgd, momentum_accumulates_velocity) {
+  nn::parameter p = make_param({0.0F});
+  nn::sgd opt(1.0, /*momentum=*/0.5);
+  opt.attach({&p});
+  // Constant gradient 1: updates are 1, 1.5, 1.75, ...
+  p.grad.fill(1.0F);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], -1.0F);
+  p.grad.fill(1.0F);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], -2.5F);
+  p.grad.fill(1.0F);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], -4.25F);
+}
+
+TEST(sgd, weight_decay_shrinks_weights_without_gradient) {
+  nn::parameter p = make_param({10.0F});
+  nn::sgd opt(0.1, 0.0, /*weight_decay=*/0.1);
+  opt.attach({&p});
+  p.zero_grad();
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 10.0F - 0.1F * (0.1F * 10.0F));
+}
+
+TEST(sgd, zero_grad_clears_accumulators) {
+  nn::parameter p = make_param({1.0F});
+  p.grad.fill(5.0F);
+  nn::sgd opt(0.1);
+  opt.attach({&p});
+  opt.zero_grad();
+  EXPECT_EQ(p.grad[0], 0.0F);
+}
+
+TEST(sgd, converges_on_quadratic) {
+  // Minimize f(w) = 0.5 * (w - 3)^2; gradient = w - 3.
+  nn::parameter p = make_param({0.0F});
+  nn::sgd opt(0.2, 0.9);
+  opt.attach({&p});
+  for (int i = 0; i < 400; ++i) {
+    p.grad[0] = p.value[0] - 3.0F;
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0F, 1e-2F);
+}
+
+TEST(sgd, validates_hyperparameters) {
+  EXPECT_THROW(nn::sgd(0.1, 1.5), util::error);
+  EXPECT_THROW(nn::sgd(0.1, 0.9, -1.0), util::error);
+}
+
+TEST(adam, first_step_is_learning_rate_sized) {
+  // With bias correction, the very first Adam step is ~lr * sign(grad).
+  nn::parameter p = make_param({1.0F});
+  nn::adam opt(0.01);
+  opt.attach({&p});
+  p.grad[0] = 123.0F;
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0F - 0.01F, 1e-4F);
+}
+
+TEST(adam, converges_on_quadratic) {
+  nn::parameter p = make_param({-5.0F});
+  nn::adam opt(0.1);
+  opt.attach({&p});
+  for (int i = 0; i < 300; ++i) {
+    p.grad[0] = p.value[0] - 2.0F;
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 2.0F, 1e-2F);
+}
+
+TEST(adam, handles_multiple_parameters_of_different_shapes) {
+  nn::parameter a = make_param({1.0F, 2.0F, 3.0F});
+  nn::parameter b("b", tensor(shape{2, 2}, 1.0F));
+  nn::adam opt(0.05);
+  opt.attach({&a, &b});
+  EXPECT_EQ(opt.parameter_count(), 2U);
+  a.grad.fill(1.0F);
+  b.grad.fill(-1.0F);
+  opt.step();
+  EXPECT_LT(a.value[0], 1.0F);
+  EXPECT_GT(b.value[0], 1.0F);
+}
+
+TEST(adam, validates_hyperparameters) {
+  EXPECT_THROW(nn::adam(0.1, 1.0), util::error);
+  EXPECT_THROW(nn::adam(0.1, 0.9, 1.0), util::error);
+  EXPECT_THROW(nn::adam(0.1, 0.9, 0.999, 0.0), util::error);
+}
+
+TEST(optimizer, attach_rejects_null) {
+  nn::sgd opt(0.1);
+  EXPECT_THROW(opt.attach({nullptr}), util::error);
+}
+
+TEST(lr_schedules, constant) {
+  nn::constant_lr sched(0.3);
+  EXPECT_DOUBLE_EQ(sched.learning_rate(0), 0.3);
+  EXPECT_DOUBLE_EQ(sched.learning_rate(100), 0.3);
+}
+
+TEST(lr_schedules, step_decay) {
+  nn::step_lr sched(1.0, 10, 0.5);
+  EXPECT_DOUBLE_EQ(sched.learning_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.learning_rate(9), 1.0);
+  EXPECT_DOUBLE_EQ(sched.learning_rate(10), 0.5);
+  EXPECT_DOUBLE_EQ(sched.learning_rate(25), 0.25);
+  EXPECT_THROW(nn::step_lr(1.0, 0, 0.5), util::error);
+}
+
+TEST(lr_schedules, cosine_endpoints_and_monotonicity) {
+  nn::cosine_lr sched(1.0, 100, 0.1);
+  EXPECT_DOUBLE_EQ(sched.learning_rate(0), 1.0);
+  EXPECT_NEAR(sched.learning_rate(100), 0.1, 1e-9);
+  EXPECT_NEAR(sched.learning_rate(50), 0.55, 1e-9);
+  for (std::size_t e = 1; e <= 100; ++e) {
+    EXPECT_LE(sched.learning_rate(e), sched.learning_rate(e - 1) + 1e-12);
+  }
+  EXPECT_THROW(nn::cosine_lr(0.1, 10, 0.5), util::error);
+}
+
+/// Property: both optimizers reduce a random convex quadratic from any
+/// starting point.
+class optimizer_convergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(optimizer_convergence, quadratic_bowl) {
+  util::rng gen(static_cast<std::uint64_t>(GetParam()));
+  const float target = gen.uniform(-5.0F, 5.0F);
+  const float start = gen.uniform(-5.0F, 5.0F);
+
+  nn::parameter p_sgd = make_param({start});
+  nn::parameter p_adam = make_param({start});
+  nn::sgd sgd_opt(0.1, 0.9);
+  nn::adam adam_opt(0.2);
+  sgd_opt.attach({&p_sgd});
+  adam_opt.attach({&p_adam});
+
+  for (int i = 0; i < 200; ++i) {
+    p_sgd.grad[0] = p_sgd.value[0] - target;
+    sgd_opt.step();
+    p_adam.grad[0] = p_adam.value[0] - target;
+    adam_opt.step();
+  }
+  EXPECT_NEAR(p_sgd.value[0], target, 1e-2F);
+  EXPECT_NEAR(p_adam.value[0], target, 5e-2F);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, optimizer_convergence,
+                         ::testing::Range(1, 6));
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tests for simulated post-training quantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/model_zoo.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/quantization.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+TEST(quantization, params_cover_the_value_range) {
+  const std::vector<float> values{-2.0F, -0.5F, 0.0F, 1.5F, 3.0F};
+  const nn::quant_params p = nn::choose_quant_params(values, 8, false);
+  // Extremes must be representable within one step.
+  EXPECT_NEAR(nn::fake_quantize_value(-2.0F, p), -2.0F, p.scale);
+  EXPECT_NEAR(nn::fake_quantize_value(3.0F, p), 3.0F, p.scale);
+}
+
+TEST(quantization, asymmetric_grid_represents_zero_exactly) {
+  // ReLU outputs: zeros must survive quantization exactly.
+  const std::vector<float> values{0.0F, 0.1F, 2.7F, 5.3F};
+  const nn::quant_params p = nn::choose_quant_params(values, 8, false);
+  EXPECT_EQ(nn::fake_quantize_value(0.0F, p), 0.0F);
+}
+
+TEST(quantization, symmetric_grid_represents_zero_exactly) {
+  const std::vector<float> values{-1.3F, 0.4F, 0.9F};
+  const nn::quant_params p = nn::choose_quant_params(values, 8, true);
+  EXPECT_EQ(nn::fake_quantize_value(0.0F, p), 0.0F);
+}
+
+TEST(quantization, fake_quantize_is_idempotent) {
+  util::rng gen(3);
+  tensor values = tensor::randn(shape{256}, gen);
+  const nn::quant_params p = nn::choose_quant_params(
+      std::span<const float>(values.values()), 8, true);
+  tensor once = values;
+  nn::fake_quantize_inplace(once, p);
+  tensor twice = once;
+  nn::fake_quantize_inplace(twice, p);
+  EXPECT_EQ(ops::max_abs_diff(once, twice), 0.0F);
+}
+
+TEST(quantization, error_bounded_by_half_step) {
+  util::rng gen(5);
+  const tensor values = tensor::rand_uniform(shape{500}, gen, -1.0F, 1.0F);
+  const nn::quant_params p = nn::choose_quant_params(
+      std::span<const float>(values.values()), 8, true);
+  for (const float v : values.values()) {
+    EXPECT_LE(std::fabs(v - nn::fake_quantize_value(v, p)),
+              0.5F * p.scale + 1e-6F);
+  }
+}
+
+TEST(quantization, rmse_decreases_with_more_bits) {
+  util::rng gen(7);
+  const tensor values = tensor::randn(shape{2000}, gen);
+  double previous = 1e9;
+  for (const int bits : {4, 6, 8, 12}) {
+    const double rmse = nn::quantization_rmse(values, bits, true);
+    EXPECT_LT(rmse, previous);
+    previous = rmse;
+  }
+  // 12-bit error is tiny relative to a unit-variance tensor.
+  EXPECT_LT(previous, 2e-3);
+}
+
+TEST(quantization, degenerate_constant_tensor_is_exact) {
+  tensor values(shape{10}, 0.0F);
+  EXPECT_DOUBLE_EQ(nn::quantization_rmse(values, 8, true), 0.0);
+}
+
+TEST(quantization, validates_bits) {
+  const std::vector<float> values{1.0F};
+  EXPECT_THROW(nn::choose_quant_params(values, 1, true), util::error);
+  EXPECT_THROW(nn::choose_quant_params(values, 20, true), util::error);
+}
+
+TEST(quantization, quantizes_only_weight_tensors) {
+  util::rng gen(9);
+  models::model_spec spec;
+  spec.family = models::model_family::mobilenet;
+  spec.image_size = 16;
+  spec.num_classes = 4;
+  spec.width = 0.5F;
+  auto net = models::make_classifier(spec, gen);
+
+  std::size_t weight_count = 0;
+  for (auto& np : net->named_parameters("")) {
+    const auto& name = np.qualified_name;
+    if (name.size() >= 6 && name.rfind("weight") == name.size() - 6) {
+      ++weight_count;
+    }
+  }
+  EXPECT_EQ(nn::quantize_model_weights(*net, 8), weight_count);
+}
+
+TEST(quantization, int8_model_keeps_most_of_its_accuracy) {
+  // Train a tiny classifier, then PTQ at 8 bits: predictions should barely
+  // change. At 2-3 bits they should change a lot (sanity of the knob).
+  util::rng gen(11);
+  models::model_spec spec;
+  spec.family = models::model_family::mobilenet;
+  spec.image_size = 16;
+  spec.num_classes = 4;
+  spec.width = 0.5F;
+  auto net = models::make_classifier(spec, gen);
+
+  const std::size_t n = 64;
+  const tensor x = tensor::randn(shape{n, 3, 16, 16}, gen);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 4;
+
+  nn::adam opt(3e-3);
+  opt.attach(net->parameters());
+  for (int step = 0; step < 60; ++step) {
+    const tensor logits = net->forward(x, true);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    opt.zero_grad();
+    net->backward(loss.grad);
+    opt.step();
+  }
+
+  const auto preds_fp32 = ops::argmax_rows(net->forward(x, false));
+
+  // Save weights (via copies) so both precisions start from the same model.
+  std::vector<tensor> saved;
+  for (nn::parameter* p : net->parameters()) saved.push_back(p->value);
+
+  nn::quantize_model_weights(*net, 8);
+  const auto preds_int8 = ops::argmax_rows(net->forward(x, false));
+  std::size_t agree8 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (preds_fp32[i] == preds_int8[i]) ++agree8;
+  }
+  EXPECT_GE(agree8, n - 4) << "int8 PTQ changed too many predictions";
+
+  // Restore and quantize brutally.
+  {
+    std::size_t pi = 0;
+    for (nn::parameter* p : net->parameters()) p->value = saved[pi++];
+  }
+  nn::quantize_model_weights(*net, 2);
+  const auto preds_int2 = ops::argmax_rows(net->forward(x, false));
+  std::size_t agree2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (preds_fp32[i] == preds_int2[i]) ++agree2;
+  }
+  EXPECT_LT(agree2, n) << "2-bit quantization should visibly distort";
+}
+
+}  // namespace

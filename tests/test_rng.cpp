@@ -1,0 +1,200 @@
+// Tests for appeal::util::rng — determinism, distribution sanity, helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using appeal::util::rng;
+
+TEST(rng, same_seed_reproduces_stream) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(rng, different_seeds_diverge) {
+  rng a(1);
+  rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(rng, zero_seed_is_usable) {
+  rng gen(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(gen.next_u64());
+  EXPECT_GT(seen.size(), 95U);
+}
+
+TEST(rng, uniform_in_unit_interval_with_correct_mean) {
+  rng gen(7);
+  double total = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = gen.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    total += u;
+  }
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(rng, uniform_float_respects_bounds) {
+  rng gen(11);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = gen.uniform(-2.5F, 3.5F);
+    ASSERT_GE(v, -2.5F);
+    ASSERT_LT(v, 3.5F);
+  }
+}
+
+TEST(rng, uniform_index_covers_range_without_bias) {
+  rng gen(13);
+  constexpr std::uint64_t k = 7;
+  std::vector<int> counts(k, 0);
+  constexpr int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[gen.uniform_index(k)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / static_cast<double>(k),
+                4.0 * std::sqrt(n / static_cast<double>(k)));
+  }
+}
+
+TEST(rng, uniform_index_rejects_zero) {
+  rng gen(1);
+  EXPECT_THROW(gen.uniform_index(0), appeal::util::error);
+}
+
+TEST(rng, uniform_int_inclusive_bounds) {
+  rng gen(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int v = gen.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(rng, normal_has_standard_moments) {
+  rng gen(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = gen.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.04);
+}
+
+TEST(rng, normal_with_parameters) {
+  rng gen(23);
+  double sum = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) sum += gen.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(rng, bernoulli_matches_probability) {
+  rng gen(29);
+  int hits = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.015);
+}
+
+TEST(rng, categorical_respects_weights) {
+  rng gen(31);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[gen.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(rng, categorical_rejects_bad_weights) {
+  rng gen(1);
+  EXPECT_THROW(gen.categorical({}), appeal::util::error);
+  EXPECT_THROW(gen.categorical({0.0, 0.0}), appeal::util::error);
+  EXPECT_THROW(gen.categorical({1.0, -1.0}), appeal::util::error);
+}
+
+TEST(rng, permutation_is_a_permutation) {
+  rng gen(37);
+  const auto perm = gen.permutation(257);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257U);
+  EXPECT_EQ(*seen.begin(), 0U);
+  EXPECT_EQ(*seen.rbegin(), 256U);
+}
+
+TEST(rng, shuffle_preserves_elements) {
+  rng gen(41);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = items;
+  gen.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(rng, split_streams_are_independent) {
+  rng parent(43);
+  rng child_a = parent.split();
+  rng child_b = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.next_u64() == child_b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+/// Property sweep: statistical sanity across seeds.
+class rng_seed_sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(rng_seed_sweep, uniform_mean_and_variance) {
+  rng gen(GetParam());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = gen.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.5, 0.015);
+  EXPECT_NEAR(sum_sq / n - mean * mean, 1.0 / 12.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, rng_seed_sweep,
+                         ::testing::Values(1ULL, 42ULL, 1234567ULL,
+                                           0xDEADBEEFULL, 999999937ULL));
+
+}  // namespace

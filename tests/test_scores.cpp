@@ -1,0 +1,93 @@
+// Tests for the confidence-score baselines (MSP / SM / Entropy) and the
+// AppealNet q score conversion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scores.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace appeal;
+
+tensor probs_from_rows(std::vector<std::vector<float>> rows) {
+  const std::size_t n = rows.size();
+  const std::size_t k = rows[0].size();
+  tensor out(shape{n, k});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) out[i * k + j] = rows[i][j];
+  }
+  return out;
+}
+
+TEST(scores, msp_is_max_probability) {
+  const tensor probs = probs_from_rows({{0.7F, 0.2F, 0.1F},
+                                        {0.34F, 0.33F, 0.33F}});
+  const auto s = core::msp_scores(probs);
+  EXPECT_NEAR(s[0], 0.7, 1e-6);
+  EXPECT_NEAR(s[1], 0.34, 1e-6);
+}
+
+TEST(scores, score_margin_is_top1_minus_top2) {
+  const tensor probs = probs_from_rows({{0.7F, 0.2F, 0.1F},
+                                        {0.5F, 0.5F, 0.0F}});
+  const auto s = core::score_margin_scores(probs);
+  EXPECT_NEAR(s[0], 0.5, 1e-6);
+  EXPECT_NEAR(s[1], 0.0, 1e-6);
+}
+
+TEST(scores, entropy_is_negative_shannon_entropy) {
+  const tensor probs = probs_from_rows({{1.0F, 0.0F, 0.0F},
+                                        {1.0F / 3, 1.0F / 3, 1.0F / 3}});
+  const auto s = core::entropy_scores(probs);
+  EXPECT_NEAR(s[0], 0.0, 1e-6);           // certain -> entropy 0
+  EXPECT_NEAR(s[1], -std::log(3.0), 1e-5);  // uniform -> -log K
+  EXPECT_GT(s[0], s[1]);                  // higher = easier convention
+}
+
+TEST(scores, all_methods_rank_confident_above_uncertain) {
+  const tensor probs = probs_from_rows({{0.95F, 0.03F, 0.02F},
+                                        {0.4F, 0.35F, 0.25F}});
+  for (const auto method :
+       {core::score_method::msp, core::score_method::score_margin,
+        core::score_method::entropy}) {
+    const auto s = core::confidence_scores(method, probs);
+    EXPECT_GT(s[0], s[1]) << core::score_method_name(method);
+  }
+}
+
+TEST(scores, q_to_scores_preserves_values) {
+  const auto s = core::q_to_scores({0.1F, 0.9F});
+  EXPECT_NEAR(s[0], 0.1, 1e-6);
+  EXPECT_NEAR(s[1], 0.9, 1e-6);
+}
+
+TEST(scores, appealnet_q_not_computable_from_probabilities) {
+  const tensor probs = probs_from_rows({{0.5F, 0.5F}});
+  EXPECT_THROW(core::confidence_scores(core::score_method::appealnet_q, probs),
+               util::error);
+}
+
+TEST(scores, parsing_roundtrip_and_aliases) {
+  EXPECT_EQ(core::parse_score_method("msp"), core::score_method::msp);
+  EXPECT_EQ(core::parse_score_method("SM"), core::score_method::score_margin);
+  EXPECT_EQ(core::parse_score_method("margin"),
+            core::score_method::score_margin);
+  EXPECT_EQ(core::parse_score_method("entropy"), core::score_method::entropy);
+  EXPECT_EQ(core::parse_score_method("appealnet"),
+            core::score_method::appealnet_q);
+  EXPECT_EQ(core::parse_score_method("q"), core::score_method::appealnet_q);
+  EXPECT_THROW(core::parse_score_method("dropout"), util::error);
+  for (const auto m : core::all_score_methods()) {
+    EXPECT_EQ(core::parse_score_method(core::score_method_name(m)), m);
+  }
+}
+
+TEST(scores, rejects_degenerate_probability_matrices) {
+  EXPECT_THROW(core::msp_scores(tensor(shape{3})), util::error);
+  EXPECT_THROW(core::score_margin_scores(tensor(shape{2, 1})), util::error);
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Tests for selective-prediction metrics and temperature scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/selective.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+TEST(risk_coverage, perfect_score_defers_all_errors) {
+  // Scores rank all correct above all incorrect: risk is 0 until coverage
+  // reaches the accuracy, then rises.
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.2, 0.1};
+  const std::vector<bool> correct{true, true, true, false, false};
+  const auto curve = metrics::risk_coverage_curve(scores, correct);
+  ASSERT_EQ(curve.size(), 5U);
+  EXPECT_DOUBLE_EQ(curve[2].risk, 0.0);           // 60% coverage: no errors
+  EXPECT_DOUBLE_EQ(curve[4].risk, 2.0 / 5.0);     // full coverage: error rate
+  EXPECT_DOUBLE_EQ(curve[4].coverage, 1.0);
+}
+
+TEST(risk_coverage, worst_score_front_loads_errors) {
+  const std::vector<double> scores{0.9, 0.8, 0.1, 0.2};
+  const std::vector<bool> correct{false, false, true, true};
+  const auto curve = metrics::risk_coverage_curve(scores, correct);
+  EXPECT_DOUBLE_EQ(curve[0].risk, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].risk, 1.0);
+  EXPECT_DOUBLE_EQ(curve[3].risk, 0.5);
+}
+
+TEST(risk_coverage, aurc_orders_rankers) {
+  // A ranking-quality property: informative scores give lower AURC than
+  // random scores, which give lower AURC than adversarial scores.
+  util::rng gen(3);
+  const std::size_t n = 2000;
+  std::vector<bool> correct(n);
+  std::vector<double> oracle(n), random(n), inverted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    correct[i] = gen.bernoulli(0.8);
+    const double noise = 0.1 * gen.uniform();
+    oracle[i] = (correct[i] ? 1.0 : 0.0) + noise;
+    random[i] = gen.uniform();
+    inverted[i] = (correct[i] ? 0.0 : 1.0) + noise;
+  }
+  const double aurc_oracle = metrics::aurc(oracle, correct);
+  const double aurc_random = metrics::aurc(random, correct);
+  const double aurc_inverted = metrics::aurc(inverted, correct);
+  EXPECT_LT(aurc_oracle, aurc_random);
+  EXPECT_LT(aurc_random, aurc_inverted);
+}
+
+TEST(risk_coverage, risk_at_coverage_interpolates) {
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.2};
+  const std::vector<bool> correct{true, true, false, false};
+  EXPECT_DOUBLE_EQ(metrics::risk_at_coverage(scores, correct, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::risk_at_coverage(scores, correct, 1.0), 0.5);
+  EXPECT_THROW(metrics::risk_at_coverage(scores, correct, 0.0), util::error);
+}
+
+TEST(risk_coverage, validates_inputs) {
+  EXPECT_THROW(metrics::risk_coverage_curve({}, {}), util::error);
+  EXPECT_THROW(metrics::risk_coverage_curve({0.5}, {true, false}),
+               util::error);
+}
+
+TEST(temperature_scaling, identity_when_already_calibrated) {
+  // Logits whose softmax matches empirical accuracy: fitted T near 1.
+  util::rng gen(7);
+  const std::size_t n = 1500;
+  tensor logits(shape{n, 2});
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // True class probability 0.73 -> logit gap log(0.73/0.27).
+    const float gap = std::log(0.73F / 0.27F);
+    const bool label_is_zero = gen.bernoulli(0.5);
+    labels[i] = label_is_zero ? 0 : 1;
+    const bool model_right = gen.bernoulli(0.73);
+    const std::size_t predicted = model_right ? labels[i] : 1 - labels[i];
+    logits[i * 2 + predicted] = gap;
+  }
+  const double t = metrics::fit_temperature(logits, labels);
+  EXPECT_NEAR(t, 1.0, 0.15);
+}
+
+TEST(temperature_scaling, softens_overconfident_logits) {
+  // Same setup but logits claim 99% while accuracy is 73%: fitted T >> 1.
+  util::rng gen(9);
+  const std::size_t n = 1500;
+  tensor logits(shape{n, 2});
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float gap = std::log(0.99F / 0.01F);
+    labels[i] = gen.bernoulli(0.5) ? 0 : 1;
+    const bool model_right = gen.bernoulli(0.73);
+    const std::size_t predicted = model_right ? labels[i] : 1 - labels[i];
+    logits[i * 2 + predicted] = gap;
+  }
+  const double t = metrics::fit_temperature(logits, labels);
+  EXPECT_GT(t, 2.0);
+
+  // Applying the temperature reduces the max probability toward accuracy.
+  const tensor calibrated = metrics::apply_temperature(logits, t);
+  double mean_conf = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_conf += std::max(calibrated[i * 2], calibrated[i * 2 + 1]);
+  }
+  mean_conf /= static_cast<double>(n);
+  EXPECT_NEAR(mean_conf, 0.73, 0.06);
+}
+
+TEST(temperature_scaling, apply_preserves_argmax) {
+  util::rng gen(11);
+  const tensor logits = tensor::randn(shape{20, 5}, gen, 0.0F, 3.0F);
+  const tensor probs = metrics::apply_temperature(logits, 2.5);
+  EXPECT_EQ(ops::argmax_rows(probs), ops::argmax_rows(logits));
+  EXPECT_THROW(metrics::apply_temperature(logits, 0.0), util::error);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Tests for model/tensor serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <filesystem>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::unique_ptr<nn::sequential> make_net(std::uint64_t seed) {
+  auto net = std::make_unique<nn::sequential>();
+  net->emplace<nn::conv2d>(2, 4, 3, 1, 1);
+  net->emplace<nn::batchnorm2d>(4);
+  net->emplace<nn::global_avgpool>();
+  net->emplace<nn::linear>(4, 3);
+  util::rng gen(seed);
+  nn::initialize_model(*net, gen);
+  return net;
+}
+
+TEST(serialize, model_roundtrip_restores_outputs) {
+  const std::string path = temp_path("appeal_model_rt.bin");
+  const auto original_ptr = make_net(1);
+  nn::sequential& original = *original_ptr;
+
+  // Run a few training-mode passes so batchnorm running stats are nontrivial.
+  util::rng gen(2);
+  for (int i = 0; i < 3; ++i) {
+    original.forward(tensor::randn(shape{4, 2, 5, 5}, gen), true);
+  }
+  nn::save_model(original, path);
+
+  const auto restored_ptr = make_net(99);  // different init
+  nn::sequential& restored = *restored_ptr;
+  nn::load_model(restored, path);
+
+  const tensor x = tensor::randn(shape{2, 2, 5, 5}, gen);
+  const tensor y0 = original.forward(x, false);
+  const tensor y1 = restored.forward(x, false);
+  EXPECT_EQ(ops::max_abs_diff(y0, y1), 0.0F);
+  std::remove(path.c_str());
+}
+
+TEST(serialize, shape_mismatch_is_rejected) {
+  const std::string path = temp_path("appeal_model_shape.bin");
+  const auto original_ptr = make_net(1);
+  nn::sequential& original = *original_ptr;
+  nn::save_model(original, path);
+
+  nn::sequential different;
+  different.emplace<nn::conv2d>(2, 8, 3, 1, 1);  // wrong channel count
+  different.emplace<nn::batchnorm2d>(8);
+  different.emplace<nn::global_avgpool>();
+  different.emplace<nn::linear>(8, 3);
+  EXPECT_THROW(nn::load_model(different, path), util::error);
+  std::remove(path.c_str());
+}
+
+TEST(serialize, tensor_count_mismatch_is_rejected) {
+  const std::string path = temp_path("appeal_model_count.bin");
+  const auto original_ptr = make_net(1);
+  nn::sequential& original = *original_ptr;
+  nn::save_model(original, path);
+
+  nn::sequential smaller;
+  smaller.emplace<nn::linear>(4, 3);
+  EXPECT_THROW(nn::load_model(smaller, path), util::error);
+  std::remove(path.c_str());
+}
+
+TEST(serialize, corrupt_magic_is_rejected) {
+  const std::string path = temp_path("appeal_model_magic.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOPE-not-a-model", f);
+    std::fclose(f);
+  }
+  const auto net_ptr = make_net(1);
+  nn::sequential& net = *net_ptr;
+  EXPECT_THROW(nn::load_model(net, path), util::error);
+  EXPECT_FALSE(nn::is_model_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(serialize, truncated_file_is_rejected) {
+  const std::string path = temp_path("appeal_model_trunc.bin");
+  const auto original_ptr = make_net(1);
+  nn::sequential& original = *original_ptr;
+  nn::save_model(original, path);
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  const auto net_ptr = make_net(2);
+  nn::sequential& net = *net_ptr;
+  EXPECT_THROW(nn::load_model(net, path), util::error);
+  std::remove(path.c_str());
+}
+
+TEST(serialize, is_model_file_detects_valid_files) {
+  const std::string path = temp_path("appeal_model_detect.bin");
+  const auto net_ptr = make_net(1);
+  nn::sequential& net = *net_ptr;
+  nn::save_model(net, path);
+  EXPECT_TRUE(nn::is_model_file(path));
+  EXPECT_FALSE(nn::is_model_file("/nonexistent/path.bin"));
+  std::remove(path.c_str());
+}
+
+TEST(serialize, dynamic_load_returns_all_tensors) {
+  const std::string path = temp_path("appeal_model_dyn.bin");
+  tensor a = tensor::from_values(shape{2, 2}, {1, 2, 3, 4});
+  tensor b = tensor::from_values(shape{3}, {5, 6, 7});
+  nn::save_tensors({{"alpha", &a}, {"beta", &b}}, path);
+
+  const auto doc = nn::load_tensors_dynamic(path);
+  ASSERT_EQ(doc.size(), 2U);
+  ASSERT_TRUE(doc.count("alpha"));
+  ASSERT_TRUE(doc.count("beta"));
+  EXPECT_EQ(doc.at("alpha").dims(), shape({2, 2}));
+  EXPECT_EQ(doc.at("beta")[2], 7.0F);
+  std::remove(path.c_str());
+}
+
+TEST(serialize, batchnorm_running_stats_are_persisted) {
+  const std::string path = temp_path("appeal_model_bnstats.bin");
+  nn::batchnorm2d bn(2);
+  util::rng gen(5);
+  for (int i = 0; i < 10; ++i) {
+    bn.forward(tensor::randn(shape{8, 2, 3, 3}, gen, 4.0F, 2.0F), true);
+  }
+  const float mean_before = bn.running_mean()[0];
+  nn::save_model(bn, path);
+
+  nn::batchnorm2d fresh(2);
+  EXPECT_NE(fresh.running_mean()[0], mean_before);
+  nn::load_model(fresh, path);
+  EXPECT_EQ(fresh.running_mean()[0], mean_before);
+  EXPECT_EQ(fresh.running_var()[1], bn.running_var()[1]);
+  std::remove(path.c_str());
+}
+
+}  // namespace

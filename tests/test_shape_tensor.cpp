@@ -1,0 +1,164 @@
+// Tests for shape algebra and the dense tensor type.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using appeal::shape;
+using appeal::tensor;
+
+TEST(shape, basic_properties) {
+  const shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3U);
+  EXPECT_EQ(s.dim(0), 2U);
+  EXPECT_EQ(s.dim(2), 4U);
+  EXPECT_EQ(s.element_count(), 24U);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(shape, empty_shape_is_scalar_like) {
+  const shape s;
+  EXPECT_EQ(s.rank(), 0U);
+  EXPECT_EQ(s.element_count(), 1U);
+}
+
+TEST(shape, zero_dimension_gives_zero_elements) {
+  const shape s{3, 0, 5};
+  EXPECT_EQ(s.element_count(), 0U);
+}
+
+TEST(shape, strides_are_row_major) {
+  const shape s{2, 3, 4};
+  EXPECT_EQ(s.strides(), (std::vector<std::size_t>{12, 4, 1}));
+}
+
+TEST(shape, flat_index_matches_strides) {
+  const shape s{2, 3, 4};
+  EXPECT_EQ(s.flat_index({0, 0, 0}), 0U);
+  EXPECT_EQ(s.flat_index({1, 2, 3}), 23U);
+  EXPECT_EQ(s.flat_index({1, 0, 2}), 14U);
+}
+
+TEST(shape, flat_index_bounds_checked) {
+  const shape s{2, 3};
+  EXPECT_THROW(s.flat_index({2, 0}), appeal::util::error);
+  EXPECT_THROW(s.flat_index({0}), appeal::util::error);
+}
+
+TEST(shape, nchw_accessors) {
+  const shape s{8, 3, 16, 16};
+  EXPECT_EQ(s.batch(), 8U);
+  EXPECT_EQ(s.channels(), 3U);
+  EXPECT_EQ(s.height(), 16U);
+  EXPECT_EQ(s.width(), 16U);
+  EXPECT_THROW(shape({2, 3}).batch(), appeal::util::error);
+}
+
+TEST(shape, equality) {
+  EXPECT_EQ(shape({1, 2}), shape({1, 2}));
+  EXPECT_NE(shape({1, 2}), shape({2, 1}));
+  EXPECT_NE(shape({1, 2}), shape({1, 2, 1}));
+}
+
+TEST(tensor, zero_initialized_by_default) {
+  const tensor t(shape{2, 2});
+  for (const float v : t.values()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(tensor, fill_constructor_and_method) {
+  tensor t(shape{3}, 2.5F);
+  for (const float v : t.values()) EXPECT_EQ(v, 2.5F);
+  t.fill(-1.0F);
+  for (const float v : t.values()) EXPECT_EQ(v, -1.0F);
+}
+
+TEST(tensor, from_values_validates_size) {
+  EXPECT_NO_THROW(tensor::from_values(shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(tensor::from_values(shape{2, 2}, {1, 2, 3}),
+               appeal::util::error);
+}
+
+TEST(tensor, multi_index_access) {
+  tensor t(shape{2, 3});
+  t.at({1, 2}) = 7.0F;
+  EXPECT_EQ(t.at({1, 2}), 7.0F);
+  EXPECT_EQ(t[5], 7.0F);
+  EXPECT_THROW(t.at({2, 0}), appeal::util::error);
+  EXPECT_THROW(t.at(static_cast<std::size_t>(6)), appeal::util::error);
+}
+
+TEST(tensor, reshape_preserves_data) {
+  tensor t = tensor::from_values(shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const tensor r = t.reshaped(shape{3, 2});
+  EXPECT_EQ(r.dims(), shape({3, 2}));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+  EXPECT_THROW(t.reshaped(shape{4, 2}), appeal::util::error);
+}
+
+TEST(tensor, randn_moments) {
+  appeal::util::rng gen(3);
+  const tensor t = tensor::randn(shape{10000}, gen, 1.0F, 2.0F);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const float v : t.values()) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / 10000.0;
+  EXPECT_NEAR(mean, 1.0, 0.08);
+  EXPECT_NEAR(sum_sq / 10000.0 - mean * mean, 4.0, 0.25);
+}
+
+TEST(tensor, rand_uniform_bounds) {
+  appeal::util::rng gen(5);
+  const tensor t = tensor::rand_uniform(shape{1000}, gen, -1.0F, 1.0F);
+  for (const float v : t.values()) {
+    ASSERT_GE(v, -1.0F);
+    ASSERT_LT(v, 1.0F);
+  }
+}
+
+TEST(tensor, has_non_finite_detects_nan_and_inf) {
+  tensor t(shape{3});
+  EXPECT_FALSE(t.has_non_finite());
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(t.has_non_finite());
+  t[1] = 0.0F;
+  t[2] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(t.has_non_finite());
+}
+
+/// Property sweep: flat_index and strides agree for every coordinate of a
+/// variety of shapes.
+class shape_index_property
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(shape_index_property, flat_index_equals_stride_dot_product) {
+  const shape s(GetParam());
+  const auto strides = s.strides();
+  std::vector<std::size_t> index(s.rank(), 0);
+  for (std::size_t flat = 0; flat < s.element_count(); ++flat) {
+    std::size_t expected = 0;
+    for (std::size_t d = 0; d < s.rank(); ++d) expected += index[d] * strides[d];
+    ASSERT_EQ(s.flat_index(index), expected);
+    ASSERT_EQ(expected, flat);
+    // Increment the multi-index (row-major order).
+    for (std::size_t d = s.rank(); d-- > 0;) {
+      if (++index[d] < s.dim(d)) break;
+      index[d] = 0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    shapes, shape_index_property,
+    ::testing::Values(std::vector<std::size_t>{7},
+                      std::vector<std::size_t>{3, 5},
+                      std::vector<std::size_t>{2, 3, 4},
+                      std::vector<std::size_t>{2, 1, 3, 2},
+                      std::vector<std::size_t>{1, 1, 1}));
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the system-level sweep machinery and the oracle helpers.
+#include <gtest/gtest.h>
+
+#include "collab/oracle.hpp"
+#include "collab/system_eval.hpp"
+#include "data/presets.hpp"
+#include "metrics/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+/// Synthesizes a routed split where the score is `quality`-correlated with
+/// little-correctness (quality 1 = oracle, 0 = random).
+collab::routed_split synth_split(std::size_t n, double little_acc,
+                                 double big_acc, double quality,
+                                 std::uint64_t seed) {
+  util::rng gen(seed);
+  collab::routed_split split;
+  split.labels.resize(n);
+  split.little_predictions.resize(n);
+  split.big_predictions.resize(n);
+  split.scores.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    split.labels[i] = i % 10;
+    const bool little_right = gen.bernoulli(little_acc);
+    const bool big_right = gen.bernoulli(big_acc);
+    split.little_predictions[i] =
+        little_right ? split.labels[i] : (split.labels[i] + 1) % 10;
+    split.big_predictions[i] =
+        big_right ? split.labels[i] : (split.labels[i] + 2) % 10;
+    const double informative = little_right ? 0.75 : 0.25;
+    const double noise = gen.uniform();
+    split.scores[i] = quality * informative + (1.0 - quality) * noise +
+                      0.05 * gen.uniform();
+  }
+  return split;
+}
+
+TEST(system_eval, make_routed_split_takes_argmax) {
+  tensor little(shape{2, 3});
+  little[0 * 3 + 2] = 5.0F;  // row 0 -> class 2
+  little[1 * 3 + 0] = 5.0F;  // row 1 -> class 0
+  tensor big(shape{2, 3});
+  big[0 * 3 + 1] = 5.0F;
+  big[1 * 3 + 1] = 5.0F;
+  const collab::routed_split split =
+      collab::make_routed_split(little, big, {2, 1}, {0.9, 0.1});
+  EXPECT_EQ(split.little_predictions, (std::vector<std::size_t>{2, 0}));
+  EXPECT_EQ(split.big_predictions, (std::vector<std::size_t>{1, 1}));
+  EXPECT_THROW(collab::make_routed_split(little, big, {2}, {0.9, 0.1}),
+               util::error);
+}
+
+TEST(system_eval, curve_hits_requested_rates) {
+  const collab::routed_split split = synth_split(1000, 0.8, 0.95, 0.8, 3);
+  const auto curve = collab::accuracy_vs_sr_curve(
+      split, nullptr, collab::paper_sr_grid());
+  ASSERT_EQ(curve.size(), 7U);
+  for (const auto& point : curve) {
+    EXPECT_NEAR(point.achieved_sr, point.target_sr, 0.01);
+  }
+  // SR = 100% equals the little model's standalone accuracy.
+  EXPECT_NEAR(curve.back().accuracy,
+              metrics::accuracy(split.little_predictions, split.labels),
+              1e-9);
+}
+
+TEST(system_eval, tuning_split_protocol_generalizes) {
+  // δ tuned on one split, applied to another: achieved SR stays close.
+  const collab::routed_split val = synth_split(2000, 0.8, 0.95, 0.8, 5);
+  const collab::routed_split test = synth_split(2000, 0.8, 0.95, 0.8, 7);
+  const auto curve =
+      collab::accuracy_vs_sr_curve(test, &val, {0.7, 0.9});
+  EXPECT_NEAR(curve[0].achieved_sr, 0.7, 0.05);
+  EXPECT_NEAR(curve[1].achieved_sr, 0.9, 0.05);
+}
+
+TEST(system_eval, better_scores_give_better_curves) {
+  // The whole premise of Fig. 5: at matched SR, a score that ranks hard
+  // inputs lower yields higher system accuracy.
+  const collab::routed_split good = synth_split(3000, 0.8, 0.98, 0.9, 11);
+  collab::routed_split bad = good;
+  util::rng gen(13);
+  for (auto& s : bad.scores) s = gen.uniform();  // uninformative scores
+
+  const std::vector<double> grid{0.7, 0.8, 0.9};
+  const auto good_curve = collab::accuracy_vs_sr_curve(good, nullptr, grid);
+  const auto bad_curve = collab::accuracy_vs_sr_curve(bad, nullptr, grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_GT(good_curve[i].accuracy, bad_curve[i].accuracy + 0.01)
+        << "at SR " << grid[i];
+  }
+}
+
+TEST(system_eval, paper_grids_match_the_paper) {
+  const auto sr = collab::paper_sr_grid();
+  EXPECT_EQ(sr.front(), 0.70);
+  EXPECT_EQ(sr.back(), 1.00);
+  EXPECT_EQ(sr.size(), 7U);
+  const auto acci = collab::paper_acci_targets();
+  EXPECT_EQ(acci, (std::vector<double>{0.50, 0.75, 0.90, 0.95}));
+}
+
+TEST(oracle, predictions_are_ground_truth) {
+  const data::dataset_bundle bundle =
+      data::make_small_bundle(data::preset::cifar10_like, 3);
+  const auto preds = collab::oracle_predictions(*bundle.test);
+  const auto labels = collab::dataset_labels(*bundle.test);
+  EXPECT_EQ(preds, labels);
+  EXPECT_DOUBLE_EQ(metrics::accuracy(preds, labels), 1.0);
+}
+
+TEST(oracle, difficulties_match_dataset_metadata) {
+  const data::dataset_bundle bundle =
+      data::make_small_bundle(data::preset::cifar10_like, 3);
+  const auto diff = collab::dataset_difficulties(*bundle.test);
+  ASSERT_EQ(diff.size(), bundle.test->size());
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    EXPECT_EQ(diff[i], bundle.test->get(i).difficulty);
+  }
+}
+
+}  // namespace

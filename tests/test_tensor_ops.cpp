@@ -1,0 +1,125 @@
+// Tests for elementwise/reduction tensor operations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using appeal::shape;
+using appeal::tensor;
+namespace ops = appeal::ops;
+
+TEST(tensor_ops, add_subtract_multiply) {
+  const tensor a = tensor::from_values(shape{2, 2}, {1, 2, 3, 4});
+  const tensor b = tensor::from_values(shape{2, 2}, {10, 20, 30, 40});
+  const tensor sum = ops::add(a, b);
+  const tensor diff = ops::subtract(b, a);
+  const tensor prod = ops::multiply(a, b);
+  EXPECT_EQ(sum[3], 44.0F);
+  EXPECT_EQ(diff[0], 9.0F);
+  EXPECT_EQ(prod[2], 90.0F);
+}
+
+TEST(tensor_ops, shape_mismatch_throws) {
+  const tensor a(shape{2, 2});
+  const tensor b(shape{4});
+  EXPECT_THROW(ops::add(a, b), appeal::util::error);
+  EXPECT_THROW(ops::multiply(a, b), appeal::util::error);
+  EXPECT_THROW(ops::max_abs_diff(a, b), appeal::util::error);
+}
+
+TEST(tensor_ops, axpy_and_scale) {
+  tensor a = tensor::from_values(shape{3}, {1, 2, 3});
+  const tensor b = tensor::from_values(shape{3}, {10, 10, 10});
+  ops::axpy(a, 0.5F, b);
+  EXPECT_EQ(a[0], 6.0F);
+  ops::scale_inplace(a, 2.0F);
+  EXPECT_EQ(a[0], 12.0F);
+  EXPECT_EQ(ops::scale(b, -1.0F)[1], -10.0F);
+}
+
+TEST(tensor_ops, reductions) {
+  const tensor a = tensor::from_values(shape{4}, {1, -2, 3, 6});
+  EXPECT_DOUBLE_EQ(ops::sum(a), 8.0);
+  EXPECT_DOUBLE_EQ(ops::mean(a), 2.0);
+  EXPECT_EQ(ops::max_value(a), 6.0F);
+  EXPECT_EQ(ops::argmax(a), 3U);
+  EXPECT_NEAR(ops::l2_norm(a), std::sqrt(1.0 + 4.0 + 9.0 + 36.0), 1e-6);
+}
+
+TEST(tensor_ops, argmax_rows) {
+  const tensor m = tensor::from_values(shape{2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto rows = ops::argmax_rows(m);
+  EXPECT_EQ(rows, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(tensor_ops, softmax_rows_sum_to_one_and_order_preserved) {
+  appeal::util::rng gen(3);
+  const tensor logits = tensor::randn(shape{5, 7}, gen, 0.0F, 3.0F);
+  const tensor probs = ops::softmax_rows(logits);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) total += probs[r * 7 + c];
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+  EXPECT_EQ(ops::argmax_rows(probs), ops::argmax_rows(logits));
+}
+
+TEST(tensor_ops, softmax_is_shift_invariant_and_stable) {
+  const tensor a = tensor::from_values(shape{1, 3}, {1000.0F, 1001.0F, 999.0F});
+  const tensor probs = ops::softmax_rows(a);
+  EXPECT_FALSE(probs.has_non_finite());
+  const tensor b = tensor::from_values(shape{1, 3}, {0.0F, 1.0F, -1.0F});
+  const tensor probs_b = ops::softmax_rows(b);
+  EXPECT_NEAR(ops::max_abs_diff(probs, probs_b), 0.0F, 1e-5F);
+}
+
+TEST(tensor_ops, log_softmax_matches_log_of_softmax) {
+  appeal::util::rng gen(7);
+  const tensor logits = tensor::randn(shape{4, 6}, gen, 0.0F, 2.0F);
+  const tensor probs = ops::softmax_rows(logits);
+  const tensor log_probs = ops::log_softmax_rows(logits);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    EXPECT_NEAR(log_probs[i], std::log(probs[i]), 1e-4);
+  }
+}
+
+TEST(tensor_ops, sigmoid_range_and_symmetry) {
+  const tensor x = tensor::from_values(shape{3}, {-100.0F, 0.0F, 100.0F});
+  const tensor s = ops::sigmoid(x);
+  EXPECT_NEAR(s[0], 0.0F, 1e-6F);
+  EXPECT_NEAR(s[1], 0.5F, 1e-6F);
+  EXPECT_NEAR(s[2], 1.0F, 1e-6F);
+}
+
+TEST(tensor_ops, clamp_inplace) {
+  tensor x = tensor::from_values(shape{4}, {-2, 0.5F, 3, 10});
+  ops::clamp_inplace(x, 0.0F, 1.0F);
+  EXPECT_EQ(x[0], 0.0F);
+  EXPECT_EQ(x[1], 0.5F);
+  EXPECT_EQ(x[2], 1.0F);
+  EXPECT_THROW(ops::clamp_inplace(x, 1.0F, 0.0F), appeal::util::error);
+}
+
+TEST(tensor_ops, transpose_involution) {
+  appeal::util::rng gen(11);
+  const tensor m = tensor::randn(shape{3, 5}, gen);
+  const tensor t = ops::transpose(m);
+  EXPECT_EQ(t.dims(), shape({5, 3}));
+  EXPECT_EQ(t.at({4, 2}), m.at({2, 4}));
+  const tensor back = ops::transpose(t);
+  EXPECT_EQ(ops::max_abs_diff(back, m), 0.0F);
+}
+
+TEST(tensor_ops, empty_checks) {
+  const tensor empty(shape{0});
+  EXPECT_THROW(ops::max_value(empty), appeal::util::error);
+  EXPECT_THROW(ops::argmax(empty), appeal::util::error);
+  EXPECT_DOUBLE_EQ(ops::mean(empty), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Tests for threshold (δ) tuning: target-SR quantiles, sweeps, AccI targets.
+#include <gtest/gtest.h>
+
+#include "core/threshold.hpp"
+#include "metrics/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+std::vector<double> random_scores(std::size_t n, std::uint64_t seed) {
+  util::rng gen(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = gen.uniform();
+  return out;
+}
+
+/// Parameterized over target skipping rates.
+class delta_targets : public ::testing::TestWithParam<double> {};
+
+TEST_P(delta_targets, achieves_requested_skipping_rate) {
+  const double target = GetParam();
+  const auto scores = random_scores(500, 7);
+  const double delta = core::delta_for_skipping_rate(scores, target);
+  const double achieved = metrics::skipping_rate(scores, delta);
+  EXPECT_NEAR(achieved, target, 1.5 / 500.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(rates, delta_targets,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.7, 0.9, 0.95,
+                                           1.0));
+
+TEST(delta_for_skipping_rate, handles_tied_scores) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.9};
+  // Requesting SR = 0.25 keeps only the 0.9 sample.
+  const double delta = core::delta_for_skipping_rate(scores, 0.25);
+  EXPECT_NEAR(metrics::skipping_rate(scores, delta), 0.25, 1e-9);
+  // SR = 0.5 cannot be hit exactly (ties); implementation keeps all ties.
+  const double delta_half = core::delta_for_skipping_rate(scores, 0.5);
+  EXPECT_GE(metrics::skipping_rate(scores, delta_half), 0.5);
+}
+
+TEST(evaluate_at_delta, matches_collaborative_metric) {
+  const std::vector<std::size_t> labels{0, 1, 0, 1};
+  const std::vector<std::size_t> little{0, 0, 0, 0};  // right on 0 and 2
+  const std::vector<std::size_t> big{0, 1, 0, 1};     // always right
+  const std::vector<double> scores{0.9, 0.2, 0.8, 0.3};
+
+  core::accuracy_context ctx;
+  ctx.little_accuracy = 0.5;
+  ctx.big_accuracy = 1.0;
+  const core::operating_point point = core::evaluate_at_delta(
+      little, big, labels, scores, 0.5, ctx);
+  // δ = 0.5 keeps samples 0, 2 (little correct) and offloads 1, 3 (big
+  // correct): overall accuracy 1.0, SR 0.5, AccI = (1 - 0.5)/(1 - 0.5) = 1.
+  EXPECT_NEAR(point.skipping_rate, 0.5, 1e-9);
+  EXPECT_NEAR(point.overall_accuracy, 1.0, 1e-9);
+  EXPECT_NEAR(point.acc_improvement, 1.0, 1e-9);
+}
+
+TEST(sweep_thresholds, skipping_rate_is_monotone_and_covers_extremes) {
+  util::rng gen(11);
+  const std::size_t n = 200;
+  std::vector<std::size_t> labels(n), little(n), big(n);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = i % 4;
+    little[i] = gen.bernoulli(0.8) ? labels[i] : (labels[i] + 1) % 4;
+    big[i] = gen.bernoulli(0.95) ? labels[i] : (labels[i] + 1) % 4;
+    scores[i] = gen.uniform();
+  }
+  core::accuracy_context ctx;
+  ctx.little_accuracy = 0.8;
+  ctx.big_accuracy = 0.95;
+
+  const auto sweep = core::sweep_thresholds(little, big, labels, scores, ctx);
+  ASSERT_GE(sweep.size(), 2U);
+  EXPECT_NEAR(sweep.front().skipping_rate, 0.0, 1e-9);
+  EXPECT_NEAR(sweep.back().skipping_rate, 1.0, 1e-9);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].skipping_rate, sweep[i - 1].skipping_rate);
+  }
+}
+
+TEST(cheapest_point_for_acci, picks_max_sr_meeting_target) {
+  std::vector<core::operating_point> sweep(4);
+  sweep[0] = {.delta = 0.9, .skipping_rate = 0.2, .overall_accuracy = 0.95,
+              .acc_improvement = 0.95};
+  sweep[1] = {.delta = 0.7, .skipping_rate = 0.5, .overall_accuracy = 0.92,
+              .acc_improvement = 0.80};
+  sweep[2] = {.delta = 0.5, .skipping_rate = 0.8, .overall_accuracy = 0.90,
+              .acc_improvement = 0.60};
+  sweep[3] = {.delta = 0.3, .skipping_rate = 0.95, .overall_accuracy = 0.86,
+              .acc_improvement = 0.30};
+
+  EXPECT_NEAR(core::cheapest_point_for_acci(sweep, 0.75).skipping_rate, 0.5,
+              1e-9);
+  EXPECT_NEAR(core::cheapest_point_for_acci(sweep, 0.9).skipping_rate, 0.2,
+              1e-9);
+  EXPECT_NEAR(core::cheapest_point_for_acci(sweep, 0.25).skipping_rate, 0.95,
+              1e-9);
+}
+
+TEST(cheapest_point_for_acci, unreachable_target_falls_back_to_best) {
+  std::vector<core::operating_point> sweep(2);
+  sweep[0] = {.delta = 0.9, .skipping_rate = 0.2, .overall_accuracy = 0.9,
+              .acc_improvement = 0.6};
+  sweep[1] = {.delta = 0.3, .skipping_rate = 0.9, .overall_accuracy = 0.85,
+              .acc_improvement = 0.3};
+  const auto point = core::cheapest_point_for_acci(sweep, 0.99);
+  EXPECT_NEAR(point.acc_improvement, 0.6, 1e-9);
+}
+
+TEST(threshold, empty_inputs_throw) {
+  EXPECT_THROW(core::delta_for_skipping_rate({}, 0.5), util::error);
+  EXPECT_THROW(core::delta_for_skipping_rate({0.5}, 1.5), util::error);
+  EXPECT_THROW(core::cheapest_point_for_acci({}, 0.5), util::error);
+}
+
+/// Property: with an oracle score (scores = 1 for little-correct, 0
+/// otherwise), the sweep contains a point with accuracy >= both standalone
+/// models at an interior skipping rate.
+TEST(threshold, oracle_scores_dominate_standalone_models) {
+  util::rng gen(13);
+  const std::size_t n = 400;
+  std::vector<std::size_t> labels(n), little(n), big(n);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = i % 5;
+    little[i] = gen.bernoulli(0.75) ? labels[i] : (labels[i] + 1) % 5;
+    big[i] = gen.bernoulli(0.95) ? labels[i] : (labels[i] + 2) % 5;
+    scores[i] = little[i] == labels[i] ? 1.0 : 0.0;
+  }
+  core::accuracy_context ctx;
+  ctx.little_accuracy = metrics::accuracy(little, labels);
+  ctx.big_accuracy = metrics::accuracy(big, labels);
+
+  const auto point = core::evaluate_at_delta(little, big, labels, scores,
+                                             0.5, ctx);
+  EXPECT_GT(point.overall_accuracy, ctx.little_accuracy);
+  EXPECT_GT(point.overall_accuracy, ctx.big_accuracy);  // accuracy boosting
+}
+
+}  // namespace

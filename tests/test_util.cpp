@@ -1,0 +1,192 @@
+// Tests for util: strings, config, CSV, tables, histogram, hashing, cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/artifact_cache.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/histogram.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace appeal::util;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(string_util, split_keeps_empty_fields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(string_util, trim_removes_surrounding_whitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(string_util, starts_with_and_lower) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_EQ(to_lower("MoBiLeNet"), "mobilenet");
+}
+
+TEST(string_util, join_and_formatting) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.4567, 1), "45.7%");
+}
+
+TEST(config, parses_key_value_and_flags) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--name=test", "--verbose"};
+  const config cfg = config::from_args(4, argv);
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha"), 1.5);
+  EXPECT_EQ(cfg.get_string("name"), "test");
+  EXPECT_TRUE(cfg.get_bool_or("verbose", false));
+  EXPECT_FALSE(cfg.get_bool_or("absent", false));
+  EXPECT_EQ(cfg.get_int_or("absent", 9), 9);
+}
+
+TEST(config, rejects_positional_arguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(config::from_args(2, argv), error);
+}
+
+TEST(config, typed_getter_errors) {
+  config cfg;
+  cfg.set("x", "not-a-number");
+  EXPECT_THROW(cfg.get_int("x"), error);
+  EXPECT_THROW(cfg.get_double("x"), error);
+  EXPECT_THROW(cfg.get_string("missing"), error);
+}
+
+TEST(config, canonical_string_is_sorted_and_stable) {
+  config a;
+  a.set("zeta", "1");
+  a.set("alpha", "2");
+  config b;
+  b.set("alpha", "2");
+  b.set("zeta", "1");
+  EXPECT_EQ(a.canonical_string(), b.canonical_string());
+  EXPECT_EQ(a.canonical_string(), "alpha=2,zeta=1");
+}
+
+TEST(csv, roundtrip_with_quoting) {
+  const std::string path = temp_path("appeal_csv_test.csv");
+  {
+    csv_writer writer(path);
+    writer.write_row(std::vector<std::string>{"plain", "with,comma",
+                                              "with\"quote"});
+    writer.write_row(std::vector<double>{1.5, -2.25});
+  }
+  const csv_document doc = read_csv(path);
+  ASSERT_EQ(doc.row_count(), 2U);
+  EXPECT_EQ(doc.rows[0][1], "with,comma");
+  EXPECT_EQ(doc.rows[0][2], "with\"quote");
+  EXPECT_DOUBLE_EQ(std::stod(doc.rows[1][0]), 1.5);
+  std::remove(path.c_str());
+}
+
+TEST(csv, read_missing_file_throws) {
+  EXPECT_THROW(read_csv("/nonexistent/file.csv"), error);
+}
+
+TEST(ascii_table, renders_aligned_columns) {
+  ascii_table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta-long", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| beta-long | 22    |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2U);
+}
+
+TEST(ascii_table, rejects_mismatched_rows) {
+  ascii_table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), error);
+}
+
+TEST(histogram, counts_and_densities) {
+  histogram h(0.0, 1.0, 4);
+  h.add_all({0.1, 0.1, 0.4, 0.6, 0.9});
+  EXPECT_EQ(h.total(), 5U);
+  EXPECT_EQ(h.counts()[0], 2U);
+  EXPECT_EQ(h.counts()[1], 1U);
+  EXPECT_EQ(h.counts()[2], 1U);
+  EXPECT_EQ(h.counts()[3], 1U);
+  // Densities integrate to 1.
+  const auto d = h.densities();
+  double integral = 0.0;
+  for (const double v : d) integral += v * 0.25;
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(histogram, clamps_out_of_range_values) {
+  histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.counts()[0], 1U);
+  EXPECT_EQ(h.counts()[1], 1U);
+}
+
+TEST(histogram, overlap_coefficient_extremes) {
+  histogram a(0.0, 1.0, 10);
+  histogram b(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    a.add(0.05);  // all mass in bin 0
+    b.add(0.95);  // all mass in bin 9
+  }
+  EXPECT_NEAR(histogram::overlap_coefficient(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(histogram::overlap_coefficient(a, a), 1.0, 1e-9);
+}
+
+TEST(histogram, overlap_requires_same_binning) {
+  histogram a(0.0, 1.0, 10);
+  histogram b(0.0, 1.0, 5);
+  EXPECT_THROW(histogram::overlap_coefficient(a, b), error);
+}
+
+TEST(hash, fnv1a_is_stable_and_sensitive) {
+  EXPECT_EQ(fnv1a64("abc"), fnv1a64("abc"));
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("abd"));
+  EXPECT_NE(fnv1a64(""), fnv1a64("a"));
+  EXPECT_EQ(hash_hex(fnv1a64("abc")).size(), 16U);
+}
+
+TEST(artifact_cache, find_put_evict_cycle) {
+  const std::string dir = temp_path("appeal_cache_test");
+  std::filesystem::remove_all(dir);
+  artifact_cache cache(dir);
+
+  EXPECT_FALSE(cache.find("key-1").has_value());
+  const std::string path = cache.prepare_write("key-1");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("artifact", f);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(cache.find("key-1").has_value());
+  EXPECT_EQ(*cache.find("key-1"), path);
+  EXPECT_TRUE(cache.evict("key-1"));
+  EXPECT_FALSE(cache.find("key-1").has_value());
+  EXPECT_FALSE(cache.evict("key-1"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(artifact_cache, distinct_keys_distinct_paths) {
+  artifact_cache cache("/tmp/whatever");
+  EXPECT_NE(cache.path_for("a"), cache.path_for("b"));
+}
+
+}  // namespace

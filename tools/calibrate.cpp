@@ -1,0 +1,77 @@
+// Dataset/model calibration driver (development tool).
+//
+// Trains the experiment models on one preset and reports the quantities the
+// paper's evaluation depends on: big/little accuracies and their gap, the
+// q-score separation (AUROC), and model costs. Used to tune the synthetic
+// dataset presets; also handy for users adapting the presets.
+//
+// Run: ./calibrate --dataset=cifar10 [--family=mobilenet] [--blackbox]
+//      [--verbose] [--nocache]
+#include <cstdio>
+
+#include "collab/experiment.hpp"
+#include "core/scores.hpp"
+#include "metrics/metrics.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/config.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(args.get_bool_or("verbose", false)
+                          ? util::log_level::debug
+                          : util::log_level::info);
+
+  collab::experiment_config cfg = collab::default_experiment(
+      data::parse_preset(args.get_string_or("dataset", "cifar10")),
+      models::parse_family(args.get_string_or("family", "mobilenet")),
+      args.get_bool_or("blackbox", false));
+  cfg.verbose = args.get_bool_or("verbose", false);
+  cfg.beta = args.get_double_or("beta", cfg.beta);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+  if (args.has("big_epochs")) cfg.big_epochs = static_cast<std::size_t>(args.get_int("big_epochs"));
+  if (args.has("pretrain_epochs")) cfg.pretrain_epochs = static_cast<std::size_t>(args.get_int("pretrain_epochs"));
+  if (args.has("joint_epochs")) cfg.joint_epochs = static_cast<std::size_t>(args.get_int("joint_epochs"));
+
+  const util::artifact_cache cache = util::default_cache();
+  const bool use_cache = !args.get_bool_or("nocache", false);
+  const collab::experiment_outputs out =
+      collab::run_experiment(cfg, use_cache ? &cache : nullptr);
+
+  // Score separation on the test split: does q rank little-correct above
+  // little-incorrect better than MSP does?
+  const tensor joint_probs = ops::softmax_rows(out.test.little_joint_logits);
+  const tensor base_probs = ops::softmax_rows(out.test.little_base_logits);
+  const auto joint_preds = ops::argmax_rows(out.test.little_joint_logits);
+  const auto base_preds = ops::argmax_rows(out.test.little_base_logits);
+  const auto msp = core::msp_scores(base_probs);
+  const auto q = core::q_to_scores(out.test.q);
+
+  std::vector<double> q_pos, q_neg, msp_pos, msp_neg;
+  for (std::size_t i = 0; i < out.test.labels.size(); ++i) {
+    (joint_preds[i] == out.test.labels[i] ? q_pos : q_neg).push_back(q[i]);
+    (base_preds[i] == out.test.labels[i] ? msp_pos : msp_neg).push_back(msp[i]);
+  }
+
+  std::printf("\n=== calibration: %s / %s%s ===\n",
+              data::preset_name(cfg.dataset).c_str(),
+              models::family_name(cfg.edge_family).c_str(),
+              cfg.black_box ? " (black-box)" : "");
+  std::printf("big accuracy          : %.2f%%  (%.2f MFLOPs)\n",
+              out.big_accuracy * 100.0, out.big_mflops);
+  std::printf("little base accuracy  : %.2f%%  (%.2f MFLOPs two-head)\n",
+              out.little_base_accuracy * 100.0, out.little_mflops);
+  std::printf("little joint accuracy : %.2f%%\n",
+              out.little_joint_accuracy * 100.0);
+  std::printf("accuracy gap          : %.2f%%\n",
+              (out.big_accuracy - out.little_joint_accuracy) * 100.0);
+  std::printf("q AUROC               : %.4f\n", metrics::auroc(q_pos, q_neg));
+  std::printf("MSP AUROC             : %.4f\n",
+              metrics::auroc(msp_pos, msp_neg));
+  double mean_q = 0.0;
+  for (const float v : out.test.q) mean_q += v;
+  mean_q /= static_cast<double>(out.test.q.size());
+  std::printf("mean q                : %.3f\n", mean_q);
+  return 0;
+}
