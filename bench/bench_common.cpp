@@ -2,8 +2,21 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace appeal::bench {
+
+std::uint64_t bench_seed(const util::config& args, std::uint64_t fallback) {
+  if (!args.has("seed")) return fallback;
+  const std::string raw = args.get_string("seed");
+  try {
+    return std::stoull(raw);
+  } catch (const std::exception&) {
+    throw util::error("--seed must be a non-negative integer, got: " + raw);
+  }
+}
 
 std::string results_dir() {
   if (const char* env = std::getenv("APPEAL_RESULTS_DIR");

@@ -8,6 +8,7 @@
 #include "collab/system_eval.hpp"
 #include "core/scores.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "util/config.hpp"
 
 namespace appeal::bench {
 
@@ -51,6 +52,12 @@ inline double method_little_accuracy(
              ? outputs.little_joint_accuracy
              : outputs.little_base_accuracy;
 }
+
+/// Deterministic-by-default bench seed: `--seed=N` when the flag is given,
+/// `fallback` otherwise — load generation reproduces bit-for-bit unless
+/// the caller opts into a new seed.
+std::uint64_t bench_seed(const util::config& args,
+                         std::uint64_t fallback = 42);
 
 /// Output directory for bench CSVs (created on demand).
 std::string results_dir();

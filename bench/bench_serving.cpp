@@ -1,0 +1,229 @@
+// Closed-loop serving load test.
+//
+// A pool of client threads drives >= 10k synthetic requests through the
+// online engine (each client submits, waits for the answer, submits the
+// next — classic closed-loop load). Two runs share one workload:
+//   1. fixed δ taken from the offline system_eval sweep at --target_sr —
+//      online accuracy and SR must reproduce the offline prediction;
+//   2. adaptive δ (track_sr from a cold, deliberately wrong δ) — shows
+//      the threshold_controller converging onto the same operating point.
+// Reports throughput, p50/p95/p99 latency, achieved SR, online accuracy,
+// and the cost model's latency prediction for the achieved SR; writes
+// results/serving.csv.
+//
+// Run:  ./bench_serving [--requests=20000] [--target_sr=0.9] [--seed=42]
+//       [--clients=64] [--workers=2] [--batch=16] [--max_wait_us=200]
+//       [--time_scale=0.2] [--edge_sim=1]
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "collab/system_eval.hpp"
+#include "serve/engine.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace appeal;
+
+struct workload {
+  std::vector<std::size_t> labels;
+  std::vector<std::size_t> little;
+  std::vector<std::size_t> big;
+  std::vector<double> scores;
+};
+
+/// Synthetic request population: an ~80%-accurate little model, an
+/// ~97%-accurate big model, and scores correlated with little-correctness
+/// (the separation the two-head predictor provides; cf. Fig. 4).
+workload make_workload(std::size_t n, std::uint64_t seed) {
+  util::rng gen(seed);
+  workload w;
+  w.labels.resize(n);
+  w.little.resize(n);
+  w.big.resize(n);
+  w.scores.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.labels[i] = i % 10;
+    const bool little_right = gen.bernoulli(0.8);
+    w.little[i] = little_right ? w.labels[i] : (w.labels[i] + 1) % 10;
+    w.big[i] = gen.bernoulli(0.97) ? w.labels[i] : (w.labels[i] + 2) % 10;
+    w.scores[i] = little_right ? 0.5 + 0.5 * gen.uniform()
+                               : 0.7 * gen.uniform();
+  }
+  return w;
+}
+
+/// Closed-loop drive over workload indices [begin, end): `clients`
+/// threads, each submits one request and blocks on its completion before
+/// taking the next index.
+void drive_closed_loop(serve::engine& eng, const workload& w,
+                       std::size_t clients, std::size_t begin,
+                       std::size_t end) {
+  std::atomic<std::size_t> next{begin};
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= end) return;
+        eng.submit(tensor(), i, w.labels[i]).get();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+struct run_result {
+  serve::stats_snapshot stats;  // steady state: warmup is excluded
+  double delta = 0.0;
+  double warmup_seconds = 0.0;
+  double measured_seconds = 0.0;
+};
+
+/// Drives the full workload; when `warmup > 0`, the first `warmup`
+/// requests prime the engine (and its threshold controller) and the stats
+/// are reset before the measured phase — so every reported metric
+/// (latency quantiles, throughput, SR, accuracy) is steady-state.
+run_result run_mode(const workload& w, const serve::engine_config& cfg,
+                    std::size_t clients, std::size_t warmup) {
+  serve::replay_edge_backend edge(w.little, w.scores);
+  serve::replay_cloud_backend cloud(w.big);
+  serve::engine eng(cfg, edge, cloud);
+  util::stopwatch phases;
+  if (warmup > 0) {
+    drive_closed_loop(eng, w, clients, 0, warmup);
+    eng.drain();
+    eng.reset_stats();
+  }
+  run_result r;
+  if (warmup > 0) r.warmup_seconds = phases.lap_seconds();
+  drive_closed_loop(eng, w, clients, warmup, w.labels.size());
+  eng.drain();
+  r.measured_seconds = phases.lap_seconds();
+  r.stats = eng.stats().snapshot();
+  r.delta = eng.controller().delta();
+  return r;
+}
+
+void report(const char* name, const run_result& r, double target_sr,
+            double offline_accuracy, const collab::cost_model& link) {
+  std::printf("--- %s ---\n%s", name,
+              serve::serve_stats::render(r.stats).c_str());
+  if (r.warmup_seconds > 0.0) {
+    std::printf("phases           : warmup %.2f s, measured %.2f s\n",
+                r.warmup_seconds, r.measured_seconds);
+  }
+  std::printf("final delta      : %.4f\n", r.delta);
+  std::printf("target SR        : %.2f%% (gap %.2f pp)\n", target_sr * 100.0,
+              (r.stats.achieved_sr - target_sr) * 100.0);
+  std::printf("offline accuracy : %.2f%% (gap %.2f pp)\n",
+              offline_accuracy * 100.0,
+              (r.stats.online_accuracy - offline_accuracy) * 100.0);
+  std::printf("modeled latency  : %.3f ms/request at achieved SR\n\n",
+              link.overall_latency_ms(r.stats.achieved_sr));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  const auto requests =
+      static_cast<std::size_t>(args.get_int_or("requests", 20000));
+  const double target_sr = args.get_double_or("target_sr", 0.9);
+  const std::uint64_t seed = bench::bench_seed(args);
+  const auto clients = static_cast<std::size_t>(args.get_int_or("clients", 64));
+
+  serve::engine_config cfg;
+  cfg.batching.max_batch_size =
+      static_cast<std::size_t>(args.get_int_or("batch", 16));
+  cfg.batching.max_wait =
+      std::chrono::microseconds(args.get_int_or("max_wait_us", 200));
+  cfg.num_workers = static_cast<std::size_t>(args.get_int_or("workers", 2));
+  cfg.queue_capacity = static_cast<std::size_t>(
+      args.get_int_or("queue_capacity", 1024));
+  cfg.channel.time_scale = args.get_double_or("time_scale", 0.2);
+  cfg.simulate_edge_compute = args.get_bool_or("edge_sim", true);
+
+  const workload w = make_workload(requests, seed);
+
+  // Offline prediction (system_eval) for the same workload and target SR.
+  collab::routed_split split;
+  split.labels = w.labels;
+  split.little_predictions = w.little;
+  split.big_predictions = w.big;
+  split.scores = w.scores;
+  const auto curve =
+      collab::accuracy_vs_sr_curve(split, nullptr, {target_sr});
+  const collab::sweep_point offline = curve.front();
+  std::printf("=== bench_serving: %zu requests, %zu clients, seed %llu ===\n",
+              requests, clients,
+              static_cast<unsigned long long>(seed));
+  std::printf(
+      "offline system_eval: delta %.4f -> SR %.2f%%, accuracy %.2f%%\n\n",
+      offline.delta, offline.achieved_sr * 100.0, offline.accuracy * 100.0);
+
+  // Run 1: offline-calibrated fixed δ.
+  serve::engine_config fixed_cfg = cfg;
+  fixed_cfg.threshold.adapt = serve::threshold_config::mode::fixed;
+  fixed_cfg.threshold.initial_delta = offline.delta;
+  const run_result fixed = run_mode(w, fixed_cfg, clients, /*warmup=*/0);
+  report("fixed delta (offline calibration)", fixed, target_sr,
+         offline.accuracy, cfg.link);
+
+  // Run 2: adaptive δ from a cold start. The controller needs a few
+  // recalibration windows to find δ, so a warmup slice of the workload
+  // primes it and every reported metric covers the steady state only.
+  serve::engine_config adaptive_cfg = cfg;
+  adaptive_cfg.threshold.adapt = serve::threshold_config::mode::track_sr;
+  adaptive_cfg.threshold.target_sr = target_sr;
+  adaptive_cfg.threshold.initial_delta = 0.99;
+  const std::size_t warmup = std::min<std::size_t>(2048, requests / 5);
+  const run_result adaptive = run_mode(w, adaptive_cfg, clients, warmup);
+  report("adaptive delta (track_sr, cold start)", adaptive, target_sr,
+         offline.accuracy, cfg.link);
+
+  const std::string path = bench::results_path("serving.csv");
+  {
+    util::csv_writer csv(path);
+    csv.write_row({"mode", "requests", "throughput_rps", "p50_ms", "p95_ms",
+                   "p99_ms", "target_sr", "achieved_sr", "online_accuracy",
+                   "offline_accuracy", "delta"});
+    const auto add = [&](const char* mode, const run_result& r) {
+      csv.write_row({std::string(mode), std::to_string(requests),
+                     std::to_string(r.stats.throughput_rps),
+                     std::to_string(r.stats.p50_ms),
+                     std::to_string(r.stats.p95_ms),
+                     std::to_string(r.stats.p99_ms),
+                     std::to_string(target_sr),
+                     std::to_string(r.stats.achieved_sr),
+                     std::to_string(r.stats.online_accuracy),
+                     std::to_string(offline.accuracy),
+                     std::to_string(r.delta)});
+    };
+    add("fixed", fixed);
+    add("adaptive", adaptive);
+  }
+  std::printf("wrote %s\n", path.c_str());
+
+  // Acceptance: SR within 2 pp of target (steady state for the adaptive
+  // run), online == offline accuracy for the fixed (same-δ) run.
+  const bool sr_ok =
+      std::abs(fixed.stats.achieved_sr - target_sr) <= 0.02 &&
+      std::abs(adaptive.stats.achieved_sr - target_sr) <= 0.02;
+  const bool acc_ok =
+      std::abs(fixed.stats.online_accuracy - offline.accuracy) <= 0.005;
+  std::printf("acceptance: SR within 2pp %s, online==offline accuracy %s\n",
+              sr_ok ? "PASS" : "FAIL", acc_ok ? "PASS" : "FAIL");
+  return sr_ok && acc_ok ? 0 : 1;
+}

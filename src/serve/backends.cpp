@@ -1,0 +1,105 @@
+#include "serve/backends.hpp"
+
+#include <cstring>
+
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+namespace {
+
+/// Stacks per-request [C, H, W] inputs into one [N, C, H, W] batch.
+tensor stack_inputs(const std::vector<request>& batch) {
+  APPEAL_CHECK(!batch.empty(), "cannot stack an empty batch");
+  const tensor& first = batch.front().input;
+  APPEAL_CHECK(!first.empty(), "network backend requires request inputs");
+  const std::size_t per_item = first.size();
+  std::vector<std::size_t> dims{batch.size()};
+  for (std::size_t d = 0; d < first.dims().rank(); ++d) {
+    dims.push_back(first.dims().dim(d));
+  }
+  tensor out{shape(dims)};
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const tensor& item = batch[i].input;
+    APPEAL_CHECK(item.size() == per_item,
+                 "all batch inputs must share one shape");
+    std::memcpy(out.data() + i * per_item, item.data(),
+                per_item * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+replay_edge_backend::replay_edge_backend(std::vector<std::size_t> predictions,
+                                         std::vector<double> scores)
+    : predictions_(std::move(predictions)), scores_(std::move(scores)) {
+  APPEAL_CHECK(predictions_.size() == scores_.size(),
+               "replay predictions/scores must be parallel");
+  APPEAL_CHECK(!predictions_.empty(), "replay backend requires data");
+}
+
+edge_inference replay_edge_backend::infer(const std::vector<request>& batch) {
+  edge_inference out;
+  out.predictions.reserve(batch.size());
+  out.scores.reserve(batch.size());
+  for (const request& r : batch) {
+    APPEAL_CHECK(r.key < predictions_.size(),
+                 "request key outside the replay table");
+    out.predictions.push_back(predictions_[r.key]);
+    out.scores.push_back(scores_[r.key]);
+  }
+  return out;
+}
+
+replay_cloud_backend::replay_cloud_backend(std::vector<std::size_t> predictions)
+    : predictions_(std::move(predictions)) {
+  APPEAL_CHECK(!predictions_.empty(), "replay backend requires data");
+}
+
+std::size_t replay_cloud_backend::infer(const request& r) {
+  APPEAL_CHECK(r.key < predictions_.size(),
+               "request key outside the replay table");
+  return predictions_[r.key];
+}
+
+std::size_t oracle_cloud_backend::infer(const request& r) {
+  APPEAL_CHECK(r.label != request::no_label,
+               "oracle cloud requires ground-truth labels");
+  return r.label;
+}
+
+network_edge_backend::network_edge_backend(core::two_head_network& network,
+                                           core::score_method method)
+    : network_(network), method_(method) {}
+
+edge_inference network_edge_backend::infer(const std::vector<request>& batch) {
+  const tensor inputs = stack_inputs(batch);
+  core::two_head_output fwd = network_.forward(inputs, /*training=*/false);
+  edge_inference out;
+  out.predictions = ops::argmax_rows(fwd.logits);
+  if (method_ == core::score_method::appealnet_q) {
+    out.scores = core::q_to_scores(fwd.q);
+  } else {
+    out.scores =
+        core::confidence_scores(method_, ops::softmax_rows(fwd.logits));
+  }
+  return out;
+}
+
+network_cloud_backend::network_cloud_backend(nn::sequential& network)
+    : network_(network) {}
+
+std::size_t network_cloud_backend::infer(const request& r) {
+  APPEAL_CHECK(!r.input.empty(), "network backend requires request inputs");
+  std::vector<std::size_t> dims{1};
+  for (std::size_t d = 0; d < r.input.dims().rank(); ++d) {
+    dims.push_back(r.input.dims().dim(d));
+  }
+  const tensor input = r.input.reshaped(shape(dims));
+  const tensor logits = network_.forward(input, /*training=*/false);
+  return ops::argmax_rows(logits).front();
+}
+
+}  // namespace appeal::serve

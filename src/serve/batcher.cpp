@@ -1,0 +1,51 @@
+#include "serve/batcher.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+batcher::batcher(request_queue& queue, const batch_policy& policy)
+    : queue_(queue), policy_(policy) {
+  APPEAL_CHECK(policy.max_batch_size > 0, "max_batch_size must be positive");
+  APPEAL_CHECK(policy.max_wait.count() >= 0, "max_wait must be non-negative");
+}
+
+batch batcher::next_batch() {
+  using clock = std::chrono::steady_clock;
+  batch out;
+
+  // Block indefinitely for the first request (poll in coarse slices so a
+  // close() during the wait is picked up promptly even on platforms with
+  // spurious-wakeup-free condvars).
+  request first;
+  for (;;) {
+    const auto result =
+        queue_.pop_until(first, clock::now() + std::chrono::milliseconds(50));
+    if (result == request_queue::pop_result::item) break;
+    if (result == request_queue::pop_result::closed) {
+      out.reason = flush_reason::queue_closed;
+      return out;
+    }
+  }
+  first.dequeue_time = clock::now();
+  const auto deadline = first.dequeue_time + policy_.max_wait;
+  out.requests.push_back(std::move(first));
+
+  while (out.requests.size() < policy_.max_batch_size) {
+    request next;
+    const auto result = queue_.pop_until(next, deadline);
+    if (result == request_queue::pop_result::item) {
+      next.dequeue_time = clock::now();
+      out.requests.push_back(std::move(next));
+      continue;
+    }
+    out.reason = result == request_queue::pop_result::closed
+                     ? flush_reason::queue_closed
+                     : flush_reason::wait_expired;
+    return out;
+  }
+  out.reason = flush_reason::batch_full;
+  return out;
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,52 @@
+// Dynamic batch formation: max-batch-size / max-wait coalescing.
+//
+// The batcher blocks for the first request, then keeps pulling until the
+// batch is full (size-triggered flush) or `max_wait` has elapsed since the
+// first item arrived (timeout-triggered flush). This is the standard
+// latency/throughput trade of online inference servers: larger batches
+// amortize the edge model's fixed per-batch cost, the wait bound caps the
+// queueing delay added to every request in the batch.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace appeal::serve {
+
+/// Flush policy of the dynamic batcher.
+struct batch_policy {
+  std::size_t max_batch_size = 16;
+  std::chrono::microseconds max_wait{500};
+};
+
+/// Why a batch was emitted (exposed for tests and stats).
+enum class flush_reason { batch_full, wait_expired, queue_closed };
+
+/// One formed batch.
+struct batch {
+  std::vector<request> requests;
+  flush_reason reason = flush_reason::queue_closed;
+  bool empty() const { return requests.empty(); }
+};
+
+/// Pulls dynamic batches off a request_queue. Multiple edge workers may
+/// each own a batcher over the same queue; the queue serializes access.
+class batcher {
+ public:
+  batcher(request_queue& queue, const batch_policy& policy);
+
+  /// Blocks for the next batch. An empty batch (reason `queue_closed`)
+  /// means the queue is closed and drained — the worker should exit.
+  batch next_batch();
+
+  const batch_policy& policy() const { return policy_; }
+
+ private:
+  request_queue& queue_;
+  batch_policy policy_;
+};
+
+}  // namespace appeal::serve

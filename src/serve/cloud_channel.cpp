@@ -1,0 +1,116 @@
+#include "serve/cloud_channel.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+clock::duration scaled_ms(double ms, double scale) {
+  return std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double, std::milli>(ms * scale));
+}
+
+}  // namespace
+
+cloud_channel::cloud_channel(cloud_backend& backend,
+                             const collab::cost_model& link,
+                             const link_config& cfg)
+    : backend_(backend),
+      transmit_ms_(link.input_kb * link.comm_ms_per_kb),
+      // Propagation + cloud compute = the cost model's offload latency
+      // minus the transmit share (L(0) - L(1) is the full offload term).
+      overlap_ms_(link.overall_latency_ms(0.0) - link.overall_latency_ms(1.0) -
+                  link.input_kb * link.comm_ms_per_kb),
+      time_scale_(cfg.time_scale) {
+  APPEAL_CHECK(time_scale_ >= 0.0, "time_scale must be non-negative");
+  link_free_at_ = clock::now();
+  worker_ = std::thread([this] { run(); });
+}
+
+cloud_channel::~cloud_channel() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  worker_.join();
+}
+
+void cloud_channel::appeal(request&& r, completion_fn on_complete) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    APPEAL_CHECK(!stopping_, "appeal() after channel shutdown");
+    pending_.push(pending{std::move(r), std::move(on_complete)});
+    ++outstanding_;
+  }
+  wake_.notify_all();
+}
+
+void cloud_channel::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+std::size_t cloud_channel::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void cloud_channel::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Move every pending appeal onto the simulated link. Transmissions
+    // serialize (link_free_at_); propagation + cloud compute overlap.
+    while (!pending_.empty()) {
+      pending p = std::move(pending_.front());
+      pending_.pop();
+      const auto now = clock::now();
+      const auto send_start = std::max(now, link_free_at_);
+      const auto send_end = send_start + scaled_ms(transmit_ms_, time_scale_);
+      link_free_at_ = send_end;
+      in_flight f;
+      f.complete_at = send_end + scaled_ms(overlap_ms_, time_scale_);
+      f.link_ms = std::chrono::duration<double, std::milli>(f.complete_at -
+                                                            now)
+                      .count();
+      f.on_complete = std::move(p.on_complete);
+      lock.unlock();
+      // Run the big network off-lock: it may be arbitrarily expensive.
+      const std::size_t prediction = backend_.infer(p.req);
+      lock.lock();
+      f.prediction = prediction;
+      f.req = std::move(p.req);
+      in_flight_.push(std::move(f));
+    }
+
+    if (!in_flight_.empty()) {
+      // Completion deadlines are FIFO: every appeal adds the same overlap
+      // on top of a monotone send_end, so the front is always due first.
+      const auto due = in_flight_.front().complete_at;
+      if (clock::now() < due) {
+        wake_.wait_until(lock, due);
+        continue;  // re-check pending work after the wait
+      }
+      in_flight f = std::move(in_flight_.front());
+      in_flight_.pop();
+      lock.unlock();
+      f.on_complete(std::move(f.req), f.prediction, f.link_ms);
+      lock.lock();
+      ++completed_;
+      --outstanding_;
+      if (outstanding_ == 0) drained_.notify_all();
+      continue;
+    }
+
+    if (stopping_) return;
+    wake_.wait(lock, [&] {
+      return stopping_ || !pending_.empty() || !in_flight_.empty();
+    });
+  }
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,92 @@
+// Asynchronous appeal dispatcher with a simulated edge→cloud link.
+//
+// Appeals complete on a background thread after a modeled delay derived
+// from the collab::cost_model latency coefficients:
+//   transmit = input_kb * comm_ms_per_kb   (serialized: one uplink)
+//   fixed    = comm_round_trip_ms          (propagation, overlapped)
+//   cloud    = cloud_mflops / cloud_gflops (cloud compute, overlapped)
+// Transmissions serialize on the uplink (a later appeal waits for the
+// radio), while propagation and cloud compute pipeline — so throughput is
+// bounded by bandwidth and latency by the full round trip, matching how a
+// real offload link behaves under load. `time_scale` scales all simulated
+// delays (0 disables them entirely for fast tests).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "collab/cost_model.hpp"
+#include "serve/backends.hpp"
+#include "serve/request.hpp"
+
+namespace appeal::serve {
+
+struct link_config {
+  double time_scale = 1.0;  // multiplier on all simulated delays
+};
+
+class cloud_channel {
+ public:
+  /// Called on the channel thread when an appeal completes.
+  using completion_fn =
+      std::function<void(request&&, std::size_t cloud_prediction,
+                         double link_ms)>;
+
+  cloud_channel(cloud_backend& backend, const collab::cost_model& link,
+                const link_config& cfg);
+  ~cloud_channel();
+
+  /// Enqueues an appeal; returns immediately. The completion callback
+  /// fires after the simulated link delay.
+  void appeal(request&& r, completion_fn on_complete);
+
+  /// Blocks until every appeal enqueued so far has completed.
+  void drain();
+
+  /// Total appeals completed.
+  std::size_t completed() const;
+
+  /// Simulated per-appeal round-trip (ms, unscaled): transmit + fixed +
+  /// cloud compute. Matches the offload term of overall_latency_ms.
+  double round_trip_ms() const { return transmit_ms_ + overlap_ms_; }
+
+ private:
+  struct pending {
+    request req;
+    completion_fn on_complete;
+  };
+  struct in_flight {
+    request req;
+    completion_fn on_complete;
+    std::size_t prediction = 0;
+    double link_ms = 0.0;
+    std::chrono::steady_clock::time_point complete_at;
+  };
+
+  void run();
+
+  cloud_backend& backend_;
+  double transmit_ms_;  // serialized uplink occupancy per appeal
+  double overlap_ms_;   // propagation + cloud compute (pipelined)
+  double time_scale_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;      // channel thread wake-ups
+  std::condition_variable drained_;   // drain() waiters
+  std::queue<pending> pending_;
+  // Completion deadlines are FIFO (constant overlap on a monotone
+  // send_end), so a plain queue is a valid timer wheel here.
+  std::queue<in_flight> in_flight_;
+  std::chrono::steady_clock::time_point link_free_at_;
+  std::size_t outstanding_ = 0;
+  std::size_t completed_ = 0;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace appeal::serve

@@ -1,0 +1,157 @@
+#include "serve/engine.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double ms_between(clock::time_point from, clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+engine::engine(const engine_config& cfg, edge_backend& edge,
+               cloud_backend& cloud)
+    : engine(cfg, std::vector<edge_backend*>(cfg.num_workers, &edge), cloud) {}
+
+engine::engine(const engine_config& cfg,
+               std::vector<edge_backend*> per_worker_edge,
+               cloud_backend& cloud)
+    : config_(cfg),
+      edge_backends_(std::move(per_worker_edge)),
+      queue_(cfg.queue_capacity),
+      controller_(cfg.threshold, &config_.link),
+      stats_(cfg.stats),
+      channel_(cloud, cfg.link, cfg.channel) {
+  APPEAL_CHECK(config_.num_workers > 0, "engine needs at least one worker");
+  APPEAL_CHECK(edge_backends_.size() == config_.num_workers,
+               "one edge backend per worker required");
+  for (edge_backend* backend : edge_backends_) {
+    APPEAL_CHECK(backend != nullptr, "edge backend must not be null");
+  }
+  workers_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_loop(*edge_backends_[w]); });
+  }
+}
+
+engine::~engine() { shutdown(); }
+
+std::future<response> engine::submit(tensor input, std::uint64_t key,
+                                     std::size_t label) {
+  request r;
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.input = std::move(input);
+  r.key = key;
+  r.label = label;
+  r.enqueue_time = clock::now();
+  std::future<response> future = r.promise.get_future();
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.push(std::move(r))) {
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drained_.notify_all();
+    }
+    throw util::error("submit() on a shut-down engine");
+  }
+  return future;
+}
+
+void engine::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void engine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+  channel_.drain();
+}
+
+void engine::complete(request&& r, response&& resp) {
+  const bool labeled = r.label != request::no_label;
+  const bool correct = labeled && resp.predicted_class == r.label;
+  resp.latency_ms = ms_between(r.enqueue_time, clock::now());
+  stats_.record(resp, labeled, correct);
+  r.promise.set_value(std::move(resp));
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_.notify_all();
+  }
+}
+
+void engine::worker_loop(edge_backend& edge) {
+  batcher form(queue_, config_.batching);
+  const double edge_ms = config_.link.overall_latency_ms(1.0);
+  for (;;) {
+    batch b = form.next_batch();
+    if (b.empty()) return;  // queue closed and drained
+
+    const edge_inference inference = edge.infer(b.requests);
+    APPEAL_CHECK(inference.predictions.size() == b.requests.size() &&
+                     inference.scores.size() == b.requests.size(),
+                 "edge backend must return one result per request");
+
+    if (config_.simulate_edge_compute) {
+      const double scaled = edge_ms * config_.channel.time_scale;
+      if (scaled > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(scaled));
+      }
+    }
+
+    // One δ for the whole batch: the decision the paper's predictor head
+    // makes per input, applied at batch granularity.
+    const double delta = controller_.delta();
+    std::size_t skipped = 0;
+    for (std::size_t i = 0; i < b.requests.size(); ++i) {
+      request& r = b.requests[i];
+      const double score = inference.scores[i];
+      const double queue_ms = ms_between(r.enqueue_time, r.dequeue_time);
+      if (score >= delta) {
+        ++skipped;
+        response resp;
+        resp.id = r.id;
+        resp.predicted_class = inference.predictions[i];
+        resp.taken = route::edge;
+        resp.score = score;
+        resp.delta = delta;
+        resp.queue_ms = queue_ms;
+        complete(std::move(r), std::move(resp));
+      } else {
+        channel_.appeal(
+            std::move(r),
+            [this, score, delta, queue_ms](request&& done,
+                                           std::size_t prediction,
+                                           double link_ms) {
+              response resp;
+              resp.id = done.id;
+              resp.predicted_class = prediction;
+              resp.taken = route::cloud;
+              resp.score = score;
+              resp.delta = delta;
+              resp.queue_ms = queue_ms;
+              resp.link_ms = link_ms;
+              complete(std::move(done), std::move(resp));
+            });
+      }
+    }
+    controller_.observe(inference.scores, skipped);
+  }
+}
+
+}  // namespace appeal::serve

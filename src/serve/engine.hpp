@@ -1,0 +1,104 @@
+// The online edge/cloud collaborative inference engine.
+//
+// Request lifecycle:
+//   submit() -> request_queue -> batcher (dynamic batch) -> edge worker
+//     -> edge_backend (two-head little network / replay)
+//     -> score >= δ ?  complete on the edge
+//                   :  cloud_channel appeal -> cloud_backend -> complete
+// Every completion fulfills the request's promise and feeds serve_stats;
+// the threshold_controller watches per-batch scores and steers δ toward
+// the configured skipping-rate target (or latency SLO).
+//
+// Threading: `num_workers` edge workers pull batches concurrently (give
+// each its own edge_backend via the factory overload when the backend is
+// stateful, e.g. network_edge_backend); one background thread inside
+// cloud_channel simulates the uplink and completes appeals.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "collab/cost_model.hpp"
+#include "serve/backends.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cloud_channel.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_stats.hpp"
+#include "serve/threshold_controller.hpp"
+
+namespace appeal::serve {
+
+struct engine_config {
+  batch_policy batching;
+  std::size_t num_workers = 2;
+  std::size_t queue_capacity = 1024;
+  threshold_config threshold;
+  collab::cost_model link;        // simulated uplink + edge/cloud compute
+  link_config channel;            // time_scale for the simulation
+  serve_stats_config stats;
+  /// When true, each batch also pays the modeled edge compute time
+  /// (edge_mflops / edge_gflops, scaled by channel.time_scale) — the batch
+  /// runs as one parallel pass on the edge accelerator.
+  bool simulate_edge_compute = false;
+};
+
+class engine {
+ public:
+  /// Single shared edge backend (must be thread-safe or num_workers == 1).
+  engine(const engine_config& cfg, edge_backend& edge, cloud_backend& cloud);
+
+  /// Per-worker edge backends (index-aligned with the worker pool).
+  engine(const engine_config& cfg,
+         std::vector<edge_backend*> per_worker_edge, cloud_backend& cloud);
+
+  ~engine();
+
+  /// Enqueues one request; blocks while the queue is full (admission
+  /// backpressure). The future resolves at completion.
+  std::future<response> submit(tensor input, std::uint64_t key,
+                               std::size_t label = request::no_label);
+
+  /// Blocks until every submitted request has completed.
+  void drain();
+
+  /// Stops accepting work, drains, and joins all threads. Idempotent;
+  /// also invoked by the destructor.
+  void shutdown();
+
+  const serve_stats& stats() const { return stats_; }
+
+  /// Discards all stats so far (counters, latency histogram, clock) —
+  /// call after a warmup phase, with no requests in flight, to open a
+  /// clean measurement window. The threshold controller keeps its state.
+  void reset_stats() { stats_.reset(); }
+  threshold_controller& controller() { return controller_; }
+  const engine_config& config() const { return config_; }
+
+ private:
+  void worker_loop(edge_backend& edge);
+  void complete(request&& r, response&& resp);
+
+  engine_config config_;
+  std::vector<edge_backend*> edge_backends_;
+  request_queue queue_;
+  threshold_controller controller_;
+  serve_stats stats_;
+  cloud_channel channel_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace appeal::serve

@@ -1,0 +1,48 @@
+// In-flight request/response types of the online serving engine.
+//
+// A request enters through engine::submit(), waits in the request_queue,
+// is pulled into a dynamic batch by an edge_worker, and completes either
+// on the edge (score >= δ) or through the cloud_channel after a simulated
+// appeal. The embedded promise is fulfilled exactly once, at completion.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <limits>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::serve {
+
+/// Where a completed request was answered.
+enum class route { edge, cloud };
+
+/// Final answer handed back to the client.
+struct response {
+  std::uint64_t id = 0;
+  std::size_t predicted_class = 0;
+  route taken = route::edge;
+  double score = 0.0;      // edge confidence score (higher = easier)
+  double delta = 0.0;      // threshold in force at decision time
+  double queue_ms = 0.0;   // enqueue -> pulled into a batch
+  double link_ms = 0.0;    // simulated uplink + cloud time (0 on the edge)
+  double latency_ms = 0.0; // enqueue -> completion, wall clock
+};
+
+/// One in-flight inference request (move-only: it carries its promise).
+struct request {
+  /// Sentinel for "ground truth unknown" — such requests are excluded
+  /// from the online-accuracy statistic.
+  static constexpr std::size_t no_label = std::numeric_limits<std::size_t>::max();
+
+  std::uint64_t id = 0;
+  tensor input;                  // [C, H, W]; may be empty for replay backends
+  std::uint64_t key = 0;         // sample id used by replay backends
+  std::size_t label = no_label;  // ground truth when known (stats only)
+  std::chrono::steady_clock::time_point enqueue_time;
+  std::chrono::steady_clock::time_point dequeue_time;
+  std::promise<response> promise;
+};
+
+}  // namespace appeal::serve

@@ -1,0 +1,66 @@
+#include "serve/request_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+request_queue::request_queue(std::size_t capacity) : capacity_(capacity) {
+  APPEAL_CHECK(capacity > 0, "request_queue capacity must be positive");
+}
+
+bool request_queue::push(request&& r) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [&] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(r));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+request_queue::pop_result request_queue::pop_until(
+    request& out, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait_until(lock, deadline,
+                        [&] { return closed_ || !items_.empty(); });
+  if (!items_.empty()) {
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return pop_result::item;
+  }
+  return closed_ ? pop_result::closed : pop_result::timed_out;
+}
+
+bool request_queue::try_pop(request& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (items_.empty()) return false;
+  out = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void request_queue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool request_queue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t request_queue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace appeal::serve

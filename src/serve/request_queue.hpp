@@ -1,0 +1,54 @@
+// Bounded thread-safe FIFO of in-flight requests.
+//
+// Producers (engine::submit) block while the queue is full — the natural
+// admission backpressure of a closed-loop server. Consumers (the batcher,
+// on behalf of edge workers) pop with a deadline so batch formation can
+// time out. close() wakes everyone; pops drain remaining items first.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "serve/request.hpp"
+
+namespace appeal::serve {
+
+class request_queue {
+ public:
+  explicit request_queue(std::size_t capacity);
+
+  /// Outcome of a deadline pop.
+  enum class pop_result { item, timed_out, closed };
+
+  /// Blocks while full. Returns false (request untouched apart from the
+  /// move) when the queue is closed.
+  bool push(request&& r);
+
+  /// Blocks until an item arrives, the deadline passes, or the queue is
+  /// closed *and* drained. On `item`, `out` holds the popped request.
+  pop_result pop_until(request& out,
+                       std::chrono::steady_clock::time_point deadline);
+
+  /// Non-blocking pop; true when an item was available.
+  bool try_pop(request& out);
+
+  /// Closes the queue: future pushes fail, pops drain then report closed.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<request> items_;
+  bool closed_ = false;
+};
+
+}  // namespace appeal::serve

@@ -1,0 +1,106 @@
+#include "serve/serve_stats.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+serve_stats::serve_stats(const serve_stats_config& cfg)
+    : config_(cfg), latency_(0.0, cfg.latency_range_ms, cfg.latency_bins) {
+  APPEAL_CHECK(cfg.latency_range_ms > 0.0, "latency range must be positive");
+}
+
+void serve_stats::record(const response& r, bool labeled, bool correct) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  if (r.taken == route::edge) {
+    ++edge_kept_;
+  } else {
+    ++appealed_;
+    link_ms_sum_ += r.link_ms;
+  }
+  if (labeled) {
+    ++labeled_;
+    if (correct) ++labeled_correct_;
+  }
+  queue_ms_sum_ += r.queue_ms;
+  latency_.add(r.latency_ms);
+}
+
+void serve_stats::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_ = util::histogram(0.0, config_.latency_range_ms,
+                             config_.latency_bins);
+  completed_ = 0;
+  edge_kept_ = 0;
+  appealed_ = 0;
+  labeled_ = 0;
+  labeled_correct_ = 0;
+  queue_ms_sum_ = 0.0;
+  link_ms_sum_ = 0.0;
+  clock_.reset();
+}
+
+double serve_stats::quantile_ms_locked(double q) const {
+  const auto& counts = latency_.counts();
+  const std::size_t total = latency_.total();
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative >= target) return latency_.bin_center(i);
+  }
+  return latency_.bin_center(counts.size() - 1);
+}
+
+stats_snapshot serve_stats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_snapshot s;
+  s.completed = completed_;
+  s.edge_kept = edge_kept_;
+  s.appealed = appealed_;
+  s.labeled = labeled_;
+  s.labeled_correct = labeled_correct_;
+  s.elapsed_seconds = clock_.elapsed_seconds();
+  if (s.elapsed_seconds > 0.0) {
+    s.throughput_rps = static_cast<double>(completed_) / s.elapsed_seconds;
+  }
+  if (completed_ > 0) {
+    s.achieved_sr =
+        static_cast<double>(edge_kept_) / static_cast<double>(completed_);
+    s.mean_queue_ms = queue_ms_sum_ / static_cast<double>(completed_);
+  }
+  if (labeled_ > 0) {
+    s.online_accuracy =
+        static_cast<double>(labeled_correct_) / static_cast<double>(labeled_);
+  }
+  if (appealed_ > 0) {
+    s.mean_link_ms = link_ms_sum_ / static_cast<double>(appealed_);
+  }
+  s.p50_ms = quantile_ms_locked(0.50);
+  s.p95_ms = quantile_ms_locked(0.95);
+  s.p99_ms = quantile_ms_locked(0.99);
+  return s;
+}
+
+std::string serve_stats::render(const stats_snapshot& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "completed        : %zu (edge %zu / cloud %zu)\n"
+      "throughput       : %.0f req/s over %.2f s\n"
+      "latency          : p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n"
+      "mean queue wait  : %.3f ms\n"
+      "mean link time   : %.3f ms (appealed requests)\n"
+      "achieved SR      : %.2f%%\n"
+      "online accuracy  : %.2f%% (%zu labeled)\n",
+      s.completed, s.edge_kept, s.appealed, s.throughput_rps,
+      s.elapsed_seconds, s.p50_ms, s.p95_ms, s.p99_ms, s.mean_queue_ms,
+      s.mean_link_ms, s.achieved_sr * 100.0, s.online_accuracy * 100.0,
+      s.labeled);
+  return std::string(buf);
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,78 @@
+// Streaming serving metrics.
+//
+// Thread-safe accumulator fed by edge workers and the cloud channel at
+// request completion. Latency quantiles come from a fixed-bin
+// util::histogram (constant memory, p50/p95/p99 read from the bin CDF);
+// throughput uses the shared util::stopwatch; online accuracy counts only
+// requests that carried ground-truth labels (the collab::oracle protocol
+// supplies them in evaluation runs).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "serve/request.hpp"
+#include "util/histogram.hpp"
+#include "util/timer.hpp"
+
+namespace appeal::serve {
+
+struct serve_stats_config {
+  double latency_range_ms = 500.0;  // histogram upper edge (overflow clamps)
+  std::size_t latency_bins = 5000;  // 0.1 ms resolution at the default range
+};
+
+/// Point-in-time view of the counters.
+struct stats_snapshot {
+  std::size_t completed = 0;
+  std::size_t edge_kept = 0;
+  std::size_t appealed = 0;
+  std::size_t labeled = 0;
+  std::size_t labeled_correct = 0;
+
+  double elapsed_seconds = 0.0;
+  double throughput_rps = 0.0;   // completed / elapsed
+  double achieved_sr = 0.0;      // edge_kept / completed
+  double online_accuracy = 0.0;  // labeled_correct / labeled
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_queue_ms = 0.0;    // enqueue -> batch pull
+  double mean_link_ms = 0.0;     // simulated uplink time over appeals
+};
+
+class serve_stats {
+ public:
+  explicit serve_stats(const serve_stats_config& cfg = {});
+
+  /// Records one completed request. `correct` is ignored when the request
+  /// carried no label.
+  void record(const response& r, bool labeled, bool correct);
+
+  /// Clears every counter, the latency histogram, and the clock — used to
+  /// discard a warmup phase so a measurement window starts clean.
+  void reset();
+
+  stats_snapshot snapshot() const;
+
+  /// Multi-line human-readable rendering of a snapshot.
+  static std::string render(const stats_snapshot& s);
+
+ private:
+  double quantile_ms_locked(double q) const;
+
+  mutable std::mutex mutex_;
+  serve_stats_config config_;
+  util::stopwatch clock_;
+  util::histogram latency_;
+  std::size_t completed_ = 0;
+  std::size_t edge_kept_ = 0;
+  std::size_t appealed_ = 0;
+  std::size_t labeled_ = 0;
+  std::size_t labeled_correct_ = 0;
+  double queue_ms_sum_ = 0.0;
+  double link_ms_sum_ = 0.0;
+};
+
+}  // namespace appeal::serve

@@ -1,0 +1,79 @@
+#include "serve/threshold_controller.hpp"
+
+#include <algorithm>
+
+#include "core/threshold.hpp"
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+double target_sr_for_latency_slo(const collab::cost_model& link,
+                                 double slo_ms) {
+  // overall_latency_ms(sr) = edge_ms + (1 - sr) * offload_ms is linear in
+  // sr, so the SLO maps to sr >= 1 - (slo - edge_ms) / offload_ms.
+  const double edge_ms = link.overall_latency_ms(1.0);
+  const double offload_ms = link.overall_latency_ms(0.0) - edge_ms;
+  APPEAL_CHECK(offload_ms > 0.0,
+               "cost model has no offload latency to trade against");
+  const double sr = 1.0 - (slo_ms - edge_ms) / offload_ms;
+  return std::clamp(sr, 0.0, 1.0);
+}
+
+threshold_controller::threshold_controller(const threshold_config& cfg,
+                                           const collab::cost_model* link)
+    : config_(cfg),
+      target_sr_(cfg.target_sr),
+      delta_(cfg.initial_delta),
+      observed_sr_(cfg.target_sr) {
+  APPEAL_CHECK(cfg.window > 0, "score window must be non-empty");
+  APPEAL_CHECK(cfg.recalibrate_every > 0,
+               "recalibration interval must be positive");
+  APPEAL_CHECK(cfg.ema_alpha > 0.0 && cfg.ema_alpha <= 1.0,
+               "ema_alpha outside (0, 1]");
+  if (cfg.adapt == threshold_config::mode::latency_slo) {
+    APPEAL_CHECK(link != nullptr, "latency_slo mode requires a cost model");
+    target_sr_ = target_sr_for_latency_slo(*link, cfg.latency_slo_ms);
+  }
+  APPEAL_CHECK(target_sr_ >= 0.0 && target_sr_ <= 1.0,
+               "target skipping rate outside [0, 1]");
+  observed_sr_.store(target_sr_, std::memory_order_relaxed);
+  window_.resize(config_.window, 0.0);
+}
+
+void threshold_controller::observe(const std::vector<double>& scores,
+                                   std::size_t skipped) {
+  if (scores.empty()) return;
+  APPEAL_CHECK(skipped <= scores.size(),
+               "skipped count exceeds the batch size");
+
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // EMA of the per-batch skipping rate. The first observation seeds the
+  // average so early readings are not biased toward the prior.
+  const double batch_sr =
+      static_cast<double>(skipped) / static_cast<double>(scores.size());
+  double prev = observed_sr_.load(std::memory_order_relaxed);
+  if (!seen_observation_) prev = batch_sr;
+  seen_observation_ = true;
+  observed_sr_.store(prev + config_.ema_alpha * (batch_sr - prev),
+                     std::memory_order_relaxed);
+
+  if (config_.adapt == threshold_config::mode::fixed) return;
+  for (const double s : scores) {
+    window_[window_next_] = s;
+    window_next_ = (window_next_ + 1) % window_.size();
+    window_count_ = std::min(window_count_ + 1, window_.size());
+  }
+  since_recalibrate_ += scores.size();
+  if (since_recalibrate_ < config_.recalibrate_every) return;
+  since_recalibrate_ = 0;
+
+  std::vector<double> sample(window_.begin(),
+                             window_.begin() +
+                                 static_cast<std::ptrdiff_t>(window_count_));
+  delta_.store(core::delta_for_skipping_rate(sample, target_sr_),
+               std::memory_order_relaxed);
+  recalibrations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,87 @@
+// Online δ adaptation.
+//
+// Offline, δ is tuned once on a validation split (core/threshold). Online,
+// the score distribution drifts with the traffic mix, so the controller
+// re-fits δ continuously from a sliding window of observed scores and
+// tracks the achieved skipping rate with an EMA:
+//   - mode `fixed`: δ never moves (pure offline calibration);
+//   - mode `track_sr`: δ is the target-SR quantile of the score window
+//     (core::delta_for_skipping_rate), refit every `recalibrate_every`
+//     observations;
+//   - mode `latency_slo`: the target SR is derived from a latency SLO by
+//     inverting the cost model's linear latency-vs-SR relation
+//     (collab::cost_model::overall_latency_ms), then tracked as above.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "collab/cost_model.hpp"
+
+namespace appeal::serve {
+
+struct threshold_config {
+  enum class mode { fixed, track_sr, latency_slo };
+  mode adapt = mode::track_sr;
+
+  double initial_delta = 0.5;
+  double target_sr = 0.9;        // track_sr mode
+  double latency_slo_ms = 0.0;   // latency_slo mode (needs a cost model)
+
+  std::size_t window = 4096;            // sliding score window size
+  std::size_t recalibrate_every = 256;  // observations between δ refits
+  double ema_alpha = 0.05;              // smoothing of the observed SR
+};
+
+class threshold_controller {
+ public:
+  /// `link` is only required in latency_slo mode (to invert latency→SR).
+  explicit threshold_controller(const threshold_config& cfg,
+                                const collab::cost_model* link = nullptr);
+
+  /// Current threshold; lock-free, safe from any worker thread.
+  double delta() const { return delta_.load(std::memory_order_relaxed); }
+
+  /// The SR the controller is steering toward (derived from the SLO in
+  /// latency_slo mode).
+  double target_sr() const { return target_sr_; }
+
+  /// EMA of the per-batch skipping rate observed so far (target_sr before
+  /// any observation).
+  double observed_sr() const {
+    return observed_sr_.load(std::memory_order_relaxed);
+  }
+
+  /// Feeds one batch's scores and its skip decision count; refits δ when
+  /// the recalibration interval elapses (track_sr / latency_slo modes).
+  void observe(const std::vector<double>& scores, std::size_t skipped);
+
+  /// Number of δ refits performed (exposed for tests/stats).
+  std::size_t recalibrations() const {
+    return recalibrations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  threshold_config config_;
+  double target_sr_;
+  std::atomic<double> delta_;
+  std::atomic<double> observed_sr_;
+  std::atomic<std::size_t> recalibrations_{0};
+
+  std::mutex mutex_;                // guards the window state below
+  std::vector<double> window_;      // ring buffer of recent scores
+  std::size_t window_next_ = 0;     // next write slot
+  std::size_t window_count_ = 0;    // filled entries (<= config.window)
+  std::size_t since_recalibrate_ = 0;
+  bool seen_observation_ = false;
+};
+
+/// Inverts overall_latency_ms(sr) for the target SR achieving `slo_ms`
+/// (clamped to [0, 1]; 1 when the SLO is unreachably tight, the controller
+/// then keeps everything on the edge — the best it can do).
+double target_sr_for_latency_slo(const collab::cost_model& link,
+                                 double slo_ms);
+
+}  // namespace appeal::serve

@@ -1,4 +1,5 @@
-// Wall-clock stopwatch used by benches and training-progress logs.
+// Monotonic (steady-clock) timing utilities used by benches, the serving
+// stats, and training-progress logs.
 #pragma once
 
 #include <chrono>
@@ -24,6 +25,41 @@ class timer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Monotonic stopwatch with lap support: tracks total elapsed time plus
+/// the interval since the last lap(). Unlike `timer` it can be re-anchored
+/// mid-run (serve_stats measurement windows) and split into phases
+/// (bench warmup vs measured load).
+class stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  stopwatch() : start_(clock::now()), lap_(start_) {}
+
+  /// Restarts both the total and the lap interval.
+  void reset() { start_ = lap_ = clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction or the last reset().
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+  /// Seconds since the last lap() (or construction/reset), and starts the
+  /// next lap interval.
+  double lap_seconds() {
+    const auto now = clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
+ private:
+  clock::time_point start_;
+  clock::time_point lap_;
 };
 
 }  // namespace appeal::util

@@ -1,0 +1,140 @@
+// Tests for the serving request queue and dynamic batcher: size-triggered
+// vs timeout-triggered flushes, close/drain semantics, backpressure.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace appeal;
+using namespace std::chrono_literals;
+
+serve::request make_request(std::uint64_t id) {
+  serve::request r;
+  r.id = id;
+  r.key = id;
+  r.enqueue_time = std::chrono::steady_clock::now();
+  return r;
+}
+
+TEST(request_queue, fifo_and_size) {
+  serve::request_queue queue(8);
+  EXPECT_EQ(queue.size(), 0U);
+  ASSERT_TRUE(queue.push(make_request(1)));
+  ASSERT_TRUE(queue.push(make_request(2)));
+  EXPECT_EQ(queue.size(), 2U);
+
+  serve::request out;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out.id, 1U);
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out.id, 2U);
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(request_queue, close_fails_pushes_and_drains_pops) {
+  serve::request_queue queue(4);
+  ASSERT_TRUE(queue.push(make_request(1)));
+  queue.close();
+  EXPECT_FALSE(queue.push(make_request(2)));
+
+  serve::request out;
+  const auto deadline = std::chrono::steady_clock::now() + 100ms;
+  EXPECT_EQ(queue.pop_until(out, deadline),
+            serve::request_queue::pop_result::item);
+  EXPECT_EQ(out.id, 1U);
+  EXPECT_EQ(queue.pop_until(out, deadline),
+            serve::request_queue::pop_result::closed);
+}
+
+TEST(request_queue, pop_times_out_when_empty) {
+  serve::request_queue queue(4);
+  serve::request out;
+  const auto deadline = std::chrono::steady_clock::now() + 10ms;
+  EXPECT_EQ(queue.pop_until(out, deadline),
+            serve::request_queue::pop_result::timed_out);
+}
+
+TEST(request_queue, push_blocks_until_capacity_frees) {
+  serve::request_queue queue(1);
+  ASSERT_TRUE(queue.push(make_request(1)));
+
+  std::thread producer([&] { EXPECT_TRUE(queue.push(make_request(2))); });
+  std::this_thread::sleep_for(20ms);  // producer should now be blocked
+  serve::request out;
+  ASSERT_TRUE(queue.try_pop(out));
+  producer.join();
+  EXPECT_EQ(queue.size(), 1U);
+}
+
+TEST(request_queue, zero_capacity_throws) {
+  EXPECT_THROW(serve::request_queue(0), util::error);
+}
+
+TEST(batcher, size_triggered_flush_does_not_wait) {
+  serve::request_queue queue(32);
+  serve::batch_policy policy;
+  policy.max_batch_size = 4;
+  policy.max_wait = std::chrono::microseconds(10'000'000);  // "forever"
+  serve::batcher form(queue, policy);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.push(make_request(i)));
+  }
+  const auto before = std::chrono::steady_clock::now();
+  const serve::batch b = form.next_batch();
+  const auto took = std::chrono::steady_clock::now() - before;
+
+  EXPECT_EQ(b.requests.size(), 4U);
+  EXPECT_EQ(b.reason, serve::flush_reason::batch_full);
+  // A full queue must flush immediately, far below the 10 s wait bound.
+  EXPECT_LT(took, 1s);
+}
+
+TEST(batcher, timeout_triggered_flush_emits_partial_batch) {
+  serve::request_queue queue(32);
+  serve::batch_policy policy;
+  policy.max_batch_size = 16;
+  policy.max_wait = std::chrono::microseconds(5000);  // 5 ms
+  serve::batcher form(queue, policy);
+
+  ASSERT_TRUE(queue.push(make_request(7)));
+  const serve::batch b = form.next_batch();
+  EXPECT_EQ(b.requests.size(), 1U);
+  EXPECT_EQ(b.reason, serve::flush_reason::wait_expired);
+  EXPECT_EQ(b.requests.front().id, 7U);
+}
+
+TEST(batcher, close_flushes_remainder_then_reports_closed) {
+  serve::request_queue queue(32);
+  serve::batch_policy policy;
+  policy.max_batch_size = 16;
+  policy.max_wait = std::chrono::microseconds(10'000'000);
+  serve::batcher form(queue, policy);
+
+  ASSERT_TRUE(queue.push(make_request(1)));
+  ASSERT_TRUE(queue.push(make_request(2)));
+  queue.close();
+
+  const serve::batch partial = form.next_batch();
+  EXPECT_EQ(partial.requests.size(), 2U);
+  EXPECT_EQ(partial.reason, serve::flush_reason::queue_closed);
+
+  const serve::batch done = form.next_batch();
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(done.reason, serve::flush_reason::queue_closed);
+}
+
+TEST(batcher, invalid_policy_throws) {
+  serve::request_queue queue(4);
+  serve::batch_policy policy;
+  policy.max_batch_size = 0;
+  EXPECT_THROW(serve::batcher(queue, policy), util::error);
+}
+
+}  // namespace

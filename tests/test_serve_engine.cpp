@@ -1,0 +1,200 @@
+// End-to-end serving engine tests: every submitted request completes,
+// stats are self-consistent, and with a fixed δ the online accuracy/SR
+// equal the offline core::threshold evaluation of the same population.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/threshold.hpp"
+#include "metrics/metrics.hpp"
+#include "serve/engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+struct population {
+  std::vector<std::size_t> labels;
+  std::vector<std::size_t> little;
+  std::vector<std::size_t> big;
+  std::vector<double> scores;
+};
+
+/// Synthetic workload mirroring the offline test fixtures: a little model
+/// that is right ~80% of the time, a big model right ~97%, and scores
+/// correlated with little-correctness (easy inputs score high).
+population make_population(std::size_t n, std::uint64_t seed) {
+  util::rng gen(seed);
+  population p;
+  p.labels.resize(n);
+  p.little.resize(n);
+  p.big.resize(n);
+  p.scores.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.labels[i] = i % 10;
+    const bool little_right = gen.bernoulli(0.8);
+    p.little[i] = little_right ? p.labels[i] : (p.labels[i] + 1) % 10;
+    p.big[i] = gen.bernoulli(0.97) ? p.labels[i] : (p.labels[i] + 2) % 10;
+    p.scores[i] = little_right ? 0.5 + 0.5 * gen.uniform()
+                               : 0.7 * gen.uniform();
+  }
+  return p;
+}
+
+serve::engine_config fast_config() {
+  serve::engine_config cfg;
+  cfg.batching.max_batch_size = 16;
+  cfg.batching.max_wait = std::chrono::microseconds(200);
+  cfg.num_workers = 2;
+  cfg.queue_capacity = 256;
+  cfg.channel.time_scale = 0.0;  // no simulated delays in unit tests
+  return cfg;
+}
+
+TEST(engine, fixed_delta_matches_offline_evaluation) {
+  const std::size_t n = 4000;
+  const population p = make_population(n, 31);
+  const double delta = 0.55;
+
+  serve::replay_edge_backend edge(p.little, p.scores);
+  serve::replay_cloud_backend cloud(p.big);
+
+  serve::engine_config cfg = fast_config();
+  cfg.threshold.adapt = serve::threshold_config::mode::fixed;
+  cfg.threshold.initial_delta = delta;
+  serve::engine eng(cfg, edge, cloud);
+
+  std::vector<std::future<serve::response>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(eng.submit(tensor(), i, p.labels[i]));
+  }
+  eng.drain();
+
+  // Offline ground truth for the identical population and δ.
+  core::accuracy_context ctx;
+  ctx.little_accuracy = metrics::accuracy(p.little, p.labels);
+  ctx.big_accuracy = metrics::accuracy(p.big, p.labels);
+  const core::operating_point offline =
+      core::evaluate_at_delta(p.little, p.big, p.labels, p.scores, delta, ctx);
+
+  const serve::stats_snapshot s = eng.stats().snapshot();
+  EXPECT_EQ(s.completed, n);
+  EXPECT_EQ(s.edge_kept + s.appealed, n);
+  EXPECT_EQ(s.labeled, n);
+  EXPECT_NEAR(s.achieved_sr, offline.skipping_rate, 1e-12);
+  EXPECT_NEAR(s.online_accuracy, offline.overall_accuracy, 1e-12);
+
+  // Per-response invariants: the route follows the threshold rule and the
+  // prediction comes from the routed model.
+  for (std::size_t i = 0; i < n; ++i) {
+    const serve::response r = futures[i].get();
+    const std::size_t key = r.id;  // ids are submit order here
+    ASSERT_LT(key, n);
+    if (r.taken == serve::route::edge) {
+      EXPECT_GE(r.score, delta);
+    } else {
+      EXPECT_LT(r.score, delta);
+    }
+    EXPECT_DOUBLE_EQ(r.delta, delta);
+    EXPECT_GE(r.latency_ms, 0.0);
+  }
+}
+
+TEST(engine, adaptive_mode_tracks_target_sr) {
+  const std::size_t n = 6000;
+  const population p = make_population(n, 37);
+
+  serve::replay_edge_backend edge(p.little, p.scores);
+  serve::replay_cloud_backend cloud(p.big);
+
+  serve::engine_config cfg = fast_config();
+  cfg.threshold.adapt = serve::threshold_config::mode::track_sr;
+  cfg.threshold.target_sr = 0.85;
+  cfg.threshold.initial_delta = 0.99;  // start far off target
+  cfg.threshold.recalibrate_every = 128;
+  cfg.threshold.window = 1024;
+  serve::engine eng(cfg, edge, cloud);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    eng.submit(tensor(), i, p.labels[i]);
+  }
+  eng.drain();
+
+  const serve::stats_snapshot s = eng.stats().snapshot();
+  EXPECT_EQ(s.completed, n);
+  // Overall SR includes the cold-start transient; 2% of target once the
+  // controller has calibrated (the acceptance bound of the serving bench).
+  EXPECT_NEAR(s.achieved_sr, 0.85, 0.02);
+  EXPECT_NEAR(eng.controller().observed_sr(), 0.85, 0.05);
+  EXPECT_GT(eng.controller().recalibrations(), 0U);
+}
+
+TEST(engine, unlabeled_requests_are_excluded_from_accuracy) {
+  const std::size_t n = 200;
+  const population p = make_population(n, 41);
+  serve::replay_edge_backend edge(p.little, p.scores);
+  serve::replay_cloud_backend cloud(p.big);
+
+  serve::engine_config cfg = fast_config();
+  cfg.threshold.adapt = serve::threshold_config::mode::fixed;
+  serve::engine eng(cfg, edge, cloud);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label =
+        i % 2 == 0 ? p.labels[i] : serve::request::no_label;
+    eng.submit(tensor(), i, label);
+  }
+  eng.drain();
+  const serve::stats_snapshot s = eng.stats().snapshot();
+  EXPECT_EQ(s.completed, n);
+  EXPECT_EQ(s.labeled, n / 2);
+}
+
+TEST(engine, submit_after_shutdown_throws) {
+  const population p = make_population(16, 43);
+  serve::replay_edge_backend edge(p.little, p.scores);
+  serve::replay_cloud_backend cloud(p.big);
+  serve::engine_config cfg = fast_config();
+  serve::engine eng(cfg, edge, cloud);
+  eng.submit(tensor(), 0, p.labels[0]);
+  eng.shutdown();
+  EXPECT_THROW(eng.submit(tensor(), 1, p.labels[1]), util::error);
+}
+
+TEST(engine, simulated_link_delay_shows_up_in_cloud_latency) {
+  const std::size_t n = 64;
+  const population p = make_population(n, 47);
+  serve::replay_edge_backend edge(p.little, p.scores);
+  serve::replay_cloud_backend cloud(p.big);
+
+  serve::engine_config cfg = fast_config();
+  cfg.num_workers = 1;
+  cfg.threshold.adapt = serve::threshold_config::mode::fixed;
+  cfg.threshold.initial_delta = 2.0;  // appeal everything
+  cfg.channel.time_scale = 0.05;      // 5% of the modeled delays
+  serve::engine eng(cfg, edge, cloud);
+
+  std::vector<std::future<serve::response>> futures;
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(eng.submit(tensor(), i, p.labels[i]));
+  }
+  eng.drain();
+
+  const double min_link_ms =
+      (cfg.link.comm_round_trip_ms + cfg.link.input_kb * cfg.link.comm_ms_per_kb) *
+      cfg.channel.time_scale;
+  for (auto& f : futures) {
+    const serve::response r = f.get();
+    EXPECT_EQ(r.taken, serve::route::cloud);
+    EXPECT_GE(r.link_ms, min_link_ms * 0.9);
+    EXPECT_GE(r.latency_ms, r.link_ms * 0.5);
+  }
+  const serve::stats_snapshot s = eng.stats().snapshot();
+  EXPECT_EQ(s.appealed, n);
+  EXPECT_GT(s.mean_link_ms, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests for online δ adaptation: convergence of the tracked skipping rate
+// to a target on synthetic score streams, latency-SLO inversion, and the
+// fixed mode staying put.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "collab/cost_model.hpp"
+#include "metrics/metrics.hpp"
+#include "serve/threshold_controller.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace appeal;
+
+/// Streams batches of uniform scores through the controller and returns
+/// the achieved skipping rate over the second half of the stream (after
+/// the controller has had time to converge).
+double steady_state_sr(serve::threshold_controller& controller,
+                       std::uint64_t seed, std::size_t batches,
+                       std::size_t batch_size) {
+  util::rng gen(seed);
+  std::size_t kept = 0;
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    std::vector<double> scores(batch_size);
+    for (auto& s : scores) s = gen.uniform();
+    const double delta = controller.delta();
+    std::size_t skipped = 0;
+    for (const double s : scores) {
+      if (s >= delta) ++skipped;
+    }
+    if (b >= batches / 2) {
+      kept += skipped;
+      seen += batch_size;
+    }
+    controller.observe(scores, skipped);
+  }
+  return static_cast<double>(kept) / static_cast<double>(seen);
+}
+
+/// Parameterized over target skipping rates.
+class controller_targets : public ::testing::TestWithParam<double> {};
+
+TEST_P(controller_targets, converges_to_target_sr) {
+  const double target = GetParam();
+  serve::threshold_config cfg;
+  cfg.adapt = serve::threshold_config::mode::track_sr;
+  cfg.target_sr = target;
+  cfg.initial_delta = 0.5;  // deliberately wrong for most targets
+  cfg.window = 2048;
+  cfg.recalibrate_every = 128;
+  serve::threshold_controller controller(cfg);
+
+  const double achieved = steady_state_sr(controller, 17, 200, 32);
+  EXPECT_NEAR(achieved, target, 0.02);
+  EXPECT_NEAR(controller.observed_sr(), target, 0.05);
+  EXPECT_GT(controller.recalibrations(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(rates, controller_targets,
+                         ::testing::Values(0.5, 0.7, 0.9, 0.95));
+
+TEST(threshold_controller, tracks_drifting_score_distribution) {
+  // Scores shift from uniform [0,1] to uniform [0.5, 1]; a fixed δ would
+  // drift to a much higher SR, the controller re-fits and holds the target.
+  serve::threshold_config cfg;
+  cfg.target_sr = 0.8;
+  cfg.window = 1024;
+  cfg.recalibrate_every = 128;
+  serve::threshold_controller controller(cfg);
+
+  util::rng gen(23);
+  for (std::size_t b = 0; b < 150; ++b) {
+    std::vector<double> scores(32);
+    for (auto& s : scores) s = gen.uniform();
+    std::size_t skipped = 0;
+    for (const double s : scores) {
+      if (s >= controller.delta()) ++skipped;
+    }
+    controller.observe(scores, skipped);
+  }
+  // Drifted phase.
+  std::size_t kept = 0;
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < 300; ++b) {
+    std::vector<double> scores(32);
+    for (auto& s : scores) s = 0.5 + 0.5 * gen.uniform();
+    const double delta = controller.delta();
+    std::size_t skipped = 0;
+    for (const double s : scores) {
+      if (s >= delta) ++skipped;
+    }
+    if (b >= 150) {
+      kept += skipped;
+      seen += scores.size();
+    }
+    controller.observe(scores, skipped);
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / static_cast<double>(seen), 0.8,
+              0.03);
+  // The refit δ must sit inside the drifted score support.
+  EXPECT_GT(controller.delta(), 0.5);
+}
+
+TEST(threshold_controller, fixed_mode_never_moves_delta) {
+  serve::threshold_config cfg;
+  cfg.adapt = serve::threshold_config::mode::fixed;
+  cfg.initial_delta = 0.42;
+  serve::threshold_controller controller(cfg);
+
+  util::rng gen(5);
+  for (std::size_t b = 0; b < 50; ++b) {
+    std::vector<double> scores(16);
+    for (auto& s : scores) s = gen.uniform();
+    controller.observe(scores, 8);
+  }
+  EXPECT_DOUBLE_EQ(controller.delta(), 0.42);
+  EXPECT_EQ(controller.recalibrations(), 0U);
+  EXPECT_NEAR(controller.observed_sr(), 0.5, 1e-9);  // EMA still tracks
+}
+
+TEST(threshold_controller, latency_slo_maps_to_target_sr) {
+  collab::cost_model link;  // defaults: edge_ms = 1, offload_ms = 6.2
+  const double edge_ms = link.overall_latency_ms(1.0);
+  const double cloud_only_ms = link.overall_latency_ms(0.0);
+
+  // SLO halfway between the extremes -> SR = 0.5, by linearity.
+  const double mid = 0.5 * (edge_ms + cloud_only_ms);
+  EXPECT_NEAR(serve::target_sr_for_latency_slo(link, mid), 0.5, 1e-9);
+  // Looser than cloud-only -> no skipping needed.
+  EXPECT_NEAR(serve::target_sr_for_latency_slo(link, cloud_only_ms + 1.0),
+              0.0, 1e-9);
+  // Tighter than edge-only -> clamp to keeping everything on the edge.
+  EXPECT_NEAR(serve::target_sr_for_latency_slo(link, edge_ms * 0.5), 1.0,
+              1e-9);
+
+  serve::threshold_config cfg;
+  cfg.adapt = serve::threshold_config::mode::latency_slo;
+  cfg.latency_slo_ms = mid;
+  serve::threshold_controller controller(cfg, &link);
+  EXPECT_NEAR(controller.target_sr(), 0.5, 1e-9);
+
+  // And the controller steers the stream toward that derived target.
+  const double achieved = steady_state_sr(controller, 29, 200, 32);
+  EXPECT_NEAR(achieved, 0.5, 0.02);
+}
+
+TEST(threshold_controller, invalid_configs_throw) {
+  serve::threshold_config cfg;
+  cfg.window = 0;
+  EXPECT_THROW(serve::threshold_controller{cfg}, util::error);
+
+  serve::threshold_config slo;
+  slo.adapt = serve::threshold_config::mode::latency_slo;
+  EXPECT_THROW(serve::threshold_controller{slo}, util::error);  // no model
+
+  serve::threshold_config bad_sr;
+  bad_sr.target_sr = 1.5;
+  EXPECT_THROW(serve::threshold_controller{bad_sr}, util::error);
+}
+
+}  // namespace
