@@ -1,30 +1,36 @@
-// Closed-loop serving load test.
+// Closed-loop serving load test, driven through the serve::server facade.
 //
-// A pool of client threads drives >= 10k synthetic requests through the
-// online engine (each client submits, waits for the answer, submits the
-// next — classic closed-loop load). Two runs share one workload:
+// A pool of client threads drives >= 10k synthetic requests through a
+// named deployment (sharded engines behind one cloud channel). Two runs
+// share one workload:
 //   1. fixed δ taken from the offline system_eval sweep at --target_sr —
 //      online accuracy and SR must reproduce the offline prediction;
 //   2. adaptive δ (track_sr from a cold, deliberately wrong δ) — shows
-//      the threshold_controller converging onto the same operating point.
-// Reports throughput, p50/p95/p99 latency, achieved SR, online accuracy,
-// and the cost model's latency prediction for the achieved SR; writes
-// results/serving.csv.
+//      the per-deployment threshold_controller converging onto the same
+//      operating point.
+// Reports throughput, p50/p95/p99 latency, achieved SR, shed rate, online
+// accuracy, and the cost model's latency prediction for the achieved SR;
+// writes results/serving.csv and, with --json=<path>, a machine-readable
+// result for the perf trajectory.
 //
 // Run:  ./bench_serving [--requests=20000] [--target_sr=0.9] [--seed=42]
-//       [--clients=64] [--workers=2] [--batch=16] [--max_wait_us=200]
-//       [--time_scale=0.2] [--edge_sim=1]
+//       [--clients=64] [--shards=2] [--workers=2] [--batch=16]
+//       [--max_wait_us=200] [--time_scale=0.2] [--edge_sim=1]
+//       [--admission=block|shed|edge_only] [--json=results/serving.json]
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "collab/system_eval.hpp"
-#include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "util/csv.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -61,10 +67,13 @@ workload make_workload(std::size_t n, std::uint64_t seed) {
   return w;
 }
 
+constexpr const char* kModel = "bench";
+
 /// Closed-loop drive over workload indices [begin, end): `clients`
 /// threads, each submits one request and blocks on its completion before
-/// taking the next index.
-void drive_closed_loop(serve::engine& eng, const workload& w,
+/// taking the next index (shed responses resolve immediately, so load
+/// shedding speeds the loop up instead of wedging it).
+void drive_closed_loop(serve::server& srv, const workload& w,
                        std::size_t clients, std::size_t begin,
                        std::size_t end) {
   std::atomic<std::size_t> next{begin};
@@ -75,7 +84,11 @@ void drive_closed_loop(serve::engine& eng, const workload& w,
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= end) return;
-        eng.submit(tensor(), i, w.labels[i]).get();
+        serve::inference_request req;
+        req.model = kModel;
+        req.key = i;
+        req.label = w.labels[i];
+        srv.submit(std::move(req)).get();
       }
     });
   }
@@ -89,28 +102,34 @@ struct run_result {
   double measured_seconds = 0.0;
 };
 
-/// Drives the full workload; when `warmup > 0`, the first `warmup`
-/// requests prime the engine (and its threshold controller) and the stats
-/// are reset before the measured phase — so every reported metric
-/// (latency quantiles, throughput, SR, accuracy) is steady-state.
-run_result run_mode(const workload& w, const serve::engine_config& cfg,
+/// Drives the full workload through a fresh server; when `warmup > 0`,
+/// the first `warmup` requests prime the deployment (and its δ
+/// controller) and the stats are reset before the measured phase — so
+/// every reported metric (latency quantiles, throughput, SR, accuracy)
+/// is steady-state.
+run_result run_mode(const workload& w, const serve::deployment_config& cfg,
                     std::size_t clients, std::size_t warmup) {
-  serve::replay_edge_backend edge(w.little, w.scores);
-  serve::replay_cloud_backend cloud(w.big);
-  serve::engine eng(cfg, edge, cloud);
+  serve::server srv;
+  serve::deployment& dep = srv.register_deployment(
+      kModel, cfg,
+      [&w](std::size_t, std::size_t) {
+        return std::make_unique<serve::replay_edge_backend>(w.little,
+                                                            w.scores);
+      },
+      [&w] { return std::make_unique<serve::replay_cloud_backend>(w.big); });
   util::stopwatch phases;
   if (warmup > 0) {
-    drive_closed_loop(eng, w, clients, 0, warmup);
-    eng.drain();
-    eng.reset_stats();
+    drive_closed_loop(srv, w, clients, 0, warmup);
+    srv.drain();
+    dep.reset_stats();
   }
   run_result r;
   if (warmup > 0) r.warmup_seconds = phases.lap_seconds();
-  drive_closed_loop(eng, w, clients, warmup, w.labels.size());
-  eng.drain();
+  drive_closed_loop(srv, w, clients, warmup, w.labels.size());
+  srv.drain();
   r.measured_seconds = phases.lap_seconds();
-  r.stats = eng.stats().snapshot();
-  r.delta = eng.controller().delta();
+  r.stats = dep.snapshot();
+  r.delta = dep.controller().delta();
   return r;
 }
 
@@ -132,6 +151,28 @@ void report(const char* name, const run_result& r, double target_sr,
               link.overall_latency_ms(r.stats.achieved_sr));
 }
 
+serve::admission_policy parse_admission(const std::string& name) {
+  if (name == "block") return serve::admission_policy::block;
+  if (name == "shed") return serve::admission_policy::shed;
+  if (name == "edge_only") return serve::admission_policy::edge_only;
+  throw util::error("unknown --admission policy: " + name);
+}
+
+void append_run_json(std::FILE* f, const char* mode, const run_result& r,
+                     bool last) {
+  std::fprintf(
+      f,
+      "    {\"mode\": \"%s\", \"throughput_rps\": %.3f, \"p50_ms\": %.4f,"
+      " \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"achieved_sr\": %.6f,"
+      " \"online_accuracy\": %.6f, \"shed_rate\": %.6f, \"shed\": %zu,"
+      " \"expired\": %zu, \"overflow\": %zu, \"delta\": %.6f,"
+      " \"measured_seconds\": %.4f}%s\n",
+      mode, r.stats.throughput_rps, r.stats.p50_ms, r.stats.p95_ms,
+      r.stats.p99_ms, r.stats.achieved_sr, r.stats.online_accuracy,
+      r.stats.shed_rate, r.stats.shed, r.stats.expired, r.stats.overflow,
+      r.delta, r.measured_seconds, last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,17 +184,23 @@ int main(int argc, char** argv) {
   const double target_sr = args.get_double_or("target_sr", 0.9);
   const std::uint64_t seed = bench::bench_seed(args);
   const auto clients = static_cast<std::size_t>(args.get_int_or("clients", 64));
+  const auto shards = static_cast<std::size_t>(args.get_int_or("shards", 2));
+  const std::string json_path = args.get_string_or("json", "");
 
-  serve::engine_config cfg;
-  cfg.batching.max_batch_size =
+  serve::deployment_config cfg;
+  cfg.shards = shards;
+  cfg.shard.batching.max_batch_size =
       static_cast<std::size_t>(args.get_int_or("batch", 16));
-  cfg.batching.max_wait =
+  cfg.shard.batching.max_wait =
       std::chrono::microseconds(args.get_int_or("max_wait_us", 200));
-  cfg.num_workers = static_cast<std::size_t>(args.get_int_or("workers", 2));
-  cfg.queue_capacity = static_cast<std::size_t>(
+  cfg.shard.num_workers =
+      static_cast<std::size_t>(args.get_int_or("workers", 2));
+  cfg.shard.queue_capacity = static_cast<std::size_t>(
       args.get_int_or("queue_capacity", 1024));
-  cfg.channel.time_scale = args.get_double_or("time_scale", 0.2);
-  cfg.simulate_edge_compute = args.get_bool_or("edge_sim", true);
+  cfg.shard.channel.time_scale = args.get_double_or("time_scale", 0.2);
+  cfg.shard.simulate_edge_compute = args.get_bool_or("edge_sim", true);
+  cfg.shard.admission.policy =
+      parse_admission(args.get_string_or("admission", "block"));
 
   const workload w = make_workload(requests, seed);
 
@@ -166,47 +213,52 @@ int main(int argc, char** argv) {
   const auto curve =
       collab::accuracy_vs_sr_curve(split, nullptr, {target_sr});
   const collab::sweep_point offline = curve.front();
-  std::printf("=== bench_serving: %zu requests, %zu clients, seed %llu ===\n",
-              requests, clients,
-              static_cast<unsigned long long>(seed));
+  std::printf(
+      "=== bench_serving: %zu requests, %zu clients, %zu shards, seed %llu "
+      "===\n",
+      requests, clients, shards, static_cast<unsigned long long>(seed));
   std::printf(
       "offline system_eval: delta %.4f -> SR %.2f%%, accuracy %.2f%%\n\n",
       offline.delta, offline.achieved_sr * 100.0, offline.accuracy * 100.0);
 
   // Run 1: offline-calibrated fixed δ.
-  serve::engine_config fixed_cfg = cfg;
-  fixed_cfg.threshold.adapt = serve::threshold_config::mode::fixed;
-  fixed_cfg.threshold.initial_delta = offline.delta;
+  serve::deployment_config fixed_cfg = cfg;
+  fixed_cfg.shard.threshold.adapt = serve::threshold_config::mode::fixed;
+  fixed_cfg.shard.threshold.initial_delta = offline.delta;
   const run_result fixed = run_mode(w, fixed_cfg, clients, /*warmup=*/0);
   report("fixed delta (offline calibration)", fixed, target_sr,
-         offline.accuracy, cfg.link);
+         offline.accuracy, cfg.shard.link);
 
   // Run 2: adaptive δ from a cold start. The controller needs a few
   // recalibration windows to find δ, so a warmup slice of the workload
   // primes it and every reported metric covers the steady state only.
-  serve::engine_config adaptive_cfg = cfg;
-  adaptive_cfg.threshold.adapt = serve::threshold_config::mode::track_sr;
-  adaptive_cfg.threshold.target_sr = target_sr;
-  adaptive_cfg.threshold.initial_delta = 0.99;
+  serve::deployment_config adaptive_cfg = cfg;
+  adaptive_cfg.shard.threshold.adapt =
+      serve::threshold_config::mode::track_sr;
+  adaptive_cfg.shard.threshold.target_sr = target_sr;
+  adaptive_cfg.shard.threshold.initial_delta = 0.99;
   const std::size_t warmup = std::min<std::size_t>(2048, requests / 5);
   const run_result adaptive = run_mode(w, adaptive_cfg, clients, warmup);
   report("adaptive delta (track_sr, cold start)", adaptive, target_sr,
-         offline.accuracy, cfg.link);
+         offline.accuracy, cfg.shard.link);
 
   const std::string path = bench::results_path("serving.csv");
   {
     util::csv_writer csv(path);
-    csv.write_row({"mode", "requests", "throughput_rps", "p50_ms", "p95_ms",
-                   "p99_ms", "target_sr", "achieved_sr", "online_accuracy",
-                   "offline_accuracy", "delta"});
+    csv.write_row({"mode", "requests", "shards", "throughput_rps", "p50_ms",
+                   "p95_ms", "p99_ms", "target_sr", "achieved_sr",
+                   "shed_rate", "online_accuracy", "offline_accuracy",
+                   "delta"});
     const auto add = [&](const char* mode, const run_result& r) {
       csv.write_row({std::string(mode), std::to_string(requests),
+                     std::to_string(shards),
                      std::to_string(r.stats.throughput_rps),
                      std::to_string(r.stats.p50_ms),
                      std::to_string(r.stats.p95_ms),
                      std::to_string(r.stats.p99_ms),
                      std::to_string(target_sr),
                      std::to_string(r.stats.achieved_sr),
+                     std::to_string(r.stats.shed_rate),
                      std::to_string(r.stats.online_accuracy),
                      std::to_string(offline.accuracy),
                      std::to_string(r.delta)});
@@ -215,6 +267,33 @@ int main(int argc, char** argv) {
     add("adaptive", adaptive);
   }
   std::printf("wrote %s\n", path.c_str());
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"serving\",\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"clients\": %zu,\n"
+                 "  \"shards\": %zu,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"target_sr\": %.6f,\n"
+                 "  \"offline\": {\"delta\": %.6f, \"achieved_sr\": %.6f,"
+                 " \"accuracy\": %.6f},\n"
+                 "  \"runs\": [\n",
+                 requests, clients, shards,
+                 static_cast<unsigned long long>(seed), target_sr,
+                 offline.delta, offline.achieved_sr, offline.accuracy);
+    append_run_json(f, "fixed", fixed, /*last=*/false);
+    append_run_json(f, "adaptive", adaptive, /*last=*/true);
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   // Acceptance: SR within 2 pp of target (steady state for the adaptive
   // run), online == offline accuracy for the fixed (same-δ) run.

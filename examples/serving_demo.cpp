@@ -1,22 +1,24 @@
-// Online serving demo: train a small AppealNet system, then deploy it
-// behind the serving engine and stream the test split through it as live
-// traffic.
+// Online serving demo: train a small AppealNet system, then register it
+// as a named deployment on the serve::server facade and stream the test
+// split through it as live traffic.
 //
 // This is the deployment half the offline benches stop short of: requests
-// flow through the request_queue -> dynamic batcher -> edge worker running
-// the real two-head little network -> δ decision -> async cloud appeal
-// over the simulated uplink -> streaming stats. The offline evaluation of
-// the same system (appealnet_system::infer_all) is printed next to the
-// online numbers — they agree because serving is the same computation
-// under a scheduler.
+// enter through server::submit (named model, priority class) -> admission
+// control -> request_queue -> dynamic batcher -> edge worker running the
+// real two-head little network -> δ decision -> async cloud appeal over
+// the simulated uplink -> per-deployment streaming stats. The offline
+// evaluation of the same system (appealnet_system::infer_all) is printed
+// next to the online numbers — they agree because serving is the same
+// computation under a scheduler.
 //
 // Run:  ./example_serving_demo [--epochs=6] [--target_sr=0.9]
 //       [--time_scale=0.1] [--batch=16]
 #include <cstdio>
+#include <memory>
 
 #include "core/appealnet_builder.hpp"
 #include "data/presets.hpp"
-#include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
 
@@ -58,33 +60,47 @@ int main(int argc, char** argv) {
   }
   const auto n = static_cast<double>(decisions.size());
 
-  // 3. Deploy online: real little network at the edge, real big network
-  //    behind the simulated uplink, δ from the offline calibration.
-  serve::network_edge_backend edge(system.little(),
-                                   core::score_method::appealnet_q);
-  serve::network_cloud_backend cloud(system.big());
-
-  serve::engine_config serve_cfg;
-  serve_cfg.batching.max_batch_size =
+  // 3. Deploy online behind the multi-tenant front door: the real little
+  //    network at the edge (one instance per worker via the factory), the
+  //    real big network behind the simulated uplink, δ from the offline
+  //    calibration.
+  serve::deployment_config dep_cfg;
+  dep_cfg.shards = 1;  // one trained system -> one shard in this demo
+  dep_cfg.shard.batching.max_batch_size =
       static_cast<std::size_t>(args.get_int_or("batch", 16));
-  serve_cfg.batching.max_wait = std::chrono::microseconds(500);
-  serve_cfg.num_workers = 1;  // network_edge_backend is single-threaded
-  serve_cfg.threshold.adapt = serve::threshold_config::mode::fixed;
-  serve_cfg.threshold.initial_delta = system.delta();
-  serve_cfg.link = collab::make_cost_model(
+  dep_cfg.shard.batching.max_wait = std::chrono::microseconds(500);
+  dep_cfg.shard.num_workers = 1;  // network_edge_backend is single-threaded
+  dep_cfg.shard.threshold.adapt = serve::threshold_config::mode::fixed;
+  dep_cfg.shard.threshold.initial_delta = system.delta();
+  dep_cfg.shard.link = collab::make_cost_model(
       system.edge_mflops(), system.cloud_mflops(),
       /*input_kb=*/static_cast<double>(
           bundle.test->image_shape().element_count()) *
           4.0 / 1024.0);
-  serve_cfg.channel.time_scale = args.get_double_or("time_scale", 0.1);
-  serve::engine eng(serve_cfg, edge, cloud);
+  dep_cfg.shard.channel.time_scale = args.get_double_or("time_scale", 0.1);
+
+  serve::server srv;
+  srv.register_deployment(
+      "appealnet", dep_cfg,
+      [&system](std::size_t, std::size_t) {
+        return std::make_unique<serve::network_edge_backend>(
+            system.little(), core::score_method::appealnet_q);
+      },
+      [&system] {
+        return std::make_unique<serve::network_cloud_backend>(system.big());
+      });
 
   for (std::size_t i = 0; i < bundle.test->size(); ++i) {
     const data::sample& s = bundle.test->get(i);
-    eng.submit(s.image, i, s.label);
+    serve::inference_request req;
+    req.model = "appealnet";
+    req.input = s.image;
+    req.key = i;
+    req.label = s.label;
+    srv.submit(std::move(req));
   }
-  eng.drain();
-  const serve::stats_snapshot online = eng.stats().snapshot();
+  srv.drain();
+  const serve::stats_snapshot online = srv.at("appealnet").snapshot();
 
   std::printf("\n=== serving demo ===\n");
   std::printf("offline: accuracy %.2f%%, SR %.2f%% (delta %.4f)\n",
@@ -92,6 +108,6 @@ int main(int argc, char** argv) {
               static_cast<double>(offline_kept) / n * 100.0, system.delta());
   std::printf("online:\n%s", serve::serve_stats::render(online).c_str());
   std::printf("modeled latency at achieved SR: %.3f ms\n",
-              serve_cfg.link.overall_latency_ms(online.achieved_sr));
+              dep_cfg.shard.link.overall_latency_ms(online.achieved_sr));
   return 0;
 }

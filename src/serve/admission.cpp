@@ -1,0 +1,90 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+namespace {
+
+std::size_t scaled_limit(std::size_t capacity, double factor) {
+  const double raw = std::ceil(static_cast<double>(capacity) * factor);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(raw));
+}
+
+}  // namespace
+
+admission_controller::admission_controller(const admission_config& cfg)
+    : config_(cfg) {
+  APPEAL_CHECK(cfg.batch_headroom > 0.0 && cfg.batch_headroom <= 1.0,
+               "batch_headroom must be in (0, 1]");
+  APPEAL_CHECK(cfg.degrade_headroom >= 1.0,
+               "degrade_headroom must be >= 1");
+}
+
+admission_verdict admission_controller::count(admission_verdict v) {
+  switch (v) {
+    case admission_verdict::admitted:
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case admission_verdict::degraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case admission_verdict::shed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case admission_verdict::closed:
+      break;
+  }
+  return v;
+}
+
+admission_verdict admission_controller::try_admit(request_queue& queue,
+                                                  request& r) {
+  const std::size_t class_limit =
+      r.priority == priority_class::batch
+          ? scaled_limit(queue.capacity(), config_.batch_headroom)
+          : queue.capacity();
+
+  if (config_.policy == admission_policy::block) {
+    // Backpressure for every class: the queue's own wait is the policy
+    // (batch producers wait at their lower headroom limit).
+    if (!queue.push(std::move(r), class_limit)) {
+      return count(admission_verdict::closed);
+    }
+    return count(admission_verdict::admitted);
+  }
+
+  switch (queue.try_push(std::move(r), class_limit)) {
+    case request_queue::push_result::ok:
+      return count(admission_verdict::admitted);
+    case request_queue::push_result::closed:
+      return count(admission_verdict::closed);
+    case request_queue::push_result::full:
+      break;
+  }
+
+  if (config_.policy == admission_policy::edge_only &&
+      r.priority != priority_class::batch) {
+    // The degrade overflow band is reserved for interactive traffic:
+    // batch-class requests stay capped at their headroom in every policy.
+    r.force_edge = true;
+    const std::size_t overflow =
+        scaled_limit(queue.capacity(), config_.degrade_headroom);
+    switch (queue.try_push(std::move(r), overflow)) {
+      case request_queue::push_result::ok:
+        return count(admission_verdict::degraded);
+      case request_queue::push_result::closed:
+        return count(admission_verdict::closed);
+      case request_queue::push_result::full:
+        r.force_edge = false;
+        break;
+    }
+  }
+
+  return count(admission_verdict::shed);
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,97 @@
+#include "serve/deployment.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+namespace {
+
+/// splitmix64 finalizer: a fast, well-mixed stable hash so consecutive
+/// keys spread across shards instead of striping.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+cloud_backend& require_cloud(const std::unique_ptr<cloud_backend>& cloud) {
+  APPEAL_CHECK(cloud != nullptr, "deployment needs a cloud backend factory");
+  return *cloud;
+}
+
+}  // namespace
+
+deployment::deployment(std::string name, const deployment_config& cfg,
+                       edge_backend_factory edge, cloud_backend_factory cloud)
+    : name_(std::move(name)),
+      config_(cfg),
+      cloud_(cloud ? cloud() : nullptr),
+      stats_(cfg.shard.stats),
+      controller_(cfg.shard.threshold, &config_.shard.link),
+      channel_(require_cloud(cloud_), config_.shard.link,
+               config_.shard.channel) {
+  APPEAL_CHECK(config_.shards > 0, "deployment needs at least one shard");
+  APPEAL_CHECK(edge != nullptr, "deployment needs an edge backend factory");
+  engines_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    engine_config shard_cfg = config_.shard;
+    shard_cfg.shard_id = s;
+    std::vector<std::unique_ptr<edge_backend>> per_worker;
+    per_worker.reserve(shard_cfg.num_workers);
+    for (std::size_t w = 0; w < shard_cfg.num_workers; ++w) {
+      per_worker.push_back(edge(s, w));
+      APPEAL_CHECK(per_worker.back() != nullptr,
+                   "edge factory returned null");
+    }
+    engines_.push_back(std::make_unique<engine>(
+        shard_cfg, std::move(per_worker), channel_, controller_, stats_));
+  }
+}
+
+deployment::~deployment() { shutdown(); }
+
+std::size_t deployment::shard_for_key(std::uint64_t key) const {
+  return static_cast<std::size_t>(mix64(key) % engines_.size());
+}
+
+std::future<response> deployment::submit(inference_request&& req) {
+  std::size_t target = 0;
+  if (engines_.size() > 1) {
+    if (config_.routing == routing_policy::key_affine) {
+      target = shard_for_key(req.key);
+    } else {
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (std::size_t s = 0; s < engines_.size(); ++s) {
+        const std::size_t depth = engines_[s]->queue_depth();
+        if (depth < best) {
+          best = depth;
+          target = s;
+        }
+      }
+    }
+  }
+  return engines_[target]->submit(std::move(req));
+}
+
+void deployment::drain() {
+  for (auto& eng : engines_) eng->drain();
+}
+
+void deployment::shutdown() {
+  // Each shard closes its queue, joins its workers, and drains the shared
+  // channel (drain waits on *all* outstanding appeals, so the order of
+  // shards does not matter).
+  for (auto& eng : engines_) eng->shutdown();
+}
+
+std::size_t deployment::shed_total() const {
+  std::size_t total = 0;
+  for (const auto& eng : engines_) total += eng->admission().shed();
+  return total;
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,95 @@
+// One named model deployment behind the serve::server facade.
+//
+// A deployment is a (little, big) pair served at scale: `shards` engine
+// instances — each with its own request queue, batcher, and edge worker
+// pool — behind one router, sharing one cloud_channel (a deployment has
+// one uplink; appeals from every shard serialize on the same simulated
+// radio), one per-deployment threshold_controller (δ adapts to the
+// deployment's whole traffic, not per-shard slices of it), and one
+// serve_stats aggregation point. Backends come from factories so each
+// shard/worker gets its own instance (stateful network backends stay
+// single-threaded) and the deployment owns everything it runs.
+//
+// Routing: `key_affine` hashes request.key onto a shard — the same key
+// always lands on the same shard (cache affinity, per-key ordering);
+// `least_loaded` picks the shard with the shallowest queue.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace appeal::serve {
+
+/// Builds the edge backend for worker `worker` of shard `shard`.
+using edge_backend_factory = std::function<std::unique_ptr<edge_backend>(
+    std::size_t shard, std::size_t worker)>;
+using cloud_backend_factory =
+    std::function<std::unique_ptr<cloud_backend>()>;
+
+/// How the router spreads a deployment's traffic over its shards.
+enum class routing_policy { key_affine, least_loaded };
+
+struct deployment_config {
+  std::size_t shards = 1;
+  /// Per-shard engine configuration. `shard.threshold` configures the
+  /// per-deployment δ controller, `shard.link`/`shard.channel` the shared
+  /// cloud uplink, `shard.stats` the shared stats sink, and
+  /// `shard.admission` the admission policy applied at each shard's
+  /// queue; `shard.shard_id` is overwritten per shard.
+  engine_config shard;
+  routing_policy routing = routing_policy::key_affine;
+};
+
+class deployment {
+ public:
+  deployment(std::string name, const deployment_config& cfg,
+             edge_backend_factory edge, cloud_backend_factory cloud);
+  ~deployment();
+
+  deployment(const deployment&) = delete;
+  deployment& operator=(const deployment&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t num_shards() const { return engines_.size(); }
+
+  /// The shard the router would send `key` to under key-affine routing.
+  std::size_t shard_for_key(std::uint64_t key) const;
+
+  /// Routes to a shard and submits under its admission policy.
+  std::future<response> submit(inference_request&& req);
+
+  /// Blocks until every submitted request has completed.
+  void drain();
+
+  /// Stops all shards and drains the shared channel. Idempotent.
+  void shutdown();
+
+  /// Per-deployment aggregated statistics (all shards record here).
+  const serve_stats& stats() const { return stats_; }
+  stats_snapshot snapshot() const { return stats_.snapshot(); }
+  void reset_stats() { stats_.reset(); }
+
+  threshold_controller& controller() { return controller_; }
+  engine& shard(std::size_t i) { return *engines_.at(i); }
+  const deployment_config& config() const { return config_; }
+
+  /// Sum of admission-shed requests across shards (introspection; the
+  /// canonical count is stats().snapshot().shed).
+  std::size_t shed_total() const;
+
+ private:
+  std::string name_;
+  deployment_config config_;
+  std::unique_ptr<cloud_backend> cloud_;
+  serve_stats stats_;
+  threshold_controller controller_;
+  cloud_channel channel_;
+  std::vector<std::unique_ptr<engine>> engines_;
+};
+
+}  // namespace appeal::serve

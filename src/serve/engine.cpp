@@ -1,6 +1,8 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -18,17 +20,66 @@ double ms_between(clock::time_point from, clock::time_point to) {
 
 engine::engine(const engine_config& cfg, edge_backend& edge,
                cloud_backend& cloud)
-    : engine(cfg, std::vector<edge_backend*>(cfg.num_workers, &edge), cloud) {}
+    : config_(cfg),
+      edge_backends_(cfg.num_workers, &edge),
+      queue_(cfg.queue_capacity),
+      owned_controller_(
+          std::make_unique<threshold_controller>(cfg.threshold, &config_.link)),
+      owned_stats_(std::make_unique<serve_stats>(cfg.stats)),
+      owned_channel_(
+          std::make_unique<cloud_channel>(cloud, config_.link, cfg.channel)),
+      controller_(owned_controller_.get()),
+      stats_(owned_stats_.get()),
+      channel_(owned_channel_.get()),
+      admission_(cfg.admission) {
+  start_workers();
+}
+
+engine::engine(const engine_config& cfg, worker_edge_factory edge_factory,
+               std::function<std::unique_ptr<cloud_backend>()> cloud_factory)
+    : config_(cfg),
+      queue_(cfg.queue_capacity),
+      owned_controller_(
+          std::make_unique<threshold_controller>(cfg.threshold, &config_.link)),
+      owned_stats_(std::make_unique<serve_stats>(cfg.stats)),
+      controller_(owned_controller_.get()),
+      stats_(owned_stats_.get()),
+      admission_(cfg.admission) {
+  APPEAL_CHECK(edge_factory != nullptr && cloud_factory != nullptr,
+               "engine backend factories must not be null");
+  owned_edge_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    owned_edge_.push_back(edge_factory(w));
+  }
+  owned_cloud_ = cloud_factory();
+  APPEAL_CHECK(owned_cloud_ != nullptr, "cloud factory returned null");
+  for (const auto& backend : owned_edge_) {
+    edge_backends_.push_back(backend.get());
+  }
+  owned_channel_ = std::make_unique<cloud_channel>(*owned_cloud_, config_.link,
+                                                   config_.channel);
+  channel_ = owned_channel_.get();
+  start_workers();
+}
 
 engine::engine(const engine_config& cfg,
-               std::vector<edge_backend*> per_worker_edge,
-               cloud_backend& cloud)
+               std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
+               cloud_channel& channel, threshold_controller& controller,
+               serve_stats& stats)
     : config_(cfg),
-      edge_backends_(std::move(per_worker_edge)),
+      owned_edge_(std::move(per_worker_edge)),
       queue_(cfg.queue_capacity),
-      controller_(cfg.threshold, &config_.link),
-      stats_(cfg.stats),
-      channel_(cloud, cfg.link, cfg.channel) {
+      controller_(&controller),
+      stats_(&stats),
+      channel_(&channel),
+      admission_(cfg.admission) {
+  for (const auto& backend : owned_edge_) {
+    edge_backends_.push_back(backend.get());
+  }
+  start_workers();
+}
+
+void engine::start_workers() {
   APPEAL_CHECK(config_.num_workers > 0, "engine needs at least one worker");
   APPEAL_CHECK(edge_backends_.size() == config_.num_workers,
                "one edge backend per worker required");
@@ -37,8 +88,7 @@ engine::engine(const engine_config& cfg,
   }
   workers_.reserve(config_.num_workers);
   for (std::size_t w = 0; w < config_.num_workers; ++w) {
-    workers_.emplace_back(
-        [this, w] { worker_loop(*edge_backends_[w]); });
+    workers_.emplace_back([this, w] { worker_loop(*edge_backends_[w]); });
   }
 }
 
@@ -46,22 +96,46 @@ engine::~engine() { shutdown(); }
 
 std::future<response> engine::submit(tensor input, std::uint64_t key,
                                      std::size_t label) {
+  inference_request req;
+  req.input = std::move(input);
+  req.key = key;
+  req.label = label;
+  return submit(std::move(req));
+}
+
+std::future<response> engine::submit(inference_request&& req) {
   request r;
   r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  r.input = std::move(input);
-  r.key = key;
-  r.label = label;
+  r.input = std::move(req.input);
+  r.key = req.key;
+  r.label = req.label;
+  r.priority = req.priority;
   r.enqueue_time = clock::now();
+  // Zero means "no deadline"; a negative remaining budget (client's SLO
+  // already blown) becomes a deadline in the past and expires at dequeue.
+  if (req.deadline.count() != 0) r.deadline = r.enqueue_time + req.deadline;
   std::future<response> future = r.promise.get_future();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  if (!queue_.push(std::move(r))) {
-    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(drain_mutex_);
-      drained_.notify_all();
+  switch (admission_.try_admit(queue_, r)) {
+    case admission_verdict::admitted:
+    case admission_verdict::degraded:
+      return future;
+    case admission_verdict::shed: {
+      response resp;
+      resp.id = r.id;
+      resp.status = request_status::shed;
+      resp.shard = config_.shard_id;
+      complete(std::move(r), std::move(resp));
+      return future;
     }
-    throw util::error("submit() on a shut-down engine");
+    case admission_verdict::closed:
+      break;
   }
-  return future;
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drained_.notify_all();
+  }
+  throw util::error("submit() on a shut-down engine");
 }
 
 void engine::drain() {
@@ -79,14 +153,15 @@ void engine::shutdown() {
   }
   queue_.close();
   for (std::thread& t : workers_) t.join();
-  channel_.drain();
+  channel_->drain();
 }
 
 void engine::complete(request&& r, response&& resp) {
-  const bool labeled = r.label != request::no_label;
+  const bool labeled =
+      resp.status == request_status::ok && r.label != request::no_label;
   const bool correct = labeled && resp.predicted_class == r.label;
   resp.latency_ms = ms_between(r.enqueue_time, clock::now());
-  stats_.record(resp, labeled, correct);
+  stats_->record(resp, labeled, correct);
   r.promise.set_value(std::move(resp));
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(drain_mutex_);
@@ -101,9 +176,28 @@ void engine::worker_loop(edge_backend& edge) {
     batch b = form.next_batch();
     if (b.empty()) return;  // queue closed and drained
 
-    const edge_inference inference = edge.infer(b.requests);
-    APPEAL_CHECK(inference.predictions.size() == b.requests.size() &&
-                     inference.scores.size() == b.requests.size(),
+    // Expire requests whose deadline passed while queued: no inference,
+    // the client gets an immediate `expired` status.
+    std::vector<request> live;
+    live.reserve(b.requests.size());
+    const clock::time_point now = clock::now();
+    for (request& r : b.requests) {
+      if (r.deadline != request::no_deadline && now > r.deadline) {
+        response resp;
+        resp.id = r.id;
+        resp.status = request_status::expired;
+        resp.shard = config_.shard_id;
+        resp.queue_ms = ms_between(r.enqueue_time, r.dequeue_time);
+        complete(std::move(r), std::move(resp));
+      } else {
+        live.push_back(std::move(r));
+      }
+    }
+    if (live.empty()) continue;
+
+    const edge_inference inference = edge.infer(live);
+    APPEAL_CHECK(inference.predictions.size() == live.size() &&
+                     inference.scores.size() == live.size(),
                  "edge backend must return one result per request");
 
     if (config_.simulate_edge_compute) {
@@ -115,25 +209,40 @@ void engine::worker_loop(edge_backend& edge) {
     }
 
     // One δ for the whole batch: the decision the paper's predictor head
-    // makes per input, applied at batch granularity.
-    const double delta = controller_.delta();
+    // makes per input, applied at batch granularity. Degraded-admission
+    // requests bypass the decision entirely (they may never appeal) and
+    // are excluded from the controller's observation — both the skip
+    // count and the score denominator — so observed_sr stays the rate
+    // over δ-decided traffic.
+    const bool any_forced =
+        std::any_of(live.begin(), live.end(),
+                    [](const request& r) { return r.force_edge; });
+    std::vector<double> decided_scores;
+    if (any_forced) {
+      decided_scores.reserve(live.size());
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (!live[i].force_edge) decided_scores.push_back(inference.scores[i]);
+      }
+    }
+    const double delta = controller_->delta();
     std::size_t skipped = 0;
-    for (std::size_t i = 0; i < b.requests.size(); ++i) {
-      request& r = b.requests[i];
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      request& r = live[i];
       const double score = inference.scores[i];
       const double queue_ms = ms_between(r.enqueue_time, r.dequeue_time);
-      if (score >= delta) {
-        ++skipped;
+      if (r.force_edge || score >= delta) {
         response resp;
         resp.id = r.id;
         resp.predicted_class = inference.predictions[i];
-        resp.taken = route::edge;
+        resp.taken = r.force_edge ? route::edge_degraded : route::edge;
+        resp.shard = config_.shard_id;
         resp.score = score;
         resp.delta = delta;
         resp.queue_ms = queue_ms;
+        if (!r.force_edge) ++skipped;
         complete(std::move(r), std::move(resp));
       } else {
-        channel_.appeal(
+        channel_->appeal(
             std::move(r),
             [this, score, delta, queue_ms](request&& done,
                                            std::size_t prediction,
@@ -142,6 +251,7 @@ void engine::worker_loop(edge_backend& edge) {
               resp.id = done.id;
               resp.predicted_class = prediction;
               resp.taken = route::cloud;
+              resp.shard = config_.shard_id;
               resp.score = score;
               resp.delta = delta;
               resp.queue_ms = queue_ms;
@@ -150,7 +260,8 @@ void engine::worker_loop(edge_backend& edge) {
             });
       }
     }
-    controller_.observe(inference.scores, skipped);
+    controller_->observe(any_forced ? decided_scores : inference.scores,
+                         skipped);
   }
 }
 

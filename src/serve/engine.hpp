@@ -1,18 +1,27 @@
-// The online edge/cloud collaborative inference engine.
+// The online edge/cloud collaborative inference engine (one shard).
 //
 // Request lifecycle:
-//   submit() -> request_queue -> batcher (dynamic batch) -> edge worker
-//     -> edge_backend (two-head little network / replay)
-//     -> score >= δ ?  complete on the edge
-//                   :  cloud_channel appeal -> cloud_backend -> complete
+//   submit() -> admission_controller (block / shed / edge_only degrade)
+//     -> request_queue (priority lanes) -> batcher (dynamic batch)
+//     -> edge worker -> edge_backend (two-head little network / replay)
+//     -> deadline check -> score >= δ (or degraded) ? complete on the edge
+//                                                   : cloud_channel appeal
+//                                                     -> cloud_backend
+//                                                     -> complete
 // Every completion fulfills the request's promise and feeds serve_stats;
 // the threshold_controller watches per-batch scores and steers δ toward
 // the configured skipping-rate target (or latency SLO).
 //
-// Threading: `num_workers` edge workers pull batches concurrently (give
-// each its own edge_backend via the factory overload when the backend is
-// stateful, e.g. network_edge_backend); one background thread inside
-// cloud_channel simulates the uplink and completes appeals.
+// Ownership: an engine built from factories owns its backends; an engine
+// built inside a serve::deployment is one shard of it and shares the
+// deployment's cloud_channel, threshold_controller (the per-deployment δ),
+// and serve_stats (the per-deployment aggregation point). The standalone
+// reference constructor keeps single-model tests minimal.
+//
+// Threading: `num_workers` edge workers pull batches concurrently (the
+// factory is invoked once per worker so stateful backends such as
+// network_edge_backend stay single-threaded); one background thread
+// inside cloud_channel simulates the uplink and completes appeals.
 #pragma once
 
 #include <atomic>
@@ -26,6 +35,7 @@
 #include <vector>
 
 #include "collab/cost_model.hpp"
+#include "serve/admission.hpp"
 #include "serve/backends.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cloud_channel.hpp"
@@ -35,10 +45,15 @@
 
 namespace appeal::serve {
 
+/// Builds the edge backend for one worker (`worker` indexes the pool).
+using worker_edge_factory =
+    std::function<std::unique_ptr<edge_backend>(std::size_t worker)>;
+
 struct engine_config {
   batch_policy batching;
   std::size_t num_workers = 2;
   std::size_t queue_capacity = 1024;
+  admission_config admission;     // full-queue policy at submit()
   threshold_config threshold;
   collab::cost_model link;        // simulated uplink + edge/cloud compute
   link_config channel;            // time_scale for the simulation
@@ -47,23 +62,44 @@ struct engine_config {
   /// (edge_mflops / edge_gflops, scaled by channel.time_scale) — the batch
   /// runs as one parallel pass on the edge accelerator.
   bool simulate_edge_compute = false;
+  /// Stamped into response::shard; set by the owning deployment.
+  std::size_t shard_id = 0;
 };
 
 class engine {
  public:
-  /// Single shared edge backend (must be thread-safe or num_workers == 1).
+  /// Single shared edge backend (must be thread-safe or num_workers == 1);
+  /// neither backend is owned.
   engine(const engine_config& cfg, edge_backend& edge, cloud_backend& cloud);
 
-  /// Per-worker edge backends (index-aligned with the worker pool).
+  /// Owning constructor: the factories are invoked (once per worker /
+  /// once) and the engine keeps the backends alive for its lifetime.
+  engine(const engine_config& cfg, worker_edge_factory edge_factory,
+         std::function<std::unique_ptr<cloud_backend>()> cloud_factory);
+
+  /// Shard constructor (used by serve::deployment): owns its per-worker
+  /// edge backends but shares the deployment's channel, δ controller, and
+  /// stats sink. cfg.threshold / cfg.stats are ignored in this mode (the
+  /// shared objects already embody them); cfg.link still drives the
+  /// simulated edge compute, so pass the same cost model the shared
+  /// channel was built from (deployment does).
   engine(const engine_config& cfg,
-         std::vector<edge_backend*> per_worker_edge, cloud_backend& cloud);
+         std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
+         cloud_channel& channel, threshold_controller& controller,
+         serve_stats& stats);
 
   ~engine();
 
-  /// Enqueues one request; blocks while the queue is full (admission
-  /// backpressure). The future resolves at completion.
+  /// Enqueues one request under the configured admission policy. `block`
+  /// waits for queue space (PR 1 behavior); `shed` and `edge_only` never
+  /// block — a refused request resolves its future immediately with
+  /// request_status::shed. Throws util::error after shutdown.
   std::future<response> submit(tensor input, std::uint64_t key,
                                std::size_t label = request::no_label);
+
+  /// Full-control submission (priority class, relative deadline). The
+  /// `model` field is ignored at engine level — routing happened above.
+  std::future<response> submit(inference_request&& req);
 
   /// Blocks until every submitted request has completed.
   void drain();
@@ -72,25 +108,37 @@ class engine {
   /// also invoked by the destructor.
   void shutdown();
 
-  const serve_stats& stats() const { return stats_; }
+  const serve_stats& stats() const { return *stats_; }
 
   /// Discards all stats so far (counters, latency histogram, clock) —
   /// call after a warmup phase, with no requests in flight, to open a
   /// clean measurement window. The threshold controller keeps its state.
-  void reset_stats() { stats_.reset(); }
-  threshold_controller& controller() { return controller_; }
+  void reset_stats() { stats_->reset(); }
+  threshold_controller& controller() { return *controller_; }
+  const admission_controller& admission() const { return admission_; }
   const engine_config& config() const { return config_; }
 
+  /// Approximate instantaneous queue depth (the least-loaded router's
+  /// load signal; lock-free so routing never touches the queue mutex).
+  std::size_t queue_depth() const { return queue_.approx_size(); }
+
  private:
+  void start_workers();
   void worker_loop(edge_backend& edge);
   void complete(request&& r, response&& resp);
 
   engine_config config_;
+  std::vector<std::unique_ptr<edge_backend>> owned_edge_;
+  std::unique_ptr<cloud_backend> owned_cloud_;
   std::vector<edge_backend*> edge_backends_;
   request_queue queue_;
-  threshold_controller controller_;
-  serve_stats stats_;
-  cloud_channel channel_;
+  std::unique_ptr<threshold_controller> owned_controller_;
+  std::unique_ptr<serve_stats> owned_stats_;
+  std::unique_ptr<cloud_channel> owned_channel_;
+  threshold_controller* controller_;
+  serve_stats* stats_;
+  cloud_channel* channel_;
+  admission_controller admission_;
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::size_t> outstanding_{0};

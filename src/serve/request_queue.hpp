@@ -1,11 +1,16 @@
-// Bounded thread-safe FIFO of in-flight requests.
+// Bounded thread-safe priority FIFO of in-flight requests.
 //
-// Producers (engine::submit) block while the queue is full — the natural
-// admission backpressure of a closed-loop server. Consumers (the batcher,
-// on behalf of edge workers) pop with a deadline so batch formation can
-// time out. close() wakes everyone; pops drain remaining items first.
+// Two lanes: interactive requests always pop ahead of batch requests
+// (FIFO within a lane); capacity covers both lanes together. Producers
+// choose their admission semantics — push() blocks while the queue is
+// full (the `block` admission policy), try_push() never blocks and
+// reports `full` so the admission controller can shed or degrade
+// instead. Consumers (the batcher, on behalf of edge workers) pop with a
+// deadline so batch formation can time out. close() wakes everyone; pops
+// drain remaining items first.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -23,9 +28,21 @@ class request_queue {
   /// Outcome of a deadline pop.
   enum class pop_result { item, timed_out, closed };
 
-  /// Blocks while full. Returns false (request untouched apart from the
+  /// Outcome of a non-blocking push.
+  enum class push_result { ok, full, closed };
+
+  /// Blocks while the queue holds `limit` or more items (0 = the
+  /// configured capacity; admission policies pass the batch-class
+  /// headroom here). Returns false (request untouched apart from the
   /// move) when the queue is closed.
-  bool push(request&& r);
+  bool push(request&& r, std::size_t limit = 0);
+
+  /// Non-blocking push. `limit` overrides the admission bound for this
+  /// call (0 = the configured capacity): admission policies use a lower
+  /// bound for batch-class traffic and a higher one for degraded
+  /// (edge-only) overflow. On `full` or `closed` the request is left
+  /// valid in the caller's hands.
+  push_result try_push(request&& r, std::size_t limit = 0);
 
   /// Blocks until an item arrives, the deadline passes, or the queue is
   /// closed *and* drained. On `item`, `out` holds the popped request.
@@ -40,14 +57,30 @@ class request_queue {
 
   bool closed() const;
   std::size_t size() const;
+  /// Lock-free approximate size — the least-loaded router's load signal;
+  /// avoids taking the queue mutex on the submit hot path.
+  std::size_t approx_size() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
   std::size_t capacity() const { return capacity_; }
 
  private:
+  // Callers hold mutex_.
+  std::size_t size_locked() const {
+    return interactive_.size() + batch_.size();
+  }
+  std::deque<request>& lane(priority_class p) {
+    return p == priority_class::interactive ? interactive_ : batch_;
+  }
+  bool pop_locked(request& out);
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<request> items_;
+  std::deque<request> interactive_;
+  std::deque<request> batch_;
+  std::atomic<std::size_t> approx_size_{0};
   bool closed_ = false;
 };
 

@@ -13,18 +13,33 @@ serve_stats::serve_stats(const serve_stats_config& cfg)
 
 void serve_stats::record(const response& r, bool labeled, bool correct) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (r.status == request_status::shed) {
+    ++shed_;
+    return;
+  }
+  if (r.status == request_status::expired) {
+    ++expired_;
+    return;
+  }
   ++completed_;
-  if (r.taken == route::edge) {
-    ++edge_kept_;
-  } else {
-    ++appealed_;
-    link_ms_sum_ += r.link_ms;
+  switch (r.taken) {
+    case route::edge:
+      ++edge_kept_;
+      break;
+    case route::edge_degraded:
+      ++edge_degraded_;
+      break;
+    case route::cloud:
+      ++appealed_;
+      link_ms_sum_ += r.link_ms;
+      break;
   }
   if (labeled) {
     ++labeled_;
     if (correct) ++labeled_correct_;
   }
   queue_ms_sum_ += r.queue_ms;
+  if (r.latency_ms >= config_.latency_range_ms) ++overflow_;
   latency_.add(r.latency_ms);
 }
 
@@ -34,7 +49,11 @@ void serve_stats::reset() {
                              config_.latency_bins);
   completed_ = 0;
   edge_kept_ = 0;
+  edge_degraded_ = 0;
   appealed_ = 0;
+  shed_ = 0;
+  expired_ = 0;
+  overflow_ = 0;
   labeled_ = 0;
   labeled_correct_ = 0;
   queue_ms_sum_ = 0.0;
@@ -60,7 +79,11 @@ stats_snapshot serve_stats::snapshot() const {
   stats_snapshot s;
   s.completed = completed_;
   s.edge_kept = edge_kept_;
+  s.edge_degraded = edge_degraded_;
   s.appealed = appealed_;
+  s.shed = shed_;
+  s.expired = expired_;
+  s.overflow = overflow_;
   s.labeled = labeled_;
   s.labeled_correct = labeled_correct_;
   s.elapsed_seconds = clock_.elapsed_seconds();
@@ -68,9 +91,13 @@ stats_snapshot serve_stats::snapshot() const {
     s.throughput_rps = static_cast<double>(completed_) / s.elapsed_seconds;
   }
   if (completed_ > 0) {
-    s.achieved_sr =
-        static_cast<double>(edge_kept_) / static_cast<double>(completed_);
+    s.achieved_sr = static_cast<double>(edge_kept_ + edge_degraded_) /
+                    static_cast<double>(completed_);
     s.mean_queue_ms = queue_ms_sum_ / static_cast<double>(completed_);
+  }
+  if (s.submitted() > 0) {
+    s.shed_rate = static_cast<double>(shed_ + expired_) /
+                  static_cast<double>(s.submitted());
   }
   if (labeled_ > 0) {
     s.online_accuracy =
@@ -86,20 +113,22 @@ stats_snapshot serve_stats::snapshot() const {
 }
 
 std::string serve_stats::render(const stats_snapshot& s) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "completed        : %zu (edge %zu / cloud %zu)\n"
+      "completed        : %zu (edge %zu / degraded %zu / cloud %zu)\n"
+      "shed             : %zu admission + %zu expired (%.2f%% of %zu submitted)\n"
       "throughput       : %.0f req/s over %.2f s\n"
-      "latency          : p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n"
+      "latency          : p50 %.3f ms  p95 %.3f ms  p99 %.3f ms (%zu overflow)\n"
       "mean queue wait  : %.3f ms\n"
       "mean link time   : %.3f ms (appealed requests)\n"
       "achieved SR      : %.2f%%\n"
       "online accuracy  : %.2f%% (%zu labeled)\n",
-      s.completed, s.edge_kept, s.appealed, s.throughput_rps,
-      s.elapsed_seconds, s.p50_ms, s.p95_ms, s.p99_ms, s.mean_queue_ms,
-      s.mean_link_ms, s.achieved_sr * 100.0, s.online_accuracy * 100.0,
-      s.labeled);
+      s.completed, s.edge_kept, s.edge_degraded, s.appealed, s.shed,
+      s.expired, s.shed_rate * 100.0, s.submitted(), s.throughput_rps,
+      s.elapsed_seconds, s.p50_ms, s.p95_ms, s.p99_ms, s.overflow,
+      s.mean_queue_ms, s.mean_link_ms, s.achieved_sr * 100.0,
+      s.online_accuracy * 100.0, s.labeled);
   return std::string(buf);
 }
 

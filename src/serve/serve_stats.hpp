@@ -1,11 +1,18 @@
 // Streaming serving metrics.
 //
-// Thread-safe accumulator fed by edge workers and the cloud channel at
-// request completion. Latency quantiles come from a fixed-bin
-// util::histogram (constant memory, p50/p95/p99 read from the bin CDF);
-// throughput uses the shared util::stopwatch; online accuracy counts only
-// requests that carried ground-truth labels (the collab::oracle protocol
-// supplies them in evaluation runs).
+// Thread-safe accumulator fed by edge workers, the cloud channel, and the
+// admission path at request completion. One serve_stats instance serves
+// as the aggregation point for a whole deployment: every engine shard
+// records into the deployment's shared instance, so the snapshot is the
+// per-deployment view the server reports. Latency quantiles come from a
+// fixed-bin util::histogram (constant memory, p50/p95/p99 read from the
+// bin CDF); completions beyond the histogram range are clamped into the
+// top bin *and* counted in `overflow`, so a too-small `latency_range_ms`
+// is visible instead of silently flattening p99. Throughput uses the
+// shared util::stopwatch; online accuracy counts only requests that
+// carried ground-truth labels (the collab::oracle protocol supplies them
+// in evaluation runs). Shed and expired requests never ran inference:
+// they are counted apart and excluded from latency, SR, and accuracy.
 #pragma once
 
 #include <cstddef>
@@ -25,29 +32,38 @@ struct serve_stats_config {
 
 /// Point-in-time view of the counters.
 struct stats_snapshot {
-  std::size_t completed = 0;
-  std::size_t edge_kept = 0;
-  std::size_t appealed = 0;
+  std::size_t completed = 0;     // requests that produced a prediction
+  std::size_t edge_kept = 0;     // route::edge (score >= δ)
+  std::size_t edge_degraded = 0; // route::edge_degraded (admission pinned)
+  std::size_t appealed = 0;      // route::cloud
+  std::size_t shed = 0;          // refused at admission (status::shed)
+  std::size_t expired = 0;       // deadline passed before an edge worker
+  std::size_t overflow = 0;      // latencies beyond the histogram range
   std::size_t labeled = 0;
   std::size_t labeled_correct = 0;
 
   double elapsed_seconds = 0.0;
   double throughput_rps = 0.0;   // completed / elapsed
-  double achieved_sr = 0.0;      // edge_kept / completed
+  double achieved_sr = 0.0;      // (edge_kept + edge_degraded) / completed
+  double shed_rate = 0.0;        // (shed + expired) / submitted
   double online_accuracy = 0.0;  // labeled_correct / labeled
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double mean_queue_ms = 0.0;    // enqueue -> batch pull
   double mean_link_ms = 0.0;     // simulated uplink time over appeals
+
+  /// Everything that entered submit(): completed + shed + expired.
+  std::size_t submitted() const { return completed + shed + expired; }
 };
 
 class serve_stats {
  public:
   explicit serve_stats(const serve_stats_config& cfg = {});
 
-  /// Records one completed request. `correct` is ignored when the request
-  /// carried no label.
+  /// Records one finished request. Responses with a non-ok status are
+  /// counted as shed/expired and touch no other statistic; `correct` is
+  /// ignored when the request carried no label.
   void record(const response& r, bool labeled, bool correct);
 
   /// Clears every counter, the latency histogram, and the clock — used to
@@ -68,7 +84,11 @@ class serve_stats {
   util::histogram latency_;
   std::size_t completed_ = 0;
   std::size_t edge_kept_ = 0;
+  std::size_t edge_degraded_ = 0;
   std::size_t appealed_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t expired_ = 0;
+  std::size_t overflow_ = 0;
   std::size_t labeled_ = 0;
   std::size_t labeled_correct_ = 0;
   double queue_ms_sum_ = 0.0;

@@ -1,0 +1,111 @@
+#include "serve/server.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+server::~server() { shutdown(); }
+
+deployment& server::register_deployment(const std::string& name,
+                                        const deployment_config& cfg,
+                                        edge_backend_factory edge,
+                                        cloud_backend_factory cloud) {
+  APPEAL_CHECK(!name.empty(), "deployment name must not be empty");
+  const auto validate = [&] {
+    APPEAL_CHECK(!shut_down_, "register_deployment() on a shut-down server");
+    for (const auto& [existing, unused] : deployments_) {
+      APPEAL_CHECK(existing != name,
+                   "deployment '" + name + "' is already registered");
+    }
+  };
+  {
+    // Reject duplicates / post-shutdown registration before spinning up
+    // the deployment's worker fleet.
+    std::shared_lock lock(mutex_);
+    validate();
+  }
+  auto dep = std::make_unique<deployment>(name, cfg, std::move(edge),
+                                          std::move(cloud));
+  std::unique_lock lock(mutex_);
+  validate();  // re-check: a concurrent register may have raced us
+  deployments_.emplace_back(name, std::move(dep));
+  return *deployments_.back().second;
+}
+
+std::future<response> server::submit(inference_request req) {
+  deployment* dep = find(req.model);
+  APPEAL_CHECK(dep != nullptr,
+               "submit() for unknown deployment '" + req.model + "'");
+  return dep->submit(std::move(req));
+}
+
+deployment* server::find(const std::string& name) {
+  std::shared_lock lock(mutex_);
+  for (const auto& [existing, dep] : deployments_) {
+    if (existing == name) return dep.get();
+  }
+  return nullptr;
+}
+
+deployment& server::at(const std::string& name) {
+  deployment* dep = find(name);
+  APPEAL_CHECK(dep != nullptr, "no deployment named '" + name + "'");
+  return *dep;
+}
+
+std::size_t server::num_deployments() const {
+  std::shared_lock lock(mutex_);
+  return deployments_.size();
+}
+
+std::vector<std::string> server::deployment_names() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(deployments_.size());
+  for (const auto& [name, unused] : deployments_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::pair<std::string, stats_snapshot>> server::stats() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::string, stats_snapshot>> out;
+  out.reserve(deployments_.size());
+  for (const auto& [name, dep] : deployments_) {
+    out.emplace_back(name, dep->snapshot());
+  }
+  return out;
+}
+
+std::string server::render_stats() const {
+  std::string out;
+  for (const auto& [name, snap] : stats()) {
+    out += "=== deployment '" + name + "' ===\n";
+    out += serve_stats::render(snap);
+  }
+  return out;
+}
+
+void server::drain() {
+  // Snapshot the registry, then drain unlocked: a drain can block for an
+  // unbounded time and must not stall submit()/stats() readers behind a
+  // pending writer. Deployments are never destroyed before shutdown, so
+  // the pointers stay valid.
+  std::vector<deployment*> deps;
+  {
+    std::shared_lock lock(mutex_);
+    deps.reserve(deployments_.size());
+    for (const auto& [unused, dep] : deployments_) deps.push_back(dep.get());
+  }
+  for (deployment* dep : deps) dep->drain();
+}
+
+void server::shutdown() {
+  std::unique_lock lock(mutex_);
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (const auto& [unused, dep] : deployments_) dep->shutdown();
+}
+
+}  // namespace appeal::serve

@@ -1,5 +1,6 @@
-// Tests for the serving request queue and dynamic batcher: size-triggered
-// vs timeout-triggered flushes, close/drain semantics, backpressure.
+// Tests for the dynamic batcher: size-triggered vs timeout-triggered
+// flushes, close/drain semantics. (request_queue has its own suite in
+// test_serve_queue.cpp.)
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -20,60 +21,6 @@ serve::request make_request(std::uint64_t id) {
   r.key = id;
   r.enqueue_time = std::chrono::steady_clock::now();
   return r;
-}
-
-TEST(request_queue, fifo_and_size) {
-  serve::request_queue queue(8);
-  EXPECT_EQ(queue.size(), 0U);
-  ASSERT_TRUE(queue.push(make_request(1)));
-  ASSERT_TRUE(queue.push(make_request(2)));
-  EXPECT_EQ(queue.size(), 2U);
-
-  serve::request out;
-  ASSERT_TRUE(queue.try_pop(out));
-  EXPECT_EQ(out.id, 1U);
-  ASSERT_TRUE(queue.try_pop(out));
-  EXPECT_EQ(out.id, 2U);
-  EXPECT_FALSE(queue.try_pop(out));
-}
-
-TEST(request_queue, close_fails_pushes_and_drains_pops) {
-  serve::request_queue queue(4);
-  ASSERT_TRUE(queue.push(make_request(1)));
-  queue.close();
-  EXPECT_FALSE(queue.push(make_request(2)));
-
-  serve::request out;
-  const auto deadline = std::chrono::steady_clock::now() + 100ms;
-  EXPECT_EQ(queue.pop_until(out, deadline),
-            serve::request_queue::pop_result::item);
-  EXPECT_EQ(out.id, 1U);
-  EXPECT_EQ(queue.pop_until(out, deadline),
-            serve::request_queue::pop_result::closed);
-}
-
-TEST(request_queue, pop_times_out_when_empty) {
-  serve::request_queue queue(4);
-  serve::request out;
-  const auto deadline = std::chrono::steady_clock::now() + 10ms;
-  EXPECT_EQ(queue.pop_until(out, deadline),
-            serve::request_queue::pop_result::timed_out);
-}
-
-TEST(request_queue, push_blocks_until_capacity_frees) {
-  serve::request_queue queue(1);
-  ASSERT_TRUE(queue.push(make_request(1)));
-
-  std::thread producer([&] { EXPECT_TRUE(queue.push(make_request(2))); });
-  std::this_thread::sleep_for(20ms);  // producer should now be blocked
-  serve::request out;
-  ASSERT_TRUE(queue.try_pop(out));
-  producer.join();
-  EXPECT_EQ(queue.size(), 1U);
-}
-
-TEST(request_queue, zero_capacity_throws) {
-  EXPECT_THROW(serve::request_queue(0), util::error);
 }
 
 TEST(batcher, size_triggered_flush_does_not_wait) {

@@ -1,9 +1,13 @@
-// End-to-end serving engine tests: every submitted request completes,
-// stats are self-consistent, and with a fixed δ the online accuracy/SR
-// equal the offline core::threshold evaluation of the same population.
+// End-to-end serving engine tests (the engine stays usable standalone,
+// without the serve::server facade): every submitted request completes,
+// stats are self-consistent, with a fixed δ the online accuracy/SR equal
+// the offline core::threshold evaluation of the same population, owned
+// factory backends, and deadline expiry.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "core/threshold.hpp"
@@ -151,6 +155,73 @@ TEST(engine, unlabeled_requests_are_excluded_from_accuracy) {
   const serve::stats_snapshot s = eng.stats().snapshot();
   EXPECT_EQ(s.completed, n);
   EXPECT_EQ(s.labeled, n / 2);
+}
+
+TEST(engine, owning_factory_constructor_serves_like_references) {
+  const std::size_t n = 1000;
+  const population p = make_population(n, 53);
+  const double delta = 0.55;
+
+  serve::engine_config cfg = fast_config();
+  cfg.threshold.adapt = serve::threshold_config::mode::fixed;
+  cfg.threshold.initial_delta = delta;
+  serve::engine eng(
+      cfg,
+      [&p](std::size_t) {
+        return std::make_unique<serve::replay_edge_backend>(p.little,
+                                                            p.scores);
+      },
+      [&p] { return std::make_unique<serve::replay_cloud_backend>(p.big); });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    eng.submit(tensor(), i, p.labels[i]);
+  }
+  eng.drain();
+  const serve::stats_snapshot s = eng.stats().snapshot();
+  EXPECT_EQ(s.completed, n);
+  EXPECT_EQ(s.edge_kept + s.appealed, n);
+  EXPECT_GT(s.edge_kept, 0U);
+  EXPECT_GT(s.appealed, 0U);
+}
+
+TEST(engine, expired_deadline_skips_inference) {
+  const std::size_t n = 64;
+  const population p = make_population(n, 59);
+  serve::replay_edge_backend edge(p.little, p.scores);
+  serve::replay_cloud_backend cloud(p.big);
+
+  serve::engine_config cfg = fast_config();
+  cfg.threshold.adapt = serve::threshold_config::mode::fixed;
+  // A wide batching wait guarantees the queue dwell exceeds the deadline.
+  cfg.num_workers = 1;
+  cfg.batching.max_batch_size = n;
+  cfg.batching.max_wait = std::chrono::microseconds(20'000);
+  serve::engine eng(cfg, edge, cloud);
+
+  std::vector<std::future<serve::response>> futures;
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::inference_request req;
+    req.key = i;
+    req.label = p.labels[i];
+    req.deadline = std::chrono::microseconds(i % 2 == 0 ? 1 : 10'000'000);
+    futures.push_back(eng.submit(std::move(req)));
+  }
+  eng.drain();
+
+  std::size_t expired = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const serve::response r = futures[i].get();
+    if (r.status == serve::request_status::expired) {
+      ++expired;
+      EXPECT_EQ(i % 2, 0U) << "only the 1 µs deadlines may expire";
+    }
+  }
+  EXPECT_GT(expired, 0U);
+  const serve::stats_snapshot s = eng.stats().snapshot();
+  EXPECT_EQ(s.expired, expired);
+  EXPECT_EQ(s.completed + s.expired, n);
+  // Expired requests are excluded from SR/accuracy denominators.
+  EXPECT_EQ(s.labeled, s.completed);
 }
 
 TEST(engine, submit_after_shutdown_throws) {
