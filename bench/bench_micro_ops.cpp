@@ -1,9 +1,24 @@
 // Micro-benchmarks for the tensor substrate: GEMM, im2col, softmax,
 // elementwise kernels. These are google-benchmark timings that establish
-// the training stack's raw throughput (the experiment benches' runtime is
-// dominated by these kernels).
+// the serving stack's raw throughput (the edge hot path is dominated by
+// these kernels).
+//
+// The GEMM suite includes the exact shapes the MobileNet/EfficientNet edge
+// backbones lower to (im2col panels at batch 1 and at serving batch 16),
+// so kernel work is measured on the geometry the δ cost model actually
+// inverts.
+//
+// Run:  ./bench_micro_ops [--json=<path>] [--benchmark_filter=...]
+// --json=<path> writes the google-benchmark JSON report to <path> (it is
+// shorthand for --benchmark_out=<path> --benchmark_out_format=json);
+// baselines live under results/.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -27,11 +42,11 @@ void bm_sgemm(benchmark::State& state) {
       2.0 * static_cast<double>(n) * n * n, benchmark::Counter::kIsRate,
       benchmark::Counter::kIs1000);
 }
-BENCHMARK(bm_sgemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(bm_sgemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
-void bm_sgemm_shapes_conv_like(benchmark::State& state) {
-  // The shape class conv lowers to: [out_c x patch] * [patch x positions].
-  const std::size_t m = 32, k = 144, n = 256;
+/// One named GEMM shape [m x k] * [k x n] with a GFLOPS counter.
+void run_gemm_shape(benchmark::State& state, std::size_t m, std::size_t k,
+                    std::size_t n) {
   util::rng gen(2);
   const tensor a = tensor::rand_uniform(shape{m, k}, gen, -1.0F, 1.0F);
   const tensor b = tensor::rand_uniform(shape{k, n}, gen, -1.0F, 1.0F);
@@ -41,10 +56,108 @@ void bm_sgemm_shapes_conv_like(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["GFLOPS"] = benchmark::Counter(
-      2.0 * m * k * n, benchmark::Counter::kIsRate,
+      2.0 * static_cast<double>(m) * k * n, benchmark::Counter::kIsRate,
       benchmark::Counter::kIs1000);
 }
-BENCHMARK(bm_sgemm_shapes_conv_like);
+
+// MobileNet edge-backbone layer geometries (width 1.0, 16x16 inputs:
+// channels 16 -> 32 -> 64 -> 128). im2col lowers each conv to
+// [out_c x patch] * [patch x batch*positions]; `b1`/`b16` are serving
+// batch sizes 1 and 16 (the batcher's default max batch).
+void bm_gemm_mobilenet_stem_b1(benchmark::State& s) {
+  run_gemm_shape(s, 16, 27, 256);
+}
+BENCHMARK(bm_gemm_mobilenet_stem_b1);
+void bm_gemm_mobilenet_stem_b16(benchmark::State& s) {
+  run_gemm_shape(s, 16, 27, 4096);
+}
+BENCHMARK(bm_gemm_mobilenet_stem_b16);
+void bm_gemm_mobilenet_pw1_b16(benchmark::State& s) {
+  run_gemm_shape(s, 32, 16, 1024);
+}
+BENCHMARK(bm_gemm_mobilenet_pw1_b16);
+void bm_gemm_mobilenet_pw2_b16(benchmark::State& s) {
+  run_gemm_shape(s, 64, 32, 256);
+}
+BENCHMARK(bm_gemm_mobilenet_pw2_b16);
+void bm_gemm_mobilenet_pw3_b16(benchmark::State& s) {
+  run_gemm_shape(s, 128, 64, 64);
+}
+BENCHMARK(bm_gemm_mobilenet_pw3_b16);
+
+// EfficientNet MBConv geometries (expansion 4): the 1x1 expansion and
+// projection convs dominate that backbone's edge FLOPs.
+void bm_gemm_efficientnet_expand_b16(benchmark::State& s) {
+  run_gemm_shape(s, 64, 16, 1024);
+}
+BENCHMARK(bm_gemm_efficientnet_expand_b16);
+void bm_gemm_efficientnet_project_b16(benchmark::State& s) {
+  run_gemm_shape(s, 32, 64, 1024);
+}
+BENCHMARK(bm_gemm_efficientnet_project_b16);
+void bm_gemm_efficientnet_expand2_b16(benchmark::State& s) {
+  run_gemm_shape(s, 128, 32, 256);
+}
+BENCHMARK(bm_gemm_efficientnet_expand2_b16);
+
+/// Thread scaling of one large GEMM (the M dimension splits over the
+/// shared util::thread_pool; results are bit-identical per thread count).
+void bm_sgemm_threads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 512;
+  util::rng gen(8);
+  const tensor a = tensor::rand_uniform(shape{n, n}, gen, -1.0F, 1.0F);
+  const tensor b = tensor::rand_uniform(shape{n, n}, gen, -1.0F, 1.0F);
+  tensor c(shape{n, n});
+  ops::set_gemm_threads(threads);
+  for (auto _ : state) {
+    ops::sgemm(n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  ops::set_gemm_threads(1);
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n, benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(bm_sgemm_threads)->Arg(1)->Arg(2)->Arg(4);
+
+/// Whole conv layer in inference mode (im2col + GEMM + bias), the
+/// MobileNet stem on a serving batch.
+void bm_conv2d_mobilenet_stem(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::conv2d conv(3, 16, /*kernel=*/3, /*stride=*/1, /*padding=*/1);
+  util::rng gen(6);
+  conv.weight().value = tensor::randn(conv.weight().value.dims(), gen, 0.0F,
+                                      0.1F);
+  const tensor input =
+      tensor::rand_uniform(shape{batch, 3, 16, 16}, gen, -1.0F, 1.0F);
+  for (auto _ : state) {
+    tensor out = conv.forward(input, /*training=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(conv.flops(input.dims())),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(bm_conv2d_mobilenet_stem)->Arg(1)->Arg(16);
+
+/// Depthwise conv (groups == channels): many tiny GEMMs, the other half of
+/// the MobileNet cost profile.
+void bm_conv2d_mobilenet_depthwise(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  nn::conv2d conv(32, 32, /*kernel=*/3, /*stride=*/1, /*padding=*/1,
+                  /*groups=*/32, /*bias=*/false);
+  util::rng gen(7);
+  conv.weight().value = tensor::randn(conv.weight().value.dims(), gen, 0.0F,
+                                      0.1F);
+  const tensor input =
+      tensor::rand_uniform(shape{batch, 32, 8, 8}, gen, -1.0F, 1.0F);
+  for (auto _ : state) {
+    tensor out = conv.forward(input, /*training=*/false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(bm_conv2d_mobilenet_depthwise)->Arg(1)->Arg(16);
 
 void bm_im2col(benchmark::State& state) {
   ops::conv_geometry g;
@@ -92,3 +205,28 @@ void bm_elementwise_axpy(benchmark::State& state) {
 BENCHMARK(bm_elementwise_axpy)->Arg(1024)->Arg(65536);
 
 }  // namespace
+
+// Custom main so the perf-tracking flag reads like the other benches:
+// --json=<path> expands to google-benchmark's out/out_format pair.
+int main(int argc, char** argv) {
+  std::vector<std::string> args_storage;
+  args_storage.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      args_storage.emplace_back(std::string("--benchmark_out=") + (arg + 7));
+      args_storage.emplace_back("--benchmark_out_format=json");
+    } else {
+      args_storage.emplace_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(args_storage.size());
+  for (std::string& s : args_storage) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,10 +13,19 @@
 // writes results/serving.csv and, with --json=<path>, a machine-readable
 // result for the perf trajectory.
 //
+// Two backends:
+//   --backend=replay (default): precomputed predictions/scores — isolates
+//     the scheduler (queue, batcher, δ, channel) from model compute;
+//   --backend=network: every edge worker runs a real two-head MobileNet
+//     little network on synthetic images — the end-to-end edge fast path
+//     (batched NCHW forward, packed GEMM, inference workspace) shows up
+//     directly in the reported edge p50/p99.
+//
 // Run:  ./bench_serving [--requests=20000] [--target_sr=0.9] [--seed=42]
 //       [--clients=64] [--shards=2] [--workers=2] [--batch=16]
 //       [--max_wait_us=200] [--time_scale=0.2] [--edge_sim=1]
-//       [--admission=block|shed|edge_only] [--json=results/serving.json]
+//       [--backend=replay|network] [--admission=block|shed|edge_only]
+//       [--json=results/serving.json]
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -28,7 +37,9 @@
 
 #include "bench_common.hpp"
 #include "collab/system_eval.hpp"
+#include "core/two_head_network.hpp"
 #include "serve/server.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -67,6 +78,72 @@ workload make_workload(std::size_t n, std::uint64_t seed) {
   return w;
 }
 
+/// Configuration of the real little network served in --backend=network
+/// mode: the MobileNet edge backbone at its default (16x16, width 1.0)
+/// geometry. Weights are deterministic from init_seed, so every worker's
+/// instance — and the offline calibration pass — computes identical
+/// predictions and scores.
+core::two_head_config edge_net_config() {
+  core::two_head_config cfg;
+  cfg.spec.family = models::model_family::mobilenet;
+  cfg.spec.image_size = 16;
+  cfg.spec.num_classes = 10;
+  cfg.init_seed = 0x5EED;
+  return cfg;
+}
+
+/// Network-mode workload: synthetic images plus the same replay tables the
+/// scheduler comparison needs, computed by one offline batched pass of the
+/// little network (predictions + appeal scores). Big-model predictions
+/// stay synthetic — the cloud side is simulated either way.
+struct network_workload {
+  std::vector<tensor> images;
+  workload w;
+};
+
+network_workload make_network_workload(std::size_t n, std::uint64_t seed) {
+  util::rng gen(seed);
+  network_workload out;
+  out.images.reserve(n);
+  out.w.labels.resize(n);
+  out.w.little.resize(n);
+  out.w.big.resize(n);
+  out.w.scores.resize(n);
+
+  const core::two_head_config cfg = edge_net_config();
+  const std::size_t c = cfg.spec.in_channels;
+  const std::size_t hw = cfg.spec.image_size;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.images.push_back(
+        tensor::rand_uniform(shape{c, hw, hw}, gen, -1.0F, 1.0F));
+    out.w.labels[i] = i % cfg.spec.num_classes;
+    out.w.big[i] = gen.bernoulli(0.97)
+                       ? out.w.labels[i]
+                       : (out.w.labels[i] + 2) % cfg.spec.num_classes;
+  }
+
+  core::two_head_network net(cfg);
+  // Same deployment rewrite the serving workers get, so the offline
+  // calibration tables match the served model bit for bit.
+  net.prepare_for_inference();
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t begin = 0; begin < n; begin += kChunk) {
+    const std::size_t end = std::min(begin + kChunk, n);
+    tensor batch(shape{end - begin, c, hw, hw});
+    for (std::size_t i = begin; i < end; ++i) {
+      std::copy(out.images[i].values().begin(), out.images[i].values().end(),
+                batch.data() + (i - begin) * c * hw * hw);
+    }
+    const core::two_head_output fwd = net.forward(batch, /*training=*/false);
+    const std::vector<std::size_t> preds = ops::argmax_rows(fwd.logits);
+    for (std::size_t i = begin; i < end; ++i) {
+      out.w.little[i] = preds[i - begin];
+      out.w.scores[i] = fwd.q[i - begin];
+    }
+  }
+  return out;
+}
+
 constexpr const char* kModel = "bench";
 
 /// Closed-loop drive over workload indices [begin, end): `clients`
@@ -74,8 +151,8 @@ constexpr const char* kModel = "bench";
 /// taking the next index (shed responses resolve immediately, so load
 /// shedding speeds the loop up instead of wedging it).
 void drive_closed_loop(serve::server& srv, const workload& w,
-                       std::size_t clients, std::size_t begin,
-                       std::size_t end) {
+                       const std::vector<tensor>* images, std::size_t clients,
+                       std::size_t begin, std::size_t end) {
   std::atomic<std::size_t> next{begin};
   std::vector<std::thread> pool;
   pool.reserve(clients);
@@ -88,6 +165,7 @@ void drive_closed_loop(serve::server& srv, const workload& w,
         req.model = kModel;
         req.key = i;
         req.label = w.labels[i];
+        if (images != nullptr) req.input = (*images)[i];
         srv.submit(std::move(req)).get();
       }
     });
@@ -107,25 +185,23 @@ struct run_result {
 /// controller) and the stats are reset before the measured phase — so
 /// every reported metric (latency quantiles, throughput, SR, accuracy)
 /// is steady-state.
-run_result run_mode(const workload& w, const serve::deployment_config& cfg,
+run_result run_mode(const workload& w, const std::vector<tensor>* images,
+                    const serve::deployment_config& cfg,
+                    serve::edge_backend_factory edge_factory,
                     std::size_t clients, std::size_t warmup) {
   serve::server srv;
   serve::deployment& dep = srv.register_deployment(
-      kModel, cfg,
-      [&w](std::size_t, std::size_t) {
-        return std::make_unique<serve::replay_edge_backend>(w.little,
-                                                            w.scores);
-      },
+      kModel, cfg, std::move(edge_factory),
       [&w] { return std::make_unique<serve::replay_cloud_backend>(w.big); });
   util::stopwatch phases;
   if (warmup > 0) {
-    drive_closed_loop(srv, w, clients, 0, warmup);
+    drive_closed_loop(srv, w, images, clients, 0, warmup);
     srv.drain();
     dep.reset_stats();
   }
   run_result r;
   if (warmup > 0) r.warmup_seconds = phases.lap_seconds();
-  drive_closed_loop(srv, w, clients, warmup, w.labels.size());
+  drive_closed_loop(srv, w, images, clients, warmup, w.labels.size());
   srv.drain();
   r.measured_seconds = phases.lap_seconds();
   r.stats = dep.snapshot();
@@ -186,6 +262,10 @@ int main(int argc, char** argv) {
   const auto clients = static_cast<std::size_t>(args.get_int_or("clients", 64));
   const auto shards = static_cast<std::size_t>(args.get_int_or("shards", 2));
   const std::string json_path = args.get_string_or("json", "");
+  const std::string backend = args.get_string_or("backend", "replay");
+  const bool network_backend = backend == "network";
+  APPEAL_CHECK(network_backend || backend == "replay",
+               "unknown --backend: " + backend);
 
   serve::deployment_config cfg;
   cfg.shards = shards;
@@ -198,11 +278,36 @@ int main(int argc, char** argv) {
   cfg.shard.queue_capacity = static_cast<std::size_t>(
       args.get_int_or("queue_capacity", 1024));
   cfg.shard.channel.time_scale = args.get_double_or("time_scale", 0.2);
-  cfg.shard.simulate_edge_compute = args.get_bool_or("edge_sim", true);
+  // Network mode pays real edge compute, so the simulated edge sleep
+  // defaults off there (replay keeps it: compute is otherwise free).
+  cfg.shard.simulate_edge_compute =
+      args.get_bool_or("edge_sim", !network_backend);
   cfg.shard.admission.policy =
       parse_admission(args.get_string_or("admission", "block"));
 
-  const workload w = make_workload(requests, seed);
+  // Workload + edge backend factory for the chosen mode. Both modes share
+  // the replay-table scheduler comparison; network mode also carries the
+  // synthetic images the real network consumes.
+  network_workload nw;
+  workload w;
+  serve::edge_backend_factory edge_factory;
+  if (network_backend) {
+    nw = make_network_workload(requests, seed);
+    w = nw.w;
+    edge_factory = [](std::size_t, std::size_t) {
+      auto net = std::make_unique<core::two_head_network>(edge_net_config());
+      net->prepare_for_inference();  // conv+BN folding at deployment load
+      return std::make_unique<serve::network_edge_backend>(
+          std::move(net), core::score_method::appealnet_q);
+    };
+  } else {
+    w = make_workload(requests, seed);
+    edge_factory = [&w](std::size_t, std::size_t) {
+      return std::make_unique<serve::replay_edge_backend>(w.little, w.scores);
+    };
+  }
+  const std::vector<tensor>* images =
+      network_backend ? &nw.images : nullptr;
 
   // Offline prediction (system_eval) for the same workload and target SR.
   collab::routed_split split;
@@ -214,9 +319,10 @@ int main(int argc, char** argv) {
       collab::accuracy_vs_sr_curve(split, nullptr, {target_sr});
   const collab::sweep_point offline = curve.front();
   std::printf(
-      "=== bench_serving: %zu requests, %zu clients, %zu shards, seed %llu "
-      "===\n",
-      requests, clients, shards, static_cast<unsigned long long>(seed));
+      "=== bench_serving: %zu requests, %zu clients, %zu shards, seed %llu, "
+      "backend %s ===\n",
+      requests, clients, shards, static_cast<unsigned long long>(seed),
+      backend.c_str());
   std::printf(
       "offline system_eval: delta %.4f -> SR %.2f%%, accuracy %.2f%%\n\n",
       offline.delta, offline.achieved_sr * 100.0, offline.accuracy * 100.0);
@@ -225,7 +331,8 @@ int main(int argc, char** argv) {
   serve::deployment_config fixed_cfg = cfg;
   fixed_cfg.shard.threshold.adapt = serve::threshold_config::mode::fixed;
   fixed_cfg.shard.threshold.initial_delta = offline.delta;
-  const run_result fixed = run_mode(w, fixed_cfg, clients, /*warmup=*/0);
+  const run_result fixed =
+      run_mode(w, images, fixed_cfg, edge_factory, clients, /*warmup=*/0);
   report("fixed delta (offline calibration)", fixed, target_sr,
          offline.accuracy, cfg.shard.link);
 
@@ -238,7 +345,8 @@ int main(int argc, char** argv) {
   adaptive_cfg.shard.threshold.target_sr = target_sr;
   adaptive_cfg.shard.threshold.initial_delta = 0.99;
   const std::size_t warmup = std::min<std::size_t>(2048, requests / 5);
-  const run_result adaptive = run_mode(w, adaptive_cfg, clients, warmup);
+  const run_result adaptive =
+      run_mode(w, images, adaptive_cfg, edge_factory, clients, warmup);
   report("adaptive delta (track_sr, cold start)", adaptive, target_sr,
          offline.accuracy, cfg.shard.link);
 
@@ -277,6 +385,7 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"serving\",\n"
+                 "  \"backend\": \"%s\",\n"
                  "  \"requests\": %zu,\n"
                  "  \"clients\": %zu,\n"
                  "  \"shards\": %zu,\n"
@@ -285,7 +394,7 @@ int main(int argc, char** argv) {
                  "  \"offline\": {\"delta\": %.6f, \"achieved_sr\": %.6f,"
                  " \"accuracy\": %.6f},\n"
                  "  \"runs\": [\n",
-                 requests, clients, shards,
+                 backend.c_str(), requests, clients, shards,
                  static_cast<unsigned long long>(seed), target_sr,
                  offline.delta, offline.achieved_sr, offline.accuracy);
     append_run_json(f, "fixed", fixed, /*last=*/false);

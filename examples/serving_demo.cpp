@@ -79,6 +79,10 @@ int main(int argc, char** argv) {
           4.0 / 1024.0);
   dep_cfg.shard.channel.time_scale = args.get_double_or("time_scale", 0.1);
 
+  // Deployment-load optimization: fold the little network's conv+BN pairs.
+  // Outputs match the offline evaluation above up to float rounding.
+  system.little().prepare_for_inference();
+
   serve::server srv;
   srv.register_deployment(
       "appealnet", dep_cfg,

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "nn/activations.hpp"
+#include "nn/fold.hpp"
+#include "nn/inference_workspace.hpp"
 #include "nn/init.hpp"
 #include "nn/serialize.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -35,13 +37,19 @@ two_head_network::two_head_network(const two_head_config& cfg) : config_(cfg) {
 
 two_head_output two_head_network::forward(const tensor& images,
                                           bool training) {
-  const tensor features = extractor_->forward(images, training);
+  tensor features = extractor_->forward(images, training);
   two_head_output out;
   out.logits = approx_head_->forward(features, training);
 
   tensor raw = predictor_head_->forward(features, training);  // [N, 1]
+  if (!training) {
+    // Both heads have consumed the features — return the buffer to the
+    // worker's arena.
+    nn::inference_workspace::local().recycle(std::move(features));
+  }
   const std::size_t n = raw.dims().dim(0);
-  out.q_logits = raw.reshaped(shape{n});
+  raw.reshape(shape{n});
+  out.q_logits = std::move(raw);
   out.q.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     out.q[i] = 1.0F / (1.0F + std::exp(-out.q_logits[i]));
@@ -52,9 +60,19 @@ two_head_output two_head_network::forward(const tensor& images,
 
 tensor two_head_network::forward_approximator(const tensor& images,
                                               bool training) {
-  const tensor features = extractor_->forward(images, training);
+  tensor features = extractor_->forward(images, training);
   last_forward_had_predictor_ = false;
-  return approx_head_->forward(features, training);
+  tensor logits = approx_head_->forward(features, training);
+  if (!training) {
+    nn::inference_workspace::local().recycle(std::move(features));
+  }
+  return logits;
+}
+
+std::size_t two_head_network::prepare_for_inference() {
+  if (folded_for_inference_) return 0;
+  folded_for_inference_ = true;
+  return nn::fold_conv_batchnorm(*extractor_);
 }
 
 void two_head_network::backward(const tensor& grad_logits,

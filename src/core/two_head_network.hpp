@@ -47,6 +47,12 @@ class two_head_network {
   /// phase-1 pretraining path and the baseline little-model path.
   tensor forward_approximator(const tensor& images, bool training);
 
+  /// One-time deployment optimization: folds every conv+batchnorm pair in
+  /// the extractor (nn::fold_conv_batchnorm). Outputs are unchanged up to
+  /// float rounding; training after this call is meaningless. Idempotent.
+  /// Returns the number of folded pairs (0 on repeat calls).
+  std::size_t prepare_for_inference();
+
   /// Backward for a forward() call: joins both heads' gradients.
   /// `grad_q_logits` must be [N].
   void backward(const tensor& grad_logits, const tensor& grad_q_logits);
@@ -86,6 +92,7 @@ class two_head_network {
   std::unique_ptr<nn::sequential> approx_head_;
   std::unique_ptr<nn::linear> predictor_head_;
   bool last_forward_had_predictor_ = false;
+  bool folded_for_inference_ = false;
 };
 
 }  // namespace appeal::core

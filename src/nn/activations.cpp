@@ -2,11 +2,21 @@
 
 #include <cmath>
 
+#include "nn/inference_workspace.hpp"
 #include "util/error.hpp"
 
 namespace appeal::nn {
 
-tensor elementwise_activation::forward(const tensor& input, bool /*training*/) {
+tensor elementwise_activation::forward(const tensor& input, bool training) {
+  if (!training) {
+    cached_input_ = tensor();
+    tensor out = inference_workspace::local().acquire(input.dims());
+    const float* in = input.data();
+    float* po = out.data();
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < n; ++i) po[i] = apply(in[i]);
+    return out;
+  }
   cached_input_ = input;
   tensor out = input;
   for (auto& v : out.values()) v = apply(v);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/inference_workspace.hpp"
 #include "util/error.hpp"
 
 namespace appeal::nn {
@@ -27,10 +28,11 @@ tensor batchnorm2d::forward(const tensor& input, bool training) {
   const std::size_t reduce = n * hw;
   APPEAL_CHECK(reduce > 0, "batchnorm2d forward on empty batch");
 
-  tensor out(input.dims());
   cached_training_ = training;
   cached_input_shape_ = input.dims();
 
+  tensor out = training ? tensor(input.dims())
+                        : inference_workspace::local().acquire(input.dims());
   const float* in = input.data();
   float* po = out.data();
   const float* pg = gamma_.value.data();

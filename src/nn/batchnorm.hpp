@@ -21,6 +21,7 @@ class batchnorm2d : public layer {
   std::uint64_t flops(const shape& input) const override;
 
   std::size_t channels() const { return channels_; }
+  float epsilon() const { return epsilon_; }
 
   /// Running statistics (exposed for serialization).
   tensor& running_mean() { return running_mean_; }

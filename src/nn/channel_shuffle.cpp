@@ -1,5 +1,6 @@
 #include "nn/channel_shuffle.hpp"
 
+#include "nn/inference_workspace.hpp"
 #include "util/error.hpp"
 
 namespace appeal::nn {
@@ -8,13 +9,16 @@ channel_shuffle::channel_shuffle(std::size_t groups) : groups_(groups) {
   APPEAL_CHECK(groups > 0, "channel_shuffle requires groups > 0");
 }
 
-tensor channel_shuffle::permute(const tensor& input, bool inverse) const {
+tensor channel_shuffle::permute(const tensor& input, bool inverse,
+                                bool training) const {
   const std::size_t n = input.batch();
   const std::size_t c = input.channels();
   const std::size_t hw = input.height() * input.width();
   const std::size_t per_group = c / groups_;
 
-  tensor out(input.dims());
+  tensor out = training
+                   ? tensor(input.dims())
+                   : inference_workspace::local().acquire(input.dims());
   const float* in = input.data();
   float* po = out.data();
   for (std::size_t s = 0; s < n; ++s) {
@@ -32,18 +36,18 @@ tensor channel_shuffle::permute(const tensor& input, bool inverse) const {
   return out;
 }
 
-tensor channel_shuffle::forward(const tensor& input, bool /*training*/) {
+tensor channel_shuffle::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() == 4, "channel_shuffle expects NCHW input");
   APPEAL_CHECK(input.channels() % groups_ == 0,
                "channel_shuffle: channels must divide into groups");
   cached_input_shape_ = input.dims();
-  return permute(input, /*inverse=*/false);
+  return permute(input, /*inverse=*/false, training);
 }
 
 tensor channel_shuffle::backward(const tensor& grad_output) {
   APPEAL_CHECK(grad_output.dims() == cached_input_shape_,
                "channel_shuffle backward: grad shape mismatch");
-  return permute(grad_output, /*inverse=*/true);
+  return permute(grad_output, /*inverse=*/true, /*training=*/true);
 }
 
 shape channel_shuffle::output_shape(const shape& input) const {

@@ -20,7 +20,7 @@ class channel_shuffle : public layer {
   std::size_t groups() const { return groups_; }
 
  private:
-  tensor permute(const tensor& input, bool inverse) const;
+  tensor permute(const tensor& input, bool inverse, bool training) const;
 
   std::size_t groups_;
   shape cached_input_shape_;

@@ -1,5 +1,8 @@
 #include "nn/conv2d.hpp"
 
+#include <cstring>
+
+#include "nn/inference_workspace.hpp"
 #include "tensor/gemm.hpp"
 #include "util/error.hpp"
 
@@ -35,7 +38,7 @@ ops::conv_geometry conv2d::group_geometry(const shape& input) const {
   return g;
 }
 
-tensor conv2d::forward(const tensor& input, bool /*training*/) {
+tensor conv2d::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() == 4 && input.channels() == in_channels_,
                "conv2d forward: expected NCHW with " +
                    std::to_string(in_channels_) + " channels, got " +
@@ -43,6 +46,12 @@ tensor conv2d::forward(const tensor& input, bool /*training*/) {
   const ops::conv_geometry g = group_geometry(input.dims());
   APPEAL_CHECK(g.valid(), "conv2d forward: kernel larger than padded input " +
                               input.dims().to_string());
+  if (!training) {
+    // Inference caches nothing; drop any stale training cache so a later
+    // backward() fails loudly instead of differentiating the wrong pass.
+    cached_input_ = tensor();
+    return forward_inference(input, g);
+  }
   cached_input_ = input;
 
   const std::size_t n = input.batch();
@@ -74,6 +83,202 @@ tensor conv2d::forward(const tensor& input, bool /*training*/) {
         float* plane = out_sample + c * cols;
         const float b = pb[c];
         for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Direct depthwise convolution (groups == in == out channels): each
+/// output plane is one K x K stencil over its input plane. im2col would
+/// copy every pixel K*K times only to feed [1 x patch] GEMMs; the direct
+/// loop reads each input once. Interior output rows skip bounds checks.
+void depthwise_direct(const ops::conv_geometry& g, std::size_t channels,
+                      const float* input, const float* weights,
+                      const float* bias, std::size_t n, float* out) {
+  const std::size_t out_h = g.out_height();
+  const std::size_t out_w = g.out_width();
+  const std::size_t cols = out_h * out_w;
+  const std::size_t in_plane = g.height * g.width;
+  const auto h = static_cast<std::ptrdiff_t>(g.height);
+  const auto w = static_cast<std::ptrdiff_t>(g.width);
+
+  // Columns whose whole kernel window is horizontally in bounds — the
+  // interior loop runs unchecked.
+  const std::size_t ox_lo =
+      std::min(out_w, (g.padding + g.stride - 1) / g.stride);
+  const std::size_t ox_hi =
+      g.width + g.padding >= g.kernel
+          ? std::min(out_w, (g.width + g.padding - g.kernel) / g.stride + 1)
+          : 0;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const float* src = input + (s * channels + c) * in_plane;
+      const float* wch = weights + c * g.kernel * g.kernel;
+      float* dst = out + (s * channels + c) * cols;
+      const float b = bias != nullptr ? bias[c] : 0.0F;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        const std::ptrdiff_t iy0 =
+            static_cast<std::ptrdiff_t>(oy * g.stride) -
+            static_cast<std::ptrdiff_t>(g.padding);
+        const std::size_t ky_lo =
+            iy0 < 0 ? static_cast<std::size_t>(-iy0) : 0;
+        const std::size_t ky_hi =
+            iy0 >= h ? 0
+                     : (iy0 + static_cast<std::ptrdiff_t>(g.kernel) > h
+                            ? static_cast<std::size_t>(h - iy0)
+                            : g.kernel);
+        float* drow = dst + oy * out_w;
+
+        const auto checked = [&](std::size_t ox) {
+          const std::ptrdiff_t ix0 =
+              static_cast<std::ptrdiff_t>(ox * g.stride) -
+              static_cast<std::ptrdiff_t>(g.padding);
+          float acc = b;
+          for (std::size_t ky = ky_lo; ky < ky_hi; ++ky) {
+            const float* srow =
+                src + (static_cast<std::size_t>(iy0) + ky) * g.width;
+            const float* wrow = wch + ky * g.kernel;
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const std::ptrdiff_t ix = ix0 + static_cast<std::ptrdiff_t>(kx);
+              if (ix < 0 || ix >= w) continue;
+              acc += wrow[kx] * srow[static_cast<std::size_t>(ix)];
+            }
+          }
+          drow[ox] = acc;
+        };
+
+        for (std::size_t ox = 0; ox < ox_lo; ++ox) checked(ox);
+        if (g.stride == 1 && ox_hi > ox_lo) {
+          // Tap loop: each of the K*K weights does one vector FMA along
+          // the contiguous output row instead of a scalar stencil per
+          // pixel.
+          const std::size_t len = ox_hi - ox_lo;
+          float* seg = drow + ox_lo;
+          for (std::size_t t = 0; t < len; ++t) seg[t] = b;
+          const std::size_t base = ox_lo - g.padding;  // >= 0 by ox_lo
+          for (std::size_t ky = ky_lo; ky < ky_hi; ++ky) {
+            const float* srow =
+                src + (static_cast<std::size_t>(iy0) + ky) * g.width + base;
+            const float* wrow = wch + ky * g.kernel;
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+              const float wv = wrow[kx];
+              const float* sp = srow + kx;
+#pragma omp simd
+              for (std::size_t t = 0; t < len; ++t) seg[t] += wv * sp[t];
+            }
+          }
+        } else {
+          for (std::size_t ox = ox_lo; ox < ox_hi; ++ox) {
+            const std::size_t ix0 = ox * g.stride - g.padding;
+            float acc = b;
+            for (std::size_t ky = ky_lo; ky < ky_hi; ++ky) {
+              const float* srow =
+                  src + (static_cast<std::size_t>(iy0) + ky) * g.width + ix0;
+              const float* wrow = wch + ky * g.kernel;
+              for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+                acc += wrow[kx] * srow[kx];
+              }
+            }
+            drow[ox] = acc;
+          }
+        }
+        for (std::size_t ox = std::max(ox_lo, ox_hi); ox < out_w; ++ox) {
+          checked(ox);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+tensor conv2d::forward_inference(const tensor& input,
+                                 const ops::conv_geometry& g) {
+  const std::size_t n = input.batch();
+  const std::size_t cols = g.column_count();
+  const std::size_t patch = g.patch_size();
+  const std::size_t oc_per_group = out_channels_ / groups_;
+  const std::size_t ic_per_group = in_channels_ / groups_;
+  const std::size_t in_plane = input.height() * input.width();
+
+  inference_workspace& ws = inference_workspace::local();
+  tensor out = ws.acquire(shape{n, out_channels_, g.out_height(),
+                                g.out_width()});
+  const float* pb = has_bias_ ? bias_.value.data() : nullptr;
+
+  // Depthwise: direct stencil, no lowering at all.
+  if (ic_per_group == 1 && oc_per_group == 1) {
+    depthwise_direct(g, in_channels_, input.data(), weight_.value.data(), pb,
+                     n, out.data());
+    return out;
+  }
+
+  // Grouped (but not depthwise) convs keep the per-sample lowering: their
+  // per-group GEMMs are too small for batch-concatenation to pay for the
+  // extra staging pass.
+  if (groups_ > 1) {
+    inference_workspace::buffer columns = ws.borrow(patch * cols);
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* sample = input.data() + s * in_channels_ * in_plane;
+      float* out_sample = out.data() + s * out_channels_ * cols;
+      for (std::size_t grp = 0; grp < groups_; ++grp) {
+        ops::im2col(g, sample + grp * ic_per_group * in_plane,
+                    columns.data());
+        ops::sgemm(oc_per_group, cols, patch, 1.0F,
+                   weight_.value.data() + grp * oc_per_group * patch,
+                   columns.data(), 0.0F,
+                   out_sample + grp * oc_per_group * cols);
+      }
+      if (pb != nullptr) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          float* plane = out_sample + c * cols;
+          const float b = pb[c];
+          for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Dense conv: the whole batch unrolls side by side into ONE
+  // [patch, N * cols] matrix and runs ONE packed GEMM per layer.
+  const std::size_t batch_cols = n * cols;
+  inference_workspace::buffer columns = ws.borrow(patch * batch_cols);
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* sample = input.data() + s * in_channels_ * in_plane;
+    ops::im2col_strided(g, sample, columns.data() + s * cols, batch_cols);
+  }
+  const float* wall = weight_.value.data();
+  if (n == 1) {
+    // Single sample: [oc, cols] GEMM output IS the NCHW layout.
+    ops::sgemm(out_channels_, cols, patch, 1.0F, wall, columns.data(), 0.0F,
+               out.data());
+    if (pb != nullptr) {
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float b = pb[c];
+        float* plane = out.data() + c * cols;
+        for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+      }
+    }
+    return out;
+  }
+  inference_workspace::buffer staged = ws.borrow(out_channels_ * batch_cols);
+  ops::sgemm(out_channels_, batch_cols, patch, 1.0F, wall, columns.data(),
+             0.0F, staged.data());
+  // Scatter [oc, N * cols] into NCHW, fusing the bias add.
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    const float* src = staged.data() + c * batch_cols;
+    const float b = pb != nullptr ? pb[c] : 0.0F;
+    for (std::size_t s = 0; s < n; ++s) {
+      float* dst = out.data() + (s * out_channels_ + c) * cols;
+      if (pb != nullptr) {
+        for (std::size_t i = 0; i < cols; ++i) dst[i] = src[s * cols + i] + b;
+      } else {
+        std::memcpy(dst, src + s * cols, cols * sizeof(float));
       }
     }
   }

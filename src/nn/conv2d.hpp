@@ -1,9 +1,16 @@
 // 2-D convolution with grouping (groups == channels gives depthwise conv).
 //
-// Lowered to GEMM via im2col per sample and group. Backward recomputes the
-// im2col panels instead of caching them — for the small images this library
-// targets, recompute is cheaper than the memory traffic of storing every
-// panel for a whole batch.
+// Training forward lowers to GEMM via im2col per sample and group, and
+// caches the input for backward. Backward recomputes the im2col panels
+// instead of caching them — for the small images this library targets,
+// recompute is cheaper than the memory traffic of storing every panel for
+// a whole batch.
+//
+// Inference forward (training == false) is the serving fast path: the
+// whole NCHW batch unrolls side by side (im2col_strided) into ONE
+// [patch, N * positions] matrix per group, so each layer runs one packed
+// GEMM per group instead of one per sample, caches nothing, and draws
+// every panel and its output from the thread's inference_workspace.
 #pragma once
 
 #include <vector>
@@ -36,9 +43,15 @@ class conv2d : public layer {
 
   parameter& weight() { return weight_; }
   parameter& bias();
+  bool has_bias() const { return has_bias_; }
+
+  /// Turns a bias-free conv into one with a (zero-initialized) bias —
+  /// conv+batchnorm folding needs somewhere to put the shift term.
+  void ensure_bias() { has_bias_ = true; }
 
  private:
   ops::conv_geometry group_geometry(const shape& input) const;
+  tensor forward_inference(const tensor& input, const ops::conv_geometry& g);
 
   std::size_t in_channels_;
   std::size_t out_channels_;

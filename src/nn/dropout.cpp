@@ -1,5 +1,8 @@
 #include "nn/dropout.hpp"
 
+#include <cstring>
+
+#include "nn/inference_workspace.hpp"
 #include "util/error.hpp"
 
 namespace appeal::nn {
@@ -13,7 +16,14 @@ dropout::dropout(float drop_probability, std::uint64_t seed)
 tensor dropout::forward(const tensor& input, bool training) {
   cached_input_shape_ = input.dims();
   last_was_training_ = training;
-  if (!training || p_ == 0.0F) {
+  if (!training) {
+    // Eval is the identity, but the layer API returns by value — stage
+    // the copy through the workspace instead of the heap.
+    tensor out = inference_workspace::local().acquire(input.dims());
+    std::memcpy(out.data(), input.data(), input.size() * sizeof(float));
+    return out;
+  }
+  if (p_ == 0.0F) {
     return input;
   }
   const float keep_scale = 1.0F / (1.0F - p_);

@@ -1,0 +1,65 @@
+#include "nn/fold.hpp"
+
+#include <cmath>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/residual.hpp"
+#include "util/error.hpp"
+
+namespace appeal::nn {
+
+namespace {
+
+/// Absorbs `bn`'s eval-mode affine map into `conv`.
+void absorb(conv2d& conv, batchnorm2d& bn) {
+  APPEAL_CHECK(bn.channels() == conv.out_channels(),
+               "fold: batchnorm channels do not match conv output");
+  if (!conv.has_bias()) conv.ensure_bias();
+
+  const std::size_t oc = conv.out_channels();
+  const std::size_t per_filter = conv.weight().value.size() / oc;
+  float* w = conv.weight().value.data();
+  float* b = conv.bias().value.data();
+  const float* gamma = bn.gamma().value.data();
+  const float* beta = bn.beta().value.data();
+  const float* mean = bn.running_mean().data();
+  const float* var = bn.running_var().data();
+
+  for (std::size_t c = 0; c < oc; ++c) {
+    const float scale = gamma[c] / std::sqrt(var[c] + bn.epsilon());
+    float* filter = w + c * per_filter;
+    for (std::size_t i = 0; i < per_filter; ++i) filter[i] *= scale;
+    b[c] = b[c] * scale + beta[c] - mean[c] * scale;
+  }
+}
+
+}  // namespace
+
+std::size_t fold_conv_batchnorm(sequential& net) {
+  std::size_t folded = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    layer& child = net.child(i);
+    if (auto* nested = dynamic_cast<sequential*>(&child)) {
+      folded += fold_conv_batchnorm(*nested);
+      continue;
+    }
+    if (auto* res = dynamic_cast<residual*>(&child)) {
+      folded += fold_conv_batchnorm(res->body());
+      if (res->has_projection()) {
+        folded += fold_conv_batchnorm(res->projection());
+      }
+      continue;
+    }
+    auto* conv = dynamic_cast<conv2d*>(&child);
+    if (conv == nullptr || i + 1 >= net.size()) continue;
+    auto* bn = dynamic_cast<batchnorm2d*>(&net.child(i + 1));
+    if (bn == nullptr) continue;
+    absorb(*conv, *bn);
+    net.remove_child(i + 1);  // the conv now computes the folded map
+    ++folded;
+  }
+  return folded;
+}
+
+}  // namespace appeal::nn

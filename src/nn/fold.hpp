@@ -1,0 +1,27 @@
+// Conv + batchnorm folding — a one-time graph rewrite for deployment.
+//
+// In eval mode batchnorm is an affine per-channel map of its running
+// statistics: y_c = s_c * x_c + t_c with s_c = gamma_c / sqrt(var_c + eps)
+// and t_c = beta_c - mean_c * s_c. When x is the output of a convolution,
+// that map folds into the conv's own weights (W'_c = s_c * W_c,
+// b'_c = s_c * b_c + t_c), deleting the batchnorm layer — one less full
+// pass over every activation map on the serving fast path.
+//
+// Apply AFTER training and AFTER load(): folding consumes the running
+// statistics, removes layers (so serialized state names shift), and makes
+// further training-mode forwards meaningless. two_head_network::
+// prepare_for_inference() is the deployment entry point.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/sequential.hpp"
+
+namespace appeal::nn {
+
+/// Folds every adjacent (conv2d, batchnorm2d) pair inside `net`,
+/// recursing into nested sequentials and residual blocks (body and
+/// projection). Returns the number of pairs folded.
+std::size_t fold_conv_batchnorm(sequential& net);
+
+}  // namespace appeal::nn

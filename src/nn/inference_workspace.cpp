@@ -1,0 +1,88 @@
+#include "nn/inference_workspace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace appeal::nn {
+
+inference_workspace& inference_workspace::local() {
+  thread_local inference_workspace ws;
+  return ws;
+}
+
+std::vector<float> inference_workspace::take(std::size_t n) {
+  // Best fit: the smallest pooled buffer whose capacity covers n. A
+  // linear scan is fine — the pool holds at most kMaxPooled entries and
+  // steady-state inference cycles through a handful of sizes.
+  std::size_t best = pool_.size();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (pool_[i].capacity() < n) continue;
+    if (best == pool_.size() ||
+        pool_[i].capacity() < pool_[best].capacity()) {
+      best = i;
+    }
+  }
+  if (best == pool_.size()) {
+    // No fit: evict the smallest entry (it lost the size race) so the
+    // pool turns over toward the working set's actual sizes.
+    if (pool_.size() >= kMaxPooled) {
+      std::size_t smallest = 0;
+      for (std::size_t i = 1; i < pool_.size(); ++i) {
+        if (pool_[i].capacity() < pool_[smallest].capacity()) smallest = i;
+      }
+      pool_.erase(pool_.begin() +
+                  static_cast<std::ptrdiff_t>(smallest));
+    }
+    ++allocations_;
+    std::vector<float> fresh;
+    fresh.reserve(n);
+    fresh.resize(n);
+    return fresh;
+  }
+  ++reuses_;
+  std::vector<float> out = std::move(pool_[best]);
+  pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+  out.resize(n);  // capacity suffices: no reallocation, no full clear
+  return out;
+}
+
+void inference_workspace::give_back(std::vector<float>&& storage) {
+  if (storage.capacity() == 0) return;
+  if (pool_.size() >= kMaxPooled) return;  // let it free
+  pool_.push_back(std::move(storage));
+}
+
+tensor inference_workspace::acquire(shape s) {
+  const std::size_t n = s.element_count();
+  return tensor(std::move(s), take(n));
+}
+
+void inference_workspace::recycle(tensor&& t) {
+  give_back(std::move(t).take_data());
+}
+
+inference_workspace::buffer inference_workspace::borrow(std::size_t n) {
+  return buffer(*this, take(n));
+}
+
+inference_workspace::buffer::~buffer() {
+  if (owner_ != nullptr) owner_->give_back(std::move(storage_));
+}
+
+void inference_workspace::clear() {
+  pool_.clear();
+  allocations_ = 0;
+  reuses_ = 0;
+}
+
+inference_workspace::usage inference_workspace::stats() const {
+  usage u;
+  u.allocations = allocations_;
+  u.reuses = reuses_;
+  for (const std::vector<float>& b : pool_) {
+    u.pooled_bytes += b.capacity() * sizeof(float);
+  }
+  return u;
+}
+
+}  // namespace appeal::nn

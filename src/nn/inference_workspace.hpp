@@ -1,0 +1,91 @@
+// Per-thread buffer arena for the inference fast path.
+//
+// Training allocates freely — every forward produces fresh tensors and
+// caches activations for backward. Inference must not: a serving edge
+// worker runs the same network geometry thousands of times per second,
+// so every layer output and im2col panel it needs has been needed
+// before. The workspace keeps those buffers on a thread-local free list:
+//
+//   - acquire(shape) hands out a pooled tensor (capacity reused, no heap
+//     allocation once warm);
+//   - recycle(tensor) returns a tensor's storage to the pool (containers
+//     recycle each child's input once the next child consumed it);
+//   - borrow(n) is RAII float scratch for intra-layer panels (im2col
+//     columns, batched GEMM outputs).
+//
+// Thread-locality makes the pool lock-free and gives every serve::engine
+// worker (and every util::thread_pool worker) its own arena — nothing is
+// shared, nothing is synchronized. After a warmup pass, steady-state
+// inference performs zero heap allocations; the `allocations` counter in
+// stats() is how tests pin that down.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace appeal::nn {
+
+class inference_workspace {
+ public:
+  /// The calling thread's arena.
+  static inference_workspace& local();
+
+  /// A pooled tensor of the given shape, contents unspecified (callers
+  /// overwrite). Reuses pooled capacity when possible.
+  tensor acquire(shape s);
+
+  /// Returns a tensor's storage to the pool. Safe to call with an empty
+  /// tensor (no-op).
+  void recycle(tensor&& t);
+
+  /// RAII scratch buffer: float storage returned to the pool when the
+  /// guard leaves scope.
+  class buffer {
+   public:
+    buffer(inference_workspace& owner, std::vector<float> storage)
+        : owner_(&owner), storage_(std::move(storage)) {}
+    ~buffer();
+    buffer(const buffer&) = delete;
+    buffer& operator=(const buffer&) = delete;
+    buffer(buffer&& other) noexcept
+        : owner_(other.owner_), storage_(std::move(other.storage_)) {
+      other.owner_ = nullptr;
+    }
+    buffer& operator=(buffer&&) = delete;
+
+    float* data() { return storage_.data(); }
+    std::size_t size() const { return storage_.size(); }
+
+   private:
+    inference_workspace* owner_;
+    std::vector<float> storage_;
+  };
+
+  /// Borrows scratch of at least `n` floats (sized to exactly `n`).
+  buffer borrow(std::size_t n);
+
+  /// Drops all pooled buffers (frees the memory).
+  void clear();
+
+  struct usage {
+    std::size_t allocations = 0;  // pool misses that hit the heap
+    std::size_t reuses = 0;       // pool hits
+    std::size_t pooled_bytes = 0; // capacity currently parked in the pool
+  };
+  usage stats() const;
+
+ private:
+  std::vector<float> take(std::size_t n);
+  void give_back(std::vector<float>&& storage);
+
+  // Free list, roughly size-sorted by push order; bounded so a one-off
+  // giant batch does not pin memory forever.
+  static constexpr std::size_t kMaxPooled = 64;
+  std::vector<std::vector<float>> pool_;
+  std::size_t allocations_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace appeal::nn

@@ -6,6 +6,18 @@
 // whatever they need between the two calls. Parameter gradients are
 // *accumulated* (+=) so multi-head architectures can sum gradient
 // contributions before an optimizer step.
+//
+// Inference caching contract: forward(input, /*training=*/false) is the
+// serving fast path — layers cache NOTHING for backward (conv input
+// copies, batchnorm x-hat, pooling argmax maps are all skipped), clear
+// any stale training-mode cache, and draw outputs/scratch from the
+// calling thread's nn::inference_workspace instead of the heap. A
+// backward() after an inference-mode forward is undefined: layers that
+// need cached activations throw (util::error), shape-only layers merely
+// propagate. Containers
+// (sequential, residual, two_head_network) recycle intermediate
+// activations back into the workspace, so a warm inference pass performs
+// zero heap allocations.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include "nn/inference_workspace.hpp"
 #include "tensor/gemm.hpp"
 #include "util/error.hpp"
 
@@ -15,14 +16,20 @@ linear::linear(std::size_t in_features, std::size_t out_features, bool bias)
                "linear layer requires positive dimensions");
 }
 
-tensor linear::forward(const tensor& input, bool /*training*/) {
+tensor linear::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() == 2 &&
                    input.dims().dim(1) == in_features_,
                "linear forward: expected [N, " + std::to_string(in_features_) +
                    "], got " + input.dims().to_string());
-  cached_input_ = input;
   const std::size_t n = input.dims().dim(0);
-  tensor out(shape{n, out_features_});
+  tensor out;
+  if (training) {
+    cached_input_ = input;
+    out = tensor(shape{n, out_features_});
+  } else {
+    cached_input_ = tensor();
+    out = inference_workspace::local().acquire(shape{n, out_features_});
+  }
   // y[N, out] = x[N, in] * W^T, W stored [out, in].
   ops::sgemm_bt(n, out_features_, in_features_, 1.0F, input.data(),
                 weight_.value.data(), 0.0F, out.data());

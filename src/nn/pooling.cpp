@@ -1,7 +1,9 @@
 #include "nn/pooling.hpp"
 
+#include <cstring>
 #include <limits>
 
+#include "nn/inference_workspace.hpp"
 #include "util/error.hpp"
 
 namespace appeal::nn {
@@ -22,7 +24,7 @@ maxpool2d::maxpool2d(std::size_t kernel, std::size_t stride)
                "maxpool2d: kernel/stride must be > 0");
 }
 
-tensor maxpool2d::forward(const tensor& input, bool /*training*/) {
+tensor maxpool2d::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() == 4, "maxpool2d expects NCHW input");
   cached_input_shape_ = input.dims();
   const std::size_t n = input.batch();
@@ -32,8 +34,17 @@ tensor maxpool2d::forward(const tensor& input, bool /*training*/) {
   const std::size_t oh = pooled_extent(h, kernel_, stride_);
   const std::size_t ow = pooled_extent(w, kernel_, stride_);
 
-  tensor out(shape{n, c, oh, ow});
-  argmax_.assign(out.size(), 0);
+  tensor out = training
+                   ? tensor(shape{n, c, oh, ow})
+                   : inference_workspace::local().acquire(
+                         shape{n, c, oh, ow});
+  // The argmax map only feeds backward; inference skips both the fill and
+  // the per-window index bookkeeping.
+  if (training) {
+    argmax_.assign(out.size(), 0);
+  } else {
+    argmax_.clear();
+  }
   const float* in = input.data();
   float* po = out.data();
 
@@ -58,7 +69,7 @@ tensor maxpool2d::forward(const tensor& input, bool /*training*/) {
             }
           }
           po[out_idx] = best;
-          argmax_[out_idx] = best_idx;
+          if (training) argmax_[out_idx] = best_idx;
         }
       }
     }
@@ -93,7 +104,7 @@ avgpool2d::avgpool2d(std::size_t kernel, std::size_t stride)
                "avgpool2d: kernel/stride must be > 0");
 }
 
-tensor avgpool2d::forward(const tensor& input, bool /*training*/) {
+tensor avgpool2d::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() == 4, "avgpool2d expects NCHW input");
   cached_input_shape_ = input.dims();
   const std::size_t n = input.batch();
@@ -104,7 +115,10 @@ tensor avgpool2d::forward(const tensor& input, bool /*training*/) {
   const std::size_t ow = pooled_extent(w, kernel_, stride_);
   const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
 
-  tensor out(shape{n, c, oh, ow});
+  tensor out = training
+                   ? tensor(shape{n, c, oh, ow})
+                   : inference_workspace::local().acquire(
+                         shape{n, c, oh, ow});
   const float* in = input.data();
   float* po = out.data();
   std::size_t out_idx = 0;
@@ -175,7 +189,7 @@ std::uint64_t avgpool2d::flops(const shape& input) const {
   return input.element_count();
 }
 
-tensor global_avgpool::forward(const tensor& input, bool /*training*/) {
+tensor global_avgpool::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() == 4, "global_avgpool expects NCHW input");
   cached_input_shape_ = input.dims();
   const std::size_t n = input.batch();
@@ -184,7 +198,9 @@ tensor global_avgpool::forward(const tensor& input, bool /*training*/) {
   APPEAL_CHECK(hw > 0, "global_avgpool on empty spatial extent");
   const float inv = 1.0F / static_cast<float>(hw);
 
-  tensor out(shape{n, c});
+  tensor out = training
+                   ? tensor(shape{n, c})
+                   : inference_workspace::local().acquire(shape{n, c});
   const float* in = input.data();
   float* po = out.data();
   for (std::size_t s = 0; s < n; ++s) {
@@ -227,9 +243,17 @@ shape global_avgpool::output_shape(const shape& input) const {
   return shape{input.batch(), input.channels()};
 }
 
-tensor flatten_layer::forward(const tensor& input, bool /*training*/) {
+tensor flatten_layer::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() >= 2, "flatten expects rank >= 2");
   cached_input_shape_ = input.dims();
+  if (!training) {
+    // reshaped() would deep-copy through the heap; stage the copy through
+    // the workspace instead (the data itself is already contiguous).
+    tensor out = inference_workspace::local().acquire(
+        output_shape(input.dims()));
+    std::memcpy(out.data(), input.data(), input.size() * sizeof(float));
+    return out;
+  }
   return input.reshaped(output_shape(input.dims()));
 }
 

@@ -1,5 +1,6 @@
 #include "nn/residual.hpp"
 
+#include "nn/inference_workspace.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
@@ -16,16 +17,27 @@ residual::residual(std::unique_ptr<sequential> body,
 
 tensor residual::forward(const tensor& input, bool training) {
   tensor branch = body_->forward(input, training);
-  tensor skip =
-      projection_ != nullptr ? projection_->forward(input, training) : input;
-  APPEAL_CHECK(branch.dims() == skip.dims(),
-               "residual: body output " + branch.dims().to_string() +
-                   " does not match skip output " + skip.dims().to_string());
-  ops::add_inplace(branch, skip);
+  if (projection_ != nullptr) {
+    tensor skip = projection_->forward(input, training);
+    APPEAL_CHECK(branch.dims() == skip.dims(),
+                 "residual: body output " + branch.dims().to_string() +
+                     " does not match skip output " + skip.dims().to_string());
+    ops::add_inplace(branch, skip);
+    if (!training) inference_workspace::local().recycle(std::move(skip));
+  } else {
+    APPEAL_CHECK(branch.dims() == input.dims(),
+                 "residual: body output " + branch.dims().to_string() +
+                     " does not match skip output " + input.dims().to_string());
+    ops::add_inplace(branch, input);
+  }
   if (!final_relu_) {
     return branch;
   }
-  cached_sum_ = branch;
+  if (training) {
+    cached_sum_ = branch;
+  } else {
+    cached_sum_ = tensor();
+  }
   for (auto& v : branch.values()) {
     if (v < 0.0F) v = 0.0F;
   }
@@ -51,6 +63,12 @@ tensor residual::backward(const tensor& grad_output) {
     ops::add_inplace(grad_input, grad_sum);
   }
   return grad_input;
+}
+
+sequential& residual::projection() {
+  APPEAL_CHECK(projection_ != nullptr,
+               "projection() on an identity-skip residual");
+  return *projection_;
 }
 
 std::vector<parameter*> residual::parameters() {

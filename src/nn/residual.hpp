@@ -33,6 +33,8 @@ class residual : public layer {
 
   sequential& body() { return *body_; }
   bool has_projection() const { return projection_ != nullptr; }
+  /// Requires has_projection().
+  sequential& projection();
 
  private:
   std::unique_ptr<sequential> body_;

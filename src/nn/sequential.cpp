@@ -1,5 +1,6 @@
 #include "nn/sequential.hpp"
 
+#include "nn/inference_workspace.hpp"
 #include "util/error.hpp"
 
 namespace appeal::nn {
@@ -19,7 +20,29 @@ const layer& sequential::child(std::size_t i) const {
   return *children_[i];
 }
 
+layer_ptr sequential::remove_child(std::size_t i) {
+  APPEAL_CHECK(i < children_.size(), "sequential child index out of range");
+  layer_ptr out = std::move(children_[i]);
+  children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(i));
+  return out;
+}
+
 tensor sequential::forward(const tensor& input, bool training) {
+  if (children_.empty()) return input;
+  if (!training) {
+    // Inference: each child's input becomes garbage the moment the next
+    // child has produced its output — recycle it into the thread's
+    // workspace so the whole chain allocates nothing once warm. The
+    // caller's `input` is never recycled (not ours to reuse).
+    inference_workspace& ws = inference_workspace::local();
+    tensor current = children_.front()->forward(input, false);
+    for (std::size_t i = 1; i < children_.size(); ++i) {
+      tensor next = children_[i]->forward(current, false);
+      ws.recycle(std::move(current));
+      current = std::move(next);
+    }
+    return current;
+  }
   tensor current = input;
   for (const layer_ptr& child : children_) {
     current = child->forward(current, training);

@@ -32,6 +32,10 @@ class sequential : public layer {
   layer& child(std::size_t i);
   const layer& child(std::size_t i) const;
 
+  /// Removes and returns child i. Graph-rewrite support (conv+batchnorm
+  /// folding); later children shift down one slot.
+  layer_ptr remove_child(std::size_t i);
+
   const char* kind() const override { return "sequential"; }
   tensor forward(const tensor& input, bool training) override;
   tensor backward(const tensor& grad_output) override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/inference_workspace.hpp"
 #include "util/error.hpp"
 
 namespace appeal::nn {
@@ -18,13 +19,14 @@ squeeze_excite::squeeze_excite(std::size_t channels, std::size_t reduction)
 tensor squeeze_excite::forward(const tensor& input, bool training) {
   APPEAL_CHECK(input.dims().rank() == 4 && input.channels() == channels_,
                "squeeze_excite forward: bad input " + input.dims().to_string());
-  cached_input_ = input;
   const std::size_t n = input.batch();
   const std::size_t hw = input.height() * input.width();
   const float inv_hw = 1.0F / static_cast<float>(hw);
+  inference_workspace& ws = inference_workspace::local();
 
   // Squeeze: global average pool to [N, C].
-  tensor squeezed(shape{n, channels_});
+  tensor squeezed =
+      training ? tensor(shape{n, channels_}) : ws.acquire(shape{n, channels_});
   const float* in = input.data();
   float* ps = squeezed.data();
   for (std::size_t s = 0; s < n; ++s) {
@@ -35,6 +37,37 @@ tensor squeeze_excite::forward(const tensor& input, bool training) {
       ps[s * channels_ + c] = acc * inv_hw;
     }
   }
+
+  if (!training) {
+    // Inference: no backward caches, all temporaries from the workspace,
+    // and the excite weights apply input -> out instead of in place on a
+    // heap copy.
+    cached_input_ = tensor();
+    cached_hidden_ = tensor();
+    tensor hidden = fc1_.forward(squeezed, false);
+    ws.recycle(std::move(squeezed));
+    for (auto& v : hidden.values()) v = v > 0.0F ? v : 0.0F;
+    tensor excite = fc2_.forward(hidden, false);
+    ws.recycle(std::move(hidden));
+    for (auto& v : excite.values()) v = 1.0F / (1.0F + std::exp(-v));
+
+    tensor out = ws.acquire(input.dims());
+    float* po = out.data();
+    const float* pe = excite.data();
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        const float e = pe[s * channels_ + c];
+        const float* src = in + (s * channels_ + c) * hw;
+        float* dst = po + (s * channels_ + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) dst[i] = src[i] * e;
+      }
+    }
+    cached_excite_ = tensor();
+    ws.recycle(std::move(excite));
+    return out;
+  }
+
+  cached_input_ = input;
 
   // Excite: fc1 -> relu -> fc2 -> sigmoid.
   tensor pre_hidden = fc1_.forward(squeezed, training);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "nn/inference_workspace.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 
@@ -9,7 +10,9 @@ namespace appeal::serve {
 
 namespace {
 
-/// Stacks per-request [C, H, W] inputs into one [N, C, H, W] batch.
+/// Stacks per-request [C, H, W] inputs into one [N, C, H, W] batch drawn
+/// from the edge worker's thread-local inference workspace (each engine
+/// worker is its own thread, so each has its own arena).
 tensor stack_inputs(const std::vector<request>& batch) {
   APPEAL_CHECK(!batch.empty(), "cannot stack an empty batch");
   const tensor& first = batch.front().input;
@@ -19,7 +22,7 @@ tensor stack_inputs(const std::vector<request>& batch) {
   for (std::size_t d = 0; d < first.dims().rank(); ++d) {
     dims.push_back(first.dims().dim(d));
   }
-  tensor out{shape(dims)};
+  tensor out = nn::inference_workspace::local().acquire(shape(dims));
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const tensor& item = batch[i].input;
     APPEAL_CHECK(item.size() == per_item,
@@ -74,9 +77,27 @@ network_edge_backend::network_edge_backend(core::two_head_network& network,
                                            core::score_method method)
     : network_(network), method_(method) {}
 
+namespace {
+
+core::two_head_network& checked_deref(
+    const std::unique_ptr<core::two_head_network>& p) {
+  APPEAL_CHECK(p != nullptr, "network_edge_backend requires a network");
+  return *p;
+}
+
+}  // namespace
+
+network_edge_backend::network_edge_backend(
+    std::unique_ptr<core::two_head_network> network, core::score_method method)
+    : owned_(std::move(network)),
+      network_(checked_deref(owned_)),
+      method_(method) {}
+
 edge_inference network_edge_backend::infer(const std::vector<request>& batch) {
-  const tensor inputs = stack_inputs(batch);
+  nn::inference_workspace& ws = nn::inference_workspace::local();
+  tensor inputs = stack_inputs(batch);
   core::two_head_output fwd = network_.forward(inputs, /*training=*/false);
+  ws.recycle(std::move(inputs));
   edge_inference out;
   out.predictions = ops::argmax_rows(fwd.logits);
   if (method_ == core::score_method::appealnet_q) {
@@ -85,6 +106,8 @@ edge_inference network_edge_backend::infer(const std::vector<request>& batch) {
     out.scores =
         core::confidence_scores(method_, ops::softmax_rows(fwd.logits));
   }
+  ws.recycle(std::move(fwd.logits));
+  ws.recycle(std::move(fwd.q_logits));
   return out;
 }
 
@@ -97,9 +120,14 @@ std::size_t network_cloud_backend::infer(const request& r) {
   for (std::size_t d = 0; d < r.input.dims().rank(); ++d) {
     dims.push_back(r.input.dims().dim(d));
   }
-  const tensor input = r.input.reshaped(shape(dims));
-  const tensor logits = network_.forward(input, /*training=*/false);
-  return ops::argmax_rows(logits).front();
+  nn::inference_workspace& ws = nn::inference_workspace::local();
+  tensor input = ws.acquire(shape(dims));
+  std::memcpy(input.data(), r.input.data(), r.input.size() * sizeof(float));
+  tensor logits = network_.forward(input, /*training=*/false);
+  ws.recycle(std::move(input));
+  const std::size_t prediction = ops::argmax_rows(logits).front();
+  ws.recycle(std::move(logits));
+  return prediction;
 }
 
 }  // namespace appeal::serve

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/scores.hpp"
@@ -75,14 +76,24 @@ class oracle_cloud_backend : public cloud_backend {
 
 /// Runs the two-head little network on the stacked batch inputs and
 /// extracts scores with the configured method. Not thread-safe: give each
-/// edge worker its own backend instance (or serve with one worker).
+/// edge worker its own backend instance (or serve with one worker). The
+/// whole batch runs as one NCHW forward from the worker thread's
+/// inference_workspace, so batches formed by the batcher amortize into
+/// one im2col + GEMM per layer.
 class network_edge_backend : public edge_backend {
  public:
+  /// Non-owning: the caller keeps `network` alive (serving_demo shares a
+  /// freshly trained system with the offline evaluation).
   network_edge_backend(core::two_head_network& network,
+                       core::score_method method);
+  /// Owning: per-worker backend factories hand each worker its own
+  /// network instance.
+  network_edge_backend(std::unique_ptr<core::two_head_network> network,
                        core::score_method method);
   edge_inference infer(const std::vector<request>& batch) override;
 
  private:
+  std::unique_ptr<core::two_head_network> owned_;
   core::two_head_network& network_;
   core::score_method method_;
 };

@@ -22,6 +22,10 @@
 // factory is invoked once per worker so stateful backends such as
 // network_edge_backend stay single-threaded); one background thread
 // inside cloud_channel simulates the uplink and completes appeals.
+// Each worker thread owns a thread-local nn::inference_workspace, so a
+// network edge backend runs its whole batch as one NCHW forward — one
+// im2col + packed GEMM per layer — out of that worker's arena with zero
+// steady-state allocations and zero sharing between workers.
 #pragma once
 
 #include <atomic>

@@ -1,18 +1,54 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace appeal::ops {
 
 namespace {
 
-// Block sizes chosen so one A-panel + one B-panel fit in L1/L2 on typical
-// x86 cores; the inner kernel is written so GCC auto-vectorizes the n-loop.
-constexpr std::size_t block_m = 64;
-constexpr std::size_t block_n = 256;
-constexpr std::size_t block_k = 128;
+// GotoBLAS-style blocking: C is computed in MC x NC macro-tiles from an
+// A-panel packed [MC x KC] (per thread, lives in L2) and a B-panel packed
+// [KC x NC] (shared per call, streamed from L3). The register microkernel
+// is MR x NR = 8 rows by one-or-two SIMD cache lines: 8 matches the
+// model zoo's channel counts (16/32/64/128), so panels are never padded,
+// and the row count keeps enough independent accumulators in flight to
+// cover FMA latency. With 512-bit vectors the tile widens to 32 columns
+// (two zmm per row, 16 zmm accumulators): each k-step then amortizes its
+// 8 scalar broadcasts over twice the FMAs, which the narrower
+// SSE/AVX-width register files cannot hold without spilling.
+constexpr std::size_t MR = 8;
+#if defined(__AVX512F__)
+constexpr std::size_t NR = 32;
+#else
+constexpr std::size_t NR = 16;
+#endif
+constexpr std::size_t MC = 128;   // multiple of MR
+constexpr std::size_t NC = 2048;  // multiple of NR
+constexpr std::size_t KC = 256;
+
+// Below this MAC count the packing overhead outweighs the cache wins
+// (depthwise-conv GEMMs, the predictor head); a direct register loop is
+// faster.
+constexpr std::size_t kSmallFlops = 32 * 32 * 32;
+
+/// Generic element accessor: M(i, j) = p[i * row_stride + j * col_stride].
+/// Covers A, A^T, B and B^T with one packing routine each.
+struct matrix_view {
+  const float* p;
+  std::size_t row_stride;
+  std::size_t col_stride;
+
+  float at(std::size_t i, std::size_t j) const {
+    return p[i * row_stride + j * col_stride];
+  }
+};
 
 void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
   if (beta == 1.0F) return;
@@ -24,75 +60,242 @@ void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
   }
 }
 
-}  // namespace
+/// Packs rows [i0, i0+mc) x cols [p0, p0+kc) of A into MR-row panels:
+/// panel r holds ap[(r * kc + kk) * MR + i] = A(i0 + r*MR + i, p0 + kk),
+/// zero-padded past the edge so the microkernel never branches.
+void pack_a(const matrix_view& a, std::size_t i0, std::size_t p0,
+            std::size_t mc, std::size_t kc, float* ap) {
+  for (std::size_t r = 0; r * MR < mc; ++r) {
+    const std::size_t rows = std::min(MR, mc - r * MR);
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      float* dst = ap + (r * kc + kk) * MR;
+      const float* src = a.p + (i0 + r * MR) * a.row_stride +
+                         (p0 + kk) * a.col_stride;
+      std::size_t i = 0;
+      for (; i < rows; ++i) dst[i] = src[i * a.row_stride];
+      for (; i < MR; ++i) dst[i] = 0.0F;
+    }
+  }
+}
 
-void sgemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
-           const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  if (alpha == 0.0F || m == 0 || n == 0 || k == 0) return;
+/// Packs rows [p0, p0+kc) x cols [j0, j0+nc) of B into NR-column panels:
+/// panel q holds bp[(q * kc + kk) * NR + j] = B(p0 + kk, j0 + q*NR + j),
+/// zero-padded past the edge.
+void pack_b(const matrix_view& b, std::size_t p0, std::size_t j0,
+            std::size_t kc, std::size_t nc, float* bp) {
+  for (std::size_t q = 0; q * NR < nc; ++q) {
+    const std::size_t cols = std::min(NR, nc - q * NR);
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      float* dst = bp + (q * kc + kk) * NR;
+      const float* src = b.p + (p0 + kk) * b.row_stride +
+                         (j0 + q * NR) * b.col_stride;
+      std::size_t j = 0;
+      for (; j < cols; ++j) dst[j] = src[j * b.col_stride];
+      for (; j < NR; ++j) dst[j] = 0.0F;
+    }
+  }
+}
 
-  for (std::size_t k0 = 0; k0 < k; k0 += block_k) {
-    const std::size_t k1 = std::min(k0 + block_k, k);
-    for (std::size_t i0 = 0; i0 < m; i0 += block_m) {
-      const std::size_t i1 = std::min(i0 + block_m, m);
-      for (std::size_t j0 = 0; j0 < n; j0 += block_n) {
-        const std::size_t j1 = std::min(j0 + block_n, n);
-        // Micro-kernel: accumulate into C row by row; the innermost loop is
-        // over contiguous B/C columns, which GCC vectorizes with FMA.
-        for (std::size_t i = i0; i < i1; ++i) {
-          float* crow = c + i * n;
-          const float* arow = a + i * k;
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            const float aik = alpha * arow[kk];
-            const float* brow = b + kk * n;
-            for (std::size_t j = j0; j < j1; ++j) {
-              crow[j] += aik * brow[j];
-            }
-          }
-        }
+/// acc[MR][NR] = Apanel^T * Bpanel over kc steps (kc >= 1). The first
+/// k-step assigns instead of accumulating, so the tile needs no zero-fill
+/// pass. `ap` walks MR floats per step, `bp` walks NR; both are
+/// contiguous, so the inner loop is one aligned SIMD row FMA.
+void micro_kernel(std::size_t kc, const float* ap, const float* bp,
+                  float* acc) {
+  for (std::size_t i = 0; i < MR; ++i) {
+    const float a = ap[i];
+    float* row = acc + i * NR;
+#pragma omp simd
+    for (std::size_t j = 0; j < NR; ++j) row[j] = a * bp[j];
+  }
+  ap += MR;
+  bp += NR;
+  for (std::size_t kk = 1; kk < kc; ++kk, ap += MR, bp += NR) {
+    for (std::size_t i = 0; i < MR; ++i) {
+      const float a = ap[i];
+      float* row = acc + i * NR;
+#pragma omp simd
+      for (std::size_t j = 0; j < NR; ++j) row[j] += a * bp[j];
+    }
+  }
+}
+
+/// Writes one register tile into C. The first K-block applies alpha/beta
+/// (beta == 0 overwrites, so stale C values — even NaN — never leak);
+/// later K-blocks accumulate.
+void store_tile(float* c, std::size_t ldc, const float* acc, std::size_t mr,
+                std::size_t nr, float alpha, float beta, bool first_k_block) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = acc + i * NR;
+    if (!first_k_block) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] += alpha * arow[j];
+    } else if (beta == 0.0F) {
+      for (std::size_t j = 0; j < nr; ++j) crow[j] = alpha * arow[j];
+    } else {
+      for (std::size_t j = 0; j < nr; ++j) {
+        crow[j] = alpha * arow[j] + beta * crow[j];
       }
     }
   }
+}
+
+/// One MC-row block of the macrokernel: pack this thread's A panel, then
+/// sweep the packed B panels. Each block writes a disjoint row range of C
+/// and runs its arithmetic in a fixed order, so results are bit-identical
+/// no matter which thread (or how many) execute the blocks.
+void run_m_block(const matrix_view& a, std::size_t i0, std::size_t mc,
+                 std::size_t p0, std::size_t kc, std::size_t j0,
+                 std::size_t nc, const float* bp, float alpha, float beta,
+                 bool first_k_block, float* c, std::size_t ldc) {
+  thread_local std::vector<float> apack;
+  apack.resize(((mc + MR - 1) / MR) * MR * kc);
+  pack_a(a, i0, p0, mc, kc, apack.data());
+
+  alignas(64) float acc[MR * NR];
+  for (std::size_t jr = 0; jr < nc; jr += NR) {
+    const std::size_t nr = std::min(NR, nc - jr);
+    const float* bpanel = bp + (jr / NR) * kc * NR;
+    for (std::size_t ir = 0; ir < mc; ir += MR) {
+      const std::size_t mr = std::min(MR, mc - ir);
+      micro_kernel(kc, apack.data() + (ir / MR) * kc * MR, bpanel, acc);
+      store_tile(c + (i0 + ir) * ldc + (j0 + jr), ldc, acc, mr, nr, alpha,
+                 beta, first_k_block);
+    }
+  }
+}
+
+std::atomic<std::size_t> gemm_thread_count{0};  // 0 = uninitialized
+
+/// The shared pool runs one job at a time; concurrent GEMMs (e.g. several
+/// serve::engine workers) fall back to single-threaded execution instead
+/// of queueing, which keeps latency flat and results identical.
+std::mutex gemm_pool_mutex;
+
+/// Packed, cache-blocked GEMM over generic views:
+/// C = alpha * A[m x k] * B[k x n] + beta * C.
+void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const matrix_view& a, const matrix_view& b, float beta,
+                 float* c, std::size_t ldc) {
+  thread_local std::vector<float> bpack;
+  const std::size_t threads = gemm_threads();
+
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t nc = std::min(NC, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += KC) {
+      const std::size_t kc = std::min(KC, k - pc);
+      bpack.resize(((nc + NR - 1) / NR) * NR * kc);
+      pack_b(b, pc, jc, kc, nc, bpack.data());
+      const bool first = pc == 0;
+
+      const std::size_t blocks = (m + MC - 1) / MC;
+      // NB: thread_locals are not captured — name the caller's packed-B
+      // pointer in a local so pool workers see THIS thread's buffer, not
+      // their own (empty) bpack.
+      const float* packed_b = bpack.data();
+      const auto run_block = [&](std::size_t blk) {
+        const std::size_t i0 = blk * MC;
+        run_m_block(a, i0, std::min(MC, m - i0), pc, kc, jc, nc, packed_b,
+                    alpha, beta, first, c, ldc);
+      };
+      if (threads > 1 && blocks > 1) {
+        std::unique_lock<std::mutex> pool_lock(gemm_pool_mutex,
+                                               std::try_to_lock);
+        if (pool_lock.owns_lock()) {
+          util::thread_pool::shared().parallel_for(blocks, run_block);
+          continue;
+        }
+      }
+      for (std::size_t blk = 0; blk < blocks; ++blk) run_block(blk);
+    }
+  }
+}
+
+/// Direct register loop for shapes too small to amortize packing.
+void gemm_small(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                const matrix_view& a, const matrix_view& b, float beta,
+                float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      const float* pa = a.p + i * a.row_stride;
+      const float* pb = b.p + j * b.col_stride;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += pa[kk * a.col_stride] * pb[kk * b.row_stride];
+      }
+      const float v = alpha * acc;
+      if (beta == 0.0F) {
+        crow[j] = v;
+      } else {
+        crow[j] = v + beta * crow[j];
+      }
+    }
+  }
+}
+
+void gemm_dispatch(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                   const matrix_view& a, const matrix_view& b, float beta,
+                   float* c) {
+  if (alpha == 0.0F || m == 0 || n == 0 || k == 0) {
+    scale_c(m, n, beta, c);
+    return;
+  }
+  if (m * n * k <= kSmallFlops) {
+    gemm_small(m, n, k, alpha, a, b, beta, c);
+  } else {
+    gemm_packed(m, n, k, alpha, a, b, beta, c, n);
+  }
+}
+
+}  // namespace
+
+std::size_t gemm_threads() {
+  // Magic-static init: exactly one thread parses the environment and
+  // (for > 1) builds the shared pool, even when several engine workers
+  // hit their first GEMM concurrently. The relaxed store below can race
+  // only with itself and writes the same value.
+  static const std::size_t env_default = [] {
+    std::size_t t = 1;
+    if (const char* env = std::getenv("APPEAL_GEMM_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 1) t = static_cast<std::size_t>(parsed);
+    }
+    if (t > 1) util::thread_pool::set_shared_size(t);
+    return t;
+  }();
+  const std::size_t t = gemm_thread_count.load(std::memory_order_relaxed);
+  if (t == 0) {
+    gemm_thread_count.store(env_default, std::memory_order_relaxed);
+    return env_default;
+  }
+  return t;
+}
+
+void set_gemm_threads(std::size_t threads) {
+  const std::size_t t = std::max<std::size_t>(1, threads);
+  gemm_thread_count.store(t, std::memory_order_relaxed);
+  if (t > 1) util::thread_pool::set_shared_size(t);
+}
+
+void sgemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  gemm_dispatch(m, n, k, alpha, matrix_view{a, k, 1}, matrix_view{b, n, 1},
+                beta, c);
 }
 
 void sgemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha,
               const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  if (alpha == 0.0F || m == 0 || n == 0 || k == 0) return;
-  // A is stored [k x m]; walk k rows and scatter into C rows. Row i of C
-  // accumulates a[kk*m + i] * B[kk, :].
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* acol = a + kk * m;
-    const float* brow = b + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aik = alpha * acol[i];
-      if (aik == 0.0F) continue;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += aik * brow[j];
-      }
-    }
-  }
+  // A stored [k x m]: A^T(i, kk) = a[kk * m + i].
+  gemm_dispatch(m, n, k, alpha, matrix_view{a, 1, m}, matrix_view{b, n, 1},
+                beta, c);
 }
 
 void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
               const float* a, const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  if (alpha == 0.0F || m == 0 || n == 0 || k == 0) return;
-  // B is stored [n x k]; each C[i, j] is a dot product of contiguous rows,
-  // which vectorizes cleanly.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0F;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * brow[kk];
-      }
-      crow[j] += alpha * acc;
-    }
-  }
+  // B stored [n x k]: B^T(kk, j) = b[j * k + kk].
+  gemm_dispatch(m, n, k, alpha, matrix_view{a, k, 1}, matrix_view{b, 1, k},
+                beta, c);
 }
 
 tensor matmul(const tensor& a, const tensor& b) {
@@ -104,6 +307,10 @@ tensor matmul(const tensor& a, const tensor& b) {
                "matmul inner dimension mismatch: " + a.dims().to_string() +
                    " x " + b.dims().to_string());
   const std::size_t n = b.dims().dim(1);
+  // The kernel fully overwrites C (beta == 0 writes, never reads), so the
+  // zero-fill tensor(shape) would do is redundant — but std::vector has no
+  // uninitialized-alloc path. sgemm itself no longer double-clears: beta
+  // is applied at the tile store, in the same pass as the product.
   tensor c(shape{m, n});
   sgemm(m, n, k, 1.0F, a.data(), b.data(), 0.0F, c.data());
   return c;

@@ -1,9 +1,18 @@
 // Single-precision GEMM — the compute kernel under every conv and linear
 // layer.
 //
-// C = alpha * op(A) * op(B) + beta * C, row-major, with a cache-blocked
-// kernel tuned for the small/medium matrices this workload produces
-// (im2col panels of a few hundred rows/cols).
+// C = alpha * op(A) * op(B) + beta * C, row-major, with a packed,
+// cache-blocked kernel (GotoBLAS-style MC/NC/KC blocking around a 6x16
+// register-tiled microkernel). All three layouts (A*B, A^T*B, A*B^T) route
+// through the same packing, so conv forward AND backward run the fast
+// path. Shapes too small to amortize packing use a direct register loop.
+//
+// Threading: set_gemm_threads(t) splits the M dimension over a shared
+// util::thread_pool. Each M-block computes a disjoint row range of C with
+// a fixed arithmetic order, so results are BIT-IDENTICAL for every thread
+// count — the determinism contract test_gemm pins down. The default is
+// single-threaded (serving already runs one engine worker per core);
+// APPEAL_GEMM_THREADS=<n> in the environment overrides the default.
 #pragma once
 
 #include <cstddef>
@@ -12,8 +21,19 @@
 
 namespace appeal::ops {
 
+/// Sets the intra-GEMM parallelism (clamped to >= 1). Values > 1 resize
+/// the shared util::thread_pool. Call at startup / from tests — not
+/// concurrently with running GEMMs (pool reconstruction is unsynchronized
+/// against parallel_for).
+void set_gemm_threads(std::size_t threads);
+
+/// Current intra-GEMM parallelism (reads APPEAL_GEMM_THREADS on first use).
+std::size_t gemm_threads();
+
 /// Raw pointer GEMM: C[m x n] = alpha * A[m x k] * B[k x n] + beta * C.
-/// All matrices row-major and non-aliasing.
+/// All matrices row-major and non-aliasing. beta == 0 overwrites C without
+/// reading it (stale/NaN contents never leak) and without a separate
+/// zero-fill pass.
 void sgemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
            const float* a, const float* b, float beta, float* c);
 

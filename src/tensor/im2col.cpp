@@ -5,10 +5,17 @@
 namespace appeal::ops {
 
 void im2col(const conv_geometry& g, const float* image, float* columns) {
+  im2col_strided(g, image, columns, g.column_count());
+}
+
+void im2col_strided(const conv_geometry& g, const float* image,
+                    float* columns, std::size_t row_stride) {
   APPEAL_CHECK(g.valid(), "invalid conv geometry");
   const std::size_t out_h = g.out_height();
   const std::size_t out_w = g.out_width();
-  const std::size_t cols = out_h * out_w;
+  APPEAL_CHECK(row_stride >= out_h * out_w,
+               "im2col_strided: row_stride below column_count");
+  const std::size_t cols = row_stride;
 
   std::size_t patch_row = 0;
   for (std::size_t c = 0; c < g.channels; ++c) {

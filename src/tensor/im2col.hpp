@@ -40,6 +40,14 @@ struct conv_geometry {
 /// ([patch_size, column_count] contiguous). Padding reads as zero.
 void im2col(const conv_geometry& g, const float* image, float* columns);
 
+/// Strided variant: writes patch row r at columns + r * row_stride
+/// (row_stride >= column_count). This lets a batch of N images unroll
+/// side by side into one [patch_size, N * column_count] matrix — sample s
+/// passes `columns + s * column_count` with row_stride = N * column_count
+/// — so a convolution over the whole batch lowers to a single GEMM.
+void im2col_strided(const conv_geometry& g, const float* image,
+                    float* columns, std::size_t row_stride);
+
 /// Adjoint of im2col: accumulates `columns` back into `image_grad`
 /// ([C, H, W]); the caller must zero `image_grad` first if it wants a pure
 /// scatter rather than an accumulation.

@@ -68,6 +68,11 @@ void tensor::reshape(shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+std::vector<float> tensor::take_data() && {
+  shape_ = shape();
+  return std::move(data_);
+}
+
 void tensor::fill(float value) {
   for (auto& v : data_) v = value;
 }

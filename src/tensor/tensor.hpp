@@ -77,6 +77,11 @@ class tensor {
   /// In-place reshape; element counts must match.
   void reshape(shape new_shape);
 
+  /// Releases the underlying storage (the tensor becomes empty, rank 0).
+  /// Lets buffer pools (nn::inference_workspace) recycle capacity instead
+  /// of freeing it.
+  std::vector<float> take_data() &&;
+
   /// Sets every element to `value`.
   void fill(float value);
 

@@ -119,6 +119,79 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(64, 257, 128), // exactly at block sizes
                       std::make_tuple(31, 300, 5)));
 
+// Randomized rectangular / ragged shapes across both the small-kernel and
+// the packed-kernel dispatch, all three layouts, against the naive
+// reference.
+TEST(gemm, randomized_shapes_match_naive) {
+  appeal::util::rng gen(2024);
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto m = static_cast<std::size_t>(gen.uniform_int(1, 90));
+    const auto n = static_cast<std::size_t>(gen.uniform_int(1, 90));
+    const auto k = static_cast<std::size_t>(gen.uniform_int(1, 90));
+    const float alpha = gen.uniform(0.5F, 1.5F);
+    const float beta = gen.bernoulli(0.5) ? 0.0F : gen.uniform(0.2F, 1.2F);
+
+    const auto a = random_matrix(m, k, gen);
+    const auto b = random_matrix(k, n, gen);
+    auto c_ref = random_matrix(m, n, gen);
+    auto c = c_ref;
+    ops::sgemm(m, n, k, alpha, a.data(), b.data(), beta, c.data());
+    naive_gemm(m, n, k, alpha, a.data(), b.data(), beta, c_ref.data());
+    ASSERT_LE(max_diff(c, c_ref), 1e-3F * static_cast<float>(k))
+        << "sgemm " << m << "x" << n << "x" << k;
+
+    // A^T layout: a_t stored [k x m] with a_t[kk*m + i] = A(i, kk).
+    std::vector<float> a_t(m * k);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t i = 0; i < m; ++i) a_t[kk * m + i] = a[i * k + kk];
+    }
+    auto c_at = random_matrix(m, n, gen);
+    auto c_at_ref = c_at;
+    ops::sgemm_at(m, n, k, alpha, a_t.data(), b.data(), beta, c_at.data());
+    naive_gemm(m, n, k, alpha, a.data(), b.data(), beta, c_at_ref.data());
+    ASSERT_LE(max_diff(c_at, c_at_ref), 1e-3F * static_cast<float>(k))
+        << "sgemm_at " << m << "x" << n << "x" << k;
+
+    // B^T layout: b_t stored [n x k] with b_t[j*k + kk] = B(kk, j).
+    std::vector<float> b_t(n * k);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t kk = 0; kk < k; ++kk) b_t[j * k + kk] = b[kk * n + j];
+    }
+    auto c_bt = random_matrix(m, n, gen);
+    auto c_bt_ref = c_bt;
+    ops::sgemm_bt(m, n, k, alpha, a.data(), b_t.data(), beta, c_bt.data());
+    naive_gemm(m, n, k, alpha, a.data(), b.data(), beta, c_bt_ref.data());
+    ASSERT_LE(max_diff(c_bt, c_bt_ref), 1e-3F * static_cast<float>(k))
+        << "sgemm_bt " << m << "x" << n << "x" << k;
+  }
+}
+
+// The determinism contract: bit-identical C for every thread count. The M
+// dimension spans several MC blocks so the parallel path actually engages.
+TEST(gemm, results_bit_stable_across_thread_counts) {
+  const std::size_t m = 512, n = 96, k = 160;
+  appeal::util::rng gen(7);
+  const auto a = random_matrix(m, k, gen);
+  const auto b = random_matrix(k, n, gen);
+
+  const std::size_t original = ops::gemm_threads();
+  std::vector<std::vector<float>> results;
+  for (const std::size_t threads : {1, 2, 4}) {
+    ops::set_gemm_threads(threads);
+    std::vector<float> c(m * n, -1.0F);
+    ops::sgemm(m, n, k, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    results.push_back(std::move(c));
+  }
+  ops::set_gemm_threads(original);
+
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      ASSERT_EQ(results[0][i], results[r][i])
+          << "thread-count run " << r << " diverged at element " << i;
+    }
+  }
+}
+
 TEST(gemm, beta_zero_overwrites_garbage) {
   // C may contain NaN-like garbage; beta = 0 must ignore it.
   std::vector<float> a{1.0F};

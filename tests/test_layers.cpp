@@ -202,13 +202,22 @@ TEST(maxpool_layer, forward_and_gradient_routing) {
   const tensor x = tensor::from_values(
       shape{1, 1, 4, 4},
       {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
-  const tensor y = layer.forward(x, false);
+  // Inference forward computes values but no argmax map...
+  const tensor y_eval = layer.forward(x, false);
+  EXPECT_EQ(y_eval.dims(), shape({1, 1, 2, 2}));
+  EXPECT_EQ(y_eval[0], 6.0F);
+  EXPECT_EQ(y_eval[3], 16.0F);
+  // ...so backward requires a training-mode forward (the inference
+  // caching contract in layer.hpp).
+  const tensor gy = tensor::full(shape{1, 1, 2, 2}, 1.0F);
+  EXPECT_THROW(layer.backward(gy), appeal::util::error);
+
+  const tensor y = layer.forward(x, true);
   EXPECT_EQ(y.dims(), shape({1, 1, 2, 2}));
   EXPECT_EQ(y[0], 6.0F);
   EXPECT_EQ(y[3], 16.0F);
 
   // Gradient flows only to the max positions.
-  const tensor gy = tensor::full(shape{1, 1, 2, 2}, 1.0F);
   const tensor gx = layer.backward(gy);
   EXPECT_EQ(gx[5], 1.0F);   // position of 6
   EXPECT_EQ(gx[0], 0.0F);
