@@ -21,10 +21,21 @@
 //     (batched NCHW forward, packed GEMM, inference workspace) shows up
 //     directly in the reported edge p50/p99.
 //
+// Three cloud transports:
+//   --transport=sim (default): the deterministic cost-model simulator;
+//   --transport=uds --endpoint=/tmp/appeal-cloud.sock and
+//   --transport=tcp --endpoint=host:port: real framed appeals to a
+//     running `cloud_stub`. Start the stub with --scorer=synthetic and
+//     the same --seed/--accuracy/--classes and its answers equal the
+//     simulator's replay table exactly, so accuracy/SR must match the
+//     sim run bit for bit (the loopback CI gate asserts this).
+//
 // Run:  ./bench_serving [--requests=20000] [--target_sr=0.9] [--seed=42]
 //       [--clients=64] [--shards=2] [--workers=2] [--batch=16]
 //       [--max_wait_us=200] [--time_scale=0.2] [--edge_sim=1]
 //       [--backend=replay|network] [--admission=block|shed|edge_only]
+//       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
+//       [--coalesce_ms=0] [--max_batch_appeals=64]
 //       [--json=results/serving.json]
 #include <algorithm>
 #include <atomic>
@@ -39,6 +50,7 @@
 #include "collab/system_eval.hpp"
 #include "core/two_head_network.hpp"
 #include "serve/server.hpp"
+#include "serve/transport/synthetic_scorer.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -57,9 +69,17 @@ struct workload {
   std::vector<double> scores;
 };
 
+/// Big-model accuracy of the synthetic cloud; a cloud_stub started with
+/// --scorer=synthetic --accuracy=0.97 and the same seed answers
+/// identically over the socket.
+constexpr double kBigAccuracy = 0.97;
+
 /// Synthetic request population: an ~80%-accurate little model, an
 /// ~97%-accurate big model, and scores correlated with little-correctness
-/// (the separation the two-head predictor provides; cf. Fig. 4).
+/// (the separation the two-head predictor provides; cf. Fig. 4). Big
+/// predictions are a pure function of (key, seed) — shared with the
+/// out-of-process cloud_stub — so simulator and socket runs route and
+/// score identically.
 workload make_workload(std::size_t n, std::uint64_t seed) {
   util::rng gen(seed);
   workload w;
@@ -71,7 +91,8 @@ workload make_workload(std::size_t n, std::uint64_t seed) {
     w.labels[i] = i % 10;
     const bool little_right = gen.bernoulli(0.8);
     w.little[i] = little_right ? w.labels[i] : (w.labels[i] + 1) % 10;
-    w.big[i] = gen.bernoulli(0.97) ? w.labels[i] : (w.labels[i] + 2) % 10;
+    w.big[i] = serve::transport::synthetic_big_prediction(
+        i, w.labels[i], 10, seed, kBigAccuracy);
     w.scores[i] = little_right ? 0.5 + 0.5 * gen.uniform()
                                : 0.7 * gen.uniform();
   }
@@ -117,9 +138,8 @@ network_workload make_network_workload(std::size_t n, std::uint64_t seed) {
     out.images.push_back(
         tensor::rand_uniform(shape{c, hw, hw}, gen, -1.0F, 1.0F));
     out.w.labels[i] = i % cfg.spec.num_classes;
-    out.w.big[i] = gen.bernoulli(0.97)
-                       ? out.w.labels[i]
-                       : (out.w.labels[i] + 2) % cfg.spec.num_classes;
+    out.w.big[i] = serve::transport::synthetic_big_prediction(
+        i, out.w.labels[i], cfg.spec.num_classes, seed, kBigAccuracy);
   }
 
   core::two_head_network net(cfg);
@@ -242,11 +262,17 @@ void append_run_json(std::FILE* f, const char* mode, const run_result& r,
       " \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"achieved_sr\": %.6f,"
       " \"online_accuracy\": %.6f, \"shed_rate\": %.6f, \"shed\": %zu,"
       " \"expired\": %zu, \"overflow\": %zu, \"delta\": %.6f,"
-      " \"measured_seconds\": %.4f}%s\n",
+      " \"measured_seconds\": %.4f,"
+      " \"appeal_batches\": %zu, \"appeals_on_wire\": %zu,"
+      " \"mean_appeals_per_batch\": %.4f, \"wire_bytes_tx\": %zu,"
+      " \"wire_bytes_rx\": %zu, \"link_fallbacks\": %zu}%s\n",
       mode, r.stats.throughput_rps, r.stats.p50_ms, r.stats.p95_ms,
       r.stats.p99_ms, r.stats.achieved_sr, r.stats.online_accuracy,
       r.stats.shed_rate, r.stats.shed, r.stats.expired, r.stats.overflow,
-      r.delta, r.measured_seconds, last ? "" : ",");
+      r.delta, r.measured_seconds, r.stats.appeal_batches,
+      r.stats.appeals_on_wire, r.stats.mean_appeals_per_batch,
+      r.stats.wire_bytes_tx, r.stats.wire_bytes_rx, r.stats.link_fallbacks,
+      last ? "" : ",");
 }
 
 }  // namespace
@@ -278,6 +304,12 @@ int main(int argc, char** argv) {
   cfg.shard.queue_capacity = static_cast<std::size_t>(
       args.get_int_or("queue_capacity", 1024));
   cfg.shard.channel.time_scale = args.get_double_or("time_scale", 0.2);
+  cfg.shard.channel.transport =
+      serve::parse_transport_kind(args.get_string_or("transport", "sim"));
+  cfg.shard.channel.endpoint = args.get_string_or("endpoint", "");
+  cfg.shard.channel.coalesce_window_ms = args.get_double_or("coalesce_ms", 0.0);
+  cfg.shard.channel.max_batch_appeals =
+      static_cast<std::size_t>(args.get_int_or("max_batch_appeals", 64));
   // Network mode pays real edge compute, so the simulated edge sleep
   // defaults off there (replay keeps it: compute is otherwise free).
   cfg.shard.simulate_edge_compute =
@@ -320,9 +352,12 @@ int main(int argc, char** argv) {
   const collab::sweep_point offline = curve.front();
   std::printf(
       "=== bench_serving: %zu requests, %zu clients, %zu shards, seed %llu, "
-      "backend %s ===\n",
+      "backend %s, transport %s%s%s ===\n",
       requests, clients, shards, static_cast<unsigned long long>(seed),
-      backend.c_str());
+      backend.c_str(),
+      serve::transport_kind_name(cfg.shard.channel.transport),
+      cfg.shard.channel.endpoint.empty() ? "" : " @ ",
+      cfg.shard.channel.endpoint.c_str());
   std::printf(
       "offline system_eval: delta %.4f -> SR %.2f%%, accuracy %.2f%%\n\n",
       offline.delta, offline.achieved_sr * 100.0, offline.accuracy * 100.0);
@@ -386,6 +421,8 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"serving\",\n"
                  "  \"backend\": \"%s\",\n"
+                 "  \"transport\": \"%s\",\n"
+                 "  \"coalesce_ms\": %.3f,\n"
                  "  \"requests\": %zu,\n"
                  "  \"clients\": %zu,\n"
                  "  \"shards\": %zu,\n"
@@ -394,8 +431,10 @@ int main(int argc, char** argv) {
                  "  \"offline\": {\"delta\": %.6f, \"achieved_sr\": %.6f,"
                  " \"accuracy\": %.6f},\n"
                  "  \"runs\": [\n",
-                 backend.c_str(), requests, clients, shards,
-                 static_cast<unsigned long long>(seed), target_sr,
+                 backend.c_str(),
+                 serve::transport_kind_name(cfg.shard.channel.transport),
+                 cfg.shard.channel.coalesce_window_ms, requests, clients,
+                 shards, static_cast<unsigned long long>(seed), target_sr,
                  offline.delta, offline.achieved_sr, offline.accuracy);
     append_run_json(f, "fixed", fixed, /*last=*/false);
     append_run_json(f, "adaptive", adaptive, /*last=*/true);

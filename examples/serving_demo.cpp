@@ -11,8 +11,17 @@
 // next to the online numbers — they agree because serving is the same
 // computation under a scheduler.
 //
+// The cloud side is pluggable: the default simulated uplink, or a real
+// socket to a running `cloud_stub` (--transport=uds --endpoint=<path>,
+// or --transport=tcp --endpoint=host:port). Over a socket the stub's
+// scorer answers the appeals instead of the locally trained big network
+// (start it with --scorer=echo for the paper's always-correct cloud);
+// the trained big network remains the local fallback if the link drops.
+//
 // Run:  ./example_serving_demo [--epochs=6] [--target_sr=0.9]
 //       [--time_scale=0.1] [--batch=16]
+//       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
+//       [--coalesce_ms=0] [--max_batch_appeals=64]
 #include <cstdio>
 #include <memory>
 
@@ -78,6 +87,13 @@ int main(int argc, char** argv) {
           bundle.test->image_shape().element_count()) *
           4.0 / 1024.0);
   dep_cfg.shard.channel.time_scale = args.get_double_or("time_scale", 0.1);
+  dep_cfg.shard.channel.transport =
+      serve::parse_transport_kind(args.get_string_or("transport", "sim"));
+  dep_cfg.shard.channel.endpoint = args.get_string_or("endpoint", "");
+  dep_cfg.shard.channel.coalesce_window_ms =
+      args.get_double_or("coalesce_ms", 0.0);
+  dep_cfg.shard.channel.max_batch_appeals =
+      static_cast<std::size_t>(args.get_int_or("max_batch_appeals", 64));
 
   // Deployment-load optimization: fold the little network's conv+BN pairs.
   // Outputs match the offline evaluation above up to float rounding.

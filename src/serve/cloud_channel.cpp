@@ -1,6 +1,10 @@
 #include "serve/cloud_channel.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace appeal::serve {
 
@@ -8,25 +12,33 @@ namespace {
 
 using clock = std::chrono::steady_clock;
 
-clock::duration scaled_ms(double ms, double scale) {
+clock::duration from_ms(double ms) {
   return std::chrono::duration_cast<clock::duration>(
-      std::chrono::duration<double, std::milli>(ms * scale));
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+double ms_since(clock::time_point from) {
+  return std::chrono::duration<double, std::milli>(clock::now() - from)
+      .count();
 }
 
 }  // namespace
 
 cloud_channel::cloud_channel(cloud_backend& backend,
                              const collab::cost_model& link,
-                             const link_config& cfg)
+                             const link_config& cfg, std::string name)
     : backend_(backend),
-      transmit_ms_(link.input_kb * link.comm_ms_per_kb),
-      // Propagation + cloud compute = the cost model's offload latency
-      // minus the transmit share (L(0) - L(1) is the full offload term).
-      overlap_ms_(link.overall_latency_ms(0.0) - link.overall_latency_ms(1.0) -
-                  link.input_kb * link.comm_ms_per_kb),
-      time_scale_(cfg.time_scale) {
-  APPEAL_CHECK(time_scale_ >= 0.0, "time_scale must be non-negative");
-  link_free_at_ = clock::now();
+      config_(cfg),
+      name_(std::move(name)),
+      transport_(make_cloud_transport(cfg, backend, link)) {
+  APPEAL_CHECK(config_.coalesce_window_ms >= 0.0,
+               "coalesce window must be non-negative");
+  config_.max_batch_appeals = std::max<std::size_t>(1, cfg.max_batch_appeals);
+  transport_->start(
+      [this](std::vector<cloud_transport::completion>&& done) {
+        on_completions(std::move(done));
+      },
+      [this] { on_link_failure(); });
   worker_ = std::thread([this] { run(); });
 }
 
@@ -38,13 +50,15 @@ cloud_channel::~cloud_channel() {
   }
   wake_.notify_all();
   worker_.join();
+  transport_->stop();
 }
 
 void cloud_channel::appeal(request&& r, completion_fn on_complete) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     APPEAL_CHECK(!stopping_, "appeal() after channel shutdown");
-    pending_.push(pending{std::move(r), std::move(on_complete)});
+    pending_.push_back(
+        pending{std::move(r), std::move(on_complete), clock::now()});
     ++outstanding_;
   }
   wake_.notify_all();
@@ -60,57 +74,213 @@ std::size_t cloud_channel::completed() const {
   return completed_;
 }
 
+link_counters cloud_channel::counters() const {
+  link_counters c;
+  c.wire = transport_->counters();
+  std::lock_guard<std::mutex> lock(mutex_);
+  c.completed = completed_;
+  c.local_fallbacks = local_fallbacks_;
+  return c;
+}
+
 void cloud_channel::run() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    // Move every pending appeal onto the simulated link. Transmissions
-    // serialize (link_free_at_); propagation + cloud compute overlap.
-    while (!pending_.empty()) {
-      pending p = std::move(pending_.front());
-      pending_.pop();
-      const auto now = clock::now();
-      const auto send_start = std::max(now, link_free_at_);
-      const auto send_end = send_start + scaled_ms(transmit_ms_, time_scale_);
-      link_free_at_ = send_end;
-      in_flight f;
-      f.complete_at = send_end + scaled_ms(overlap_ms_, time_scale_);
-      f.link_ms = std::chrono::duration<double, std::milli>(f.complete_at -
-                                                            now)
-                      .count();
-      f.on_complete = std::move(p.on_complete);
-      lock.unlock();
-      // Run the big network off-lock: it may be arbitrarily expensive.
-      const std::size_t prediction = backend_.infer(p.req);
-      lock.lock();
-      f.prediction = prediction;
-      f.req = std::move(p.req);
-      in_flight_.push(std::move(f));
-    }
+    // Response watchdog (socket transports): a peer that accepts
+    // appeals but answers none of them within the budget is declared
+    // dead — outstanding appeals complete locally so drain() always
+    // terminates. Checked every iteration, so it fires under sustained
+    // load as well as when the channel idles.
+    reap_overdue(lock);
 
-    if (!in_flight_.empty()) {
-      // Completion deadlines are FIFO: every appeal adds the same overlap
-      // on top of a monotone send_end, so the front is always due first.
-      const auto due = in_flight_.front().complete_at;
-      if (clock::now() < due) {
-        wake_.wait_until(lock, due);
-        continue;  // re-check pending work after the wait
+    if (pending_.empty()) {
+      if (stopping_) return;
+      const std::optional<clock::time_point> due = watchdog_due_locked();
+      if (due.has_value()) {
+        wake_.wait_until(lock, *due, [&] {
+          return stopping_ || !pending_.empty();
+        });
+        continue;  // loop re-checks the watchdog and the queues
       }
-      in_flight f = std::move(in_flight_.front());
-      in_flight_.pop();
-      lock.unlock();
-      f.on_complete(std::move(f.req), f.prediction, f.link_ms);
-      lock.lock();
-      ++completed_;
-      --outstanding_;
-      if (outstanding_ == 0) drained_.notify_all();
+      wake_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
       continue;
     }
 
-    if (stopping_) return;
-    wake_.wait(lock, [&] {
-      return stopping_ || !pending_.empty() || !in_flight_.empty();
-    });
+    // Coalesce: everything pending goes into one frame (up to the batch
+    // cap); an optional window holds the batch open so a burst arriving
+    // just behind the first appeal shares its RTT.
+    if (config_.coalesce_window_ms > 0.0 &&
+        pending_.size() < config_.max_batch_appeals) {
+      const clock::time_point close_at =
+          pending_.front().arrived + from_ms(config_.coalesce_window_ms);
+      wake_.wait_until(lock, close_at, [&] {
+        return stopping_ || pending_.size() >= config_.max_batch_appeals;
+      });
+      if (pending_.empty()) continue;
+    }
+
+    const std::size_t take =
+        std::min(pending_.size(), config_.max_batch_appeals);
+    std::vector<std::uint64_t> wire_ids;
+    wire_ids.reserve(take);
+    const clock::time_point batched_at = clock::now();
+    for (std::size_t i = 0; i < take; ++i) {
+      pending p = std::move(pending_.front());
+      pending_.pop_front();
+      const std::uint64_t id = next_wire_id_++;
+      wire_ids.push_back(id);
+      in_flight_.emplace(
+          id, in_flight{std::move(p.req), std::move(p.on_complete),
+                        batched_at});
+      // Only the watchdog reads flight_order_; skipping the append when
+      // it cannot fire keeps the deque from growing forever under the
+      // sim transport (whose completions are internally guaranteed).
+      if (watchdog_enabled()) flight_order_.emplace_back(id, batched_at);
+    }
+    // The in-flight table owns the requests; build the transport's view
+    // while still locked (the unordered_map's node storage never moves,
+    // and sending_ids_ pins these entries against concurrent extraction
+    // by on_link_failure while the send path reads them off-lock).
+    std::vector<const request*> batch;
+    batch.reserve(take);
+    for (const std::uint64_t id : wire_ids) {
+      batch.push_back(&in_flight_.at(id).req);
+    }
+    sending_ids_ = wire_ids;
+    const bool use_transport = !link_down_;
+    lock.unlock();
+
+    bool sent = false;
+    if (use_transport) {
+      try {
+        // May block while the link is busy — exactly the window in which
+        // the next batch accumulates.
+        transport_->send_batch(batch, wire_ids, name_);
+        sent = true;
+      } catch (const util::error&) {
+        // Fall through to local completion below.
+      }
+    }
+    lock.lock();
+    sending_ids_.clear();
+    if (!sent || link_down_) {
+      // Send failed, or the link died while this batch was in the air
+      // (on_link_failure left the pinned entries for us): whatever the
+      // cloud has not already answered completes locally.
+      link_down_ = true;
+      flight_order_.clear();
+      std::vector<in_flight> entries = extract_locked(wire_ids);
+      local_fallbacks_ += entries.size();
+      lock.unlock();
+      complete_locally(std::move(entries));
+      lock.lock();
+    }
   }
+}
+
+std::vector<cloud_channel::in_flight> cloud_channel::extract_locked(
+    const std::vector<std::uint64_t>& ids) {
+  std::vector<in_flight> entries;
+  entries.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    auto it = in_flight_.find(id);
+    if (it == in_flight_.end()) continue;  // already answered
+    entries.push_back(std::move(it->second));
+    in_flight_.erase(it);
+  }
+  return entries;
+}
+
+bool cloud_channel::watchdog_enabled() const {
+  return config_.transport != transport_kind::sim &&
+         config_.response_timeout_ms > 0.0 && !link_down_;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+cloud_channel::watchdog_due_locked() {
+  if (!watchdog_enabled()) return std::nullopt;
+  while (!flight_order_.empty() &&
+         in_flight_.find(flight_order_.front().first) == in_flight_.end()) {
+    flight_order_.pop_front();  // already answered
+  }
+  if (flight_order_.empty()) return std::nullopt;
+  return flight_order_.front().second + from_ms(config_.response_timeout_ms);
+}
+
+void cloud_channel::reap_overdue(std::unique_lock<std::mutex>& lock) {
+  const std::optional<clock::time_point> due = watchdog_due_locked();
+  if (!due.has_value() || clock::now() < *due) return;
+  link_down_ = true;
+  flight_order_.clear();
+  std::vector<std::uint64_t> overdue;
+  overdue.reserve(in_flight_.size());
+  for (const auto& [id, entry] : in_flight_) overdue.push_back(id);
+  std::vector<in_flight> entries = extract_locked(overdue);
+  local_fallbacks_ += entries.size();
+  lock.unlock();
+  APPEAL_LOG_WARN << "cloud link '" << name_ << "': no response in "
+                  << config_.response_timeout_ms << " ms; completing "
+                  << entries.size() << " appeals locally";
+  complete_locally(std::move(entries));
+  lock.lock();
+}
+
+void cloud_channel::on_completions(
+    std::vector<cloud_transport::completion>&& batch) {
+  std::vector<std::pair<in_flight, std::size_t>> done;
+  done.reserve(batch.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const cloud_transport::completion& c : batch) {
+      auto it = in_flight_.find(c.id);
+      if (it == in_flight_.end()) continue;  // already completed locally
+      done.emplace_back(std::move(it->second), c.prediction);
+      in_flight_.erase(it);
+    }
+  }
+  for (auto& [entry, prediction] : done) {
+    finish(std::move(entry), prediction);
+  }
+}
+
+void cloud_channel::on_link_failure() {
+  std::vector<in_flight> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    link_down_ = true;
+    flight_order_.clear();
+    entries.reserve(in_flight_.size());
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      // Entries pinned by an in-progress send stay: the coalescing
+      // thread is still reading them through raw pointers and will
+      // sweep them itself once send_batch returns (it sees link_down_).
+      if (std::find(sending_ids_.begin(), sending_ids_.end(), it->first) !=
+          sending_ids_.end()) {
+        ++it;
+        continue;
+      }
+      entries.push_back(std::move(it->second));
+      it = in_flight_.erase(it);
+    }
+    local_fallbacks_ += entries.size();
+  }
+  complete_locally(std::move(entries));
+}
+
+void cloud_channel::complete_locally(std::vector<in_flight>&& entries) {
+  for (in_flight& entry : entries) {
+    const std::size_t prediction = backend_.infer(entry.req);
+    finish(std::move(entry), prediction);
+  }
+}
+
+void cloud_channel::finish(in_flight&& entry, std::size_t prediction) {
+  const double link_ms = ms_since(entry.batched_at);
+  entry.on_complete(std::move(entry.req), prediction, link_ms);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  --outstanding_;
+  if (outstanding_ == 0) drained_.notify_all();
 }
 
 }  // namespace appeal::serve

@@ -1,48 +1,93 @@
-// Asynchronous appeal dispatcher with a simulated edge→cloud link.
+// Asynchronous appeal dispatcher with batched coalescing over a
+// pluggable edge→cloud transport.
 //
-// Appeals complete on a background thread after a modeled delay derived
-// from the collab::cost_model latency coefficients:
-//   transmit = input_kb * comm_ms_per_kb   (serialized: one uplink)
-//   fixed    = comm_round_trip_ms          (propagation, overlapped)
-//   cloud    = cloud_mflops / cloud_gflops (cloud compute, overlapped)
-// Transmissions serialize on the uplink (a later appeal waits for the
-// radio), while propagation and cloud compute pipeline — so throughput is
-// bounded by bandwidth and latency by the full round trip, matching how a
-// real offload link behaves under load. `time_scale` scales all simulated
-// delays (0 disables them entirely for fast tests).
+// The channel owns one uplink per deployment. Appeals queue on a
+// coalescing thread that packs them into framed batches — everything
+// that arrived while the link was busy goes out together, and an
+// optional coalesce window holds the first appeal back briefly to let a
+// burst accumulate — then ships each batch over a cloud_transport:
+//   - sim (default): the deterministic cost-model simulator; the local
+//     cloud_backend scores, modeled transmit/RTT delays apply
+//     (time_scale = 0 disables them for fast tests);
+//   - uds / tcp: the wire.hpp protocol to a real listening process
+//     (tools/cloud_stub), kernel backpressure replacing modeled
+//     occupancy.
+// Completions come back demuxed by a channel-assigned wire id (request
+// ids are only unique per engine shard; one channel serves all shards of
+// a deployment). If the link dies mid-run the channel completes every
+// outstanding — and every future — appeal with the local cloud backend,
+// so serving degrades instead of wedging.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "collab/cost_model.hpp"
 #include "serve/backends.hpp"
 #include "serve/request.hpp"
+#include "serve/serve_stats.hpp"
+#include "serve/transport/cloud_transport.hpp"
 
 namespace appeal::serve {
 
-struct link_config {
-  double time_scale = 1.0;  // multiplier on all simulated delays
+/// Link-level statistics the serving stats report alongside the
+/// per-request counters.
+struct link_counters {
+  transport_counters wire;        // batches, appeals, bytes on the wire
+  std::size_t completed = 0;      // appeals answered (any path)
+  std::size_t local_fallbacks = 0;  // answered locally after a link failure
+
+  /// Counters accumulated since `baseline` was captured (how
+  /// engine/deployment::reset_stats keeps the wire statistics aligned
+  /// with the post-warmup measurement window).
+  link_counters since(const link_counters& baseline) const {
+    link_counters d = *this;
+    d.wire.batches_sent -= baseline.wire.batches_sent;
+    d.wire.appeals_sent -= baseline.wire.appeals_sent;
+    d.wire.bytes_sent -= baseline.wire.bytes_sent;
+    d.wire.bytes_received -= baseline.wire.bytes_received;
+    d.completed -= baseline.completed;
+    d.local_fallbacks -= baseline.local_fallbacks;
+    return d;
+  }
 };
+
+/// Overlays the channel's wire counters onto a stats snapshot (called by
+/// engine::snapshot / deployment::snapshot).
+inline void apply_link_counters(stats_snapshot& s, const link_counters& c) {
+  s.appeal_batches = c.wire.batches_sent;
+  s.appeals_on_wire = c.wire.appeals_sent;
+  s.mean_appeals_per_batch = c.wire.mean_appeals_per_batch();
+  s.wire_bytes_tx = c.wire.bytes_sent;
+  s.wire_bytes_rx = c.wire.bytes_received;
+  s.link_fallbacks = c.local_fallbacks;
+}
 
 class cloud_channel {
  public:
-  /// Called on the channel thread when an appeal completes.
+  /// Called when an appeal completes (transport receive thread or the
+  /// coalescing thread on the fallback path).
   using completion_fn =
       std::function<void(request&&, std::size_t cloud_prediction,
                          double link_ms)>;
 
+  /// `backend` is the local big model: the simulator's scorer, and the
+  /// fallback when a socket transport loses its peer. `name` rides the
+  /// wire as the deployment name.
   cloud_channel(cloud_backend& backend, const collab::cost_model& link,
-                const link_config& cfg);
+                const link_config& cfg, std::string name = "");
   ~cloud_channel();
 
   /// Enqueues an appeal; returns immediately. The completion callback
-  /// fires after the simulated link delay.
+  /// fires once the cloud's answer is back (simulated or real).
   void appeal(request&& r, completion_fn on_complete);
 
   /// Blocks until every appeal enqueued so far has completed.
@@ -51,40 +96,67 @@ class cloud_channel {
   /// Total appeals completed.
   std::size_t completed() const;
 
-  /// Simulated per-appeal round-trip (ms, unscaled): transmit + fixed +
-  /// cloud compute. Matches the offload term of overall_latency_ms.
-  double round_trip_ms() const { return transmit_ms_ + overlap_ms_; }
+  /// Wire + completion counters for stats reporting.
+  link_counters counters() const;
+
+  const link_config& config() const { return config_; }
 
  private:
   struct pending {
     request req;
     completion_fn on_complete;
+    std::chrono::steady_clock::time_point arrived;
   };
   struct in_flight {
     request req;
     completion_fn on_complete;
-    std::size_t prediction = 0;
-    double link_ms = 0.0;
-    std::chrono::steady_clock::time_point complete_at;
+    std::chrono::steady_clock::time_point batched_at;
   };
 
   void run();
+  void on_completions(std::vector<cloud_transport::completion>&& batch);
+  void on_link_failure();
+  /// Scores `entries` with the local backend and completes them.
+  void complete_locally(std::vector<in_flight>&& entries);
+  void finish(in_flight&& entry, std::size_t prediction);
+  /// Extracts the given wire ids from in_flight_ (those still present).
+  /// Caller holds mutex_.
+  std::vector<in_flight> extract_locked(const std::vector<std::uint64_t>& ids);
+  /// True when the response watchdog applies to this channel's link.
+  bool watchdog_enabled() const;
+  /// When the oldest in-flight appeal is due for the response watchdog,
+  /// its deadline; std::nullopt when the watchdog does not apply.
+  /// Caller holds mutex_.
+  std::optional<std::chrono::steady_clock::time_point> watchdog_due_locked();
+  /// Declares the link dead and completes every overdue appeal locally
+  /// when the watchdog deadline has passed. Caller holds `lock`; it is
+  /// released and re-taken around the local completions.
+  void reap_overdue(std::unique_lock<std::mutex>& lock);
 
   cloud_backend& backend_;
-  double transmit_ms_;  // serialized uplink occupancy per appeal
-  double overlap_ms_;   // propagation + cloud compute (pipelined)
-  double time_scale_;
+  link_config config_;
+  std::string name_;
+  std::unique_ptr<cloud_transport> transport_;
 
   mutable std::mutex mutex_;
-  std::condition_variable wake_;      // channel thread wake-ups
-  std::condition_variable drained_;   // drain() waiters
-  std::queue<pending> pending_;
-  // Completion deadlines are FIFO (constant overlap on a monotone
-  // send_end), so a plain queue is a valid timer wheel here.
-  std::queue<in_flight> in_flight_;
-  std::chrono::steady_clock::time_point link_free_at_;
+  std::condition_variable wake_;     // coalescing thread wake-ups
+  std::condition_variable drained_;  // drain() waiters
+  std::deque<pending> pending_;
+  std::unordered_map<std::uint64_t, in_flight> in_flight_;
+  /// Wire ids of the batch the coalescing thread is sending right now:
+  /// on_link_failure() must not extract (and destroy) entries the send
+  /// path still reads through raw pointers; the sender sweeps them
+  /// itself after the send returns.
+  std::vector<std::uint64_t> sending_ids_;
+  /// (wire id, batched_at) in send order, for the response watchdog;
+  /// lazily pruned of already-completed ids.
+  std::deque<std::pair<std::uint64_t, std::chrono::steady_clock::time_point>>
+      flight_order_;
+  std::uint64_t next_wire_id_ = 0;
   std::size_t outstanding_ = 0;
   std::size_t completed_ = 0;
+  std::size_t local_fallbacks_ = 0;
+  bool link_down_ = false;
   bool stopping_ = false;
   std::thread worker_;
 };

@@ -4,19 +4,11 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace appeal::serve {
 
 namespace {
-
-/// splitmix64 finalizer: a fast, well-mixed stable hash so consecutive
-/// keys spread across shards instead of striping.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 cloud_backend& require_cloud(const std::unique_ptr<cloud_backend>& cloud) {
   APPEAL_CHECK(cloud != nullptr, "deployment needs a cloud backend factory");
@@ -33,7 +25,7 @@ deployment::deployment(std::string name, const deployment_config& cfg,
       stats_(cfg.shard.stats),
       controller_(cfg.shard.threshold, &config_.shard.link),
       channel_(require_cloud(cloud_), config_.shard.link,
-               config_.shard.channel) {
+               config_.shard.channel, name_) {
   APPEAL_CHECK(config_.shards > 0, "deployment needs at least one shard");
   APPEAL_CHECK(edge != nullptr, "deployment needs an edge backend factory");
   engines_.reserve(config_.shards);
@@ -54,8 +46,16 @@ deployment::deployment(std::string name, const deployment_config& cfg,
 
 deployment::~deployment() { shutdown(); }
 
+stats_snapshot deployment::snapshot() const {
+  stats_snapshot s = stats_.snapshot();
+  apply_link_counters(s, channel_.counters().since(link_baseline_));
+  return s;
+}
+
 std::size_t deployment::shard_for_key(std::uint64_t key) const {
-  return static_cast<std::size_t>(mix64(key) % engines_.size());
+  // Well-mixed stable hash so consecutive keys spread across shards
+  // instead of striping.
+  return static_cast<std::size_t>(util::mix64(key) % engines_.size());
 }
 
 std::future<response> deployment::submit(inference_request&& req) {

@@ -71,8 +71,17 @@ class deployment {
 
   /// Per-deployment aggregated statistics (all shards record here).
   const serve_stats& stats() const { return stats_; }
-  stats_snapshot snapshot() const { return stats_.snapshot(); }
-  void reset_stats() { stats_.reset(); }
+  /// Snapshot with the shared cloud link's wire counters overlaid
+  /// (counted from the last reset_stats(), like every other statistic).
+  stats_snapshot snapshot() const;
+  void reset_stats() {
+    stats_.reset();
+    link_baseline_ = channel_.counters();
+  }
+
+  /// The deployment's one uplink (appeals from every shard coalesce on
+  /// it).
+  const cloud_channel& channel() const { return channel_; }
 
   threshold_controller& controller() { return controller_; }
   engine& shard(std::size_t i) { return *engines_.at(i); }
@@ -89,6 +98,9 @@ class deployment {
   serve_stats stats_;
   threshold_controller controller_;
   cloud_channel channel_;
+  /// Channel counters at the last reset_stats(); snapshot() reports the
+  /// delta so wire statistics cover the same window as everything else.
+  link_counters link_baseline_;
   std::vector<std::unique_ptr<engine>> engines_;
 };
 

@@ -138,6 +138,12 @@ std::future<response> engine::submit(inference_request&& req) {
   throw util::error("submit() on a shut-down engine");
 }
 
+stats_snapshot engine::snapshot() const {
+  stats_snapshot s = stats_->snapshot();
+  apply_link_counters(s, channel_->counters().since(link_baseline_));
+  return s;
+}
+
 void engine::drain() {
   std::unique_lock<std::mutex> lock(drain_mutex_);
   drained_.wait(lock, [&] {

@@ -59,8 +59,10 @@ struct engine_config {
   std::size_t queue_capacity = 1024;
   admission_config admission;     // full-queue policy at submit()
   threshold_config threshold;
-  collab::cost_model link;        // simulated uplink + edge/cloud compute
-  link_config channel;            // time_scale for the simulation
+  collab::cost_model link;        // cost model: edge/cloud compute + uplink
+  /// Cloud-link setup: transport (sim | uds | tcp), endpoint, coalescing
+  /// window/cap, and the simulator's time_scale.
+  link_config channel;
   serve_stats_config stats;
   /// When true, each batch also pays the modeled edge compute time
   /// (edge_mflops / edge_gflops, scaled by channel.time_scale) — the batch
@@ -114,10 +116,22 @@ class engine {
 
   const serve_stats& stats() const { return *stats_; }
 
-  /// Discards all stats so far (counters, latency histogram, clock) —
-  /// call after a warmup phase, with no requests in flight, to open a
-  /// clean measurement window. The threshold controller keeps its state.
-  void reset_stats() { stats_->reset(); }
+  /// Stats snapshot with the cloud link's wire counters overlaid (bytes,
+  /// batches, appeals/batch, local fallbacks).
+  stats_snapshot snapshot() const;
+
+  /// The cloud link this engine appeals over (shared across shards when
+  /// the engine belongs to a deployment).
+  const cloud_channel& channel() const { return *channel_; }
+
+  /// Discards all stats so far (counters, latency histogram, clock, and
+  /// the snapshot's wire-counter window) — call after a warmup phase,
+  /// with no requests in flight, to open a clean measurement window.
+  /// The threshold controller keeps its state.
+  void reset_stats() {
+    stats_->reset();
+    link_baseline_ = channel_->counters();
+  }
   threshold_controller& controller() { return *controller_; }
   const admission_controller& admission() const { return admission_; }
   const engine_config& config() const { return config_; }
@@ -142,6 +156,9 @@ class engine {
   threshold_controller* controller_;
   serve_stats* stats_;
   cloud_channel* channel_;
+  /// Channel counters at the last reset_stats(); snapshot() reports the
+  /// delta so wire statistics cover the same window as everything else.
+  link_counters link_baseline_;
   admission_controller admission_;
 
   std::atomic<std::uint64_t> next_id_{0};

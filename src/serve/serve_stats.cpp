@@ -113,7 +113,7 @@ stats_snapshot serve_stats::snapshot() const {
 }
 
 std::string serve_stats::render(const stats_snapshot& s) {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "completed        : %zu (edge %zu / degraded %zu / cloud %zu)\n"
@@ -129,7 +129,17 @@ std::string serve_stats::render(const stats_snapshot& s) {
       s.elapsed_seconds, s.p50_ms, s.p95_ms, s.p99_ms, s.overflow,
       s.mean_queue_ms, s.mean_link_ms, s.achieved_sr * 100.0,
       s.online_accuracy * 100.0, s.labeled);
-  return std::string(buf);
+  std::string out(buf);
+  if (s.appeal_batches > 0 || s.link_fallbacks > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "cloud link       : %zu appeals in %zu batches "
+        "(%.2f appeals/batch), %zu B up / %zu B down, %zu local fallbacks\n",
+        s.appeals_on_wire, s.appeal_batches, s.mean_appeals_per_batch,
+        s.wire_bytes_tx, s.wire_bytes_rx, s.link_fallbacks);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace appeal::serve

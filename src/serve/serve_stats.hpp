@@ -51,7 +51,17 @@ struct stats_snapshot {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double mean_queue_ms = 0.0;    // enqueue -> batch pull
-  double mean_link_ms = 0.0;     // simulated uplink time over appeals
+  double mean_link_ms = 0.0;     // uplink + cloud time over appeals
+
+  // Cloud-link counters, overlaid from the deployment's cloud_channel at
+  // snapshot time (engine::snapshot / deployment::snapshot); a raw
+  // serve_stats::snapshot() leaves them zero.
+  std::size_t appeal_batches = 0;       // framed batches on the wire
+  std::size_t appeals_on_wire = 0;      // appeals those batches carried
+  double mean_appeals_per_batch = 0.0;  // coalescing factor
+  std::size_t wire_bytes_tx = 0;        // appeal frames (or sim-equivalent)
+  std::size_t wire_bytes_rx = 0;        // response frames
+  std::size_t link_fallbacks = 0;       // appeals answered locally (link down)
 
   /// Everything that entered submit(): completed + shed + expired.
   std::size_t submitted() const { return completed + shed + expired; }

@@ -1,0 +1,42 @@
+#include "serve/transport/cloud_transport.hpp"
+
+#include "serve/transport/sim_transport.hpp"
+#include "serve/transport/socket_transport.hpp"
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+transport_kind parse_transport_kind(const std::string& name) {
+  if (name == "sim") return transport_kind::sim;
+  if (name == "uds") return transport_kind::uds;
+  if (name == "tcp") return transport_kind::tcp;
+  throw util::error("unknown transport '" + name + "' (want sim|uds|tcp)");
+}
+
+const char* transport_kind_name(transport_kind kind) {
+  switch (kind) {
+    case transport_kind::sim:
+      return "sim";
+    case transport_kind::uds:
+      return "uds";
+    case transport_kind::tcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+std::unique_ptr<cloud_transport> make_cloud_transport(
+    const link_config& cfg, cloud_backend& fallback,
+    const collab::cost_model& link) {
+  switch (cfg.transport) {
+    case transport_kind::sim:
+      return std::make_unique<sim_transport>(fallback, link, cfg.time_scale);
+    case transport_kind::uds:
+    case transport_kind::tcp:
+      return std::make_unique<socket_transport>(cfg.transport, cfg.endpoint,
+                                                cfg.response_timeout_ms);
+  }
+  throw util::error("unreachable transport kind");
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,199 @@
+#include "serve/transport/socket_util.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace appeal::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw util::error(what + ": " + std::strerror(errno));
+}
+
+/// Splits "host:port"; an empty host means loopback.
+std::pair<std::string, std::string> split_endpoint(const std::string& ep) {
+  const std::size_t colon = ep.rfind(':');
+  APPEAL_CHECK(colon != std::string::npos,
+               "tcp endpoint must be host:port, got '" + ep + "'");
+  std::string host = ep.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  return {std::move(host), ep.substr(colon + 1)};
+}
+
+sockaddr_un uds_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  APPEAL_CHECK(path.size() < sizeof(addr.sun_path),
+               "uds socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void set_nodelay(int raw) {
+  const int one = 1;
+  ::setsockopt(raw, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+struct resolved {
+  addrinfo* info = nullptr;
+  ~resolved() {
+    if (info != nullptr) ::freeaddrinfo(info);
+  }
+};
+
+resolved resolve_tcp(const std::string& endpoint, bool passive) {
+  const auto [host, port] = split_endpoint(endpoint);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  resolved r;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &r.info);
+  APPEAL_CHECK(rc == 0, "cannot resolve tcp endpoint '" + endpoint +
+                            "': " + ::gai_strerror(rc));
+  return r;
+}
+
+}  // namespace
+
+void fd::shutdown() noexcept {
+  if (raw_ >= 0) ::shutdown(raw_, SHUT_RDWR);
+}
+
+void fd::reset() noexcept {
+  if (raw_ >= 0) {
+    ::close(raw_);
+    raw_ = -1;
+  }
+}
+
+fd connect_uds(const std::string& path) {
+  fd sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_UNIX)");
+  const sockaddr_un addr = uds_address(path);
+  if (::connect(sock.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect to uds '" + path + "'");
+  }
+  return sock;
+}
+
+fd connect_tcp(const std::string& endpoint) {
+  const resolved r = resolve_tcp(endpoint, /*passive=*/false);
+  std::string last_error = "no addresses";
+  for (const addrinfo* ai = r.info; ai != nullptr; ai = ai->ai_next) {
+    fd sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) continue;
+    if (::connect(sock.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      set_nodelay(sock.get());
+      return sock;
+    }
+    last_error = std::strerror(errno);
+  }
+  throw util::error("connect to tcp '" + endpoint + "': " + last_error);
+}
+
+void set_send_timeout(const fd& socket, double ms) {
+  if (ms <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  if (::setsockopt(socket.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) !=
+      0) {
+    throw_errno("setsockopt(SO_SNDTIMEO)");
+  }
+}
+
+fd listen_uds(const std::string& path) {
+  ::unlink(path.c_str());  // a stale socket file would fail the bind
+  fd sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_UNIX)");
+  const sockaddr_un addr = uds_address(path);
+  if (::bind(sock.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind uds '" + path + "'");
+  }
+  if (::listen(sock.get(), 16) != 0) throw_errno("listen on '" + path + "'");
+  return sock;
+}
+
+fd listen_tcp(const std::string& endpoint) {
+  const resolved r = resolve_tcp(endpoint, /*passive=*/true);
+  std::string last_error = "no addresses";
+  for (const addrinfo* ai = r.info; ai != nullptr; ai = ai->ai_next) {
+    fd sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) continue;
+    const int one = 1;
+    ::setsockopt(sock.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(sock.get(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(sock.get(), 16) == 0) {
+      return sock;
+    }
+    last_error = std::strerror(errno);
+  }
+  throw util::error("listen on tcp '" + endpoint + "': " + last_error);
+}
+
+std::uint16_t local_tcp_port(const fd& listener) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    throw_errno("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  throw util::error("local_tcp_port on a non-TCP socket");
+}
+
+fd accept_connection(const fd& listener) {
+  for (;;) {
+    const int raw = ::accept(listener.get(), nullptr, nullptr);
+    if (raw >= 0) {
+      set_nodelay(raw);  // no-op on AF_UNIX
+      return fd(raw);
+    }
+    if (errno == EINTR) continue;
+    return fd();  // listener shut down: the normal stop path
+  }
+}
+
+void write_all(const fd& socket, const std::uint8_t* data, std::size_t n) {
+  std::size_t written = 0;
+  while (written < n) {
+    const ssize_t rc =
+        ::send(socket.get(), data + written, n - written, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket write");
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+}
+
+std::size_t read_some(const fd& socket, std::uint8_t* data, std::size_t n) {
+  for (;;) {
+    const ssize_t rc = ::recv(socket.get(), data, n, 0);
+    if (rc >= 0) return static_cast<std::size_t>(rc);
+    if (errno == EINTR) continue;
+    return 0;  // connection reset and local shutdown both end the stream
+  }
+}
+
+}  // namespace appeal::serve::net

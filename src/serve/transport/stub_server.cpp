@@ -1,0 +1,151 @@
+#include "serve/transport/stub_server.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace appeal::serve {
+
+namespace {
+using clock = std::chrono::steady_clock;
+}  // namespace
+
+stub_server::stub_server(const stub_server_config& cfg, scorer_fn scorer)
+    : config_(cfg), scorer_(std::move(scorer)) {
+  APPEAL_CHECK(config_.kind == transport_kind::uds ||
+                   config_.kind == transport_kind::tcp,
+               "stub_server listens on uds or tcp");
+  APPEAL_CHECK(scorer_ != nullptr, "stub_server needs a scorer");
+}
+
+stub_server::~stub_server() { stop(); }
+
+void stub_server::start() {
+  APPEAL_CHECK(!started_, "stub_server started twice");
+  started_ = true;
+  listener_ = config_.kind == transport_kind::uds
+                  ? net::listen_uds(config_.endpoint)
+                  : net::listen_tcp(config_.endpoint);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void stub_server::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.shutdown();  // unblocks accept()
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::unique_ptr<connection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live.swap(connections_);
+  }
+  for (auto& conn : live) {
+    conn->socket.shutdown();
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  listener_.reset();
+  if (started_ && config_.kind == transport_kind::uds) {
+    ::unlink(config_.endpoint.c_str());
+  }
+}
+
+std::uint16_t stub_server::tcp_port() const {
+  APPEAL_CHECK(config_.kind == transport_kind::tcp,
+               "tcp_port() on a non-tcp stub");
+  return net::local_tcp_port(listener_);
+}
+
+stub_server_counters stub_server::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void stub_server::reap_finished_connections() {
+  std::vector<std::unique_ptr<connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void stub_server::accept_loop() {
+  for (;;) {
+    net::fd conn = net::accept_connection(listener_);
+    if (!conn.valid()) return;  // listener shut down
+    if (stopping_.load(std::memory_order_acquire)) return;
+    reap_finished_connections();
+    auto c = std::make_unique<connection>();
+    c->socket = std::move(conn);
+    connection* raw = c.get();
+    c->thread = std::thread([this, raw] { serve_connection(*raw); });
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.connections += 1;
+    connections_.push_back(std::move(c));
+  }
+}
+
+void stub_server::serve_connection(connection& conn) {
+  net::fd& socket = conn.socket;
+  wire::frame_splitter splitter;
+  std::uint8_t chunk[64 * 1024];
+  try {
+    for (;;) {
+      const std::size_t n = net::read_some(socket, chunk, sizeof(chunk));
+      if (n == 0) break;  // client done (or stop())
+      splitter.feed(chunk, n);
+      std::size_t sent_bytes = 0;
+      std::size_t batches = 0;
+      std::size_t appeals = 0;
+      while (std::optional<wire::frame> f = splitter.next()) {
+        const std::vector<wire::appeal_record> batch =
+            wire::decode_appeal_batch(*f);
+        std::vector<wire::response_record> responses;
+        responses.reserve(batch.size());
+        for (const wire::appeal_record& a : batch) {
+          const clock::time_point t0 = clock::now();
+          wire::response_record r;
+          r.id = a.id;
+          r.prediction = scorer_(a);
+          r.cloud_ms =
+              std::chrono::duration<double, std::milli>(clock::now() - t0)
+                  .count();
+          responses.push_back(r);
+        }
+        const std::vector<std::uint8_t> framed =
+            wire::encode_response_batch(responses);
+        net::write_all(socket, framed.data(), framed.size());
+        sent_bytes += framed.size();
+        batches += 1;
+        appeals += batch.size();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      counters_.bytes_received += n;
+      counters_.bytes_sent += sent_bytes;
+      counters_.batches += batches;
+      counters_.appeals += appeals;
+    }
+  } catch (const util::error& e) {
+    // Corrupt stream or dead client: drop the connection, keep serving
+    // the others.
+    if (!stopping_.load(std::memory_order_acquire)) {
+      APPEAL_LOG_WARN << "cloud_stub connection dropped: " << e.what();
+    }
+  }
+  // Hands the connection to the accept loop's reaper (the fd closes
+  // there, with the join).
+  conn.done.store(true, std::memory_order_release);
+}
+
+}  // namespace appeal::serve

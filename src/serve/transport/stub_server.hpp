@@ -1,0 +1,97 @@
+// The cloud side of the appeal link: a listening server that speaks the
+// wire.hpp protocol.
+//
+// stub_server accepts any number of connections (one per deployment
+// channel — a bench run opens a fresh connection per server instance,
+// and several deployments may talk to one stub concurrently), reads
+// framed appeal batches, scores every appeal with the configured scorer,
+// and writes one response batch per appeal batch. tools/cloud_stub wraps
+// this in a standalone binary; the transport tests run it in-process on
+// a loopback socket.
+//
+// The scorer is a plain function over the decoded appeal record, so the
+// stub can host anything from an echo to the real big-head network
+// (network_cloud_backend wrapped in a lambda).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/transport/cloud_transport.hpp"
+#include "serve/transport/socket_util.hpp"
+#include "serve/transport/wire.hpp"
+
+namespace appeal::serve {
+
+struct stub_server_config {
+  transport_kind kind = transport_kind::uds;  // uds or tcp
+  /// uds: socket path; tcp: "host:port" ("127.0.0.1:0" picks a free
+  /// port — read it back with tcp_port()).
+  std::string endpoint;
+};
+
+struct stub_server_counters {
+  std::size_t connections = 0;
+  std::size_t batches = 0;
+  std::size_t appeals = 0;
+  std::size_t bytes_received = 0;
+  std::size_t bytes_sent = 0;
+};
+
+class stub_server {
+ public:
+  /// Prediction for one appealed request.
+  using scorer_fn = std::function<std::size_t(const wire::appeal_record&)>;
+
+  stub_server(const stub_server_config& cfg, scorer_fn scorer);
+  ~stub_server();
+
+  stub_server(const stub_server&) = delete;
+  stub_server& operator=(const stub_server&) = delete;
+
+  /// Binds, listens, and starts accepting. Throws util::error when the
+  /// endpoint cannot be bound.
+  void start();
+
+  /// Stops accepting, closes every live connection, joins all threads.
+  /// Idempotent; also invoked by the destructor.
+  void stop();
+
+  /// Actual TCP port after start() (meaningful for tcp endpoints only).
+  std::uint16_t tcp_port() const;
+
+  stub_server_counters counters() const;
+
+ private:
+  struct connection {
+    net::fd socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(connection& conn);
+  /// Joins and frees connections whose client hung up (called from the
+  /// accept loop, so a long-lived stub does not leak one fd + thread per
+  /// past client). Caller must not hold mutex_.
+  void reap_finished_connections();
+
+  stub_server_config config_;
+  scorer_fn scorer_;
+  net::fd listener_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  mutable std::mutex mutex_;  // connections_ + counters_
+  std::vector<std::unique_ptr<connection>> connections_;
+  stub_server_counters counters_;
+};
+
+}  // namespace appeal::serve

@@ -1,0 +1,18 @@
+#include "serve/transport/synthetic_scorer.hpp"
+
+#include "util/hash.hpp"
+
+namespace appeal::serve::transport {
+
+std::size_t synthetic_big_prediction(std::uint64_t key, std::size_t label,
+                                     std::size_t num_classes,
+                                     std::uint64_t seed, double accuracy) {
+  const std::uint64_t h = util::mix64(util::mix64(seed) ^ key);
+  if (label >= num_classes) return static_cast<std::size_t>(h % num_classes);
+  // Top 53 bits → uniform double in [0, 1), the per-input correctness coin.
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < accuracy ? label : (label + 2) % num_classes;
+}
+
+}  // namespace appeal::serve::transport

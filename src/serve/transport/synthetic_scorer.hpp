@@ -1,0 +1,29 @@
+// Deterministic per-key synthetic "big model".
+//
+// bench_serving's replay workload and the out-of-process cloud_stub must
+// agree on the cloud's answer for every request without sharing any
+// state, so the big model's prediction is a pure function of
+// (key, label, seed): a splitmix64 hash draws the per-input coin that
+// decides whether the big model is right. Identical inputs produce
+// identical tables in the bench process (which builds the offline replay
+// table and the simulator's cloud backend from it) and in the stub
+// (which answers appeals over the socket) — the acceptance check "uds
+// accuracy == sim accuracy" is exact, not statistical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace appeal::serve::transport {
+
+/// Big-model prediction for one input: correct (`label`) with
+/// probability `accuracy`, otherwise a fixed wrong class (label + 2, the
+/// same convention the offline test fixtures use). Unlabeled inputs
+/// (label >= num_classes, e.g. request::no_label) hash onto a stable
+/// arbitrary class.
+std::size_t synthetic_big_prediction(std::uint64_t key, std::size_t label,
+                                     std::size_t num_classes,
+                                     std::uint64_t seed,
+                                     double accuracy = 0.97);
+
+}  // namespace appeal::serve::transport

@@ -1,0 +1,121 @@
+// Length-prefixed wire protocol of the edge→cloud appeal link.
+//
+// Every message is one frame:
+//
+//   ┌──────────┬─────────┬──────┬───────┬───────────────┬─────────────┐
+//   │ magic u32│ ver u8  │ type │ count │ payload_bytes │   payload   │
+//   │ "APL1"   │  (=1)   │  u8  │  u16  │      u32      │  (records)  │
+//   └──────────┴─────────┴──────┴───────┴───────────────┴─────────────┘
+//     12-byte header, all integers little-endian, floats IEEE-754.
+//
+// An appeal_batch payload holds `count` appeal records (request id, key,
+// label, priority class, remaining deadline, deployment name, tensor
+// shape + float32 payload); a response_batch holds `count` response
+// records (request id, prediction, stub-side compute time). Request ids
+// are the demux key: the response side may reorder or split batches and
+// the channel still completes the right appeal.
+//
+// Decoding is defensive: a frame_splitter accumulates an arbitrary byte
+// stream (torn reads hand it any prefix) and yields only complete,
+// well-formed frames; bad magic/version/type, a payload length above
+// kMaxFrameBytes, and any record running past the payload end all throw
+// util::error instead of reading out of bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace appeal::serve::wire {
+
+inline constexpr std::uint32_t kMagic = 0x314C5041;  // "APL1" little-endian
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Upper bound on one frame's payload; a peer announcing more is treated
+/// as corrupt (protects the receiver from attacker/garbage allocations).
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+enum class frame_type : std::uint8_t {
+  appeal_batch = 1,
+  response_batch = 2,
+};
+
+/// One appealed request as it crosses the wire (decode side owns its
+/// tensor; the encode side reads straight out of the serve::request).
+struct appeal_record {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  std::uint64_t label = request::no_label;
+  priority_class priority = priority_class::interactive;
+  /// Remaining deadline budget at send time (ms); < 0 means "none".
+  double deadline_ms = -1.0;
+  std::string model;  // deployment name
+  tensor input;       // may be empty (replay workloads ship no pixels)
+};
+
+/// Non-owning encode-side view of an appeal (avoids copying the tensor
+/// out of the in-flight request just to frame it).
+struct appeal_view {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  std::uint64_t label = request::no_label;
+  priority_class priority = priority_class::interactive;
+  double deadline_ms = -1.0;
+  std::string_view model;
+  const tensor* input = nullptr;  // nullptr encodes as an empty tensor
+};
+
+struct response_record {
+  std::uint64_t id = 0;
+  std::uint64_t prediction = 0;
+  double cloud_ms = 0.0;  // stub-side scoring time (informational)
+};
+
+/// One complete, validated frame (header parsed, payload bounds known).
+struct frame {
+  frame_type type = frame_type::appeal_batch;
+  std::uint16_t count = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Exact wire size of one appeal record (used by the simulator to count
+/// the bytes a real link would carry without encoding anything).
+std::size_t appeal_wire_bytes(const appeal_view& a);
+
+/// Frame size helpers (header + payload).
+std::vector<std::uint8_t> encode_appeal_batch(
+    const std::vector<appeal_view>& batch);
+std::vector<std::uint8_t> encode_response_batch(
+    const std::vector<response_record>& batch);
+
+/// Decodes the records of a validated frame. Throws util::error when the
+/// frame type does not match or a record overruns the payload.
+std::vector<appeal_record> decode_appeal_batch(const frame& f);
+std::vector<response_record> decode_response_batch(const frame& f);
+
+/// Incremental frame assembly over an arbitrary byte stream. feed() any
+/// chunking (a socket read, a single byte); next() yields complete
+/// frames in order and std::nullopt while one is still partial. Malformed
+/// input (bad magic/version/type, oversized payload) throws util::error
+/// — the stream is unrecoverable at that point and the caller should
+/// drop the connection.
+class frame_splitter {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  std::optional<frame> next();
+
+  /// Bytes buffered but not yet returned as frames.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace appeal::serve::wire

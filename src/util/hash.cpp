@@ -11,6 +11,13 @@ std::uint64_t fnv1a64(const std::string& bytes) {
   return hash;
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 std::string hash_hex(std::uint64_t hash) {
   static const char digits[] = "0123456789abcdef";
   std::string out(16, '0');

@@ -123,15 +123,26 @@ TEST(engine, adaptive_mode_tracks_target_sr) {
   cfg.threshold.window = 1024;
   serve::engine eng(cfg, edge, cloud);
 
-  for (std::size_t i = 0; i < n; ++i) {
+  // Warm the controller through its first recalibration windows, then
+  // measure steady state only (the serving bench does the same): how
+  // long the cold-start transient lasts depends on scheduling — under a
+  // sanitizer it can stretch far enough to drag the overall SR outside
+  // any fixed tolerance.
+  const std::size_t warmup = 2000;
+  for (std::size_t i = 0; i < warmup; ++i) {
+    eng.submit(tensor(), i, p.labels[i]);
+  }
+  eng.drain();
+  eng.reset_stats();
+  for (std::size_t i = warmup; i < n; ++i) {
     eng.submit(tensor(), i, p.labels[i]);
   }
   eng.drain();
 
   const serve::stats_snapshot s = eng.stats().snapshot();
-  EXPECT_EQ(s.completed, n);
-  // Overall SR includes the cold-start transient; 2% of target once the
-  // controller has calibrated (the acceptance bound of the serving bench).
+  EXPECT_EQ(s.completed, n - warmup);
+  // 2% of target in steady state (the acceptance bound of the serving
+  // bench).
   EXPECT_NEAR(s.achieved_sr, 0.85, 0.02);
   EXPECT_NEAR(eng.controller().observed_sr(), 0.85, 0.05);
   EXPECT_GT(eng.controller().recalibrations(), 0U);

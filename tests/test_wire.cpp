@@ -1,0 +1,276 @@
+// Wire-protocol tests: field-exact round trips, torn/partial reads
+// through the frame_splitter, malformed-stream rejection (bad magic /
+// version / type, oversized frames, truncated and tampered records), and
+// demux-relevant properties (ids survive arbitrary response ordering).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "serve/transport/wire.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace appeal;
+using namespace appeal::serve;
+
+tensor make_tensor() {
+  std::vector<float> values;
+  for (int i = 0; i < 2 * 3 * 4; ++i) values.push_back(0.25F * i - 3.0F);
+  return tensor::from_values(shape{2, 3, 4}, std::move(values));
+}
+
+std::vector<wire::appeal_view> make_views(const tensor& t) {
+  std::vector<wire::appeal_view> views;
+  wire::appeal_view a;
+  a.id = 7;
+  a.key = 0xDEADBEEFCAFEF00DULL;
+  a.label = 3;
+  a.priority = priority_class::batch;
+  a.deadline_ms = 12.5;
+  a.model = "vision";
+  a.input = &t;
+  views.push_back(a);
+  wire::appeal_view b;  // unlabeled, no deadline, no pixels
+  b.id = 8;
+  b.key = 1;
+  b.model = "vision";
+  views.push_back(b);
+  return views;
+}
+
+std::optional<wire::frame> split_one(const std::vector<std::uint8_t>& bytes) {
+  wire::frame_splitter splitter;
+  splitter.feed(bytes.data(), bytes.size());
+  return splitter.next();
+}
+
+TEST(wire, appeal_batch_round_trips_every_field) {
+  const tensor t = make_tensor();
+  const std::vector<std::uint8_t> bytes =
+      wire::encode_appeal_batch(make_views(t));
+  const std::optional<wire::frame> f = split_one(bytes);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, wire::frame_type::appeal_batch);
+  EXPECT_EQ(f->count, 2);
+
+  const std::vector<wire::appeal_record> decoded =
+      wire::decode_appeal_batch(*f);
+  ASSERT_EQ(decoded.size(), 2U);
+  const wire::appeal_record& a = decoded[0];
+  EXPECT_EQ(a.id, 7U);
+  EXPECT_EQ(a.key, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(a.label, 3U);
+  EXPECT_EQ(a.priority, priority_class::batch);
+  EXPECT_DOUBLE_EQ(a.deadline_ms, 12.5);
+  EXPECT_EQ(a.model, "vision");
+  ASSERT_EQ(a.input.dims(), t.dims());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(a.input[i], t[i]) << "payload float " << i;
+  }
+  const wire::appeal_record& b = decoded[1];
+  EXPECT_EQ(b.id, 8U);
+  EXPECT_EQ(b.label, request::no_label);
+  EXPECT_EQ(b.priority, priority_class::interactive);
+  EXPECT_LT(b.deadline_ms, 0.0);
+  EXPECT_TRUE(b.input.empty());
+}
+
+TEST(wire, encoded_size_matches_wire_bytes_prediction) {
+  const tensor t = make_tensor();
+  const std::vector<wire::appeal_view> views = make_views(t);
+  std::size_t expected = wire::kHeaderBytes;
+  for (const wire::appeal_view& v : views) {
+    expected += wire::appeal_wire_bytes(v);
+  }
+  EXPECT_EQ(wire::encode_appeal_batch(views).size(), expected);
+}
+
+TEST(wire, response_batch_round_trips_in_any_order) {
+  // The cloud may answer a coalesced batch in any order (or split it);
+  // the per-record id is the demux key and must survive untouched.
+  std::vector<wire::response_record> batch;
+  for (const std::uint64_t id : {9ULL, 2ULL, 5ULL}) {
+    wire::response_record r;
+    r.id = id;
+    r.prediction = 100 + id;
+    r.cloud_ms = 0.5 * static_cast<double>(id);
+    batch.push_back(r);
+  }
+  const std::optional<wire::frame> f =
+      split_one(wire::encode_response_batch(batch));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, wire::frame_type::response_batch);
+  const std::vector<wire::response_record> decoded =
+      wire::decode_response_batch(*f);
+  ASSERT_EQ(decoded.size(), 3U);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded[i].id, batch[i].id);
+    EXPECT_EQ(decoded[i].prediction, batch[i].prediction);
+    EXPECT_DOUBLE_EQ(decoded[i].cloud_ms, batch[i].cloud_ms);
+  }
+}
+
+TEST(wire, splitter_assembles_frames_from_single_byte_reads) {
+  const tensor t = make_tensor();
+  const std::vector<std::uint8_t> bytes =
+      wire::encode_appeal_batch(make_views(t));
+  wire::frame_splitter splitter;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    splitter.feed(&bytes[i], 1);
+    EXPECT_FALSE(splitter.next().has_value())
+        << "frame yielded " << (bytes.size() - 1 - i) << " bytes early";
+  }
+  splitter.feed(&bytes.back(), 1);
+  const std::optional<wire::frame> f = splitter.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(wire::decode_appeal_batch(*f).size(), 2U);
+  EXPECT_EQ(splitter.buffered(), 0U);
+}
+
+TEST(wire, splitter_yields_back_to_back_frames_in_order) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    wire::response_record r;
+    r.id = id;
+    r.prediction = id;
+    const std::vector<std::uint8_t> one = wire::encode_response_batch({r});
+    stream.insert(stream.end(), one.begin(), one.end());
+  }
+  wire::frame_splitter splitter;
+  // Feed in two arbitrary chunks that straddle frame boundaries.
+  const std::size_t cut = stream.size() / 2 + 3;
+  splitter.feed(stream.data(), cut);
+  splitter.feed(stream.data() + cut, stream.size() - cut);
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    const std::optional<wire::frame> f = splitter.next();
+    ASSERT_TRUE(f.has_value()) << "frame " << id;
+    EXPECT_EQ(wire::decode_response_batch(*f).at(0).id, id);
+  }
+  EXPECT_FALSE(splitter.next().has_value());
+}
+
+TEST(wire, rejects_bad_magic_version_and_type) {
+  const std::vector<std::uint8_t> good = wire::encode_response_batch({});
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xFF;  // magic
+    wire::frame_splitter s;
+    s.feed(bad.data(), bad.size());
+    EXPECT_THROW(s.next(), util::error);
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[4] = 99;  // version
+    wire::frame_splitter s;
+    s.feed(bad.data(), bad.size());
+    EXPECT_THROW(s.next(), util::error);
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[5] = 42;  // frame type
+    wire::frame_splitter s;
+    s.feed(bad.data(), bad.size());
+    EXPECT_THROW(s.next(), util::error);
+  }
+}
+
+TEST(wire, rejects_oversized_frame_before_buffering_it) {
+  // A header announcing a payload beyond kMaxFrameBytes must throw from
+  // the header alone — the receiver never allocates for it.
+  std::vector<std::uint8_t> bad = wire::encode_response_batch({});
+  const std::uint32_t huge = wire::kMaxFrameBytes + 1;
+  std::memcpy(bad.data() + 8, &huge, 4);
+  wire::frame_splitter s;
+  s.feed(bad.data(), wire::kHeaderBytes);  // header only, no payload
+  EXPECT_THROW(s.next(), util::error);
+}
+
+TEST(wire, rejects_truncated_and_tampered_records) {
+  const tensor t = make_tensor();
+  std::vector<std::uint8_t> bytes = wire::encode_appeal_batch(make_views(t));
+  {
+    // Shrink the payload but keep the header honest about it: the last
+    // record now ends mid-field.
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.end() - 5);
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(cut.size() - wire::kHeaderBytes);
+    std::memcpy(cut.data() + 8, &payload, 4);
+    const std::optional<wire::frame> f = split_one(cut);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(wire::decode_appeal_batch(*f), util::error);
+  }
+  {
+    // Tamper the first record's tensor value count so it disagrees with
+    // the shape.
+    std::vector<std::uint8_t> tampered = bytes;
+    // Offset: header + id/key/label (24) + prio/flags/model_len (4) +
+    // deadline (8) + rank word (4) + 3 dims (12) = value-count word.
+    const std::size_t off = wire::kHeaderBytes + 24 + 4 + 8 + 4 + 12;
+    tampered[off] ^= 0x01;
+    const std::optional<wire::frame> f = split_one(tampered);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(wire::decode_appeal_batch(*f), util::error);
+  }
+  {
+    // Trailing garbage after the last record.
+    std::vector<std::uint8_t> padded = bytes;
+    padded.insert(padded.end(), {0, 0, 0});
+    const std::uint32_t payload =
+        static_cast<std::uint32_t>(padded.size() - wire::kHeaderBytes);
+    std::memcpy(padded.data() + 8, &payload, 4);
+    const std::optional<wire::frame> f = split_one(padded);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_THROW(wire::decode_appeal_batch(*f), util::error);
+  }
+}
+
+TEST(wire, rejects_dims_whose_product_overflows) {
+  // A crafted record whose u32 dims multiply to 0 mod 2^64 would pass a
+  // naive values == product check with values = 0 and yield a tensor
+  // whose shape promises 2^224 elements over empty storage.
+  std::vector<std::uint8_t> raw;
+  const auto put = [&raw](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      raw.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put(wire::kMagic, 4);
+  put(wire::kVersion, 1);
+  put(static_cast<std::uint64_t>(wire::frame_type::appeal_batch), 1);
+  put(1, 2);  // count
+  const std::size_t payload_at = raw.size();
+  put(0, 4);  // payload_bytes backpatched below
+  put(1, 8);  // id
+  put(2, 8);  // key
+  put(3, 8);  // label
+  put(0, 1);  // priority
+  put(0, 1);  // flags
+  put(0, 2);  // model_len
+  put(0, 8);  // deadline bits
+  put(8, 4);  // rank
+  for (int d = 0; d < 8; ++d) put(1ull << 28, 4);  // product wraps to 0
+  put(0, 4);  // value_count "matches" the wrapped product
+  const std::uint64_t payload = raw.size() - wire::kHeaderBytes;
+  for (int i = 0; i < 4; ++i) {
+    raw[payload_at + i] = static_cast<std::uint8_t>(payload >> (8 * i));
+  }
+  const std::optional<wire::frame> f = split_one(raw);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_THROW(wire::decode_appeal_batch(*f), util::error);
+}
+
+TEST(wire, decoders_reject_mismatched_frame_type) {
+  const std::optional<wire::frame> resp =
+      split_one(wire::encode_response_batch({}));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_THROW(wire::decode_appeal_batch(*resp), util::error);
+  const tensor t = make_tensor();
+  const std::optional<wire::frame> appeal =
+      split_one(wire::encode_appeal_batch(make_views(t)));
+  ASSERT_TRUE(appeal.has_value());
+  EXPECT_THROW(wire::decode_response_batch(*appeal), util::error);
+}
+
+}  // namespace

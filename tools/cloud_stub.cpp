@@ -1,0 +1,121 @@
+// Standalone cloud side of the appeal link.
+//
+// Listens on a Unix-domain or TCP socket, speaks the serve/transport
+// wire protocol (length-prefixed appeal/response batches), scores every
+// appealed request, and answers in kind. This is the process
+// `bench_serving --transport=uds|tcp` and any socket-configured
+// deployment appeal to.
+//
+// Scorers:
+//   --scorer=synthetic  deterministic per-key big model: correct with
+//                       probability --accuracy, keyed by (--seed, key) —
+//                       exactly the table bench_serving builds its
+//                       offline replay/simulator workload from, so a
+//                       socket run reproduces the simulator run's
+//                       accuracy bit for bit;
+//   --scorer=echo       answers the ground-truth label carried on the
+//                       wire (the paper's always-correct black-box
+//                       cloud; unlabeled appeals hash onto a class);
+//   --scorer=argmax     argmax over the appeal's tensor payload (a real
+//                       forward substitute that actually reads pixels).
+//
+// Run:  ./cloud_stub --listen=uds:/tmp/appeal-cloud.sock
+//       ./cloud_stub --listen=tcp:127.0.0.1:9410 --scorer=echo
+//       [--scorer=synthetic] [--accuracy=0.97] [--classes=10] [--seed=42]
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "serve/transport/stub_server.hpp"
+#include "serve/transport/synthetic_scorer.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+appeal::serve::stub_server_config parse_listen(const std::string& spec) {
+  appeal::serve::stub_server_config cfg;
+  if (spec.rfind("uds:", 0) == 0) {
+    cfg.kind = appeal::serve::transport_kind::uds;
+    cfg.endpoint = spec.substr(4);
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    cfg.kind = appeal::serve::transport_kind::tcp;
+    cfg.endpoint = spec.substr(4);
+  } else {
+    throw appeal::util::error(
+        "--listen must be uds:<path> or tcp:<host:port>, got '" + spec + "'");
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  const serve::stub_server_config cfg = parse_listen(
+      args.get_string_or("listen", "uds:/tmp/appeal-cloud.sock"));
+  const std::string scorer_name = args.get_string_or("scorer", "synthetic");
+  const auto classes =
+      static_cast<std::size_t>(args.get_int_or("classes", 10));
+  const double accuracy = args.get_double_or("accuracy", 0.97);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 42));
+
+  serve::stub_server::scorer_fn scorer;
+  if (scorer_name == "synthetic") {
+    scorer = [=](const serve::wire::appeal_record& a) {
+      return serve::transport::synthetic_big_prediction(
+          a.key, static_cast<std::size_t>(a.label), classes, seed, accuracy);
+    };
+  } else if (scorer_name == "echo") {
+    scorer = [=](const serve::wire::appeal_record& a) {
+      return a.label < classes ? static_cast<std::size_t>(a.label)
+                               : static_cast<std::size_t>(a.key % classes);
+    };
+  } else if (scorer_name == "argmax") {
+    scorer = [=](const serve::wire::appeal_record& a) {
+      if (a.input.empty()) return static_cast<std::size_t>(a.key % classes);
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < a.input.size(); ++i) {
+        if (a.input[i] > a.input[best]) best = i;
+      }
+      return best % classes;
+    };
+  } else {
+    std::fprintf(stderr, "unknown --scorer=%s (want synthetic|echo|argmax)\n",
+                 scorer_name.c_str());
+    return 1;
+  }
+
+  serve::stub_server server(cfg, std::move(scorer));
+  server.start();
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::printf("cloud_stub listening on %s:%s (scorer %s, %zu classes)\n",
+              serve::transport_kind_name(cfg.kind),
+              cfg.kind == serve::transport_kind::tcp
+                  ? (cfg.endpoint + " port " + std::to_string(server.tcp_port()))
+                        .c_str()
+                  : cfg.endpoint.c_str(),
+              scorer_name.c_str(), classes);
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  const serve::stub_server_counters c = server.counters();
+  std::printf(
+      "cloud_stub served %zu appeals in %zu batches over %zu connections "
+      "(%zu B in / %zu B out)\n",
+      c.appeals, c.batches, c.connections, c.bytes_received, c.bytes_sent);
+  return 0;
+}
