@@ -21,6 +21,16 @@
 //     (batched NCHW forward, packed GEMM, inference workspace) shows up
 //     directly in the reported edge p50/p99.
 //
+// Two clouds:
+//   --cloud=replay (default): the synthetic per-key big model;
+//   --cloud=network (requires --backend=network for images on the wire):
+//     the real big network — serve::make_cloud_model's canonical spec,
+//     optionally restored from --weights=<path> (tools/train_cloud_model
+//     output). The sim transport scores appeals with the local
+//     network_cloud_backend; over a socket, start
+//     `cloud_stub --scorer=network` with the same weights and the two
+//     runs' cloud-path accuracy must agree bit for bit.
+//
 // Three cloud transports:
 //   --transport=sim (default): the deterministic cost-model simulator;
 //   --transport=uds --endpoint=/tmp/appeal-cloud.sock and
@@ -33,7 +43,8 @@
 // Run:  ./bench_serving [--requests=20000] [--target_sr=0.9] [--seed=42]
 //       [--clients=64] [--shards=2] [--workers=2] [--batch=16]
 //       [--max_wait_us=200] [--time_scale=0.2] [--edge_sim=1]
-//       [--backend=replay|network] [--admission=block|shed|edge_only]
+//       [--backend=replay|network] [--cloud=replay|network]
+//       [--weights=<path>] [--admission=block|shed|edge_only]
 //       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
 //       [--coalesce_ms=0] [--max_batch_appeals=64]
 //       [--json=results/serving.json]
@@ -49,6 +60,7 @@
 #include "bench_common.hpp"
 #include "collab/system_eval.hpp"
 #include "core/two_head_network.hpp"
+#include "serve/cloud_model.hpp"
 #include "serve/server.hpp"
 #include "serve/transport/synthetic_scorer.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -208,11 +220,12 @@ struct run_result {
 run_result run_mode(const workload& w, const std::vector<tensor>* images,
                     const serve::deployment_config& cfg,
                     serve::edge_backend_factory edge_factory,
+                    std::function<std::unique_ptr<serve::cloud_backend>()>
+                        cloud_factory,
                     std::size_t clients, std::size_t warmup) {
   serve::server srv;
   serve::deployment& dep = srv.register_deployment(
-      kModel, cfg, std::move(edge_factory),
-      [&w] { return std::make_unique<serve::replay_cloud_backend>(w.big); });
+      kModel, cfg, std::move(edge_factory), std::move(cloud_factory));
   util::stopwatch phases;
   if (warmup > 0) {
     drive_closed_loop(srv, w, images, clients, 0, warmup);
@@ -261,15 +274,18 @@ void append_run_json(std::FILE* f, const char* mode, const run_result& r,
       "    {\"mode\": \"%s\", \"throughput_rps\": %.3f, \"p50_ms\": %.4f,"
       " \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"achieved_sr\": %.6f,"
       " \"online_accuracy\": %.6f, \"shed_rate\": %.6f, \"shed\": %zu,"
-      " \"expired\": %zu, \"overflow\": %zu, \"delta\": %.6f,"
-      " \"measured_seconds\": %.4f,"
+      " \"expired\": %zu, \"cloud_expired\": %zu, \"overflow\": %zu,"
+      " \"delta\": %.6f, \"measured_seconds\": %.4f,"
+      " \"cloud_accuracy\": %.6f, \"cloud_labeled\": %zu,"
+      " \"mean_cloud_ms\": %.4f,"
       " \"appeal_batches\": %zu, \"appeals_on_wire\": %zu,"
       " \"mean_appeals_per_batch\": %.4f, \"wire_bytes_tx\": %zu,"
       " \"wire_bytes_rx\": %zu, \"link_fallbacks\": %zu}%s\n",
       mode, r.stats.throughput_rps, r.stats.p50_ms, r.stats.p95_ms,
       r.stats.p99_ms, r.stats.achieved_sr, r.stats.online_accuracy,
-      r.stats.shed_rate, r.stats.shed, r.stats.expired, r.stats.overflow,
-      r.delta, r.measured_seconds, r.stats.appeal_batches,
+      r.stats.shed_rate, r.stats.shed, r.stats.expired, r.stats.cloud_expired,
+      r.stats.overflow, r.delta, r.measured_seconds, r.stats.cloud_accuracy,
+      r.stats.cloud_labeled, r.stats.mean_cloud_ms, r.stats.appeal_batches,
       r.stats.appeals_on_wire, r.stats.mean_appeals_per_batch,
       r.stats.wire_bytes_tx, r.stats.wire_bytes_rx, r.stats.link_fallbacks,
       last ? "" : ",");
@@ -292,6 +308,13 @@ int main(int argc, char** argv) {
   const bool network_backend = backend == "network";
   APPEAL_CHECK(network_backend || backend == "replay",
                "unknown --backend: " + backend);
+  const std::string cloud = args.get_string_or("cloud", "replay");
+  const bool network_cloud = cloud == "network";
+  APPEAL_CHECK(network_cloud || cloud == "replay",
+               "unknown --cloud: " + cloud);
+  APPEAL_CHECK(!network_cloud || network_backend,
+               "--cloud=network needs --backend=network (appeals must "
+               "carry images)");
 
   serve::deployment_config cfg;
   cfg.shards = shards;
@@ -341,6 +364,49 @@ int main(int argc, char** argv) {
   const std::vector<tensor>* images =
       network_backend ? &nw.images : nullptr;
 
+  // Cloud backend: the synthetic replay table, or the real big network.
+  // In network-cloud mode the offline big-prediction table is recomputed
+  // by the same model (batched forwards; bit-identical to the per-appeal
+  // forwards the sim transport runs and to the stub's batched scoring),
+  // so the offline system_eval prediction still matches the served path.
+  std::function<std::unique_ptr<serve::cloud_backend>()> cloud_factory;
+  if (network_cloud) {
+    serve::cloud_model_config big_cfg;
+    big_cfg.weights_path = args.get_string_or("weights", "");
+    const core::two_head_config edge_cfg = edge_net_config();
+    big_cfg.spec.image_size = edge_cfg.spec.image_size;
+    big_cfg.spec.num_classes = edge_cfg.spec.num_classes;
+    {
+      serve::network_cloud_backend table_builder(
+          serve::make_cloud_model(big_cfg));
+      constexpr std::size_t kChunk = 64;
+      for (std::size_t begin = 0; begin < requests; begin += kChunk) {
+        const std::size_t end = std::min(begin + kChunk, requests);
+        std::vector<const tensor*> chunk;
+        chunk.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          chunk.push_back(&nw.images[i]);
+        }
+        const std::vector<std::size_t> preds = table_builder.infer_batch(chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          w.big[i] = preds[i - begin];
+        }
+      }
+    }
+    // One model per backend instance: the channel's coalescing thread
+    // and the transport's failure path may both score through it, and
+    // network forwards must never be shared across threads. Determinism
+    // (same seed + weights) keeps every instance identical.
+    cloud_factory = [big_cfg] {
+      return std::make_unique<serve::network_cloud_backend>(
+          serve::make_cloud_model(big_cfg));
+    };
+  } else {
+    cloud_factory = [&w] {
+      return std::make_unique<serve::replay_cloud_backend>(w.big);
+    };
+  }
+
   // Offline prediction (system_eval) for the same workload and target SR.
   collab::routed_split split;
   split.labels = w.labels;
@@ -352,9 +418,9 @@ int main(int argc, char** argv) {
   const collab::sweep_point offline = curve.front();
   std::printf(
       "=== bench_serving: %zu requests, %zu clients, %zu shards, seed %llu, "
-      "backend %s, transport %s%s%s ===\n",
+      "backend %s, cloud %s, transport %s%s%s ===\n",
       requests, clients, shards, static_cast<unsigned long long>(seed),
-      backend.c_str(),
+      backend.c_str(), cloud.c_str(),
       serve::transport_kind_name(cfg.shard.channel.transport),
       cfg.shard.channel.endpoint.empty() ? "" : " @ ",
       cfg.shard.channel.endpoint.c_str());
@@ -366,8 +432,8 @@ int main(int argc, char** argv) {
   serve::deployment_config fixed_cfg = cfg;
   fixed_cfg.shard.threshold.adapt = serve::threshold_config::mode::fixed;
   fixed_cfg.shard.threshold.initial_delta = offline.delta;
-  const run_result fixed =
-      run_mode(w, images, fixed_cfg, edge_factory, clients, /*warmup=*/0);
+  const run_result fixed = run_mode(w, images, fixed_cfg, edge_factory,
+                                    cloud_factory, clients, /*warmup=*/0);
   report("fixed delta (offline calibration)", fixed, target_sr,
          offline.accuracy, cfg.shard.link);
 
@@ -380,8 +446,8 @@ int main(int argc, char** argv) {
   adaptive_cfg.shard.threshold.target_sr = target_sr;
   adaptive_cfg.shard.threshold.initial_delta = 0.99;
   const std::size_t warmup = std::min<std::size_t>(2048, requests / 5);
-  const run_result adaptive =
-      run_mode(w, images, adaptive_cfg, edge_factory, clients, warmup);
+  const run_result adaptive = run_mode(w, images, adaptive_cfg, edge_factory,
+                                       cloud_factory, clients, warmup);
   report("adaptive delta (track_sr, cold start)", adaptive, target_sr,
          offline.accuracy, cfg.shard.link);
 
@@ -421,6 +487,7 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"serving\",\n"
                  "  \"backend\": \"%s\",\n"
+                 "  \"cloud\": \"%s\",\n"
                  "  \"transport\": \"%s\",\n"
                  "  \"coalesce_ms\": %.3f,\n"
                  "  \"requests\": %zu,\n"
@@ -431,7 +498,7 @@ int main(int argc, char** argv) {
                  "  \"offline\": {\"delta\": %.6f, \"achieved_sr\": %.6f,"
                  " \"accuracy\": %.6f},\n"
                  "  \"runs\": [\n",
-                 backend.c_str(),
+                 backend.c_str(), cloud.c_str(),
                  serve::transport_kind_name(cfg.shard.channel.transport),
                  cfg.shard.channel.coalesce_window_ms, requests, clients,
                  shards, static_cast<unsigned long long>(seed), target_sr,

@@ -14,12 +14,24 @@
 // The cloud side is pluggable: the default simulated uplink, or a real
 // socket to a running `cloud_stub` (--transport=uds --endpoint=<path>,
 // or --transport=tcp --endpoint=host:port). Over a socket the stub's
-// scorer answers the appeals instead of the locally trained big network
-// (start it with --scorer=echo for the paper's always-correct cloud);
-// the trained big network remains the local fallback if the link drops.
+// scorer answers the appeals; the trained big network remains the local
+// fallback if the link drops. To make the socket mode answer from the
+// REAL trained big model end to end, export its weights once and hand
+// them to the stub:
+//
+//   ./example_serving_demo --save_big=/tmp/big.apnw           # train + save
+//   ./build/cloud_stub --listen=uds:/tmp/appeal-cloud.sock \
+//       --scorer=network --weights=/tmp/big.apnw --workers=2 &
+//   ./example_serving_demo --transport=uds \
+//       --endpoint=/tmp/appeal-cloud.sock
+//
+// (Training is deterministic, so the second run trains the same system
+// the weights were saved from; the stub loads them into the identical
+// canonical ResNet architecture, folds conv+BN, and serves appeals as
+// deadline-aware batched cloud inference.)
 //
 // Run:  ./example_serving_demo [--epochs=6] [--target_sr=0.9]
-//       [--time_scale=0.1] [--batch=16]
+//       [--time_scale=0.1] [--batch=16] [--save_big=<path>]
 //       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
 //       [--coalesce_ms=0] [--max_batch_appeals=64]
 #include <cstdio>
@@ -27,6 +39,7 @@
 
 #include "core/appealnet_builder.hpp"
 #include "data/presets.hpp"
+#include "nn/serialize.hpp"
 #include "serve/server.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
@@ -56,6 +69,15 @@ int main(int argc, char** argv) {
 
   core::appealnet_system system =
       core::build_appealnet(*bundle.train, *bundle.val, cfg, nullptr);
+
+  // Export the trained big network for `cloud_stub --scorer=network`
+  // (saved before any folding, in trainable form; the stub folds at
+  // load).
+  const std::string save_big = args.get_string_or("save_big", "");
+  if (!save_big.empty()) {
+    nn::save_model(system.big(), save_big);
+    std::printf("saved big-network weights to %s\n", save_big.c_str());
+  }
 
   // 2. Offline reference: batch evaluation of the same system.
   const auto decisions = system.infer_all(*bundle.test);

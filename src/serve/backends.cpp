@@ -111,8 +111,47 @@ edge_inference network_edge_backend::infer(const std::vector<request>& batch) {
   return out;
 }
 
+namespace {
+
+nn::sequential& checked_deref_sequential(
+    const std::unique_ptr<nn::sequential>& p) {
+  APPEAL_CHECK(p != nullptr, "network_cloud_backend requires a network");
+  return *p;
+}
+
+}  // namespace
+
 network_cloud_backend::network_cloud_backend(nn::sequential& network)
     : network_(network) {}
+
+network_cloud_backend::network_cloud_backend(
+    std::unique_ptr<nn::sequential> network)
+    : owned_(std::move(network)), network_(checked_deref_sequential(owned_)) {}
+
+std::vector<std::size_t> network_cloud_backend::infer_batch(
+    const std::vector<const tensor*>& inputs) {
+  APPEAL_CHECK(!inputs.empty(), "cannot infer an empty batch");
+  const tensor& first = *inputs.front();
+  APPEAL_CHECK(!first.empty(), "network backend requires request inputs");
+  std::vector<std::size_t> dims{inputs.size()};
+  for (std::size_t d = 0; d < first.dims().rank(); ++d) {
+    dims.push_back(first.dims().dim(d));
+  }
+  nn::inference_workspace& ws = nn::inference_workspace::local();
+  tensor batch = ws.acquire(shape(dims));
+  const std::size_t per_item = first.size();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    APPEAL_CHECK(inputs[i]->size() == per_item,
+                 "all batch inputs must share one shape");
+    std::memcpy(batch.data() + i * per_item, inputs[i]->data(),
+                per_item * sizeof(float));
+  }
+  tensor logits = network_.forward(batch, /*training=*/false);
+  ws.recycle(std::move(batch));
+  std::vector<std::size_t> predictions = ops::argmax_rows(logits);
+  ws.recycle(std::move(logits));
+  return predictions;
+}
 
 std::size_t network_cloud_backend::infer(const request& r) {
   APPEAL_CHECK(!r.input.empty(), "network backend requires request inputs");

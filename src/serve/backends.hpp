@@ -98,13 +98,28 @@ class network_edge_backend : public edge_backend {
   core::score_method method_;
 };
 
-/// Runs the big network on a single appealed input.
+/// Runs the big network on a single appealed input. Not thread-safe
+/// (inference forwards touch per-layer state): give each thread that
+/// scores — a channel's coalescing thread, a transport's failure path, a
+/// stub worker — its own backend + network instance.
 class network_cloud_backend : public cloud_backend {
  public:
+  /// Non-owning: the caller keeps `network` alive.
   explicit network_cloud_backend(nn::sequential& network);
+  /// Owning: factories hand the backend its own network instance.
+  explicit network_cloud_backend(std::unique_ptr<nn::sequential> network);
   std::size_t infer(const request& r) override;
 
+  /// Batched scoring for the cloud-side scheduler (stub_server's worker
+  /// pool): stacks the inputs — which must all share one shape — into a
+  /// single [N, ...] forward and returns one argmax per input. Because
+  /// each row's accumulation order is independent of the batch around
+  /// it, the predictions are bit-identical to N infer() calls; the batch
+  /// just pays one im2col + GEMM per layer instead of N.
+  std::vector<std::size_t> infer_batch(const std::vector<const tensor*>& inputs);
+
  private:
+  std::unique_ptr<nn::sequential> owned_;
   nn::sequential& network_;
 };
 

@@ -8,6 +8,8 @@ batcher::batcher(request_queue& queue, const batch_policy& policy)
     : queue_(queue), policy_(policy) {
   APPEAL_CHECK(policy.max_batch_size > 0, "max_batch_size must be positive");
   APPEAL_CHECK(policy.max_wait.count() >= 0, "max_wait must be non-negative");
+  APPEAL_CHECK(policy.deadline_margin.count() >= 0,
+               "deadline_margin must be non-negative");
 }
 
 batch batcher::next_batch() {
@@ -28,14 +30,26 @@ batch batcher::next_batch() {
     }
   }
   first.dequeue_time = clock::now();
-  const auto deadline = first.dequeue_time + policy_.max_wait;
+  // Flush when max_wait elapses — or sooner, if a request already in the
+  // forming batch would expire first. Waiting out the full window past a
+  // member's deadline guarantees the worker sheds it; flushing a service
+  // margin BEFORE the tightest deadline gives it a chance to run in time
+  // (flushing exactly at the deadline would still arrive expired).
+  auto flush_at = first.dequeue_time + policy_.max_wait;
+  const auto cap_at_deadline = [this, &flush_at](const request& r) {
+    if (r.deadline == request::no_deadline) return;
+    const auto capped = r.deadline - policy_.deadline_margin;
+    if (capped < flush_at) flush_at = capped;
+  };
+  cap_at_deadline(first);
   out.requests.push_back(std::move(first));
 
   while (out.requests.size() < policy_.max_batch_size) {
     request next;
-    const auto result = queue_.pop_until(next, deadline);
+    const auto result = queue_.pop_until(next, flush_at);
     if (result == request_queue::pop_result::item) {
       next.dequeue_time = clock::now();
+      cap_at_deadline(next);
       out.requests.push_back(std::move(next));
       continue;
     }

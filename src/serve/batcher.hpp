@@ -6,6 +6,14 @@
 // latency/throughput trade of online inference servers: larger batches
 // amortize the edge model's fixed per-batch cost, the wait bound caps the
 // queueing delay added to every request in the batch.
+//
+// Deadline awareness: the flush timer is capped at the tightest deadline
+// of any request already in the forming batch, minus `deadline_margin`
+// (a budget for the dequeue + inference that still has to happen), so a
+// near-deadline request never waits out a max_wait that would guarantee
+// its expiry at the worker — flushing exactly AT the deadline would
+// still shed it. (A deadline already inside the margin flushes
+// immediately; whether the request is still alive is the worker's call.)
 #pragma once
 
 #include <chrono>
@@ -20,6 +28,10 @@ namespace appeal::serve {
 struct batch_policy {
   std::size_t max_batch_size = 16;
   std::chrono::microseconds max_wait{500};
+  /// How far BEFORE the tightest member deadline the flush fires — the
+  /// service-time allowance that lets the capping request actually run
+  /// instead of being shed the instant it reaches a worker.
+  std::chrono::microseconds deadline_margin{1000};
 };
 
 /// Why a batch was emitted (exposed for tests and stats).

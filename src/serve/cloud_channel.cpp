@@ -227,19 +227,23 @@ void cloud_channel::reap_overdue(std::unique_lock<std::mutex>& lock) {
 
 void cloud_channel::on_completions(
     std::vector<cloud_transport::completion>&& batch) {
-  std::vector<std::pair<in_flight, std::size_t>> done;
+  std::vector<std::pair<in_flight, appeal_outcome>> done;
   done.reserve(batch.size());
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const cloud_transport::completion& c : batch) {
       auto it = in_flight_.find(c.id);
       if (it == in_flight_.end()) continue;  // already completed locally
-      done.emplace_back(std::move(it->second), c.prediction);
+      appeal_outcome outcome;
+      outcome.prediction = c.prediction;
+      outcome.cloud_ms = c.cloud_ms;
+      outcome.expired = c.expired;
+      done.emplace_back(std::move(it->second), outcome);
       in_flight_.erase(it);
     }
   }
-  for (auto& [entry, prediction] : done) {
-    finish(std::move(entry), prediction);
+  for (auto& [entry, outcome] : done) {
+    finish(std::move(entry), outcome);
   }
 }
 
@@ -269,14 +273,23 @@ void cloud_channel::on_link_failure() {
 
 void cloud_channel::complete_locally(std::vector<in_flight>&& entries) {
   for (in_flight& entry : entries) {
-    const std::size_t prediction = backend_.infer(entry.req);
-    finish(std::move(entry), prediction);
+    appeal_outcome outcome;
+    {
+      // The coalescing thread (failed-send sweep, watchdog) and the
+      // transport's reader thread (on_link_failure) can both land here
+      // while the link dies; a network backend's forward is not
+      // thread-safe, so local scoring is serialized. Cold path — this
+      // only runs when the cloud is already gone.
+      std::lock_guard<std::mutex> lock(fallback_mutex_);
+      outcome.prediction = backend_.infer(entry.req);
+    }
+    finish(std::move(entry), outcome);
   }
 }
 
-void cloud_channel::finish(in_flight&& entry, std::size_t prediction) {
-  const double link_ms = ms_since(entry.batched_at);
-  entry.on_complete(std::move(entry.req), prediction, link_ms);
+void cloud_channel::finish(in_flight&& entry, appeal_outcome outcome) {
+  outcome.link_ms = ms_since(entry.batched_at);
+  entry.on_complete(std::move(entry.req), outcome);
   std::lock_guard<std::mutex> lock(mutex_);
   ++completed_;
   --outstanding_;

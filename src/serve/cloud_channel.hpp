@@ -71,13 +71,22 @@ inline void apply_link_counters(stats_snapshot& s, const link_counters& c) {
   s.link_fallbacks = c.local_fallbacks;
 }
 
+/// What came back for one appeal. `expired` means the cloud shed the
+/// appeal because its deadline was blown before a scorer reached it —
+/// `prediction` is meaningless and the caller should surface
+/// request_status::expired instead of a made-up answer.
+struct appeal_outcome {
+  std::size_t prediction = 0;
+  double link_ms = 0.0;   // batched -> completed, client clock
+  double cloud_ms = 0.0;  // cloud-reported queue wait + scoring time
+  bool expired = false;
+};
+
 class cloud_channel {
  public:
   /// Called when an appeal completes (transport receive thread or the
   /// coalescing thread on the fallback path).
-  using completion_fn =
-      std::function<void(request&&, std::size_t cloud_prediction,
-                         double link_ms)>;
+  using completion_fn = std::function<void(request&&, const appeal_outcome&)>;
 
   /// `backend` is the local big model: the simulator's scorer, and the
   /// fallback when a socket transport loses its peer. `name` rides the
@@ -118,7 +127,7 @@ class cloud_channel {
   void on_link_failure();
   /// Scores `entries` with the local backend and completes them.
   void complete_locally(std::vector<in_flight>&& entries);
-  void finish(in_flight&& entry, std::size_t prediction);
+  void finish(in_flight&& entry, appeal_outcome outcome);
   /// Extracts the given wire ids from in_flight_ (those still present).
   /// Caller holds mutex_.
   std::vector<in_flight> extract_locked(const std::vector<std::uint64_t>& ids);
@@ -138,6 +147,10 @@ class cloud_channel {
   std::string name_;
   std::unique_ptr<cloud_transport> transport_;
 
+  /// Serializes local fallback scoring: the coalescing thread and the
+  /// transport reader may both complete entries locally while the link
+  /// dies, and backend_.infer (a network forward) is not thread-safe.
+  std::mutex fallback_mutex_;
   mutable std::mutex mutex_;
   std::condition_variable wake_;     // coalescing thread wake-ups
   std::condition_variable drained_;  // drain() waiters

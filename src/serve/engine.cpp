@@ -251,17 +251,24 @@ void engine::worker_loop(edge_backend& edge) {
         channel_->appeal(
             std::move(r),
             [this, score, delta, queue_ms](request&& done,
-                                           std::size_t prediction,
-                                           double link_ms) {
+                                           const appeal_outcome& outcome) {
               response resp;
               resp.id = done.id;
-              resp.predicted_class = prediction;
               resp.taken = route::cloud;
               resp.shard = config_.shard_id;
               resp.score = score;
               resp.delta = delta;
               resp.queue_ms = queue_ms;
-              resp.link_ms = link_ms;
+              resp.link_ms = outcome.link_ms;
+              resp.cloud_ms = outcome.cloud_ms;
+              if (outcome.expired) {
+                // The cloud shed the appeal (deadline blown in its work
+                // queue): the client gets an honest `expired`, not a
+                // fabricated prediction.
+                resp.status = request_status::expired;
+              } else {
+                resp.predicted_class = outcome.prediction;
+              }
               complete(std::move(done), std::move(resp));
             });
       }

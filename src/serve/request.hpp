@@ -26,7 +26,9 @@ enum class route { edge, cloud, edge_degraded };
 
 /// How a request left the system. Only `ok` responses carry a meaningful
 /// prediction; `shed` was refused at admission, `expired` missed its
-/// deadline before reaching an edge worker.
+/// deadline — either before reaching an edge worker (route::edge) or,
+/// after an appeal, before a cloud scorer reached it (route::cloud; the
+/// cloud shed it and answered `expired` on the wire).
 enum class request_status { ok, shed, expired };
 
 /// SLO class of a request. Interactive traffic gets the full queue
@@ -44,7 +46,11 @@ struct response {
   double score = 0.0;      // edge confidence score (higher = easier)
   double delta = 0.0;      // threshold in force at decision time
   double queue_ms = 0.0;   // enqueue -> pulled into a batch
-  double link_ms = 0.0;    // simulated uplink + cloud time (0 on the edge)
+  double link_ms = 0.0;    // uplink + cloud time (0 on the edge)
+  /// Cloud-reported work-queue wait + scoring time for appealed requests
+  /// over a socket transport (0 on the edge and under the simulator) —
+  /// the honest number to hold against the cost model's cloud term.
+  double cloud_ms = 0.0;
   double latency_ms = 0.0; // enqueue -> completion, wall clock
 };
 

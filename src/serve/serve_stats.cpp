@@ -18,7 +18,14 @@ void serve_stats::record(const response& r, bool labeled, bool correct) {
     return;
   }
   if (r.status == request_status::expired) {
-    ++expired_;
+    // route::cloud means the request DID appeal and the cloud's scheduler
+    // shed it (deadline blown in its work queue) — count it apart from
+    // edge-side expiry so deadline pressure on the link is visible.
+    if (r.taken == route::cloud) {
+      ++cloud_expired_;
+    } else {
+      ++expired_;
+    }
     return;
   }
   ++completed_;
@@ -32,6 +39,11 @@ void serve_stats::record(const response& r, bool labeled, bool correct) {
     case route::cloud:
       ++appealed_;
       link_ms_sum_ += r.link_ms;
+      cloud_ms_sum_ += r.cloud_ms;
+      if (labeled) {
+        ++cloud_labeled_;
+        if (correct) ++cloud_labeled_correct_;
+      }
       break;
   }
   if (labeled) {
@@ -53,11 +65,15 @@ void serve_stats::reset() {
   appealed_ = 0;
   shed_ = 0;
   expired_ = 0;
+  cloud_expired_ = 0;
   overflow_ = 0;
   labeled_ = 0;
   labeled_correct_ = 0;
+  cloud_labeled_ = 0;
+  cloud_labeled_correct_ = 0;
   queue_ms_sum_ = 0.0;
   link_ms_sum_ = 0.0;
+  cloud_ms_sum_ = 0.0;
   clock_.reset();
 }
 
@@ -83,9 +99,12 @@ stats_snapshot serve_stats::snapshot() const {
   s.appealed = appealed_;
   s.shed = shed_;
   s.expired = expired_;
+  s.cloud_expired = cloud_expired_;
   s.overflow = overflow_;
   s.labeled = labeled_;
   s.labeled_correct = labeled_correct_;
+  s.cloud_labeled = cloud_labeled_;
+  s.cloud_labeled_correct = cloud_labeled_correct_;
   s.elapsed_seconds = clock_.elapsed_seconds();
   if (s.elapsed_seconds > 0.0) {
     s.throughput_rps = static_cast<double>(completed_) / s.elapsed_seconds;
@@ -96,15 +115,20 @@ stats_snapshot serve_stats::snapshot() const {
     s.mean_queue_ms = queue_ms_sum_ / static_cast<double>(completed_);
   }
   if (s.submitted() > 0) {
-    s.shed_rate = static_cast<double>(shed_ + expired_) /
+    s.shed_rate = static_cast<double>(shed_ + expired_ + cloud_expired_) /
                   static_cast<double>(s.submitted());
   }
   if (labeled_ > 0) {
     s.online_accuracy =
         static_cast<double>(labeled_correct_) / static_cast<double>(labeled_);
   }
+  if (cloud_labeled_ > 0) {
+    s.cloud_accuracy = static_cast<double>(cloud_labeled_correct_) /
+                       static_cast<double>(cloud_labeled_);
+  }
   if (appealed_ > 0) {
     s.mean_link_ms = link_ms_sum_ / static_cast<double>(appealed_);
+    s.mean_cloud_ms = cloud_ms_sum_ / static_cast<double>(appealed_);
   }
   s.p50_ms = quantile_ms_locked(0.50);
   s.p95_ms = quantile_ms_locked(0.95);
@@ -117,7 +141,8 @@ std::string serve_stats::render(const stats_snapshot& s) {
   std::snprintf(
       buf, sizeof(buf),
       "completed        : %zu (edge %zu / degraded %zu / cloud %zu)\n"
-      "shed             : %zu admission + %zu expired (%.2f%% of %zu submitted)\n"
+      "shed             : %zu admission + %zu expired + %zu cloud-expired "
+      "(%.2f%% of %zu submitted)\n"
       "throughput       : %.0f req/s over %.2f s\n"
       "latency          : p50 %.3f ms  p95 %.3f ms  p99 %.3f ms (%zu overflow)\n"
       "mean queue wait  : %.3f ms\n"
@@ -125,18 +150,25 @@ std::string serve_stats::render(const stats_snapshot& s) {
       "achieved SR      : %.2f%%\n"
       "online accuracy  : %.2f%% (%zu labeled)\n",
       s.completed, s.edge_kept, s.edge_degraded, s.appealed, s.shed,
-      s.expired, s.shed_rate * 100.0, s.submitted(), s.throughput_rps,
-      s.elapsed_seconds, s.p50_ms, s.p95_ms, s.p99_ms, s.overflow,
-      s.mean_queue_ms, s.mean_link_ms, s.achieved_sr * 100.0,
+      s.expired, s.cloud_expired, s.shed_rate * 100.0, s.submitted(),
+      s.throughput_rps, s.elapsed_seconds, s.p50_ms, s.p95_ms, s.p99_ms,
+      s.overflow, s.mean_queue_ms, s.mean_link_ms, s.achieved_sr * 100.0,
       s.online_accuracy * 100.0, s.labeled);
   std::string out(buf);
+  if (s.cloud_labeled > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "cloud accuracy   : %.2f%% (%zu labeled appeals)\n",
+                  s.cloud_accuracy * 100.0, s.cloud_labeled);
+    out += buf;
+  }
   if (s.appeal_batches > 0 || s.link_fallbacks > 0) {
     std::snprintf(
         buf, sizeof(buf),
         "cloud link       : %zu appeals in %zu batches "
-        "(%.2f appeals/batch), %zu B up / %zu B down, %zu local fallbacks\n",
+        "(%.2f appeals/batch), %zu B up / %zu B down, mean cloud %.3f ms, "
+        "%zu local fallbacks\n",
         s.appeals_on_wire, s.appeal_batches, s.mean_appeals_per_batch,
-        s.wire_bytes_tx, s.wire_bytes_rx, s.link_fallbacks);
+        s.wire_bytes_tx, s.wire_bytes_rx, s.mean_cloud_ms, s.link_fallbacks);
     out += buf;
   }
   return out;

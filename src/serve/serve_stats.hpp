@@ -38,20 +38,27 @@ struct stats_snapshot {
   std::size_t appealed = 0;      // route::cloud
   std::size_t shed = 0;          // refused at admission (status::shed)
   std::size_t expired = 0;       // deadline passed before an edge worker
+  std::size_t cloud_expired = 0; // appealed, then shed in the cloud's queue
   std::size_t overflow = 0;      // latencies beyond the histogram range
   std::size_t labeled = 0;
   std::size_t labeled_correct = 0;
+  std::size_t cloud_labeled = 0;         // appealed requests with labels
+  std::size_t cloud_labeled_correct = 0; // ...answered correctly (cloud path)
 
   double elapsed_seconds = 0.0;
   double throughput_rps = 0.0;   // completed / elapsed
   double achieved_sr = 0.0;      // (edge_kept + edge_degraded) / completed
-  double shed_rate = 0.0;        // (shed + expired) / submitted
+  double shed_rate = 0.0;        // (shed + expired + cloud_expired) / submitted
   double online_accuracy = 0.0;  // labeled_correct / labeled
+  double cloud_accuracy = 0.0;   // cloud_labeled_correct / cloud_labeled
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double mean_queue_ms = 0.0;    // enqueue -> batch pull
   double mean_link_ms = 0.0;     // uplink + cloud time over appeals
+  /// Cloud-reported queue wait + scoring time over appeals (socket
+  /// transports report it per response; 0 under the simulator).
+  double mean_cloud_ms = 0.0;
 
   // Cloud-link counters, overlaid from the deployment's cloud_channel at
   // snapshot time (engine::snapshot / deployment::snapshot); a raw
@@ -63,8 +70,11 @@ struct stats_snapshot {
   std::size_t wire_bytes_rx = 0;        // response frames
   std::size_t link_fallbacks = 0;       // appeals answered locally (link down)
 
-  /// Everything that entered submit(): completed + shed + expired.
-  std::size_t submitted() const { return completed + shed + expired; }
+  /// Everything that entered submit(): completed + shed + expired (both
+  /// edge-side and cloud-side).
+  std::size_t submitted() const {
+    return completed + shed + expired + cloud_expired;
+  }
 };
 
 class serve_stats {
@@ -98,11 +108,15 @@ class serve_stats {
   std::size_t appealed_ = 0;
   std::size_t shed_ = 0;
   std::size_t expired_ = 0;
+  std::size_t cloud_expired_ = 0;
   std::size_t overflow_ = 0;
   std::size_t labeled_ = 0;
   std::size_t labeled_correct_ = 0;
+  std::size_t cloud_labeled_ = 0;
+  std::size_t cloud_labeled_correct_ = 0;
   double queue_ms_sum_ = 0.0;
   double link_ms_sum_ = 0.0;
+  double cloud_ms_sum_ = 0.0;
 };
 
 }  // namespace appeal::serve

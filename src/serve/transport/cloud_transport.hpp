@@ -86,7 +86,13 @@ class cloud_transport {
  public:
   struct completion {
     std::uint64_t id = 0;        // wire id assigned by the channel
-    std::size_t prediction = 0;  // big-model answer
+    std::size_t prediction = 0;  // big-model answer (meaningless if expired)
+    /// Cloud-side cost: work-queue wait + batch scoring time as the stub
+    /// measured it (0 for the simulator, whose cloud time is modeled).
+    double cloud_ms = 0.0;
+    /// The cloud shed this appeal because its deadline was already blown
+    /// when a scorer worker reached it.
+    bool expired = false;
   };
   using completion_sink = std::function<void(std::vector<completion>&&)>;
   using failure_sink = std::function<void()>;

@@ -77,7 +77,8 @@ void sim_transport::send_batch(const std::vector<const request*>& batch,
   counters_.batches_sent += 1;
   counters_.appeals_sent += batch.size();
   counters_.bytes_sent += bytes;
-  counters_.bytes_received += wire::kHeaderBytes + 24 * batch.size();
+  counters_.bytes_received +=
+      wire::kHeaderBytes + wire::kResponseRecordBytes * batch.size();
   pending_.push(std::move(s));
   wake_.notify_all();
 }

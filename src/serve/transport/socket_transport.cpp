@@ -13,8 +13,13 @@ using clock = std::chrono::steady_clock;
 
 double remaining_deadline_ms(const request& r) {
   if (r.deadline == request::no_deadline) return -1.0;
-  return std::chrono::duration<double, std::milli>(r.deadline - clock::now())
-      .count();
+  const double remaining =
+      std::chrono::duration<double, std::milli>(r.deadline - clock::now())
+          .count();
+  // A deadline already blown at send time must stay a deadline on the
+  // wire: negative values mean "none" there, so clamp to an immediately
+  // expiring budget instead (the stub sheds it as `expired`).
+  return remaining > 0.0 ? remaining : 0.0;
 }
 
 }  // namespace
@@ -118,8 +123,12 @@ void socket_transport::reader_loop() {
         std::vector<completion> done;
         done.reserve(records.size());
         for (const wire::response_record& r : records) {
-          done.push_back(
-              completion{r.id, static_cast<std::size_t>(r.prediction)});
+          completion c;
+          c.id = r.id;
+          c.prediction = static_cast<std::size_t>(r.prediction);
+          c.cloud_ms = r.cloud_ms;
+          c.expired = r.status == wire::response_status::expired;
+          done.push_back(c);
         }
         on_complete_(std::move(done));
       }

@@ -2,7 +2,8 @@
 
 #include <unistd.h>
 
-#include <chrono>
+#include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -11,14 +12,119 @@ namespace appeal::serve {
 
 namespace {
 using clock = std::chrono::steady_clock;
+
+double ms_between(clock::time_point from, clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+}  // namespace
+
+// --- cloud_work_queue ------------------------------------------------------
+
+bool cloud_work_queue::push(wire::appeal_record&& record,
+                            std::uint64_t owner) {
+  item it;
+  it.enqueued = clock::now();
+  it.deadline = clock::time_point::max();
+  // deadline_ms is an untrusted wire field: NaN fails the >= 0 test, and
+  // anything beyond a day is treated as "no deadline" rather than fed to
+  // duration_cast (float -> integer conversion of a huge/inf value is
+  // undefined behavior, not just a silly deadline).
+  constexpr double kMaxDeadlineMs = 86'400'000.0;
+  if (record.deadline_ms >= 0.0 && record.deadline_ms < kMaxDeadlineMs) {
+    it.deadline = it.enqueued +
+                  std::chrono::duration_cast<clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          record.deadline_ms));
+  }
+  it.owner = owner;
+  it.record = std::move(record);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    if (capacity_ > 0 && interactive_.size() + batch_.size() >= capacity_) {
+      return false;  // at capacity: the caller sheds
+    }
+    lane& l = it.record.priority == priority_class::interactive ? interactive_
+                                                                : batch_;
+    // Key (deadline, seq): tightest deadline pops first; deadline-free
+    // items (time_point::max()) sort after every deadlined one; seq
+    // keeps equals — and the no-deadline tail — FIFO.
+    l.emplace(std::make_pair(it.deadline, next_seq_++), std::move(it));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+std::vector<cloud_work_queue::item> cloud_work_queue::pop_batch(
+    std::size_t max_items) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] {
+    return closed_ || !interactive_.empty() || !batch_.empty();
+  });
+  std::vector<item> out;
+  out.reserve(std::min(max_items, interactive_.size() + batch_.size()));
+  for (lane* l : {&interactive_, &batch_}) {
+    while (out.size() < max_items && !l->empty()) {
+      out.push_back(std::move(l->begin()->second));
+      l->erase(l->begin());
+    }
+  }
+  // More work than one batch: pass the baton to the next worker instead
+  // of letting it sleep until the next push.
+  if (!interactive_.empty() || !batch_.empty()) ready_.notify_one();
+  return out;  // empty <=> closed and drained
+}
+
+void cloud_work_queue::close(bool discard) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    if (discard) {
+      interactive_.clear();
+      batch_.clear();
+    }
+  }
+  ready_.notify_all();
+}
+
+std::size_t cloud_work_queue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return interactive_.size() + batch_.size();
+}
+
+// --- stub_server -----------------------------------------------------------
+
+namespace {
+
+/// Validates at construction (not first use) and adapts a per-appeal
+/// scorer into the worker pool's batch interface.
+stub_server::scorer_factory wrap_scorer(stub_server::scorer_fn scorer) {
+  APPEAL_CHECK(scorer != nullptr, "stub_server needs a scorer");
+  return [scorer = std::move(scorer)](std::size_t) {
+    return [scorer](const std::vector<const wire::appeal_record*>& batch) {
+      std::vector<std::size_t> predictions;
+      predictions.reserve(batch.size());
+      for (const wire::appeal_record* a : batch) {
+        predictions.push_back(scorer(*a));
+      }
+      return predictions;
+    };
+  };
+}
+
 }  // namespace
 
 stub_server::stub_server(const stub_server_config& cfg, scorer_fn scorer)
-    : config_(cfg), scorer_(std::move(scorer)) {
+    : stub_server(cfg, wrap_scorer(std::move(scorer))) {}
+
+stub_server::stub_server(const stub_server_config& cfg, scorer_factory factory)
+    : config_(cfg), scorer_factory_(std::move(factory)) {
   APPEAL_CHECK(config_.kind == transport_kind::uds ||
                    config_.kind == transport_kind::tcp,
                "stub_server listens on uds or tcp");
-  APPEAL_CHECK(scorer_ != nullptr, "stub_server needs a scorer");
+  APPEAL_CHECK(scorer_factory_ != nullptr, "stub_server needs a scorer");
+  config_.workers = std::max<std::size_t>(1, config_.workers);
+  config_.max_cloud_batch = std::max<std::size_t>(1, config_.max_cloud_batch);
 }
 
 stub_server::~stub_server() { stop(); }
@@ -26,9 +132,25 @@ stub_server::~stub_server() { stop(); }
 void stub_server::start() {
   APPEAL_CHECK(!started_, "stub_server started twice");
   started_ = true;
+  // Build every worker's scorer BEFORE any thread spawns: a factory that
+  // throws (missing weights file, architecture mismatch) must surface as
+  // a clean util::error from start(), not std::terminate from inside a
+  // worker thread. Forwards still draw from each worker's thread-local
+  // inference workspace at call time.
+  std::vector<batch_scorer_fn> scorers;
+  scorers.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    scorers.push_back(scorer_factory_(w));
+    APPEAL_CHECK(scorers.back() != nullptr, "scorer factory returned null");
+  }
   listener_ = config_.kind == transport_kind::uds
                   ? net::listen_uds(config_.endpoint)
                   : net::listen_tcp(config_.endpoint);
+  scorers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    scorers_.emplace_back(
+        [this, score = std::move(scorers[w])] { scorer_loop(score); });
+  }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -36,15 +158,24 @@ void stub_server::stop() {
   if (stopping_.exchange(true)) return;
   listener_.shutdown();  // unblocks accept()
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::unique_ptr<connection>> live;
+  std::vector<std::shared_ptr<connection>> live;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    live.swap(connections_);
+    live.reserve(connections_.size());
+    for (auto& [id, conn] : connections_) live.push_back(std::move(conn));
+    connections_.clear();
   }
   for (auto& conn : live) {
     conn->socket.shutdown();
     if (conn->thread.joinable()) conn->thread.join();
   }
+  // Connection readers are done: no more pushes. Discard whatever is
+  // still queued — every client socket is already shut, so scoring the
+  // backlog would burn a full inference per appeal to produce responses
+  // nobody can receive — and join the workers.
+  queue_.close(/*discard=*/true);
+  for (std::thread& t : scorers_) t.join();
+  scorers_.clear();
   listener_.reset();
   if (started_ && config_.kind == transport_kind::uds) {
     ::unlink(config_.endpoint.c_str());
@@ -63,12 +194,12 @@ stub_server_counters stub_server::counters() const {
 }
 
 void stub_server::reap_finished_connections() {
-  std::vector<std::unique_ptr<connection>> finished;
+  std::vector<std::shared_ptr<connection>> finished;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto it = connections_.begin(); it != connections_.end();) {
-      if ((*it)->done.load(std::memory_order_acquire)) {
-        finished.push_back(std::move(*it));
+      if (it->second->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(it->second));
         it = connections_.erase(it);
       } else {
         ++it;
@@ -78,6 +209,8 @@ void stub_server::reap_finished_connections() {
   for (auto& conn : finished) {
     if (conn->thread.joinable()) conn->thread.join();
   }
+  // A worker may still hold the shared_ptr while writing a last response;
+  // the fd closes when the final reference drops.
 }
 
 void stub_server::accept_loop() {
@@ -86,13 +219,21 @@ void stub_server::accept_loop() {
     if (!conn.valid()) return;  // listener shut down
     if (stopping_.load(std::memory_order_acquire)) return;
     reap_finished_connections();
-    auto c = std::make_unique<connection>();
+    auto c = std::make_shared<connection>();
+    c->id = next_connection_id_++;
     c->socket = std::move(conn);
+    // Register BEFORE the reader thread spawns: its first appeal can be
+    // scored and answered before this loop resumes, and write_responses
+    // must already find the connection in the routing table. (stop()
+    // joins this acceptor before touching connections_, so the
+    // not-yet-assigned `thread` member is never observed concurrently.)
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      counters_.connections += 1;
+      connections_.emplace(c->id, c);
+    }
     connection* raw = c.get();
     c->thread = std::thread([this, raw] { serve_connection(*raw); });
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters_.connections += 1;
-    connections_.push_back(std::move(c));
   }
 }
 
@@ -105,36 +246,34 @@ void stub_server::serve_connection(connection& conn) {
       const std::size_t n = net::read_some(socket, chunk, sizeof(chunk));
       if (n == 0) break;  // client done (or stop())
       splitter.feed(chunk, n);
-      std::size_t sent_bytes = 0;
       std::size_t batches = 0;
       std::size_t appeals = 0;
+      std::vector<wire::response_record> overloaded;
       while (std::optional<wire::frame> f = splitter.next()) {
-        const std::vector<wire::appeal_record> batch =
+        std::vector<wire::appeal_record> batch =
             wire::decode_appeal_batch(*f);
-        std::vector<wire::response_record> responses;
-        responses.reserve(batch.size());
-        for (const wire::appeal_record& a : batch) {
-          const clock::time_point t0 = clock::now();
-          wire::response_record r;
-          r.id = a.id;
-          r.prediction = scorer_(a);
-          r.cloud_ms =
-              std::chrono::duration<double, std::milli>(clock::now() - t0)
-                  .count();
-          responses.push_back(r);
-        }
-        const std::vector<std::uint8_t> framed =
-            wire::encode_response_batch(responses);
-        net::write_all(socket, framed.data(), framed.size());
-        sent_bytes += framed.size();
         batches += 1;
         appeals += batch.size();
+        for (wire::appeal_record& a : batch) {
+          const std::uint64_t id = a.id;
+          if (!queue_.push(std::move(a), conn.id)) {
+            // The work queue is at capacity (scorers can't keep up):
+            // shed at admission with an immediate `expired`, the same
+            // honest answer a blown deadline gets — never buffer
+            // without bound.
+            wire::response_record r;
+            r.id = id;
+            r.status = wire::response_status::expired;
+            overloaded.push_back(r);
+          }
+        }
       }
+      if (!overloaded.empty()) write_responses(conn.id, overloaded);
       std::lock_guard<std::mutex> lock(mutex_);
       counters_.bytes_received += n;
-      counters_.bytes_sent += sent_bytes;
       counters_.batches += batches;
       counters_.appeals += appeals;
+      counters_.overloaded += overloaded.size();
     }
   } catch (const util::error& e) {
     // Corrupt stream or dead client: drop the connection, keep serving
@@ -146,6 +285,106 @@ void stub_server::serve_connection(connection& conn) {
   // Hands the connection to the accept loop's reaper (the fd closes
   // there, with the join).
   conn.done.store(true, std::memory_order_release);
+}
+
+void stub_server::scorer_loop(const batch_scorer_fn& score) {
+  for (;;) {
+    std::vector<cloud_work_queue::item> work =
+        queue_.pop_batch(config_.max_cloud_batch);
+    if (work.empty()) return;  // queue closed and drained
+
+    // Shed what is already dead: an appeal whose deadline passed while
+    // queued gets an immediate `expired` response, not a prediction the
+    // edge can no longer use.
+    const clock::time_point popped_at = clock::now();
+    std::vector<const cloud_work_queue::item*> live;
+    std::vector<const wire::appeal_record*> to_score;
+    live.reserve(work.size());
+    to_score.reserve(work.size());
+    // Responses grouped by owning connection (one popped batch can span
+    // clients).
+    std::map<std::uint64_t, std::vector<wire::response_record>> routed;
+    std::size_t expired = 0;
+    for (const cloud_work_queue::item& it : work) {
+      if (config_.shed_expired && popped_at > it.deadline) {
+        wire::response_record r;
+        r.id = it.record.id;
+        r.status = wire::response_status::expired;
+        r.cloud_ms = ms_between(it.enqueued, popped_at);
+        routed[it.owner].push_back(r);
+        ++expired;
+      } else {
+        live.push_back(&it);
+        to_score.push_back(&it.record);
+      }
+    }
+    // Expired answers leave BEFORE scoring: holding them behind a slow
+    // batch forward would let the edge's response watchdog fire and
+    // complete the appeal from its fallback instead of as cloud_expired.
+    if (expired > 0) {
+      for (const auto& [owner, responses] : routed) {
+        write_responses(owner, responses);
+      }
+      routed.clear();
+    }
+
+    if (!to_score.empty()) {
+      std::vector<std::size_t> predictions;
+      try {
+        predictions = score(to_score);
+        APPEAL_CHECK(predictions.size() == to_score.size(),
+                     "stub scorer must return one prediction per appeal");
+      } catch (const std::exception& e) {
+        // A broken scorer must not take the server down; the unanswered
+        // appeals hit the edge channel's response watchdog and complete
+        // from its local fallback.
+        APPEAL_LOG_ERROR << "cloud_stub scorer failed on a batch of "
+                         << to_score.size() << ": " << e.what();
+        predictions.clear();
+        live.clear();
+      }
+      const clock::time_point scored_at = clock::now();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        wire::response_record r;
+        r.id = live[i]->record.id;
+        r.prediction = predictions[i];
+        // Queue wait + scoring: what this appeal actually cost cloud-side
+        // (the whole batch's scoring time is charged to each member — it
+        // waited for the batch either way).
+        r.cloud_ms = ms_between(live[i]->enqueued, scored_at);
+        routed[live[i]->owner].push_back(r);
+      }
+    }
+
+    for (const auto& [owner, responses] : routed) {
+      write_responses(owner, responses);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.cloud_batches += 1;
+    counters_.scored += live.size();
+    counters_.expired += expired;
+  }
+}
+
+void stub_server::write_responses(
+    std::uint64_t owner, const std::vector<wire::response_record>& responses) {
+  std::shared_ptr<connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.find(owner);
+    if (it != connections_.end()) conn = it->second;
+  }
+  if (conn == nullptr) return;  // client gone; nobody is listening
+  const std::vector<std::uint8_t> framed =
+      wire::encode_response_batch(responses);
+  try {
+    std::lock_guard<std::mutex> write_lock(conn->write_mutex);
+    net::write_all(conn->socket, framed.data(), framed.size());
+  } catch (const util::error&) {
+    return;  // client hung up mid-write; its reader thread cleans up
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.bytes_sent += framed.size();
 }
 
 }  // namespace appeal::serve

@@ -176,11 +176,12 @@ std::vector<std::uint8_t> encode_appeal_batch(
 std::vector<std::uint8_t> encode_response_batch(
     const std::vector<response_record>& batch) {
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + 24 * batch.size());
+  out.reserve(kHeaderBytes + kResponseRecordBytes * batch.size());
   put_header(out, frame_type::response_batch, batch.size());
   for (const response_record& r : batch) {
     put_u64(out, r.id);
     put_u64(out, r.prediction);
+    put_u8(out, static_cast<std::uint8_t>(r.status));
     put_f64(out, r.cloud_ms);
   }
   patch_payload_bytes(out);
@@ -245,6 +246,10 @@ std::vector<response_record> decode_response_batch(const frame& f) {
     response_record r;
     r.id = c.u64();
     r.prediction = c.u64();
+    const std::uint8_t status = c.u8();
+    APPEAL_CHECK(status <= static_cast<std::uint8_t>(response_status::expired),
+                 "wire response carries an unknown status");
+    r.status = static_cast<response_status>(status);
     r.cloud_ms = c.f64();
     out.push_back(r);
   }

@@ -11,9 +11,10 @@
 // An appeal_batch payload holds `count` appeal records (request id, key,
 // label, priority class, remaining deadline, deployment name, tensor
 // shape + float32 payload); a response_batch holds `count` response
-// records (request id, prediction, stub-side compute time). Request ids
-// are the demux key: the response side may reorder or split batches and
-// the channel still completes the right appeal.
+// records (request id, prediction, status, stub-side queue-wait +
+// compute time). Request ids are the demux key: the response side may
+// reorder or split batches and the channel still completes the right
+// appeal.
 //
 // Decoding is defensive: a frame_splitter accumulates an arbitrary byte
 // stream (torn reads hand it any prefix) and yields only complete,
@@ -35,7 +36,9 @@
 namespace appeal::serve::wire {
 
 inline constexpr std::uint32_t kMagic = 0x314C5041;  // "APL1" little-endian
-inline constexpr std::uint8_t kVersion = 1;
+/// v2: response records carry a status byte (deadline-shed appeals come
+/// back as `expired` instead of a made-up prediction).
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Upper bound on one frame's payload; a peer announcing more is treated
 /// as corrupt (protects the receiver from attacker/garbage allocations).
@@ -71,10 +74,18 @@ struct appeal_view {
   const tensor* input = nullptr;  // nullptr encodes as an empty tensor
 };
 
+/// How the cloud disposed of one appeal. `expired` means the appeal's
+/// remaining deadline was already blown when a cloud worker reached it:
+/// the cloud shed it without scoring, and `prediction` is meaningless.
+enum class response_status : std::uint8_t { ok = 0, expired = 1 };
+
 struct response_record {
   std::uint64_t id = 0;
   std::uint64_t prediction = 0;
-  double cloud_ms = 0.0;  // stub-side scoring time (informational)
+  response_status status = response_status::ok;
+  /// Stub-side cost of the appeal: work-queue wait + batch scoring time.
+  /// The client compares this against its cost model's cloud term.
+  double cloud_ms = 0.0;
 };
 
 /// One complete, validated frame (header parsed, payload bounds known).
@@ -87,6 +98,10 @@ struct frame {
 /// Exact wire size of one appeal record (used by the simulator to count
 /// the bytes a real link would carry without encoding anything).
 std::size_t appeal_wire_bytes(const appeal_view& a);
+
+/// Exact wire size of one response record (id + prediction + status +
+/// cloud_ms); the simulator uses it to count equivalent downlink bytes.
+inline constexpr std::size_t kResponseRecordBytes = 8 + 8 + 1 + 8;
 
 /// Frame size helpers (header + payload).
 std::vector<std::uint8_t> encode_appeal_batch(

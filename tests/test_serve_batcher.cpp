@@ -77,6 +77,57 @@ TEST(batcher, close_flushes_remainder_then_reports_closed) {
   EXPECT_EQ(done.reason, serve::flush_reason::queue_closed);
 }
 
+TEST(batcher, tight_deadline_caps_the_flush_wait) {
+  // A request whose deadline lands inside the max_wait window must not
+  // wait out the whole window (that would guarantee expiry at the
+  // worker): the flush fires at the tightest member deadline instead.
+  serve::request_queue queue(32);
+  serve::batch_policy policy;
+  policy.max_batch_size = 16;
+  policy.max_wait = std::chrono::microseconds(10'000'000);  // "forever"
+  serve::batcher form(queue, policy);
+
+  serve::request tight = make_request(11);
+  tight.deadline = std::chrono::steady_clock::now() + 20ms;
+  ASSERT_TRUE(queue.push(std::move(tight)));
+  const auto before = std::chrono::steady_clock::now();
+  const serve::batch b = form.next_batch();
+  const auto took = std::chrono::steady_clock::now() - before;
+
+  EXPECT_EQ(b.requests.size(), 1U);
+  EXPECT_EQ(b.reason, serve::flush_reason::wait_expired);
+  EXPECT_LT(took, 5s) << "flush must not wait out max_wait";
+  // The request is still alive at flush time (the whole point): its
+  // deadline had not passed when the batch formed.
+  EXPECT_EQ(b.requests.front().id, 11U);
+}
+
+TEST(batcher, late_arrival_with_tight_deadline_shortens_the_window) {
+  // The first request has no deadline; a follower with a tight one joins
+  // the forming batch and must pull the flush forward for everyone.
+  serve::request_queue queue(32);
+  serve::batch_policy policy;
+  policy.max_batch_size = 16;
+  policy.max_wait = std::chrono::microseconds(10'000'000);
+  serve::batcher form(queue, policy);
+
+  ASSERT_TRUE(queue.push(make_request(1)));
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(5ms);
+    serve::request tight = make_request(2);
+    tight.deadline = std::chrono::steady_clock::now() + 20ms;
+    ASSERT_TRUE(queue.push(std::move(tight)));
+  });
+  const auto before = std::chrono::steady_clock::now();
+  const serve::batch b = form.next_batch();
+  const auto took = std::chrono::steady_clock::now() - before;
+  producer.join();
+
+  EXPECT_EQ(b.requests.size(), 2U);
+  EXPECT_EQ(b.reason, serve::flush_reason::wait_expired);
+  EXPECT_LT(took, 5s) << "the follower's deadline must cap the flush";
+}
+
 TEST(batcher, invalid_policy_throws) {
   serve::request_queue queue(4);
   serve::batch_policy policy;

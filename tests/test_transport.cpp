@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "collab/cost_model.hpp"
+#include "nn/serialize.hpp"
+#include "serve/backends.hpp"
 #include "serve/cloud_channel.hpp"
+#include "serve/cloud_model.hpp"
 #include "serve/engine.hpp"
 #include "serve/transport/socket_transport.hpp"
 #include "serve/transport/socket_util.hpp"
@@ -172,9 +175,9 @@ TEST(transport, demux_survives_reordered_split_responses) {
     std::vector<std::pair<std::uint64_t, std::size_t>> done;
     for (std::uint64_t key = 0; key < 6; ++key) {
       channel.appeal(make_request(key),
-                     [&](request&& r, std::size_t prediction, double) {
+                     [&](request&& r, const appeal_outcome& out) {
                        std::lock_guard<std::mutex> lock(mutex);
-                       done.emplace_back(r.key, prediction);
+                       done.emplace_back(r.key, out.prediction);
                      });
     }
     channel.drain();
@@ -202,8 +205,8 @@ TEST(transport, sim_transport_counts_equivalent_wire_bytes) {
   std::atomic<std::size_t> completions{0};
   for (std::uint64_t key = 0; key < 8; ++key) {
     channel.appeal(make_request(key),
-                   [&](request&&, std::size_t prediction, double) {
-                     EXPECT_LT(prediction, 3U);
+                   [&](request&&, const appeal_outcome& out) {
+                     EXPECT_LT(out.prediction, 3U);
                      completions.fetch_add(1);
                    });
   }
@@ -237,9 +240,9 @@ TEST(transport, channel_coalesces_bursts_under_window) {
   std::atomic<std::size_t> completions{0};
   for (std::uint64_t key = 0; key < 16; ++key) {
     channel.appeal(make_request(key),
-                   [&](request&& r, std::size_t prediction, double link_ms) {
-                     EXPECT_EQ(prediction, r.key % 10);
-                     EXPECT_GE(link_ms, 0.0);
+                   [&](request&& r, const appeal_outcome& out) {
+                     EXPECT_EQ(out.prediction, r.key % 10);
+                     EXPECT_GE(out.link_ms, 0.0);
                      completions.fetch_add(1);
                    });
   }
@@ -273,9 +276,9 @@ TEST(transport, link_failure_falls_back_to_local_backend) {
   {
     std::promise<std::size_t> first;
     channel.appeal(make_request(3),
-                   [&](request&&, std::size_t prediction, double) {
+                   [&](request&&, const appeal_outcome& out) {
                      completions.fetch_add(1);
-                     first.set_value(prediction);
+                     first.set_value(out.prediction);
                    });
     EXPECT_EQ(first.get_future().get(), 3U);
   }
@@ -283,8 +286,8 @@ TEST(transport, link_failure_falls_back_to_local_backend) {
   stub.stop();
   for (std::uint64_t key = 10; key < 20; ++key) {
     channel.appeal(make_request(key),
-                   [&](request&&, std::size_t prediction, double) {
-                     EXPECT_EQ(prediction, 7U) << "must come from fallback";
+                   [&](request&&, const appeal_outcome& out) {
+                     EXPECT_EQ(out.prediction, 7U) << "must come from fallback";
                      completions.fetch_add(1);
                    });
   }
@@ -320,8 +323,8 @@ TEST(transport, silent_peer_trips_response_watchdog) {
     std::atomic<std::size_t> completions{0};
     for (std::uint64_t key = 0; key < 4; ++key) {
       channel.appeal(make_request(key),
-                     [&](request&&, std::size_t prediction, double) {
-                       EXPECT_EQ(prediction, 7U);
+                     [&](request&&, const appeal_outcome& out) {
+                       EXPECT_EQ(out.prediction, 7U);
                        completions.fetch_add(1);
                      });
     }
@@ -396,6 +399,241 @@ TEST(transport, engine_serves_identically_over_sim_and_uds) {
   EXPECT_DOUBLE_EQ(sim.online_accuracy, uds.online_accuracy);
   EXPECT_EQ(uds.link_fallbacks, 0U);
   EXPECT_EQ(uds.appeals_on_wire, uds.appealed);
+}
+
+wire::appeal_record make_appeal(std::uint64_t id, priority_class priority,
+                                double deadline_ms) {
+  wire::appeal_record a;
+  a.id = id;
+  a.key = id;
+  a.priority = priority;
+  a.deadline_ms = deadline_ms;
+  return a;
+}
+
+TEST(transport, work_queue_pops_deadline_order_within_priority_lanes) {
+  // Push order is adversarial; pop order must be: interactive lane first
+  // (tightest deadline first, deadline-free appeals last, FIFO among
+  // them), then the batch lane in the same order.
+  cloud_work_queue queue;
+  queue.push(make_appeal(0, priority_class::batch, 5.0), 0);
+  queue.push(make_appeal(1, priority_class::interactive, -1.0), 0);
+  queue.push(make_appeal(2, priority_class::interactive, 500.0), 0);
+  queue.push(make_appeal(3, priority_class::batch, -1.0), 0);
+  queue.push(make_appeal(4, priority_class::interactive, 50.0), 0);
+  queue.push(make_appeal(5, priority_class::interactive, -1.0), 0);
+  EXPECT_EQ(queue.size(), 6U);
+
+  const std::vector<cloud_work_queue::item> all = queue.pop_batch(16);
+  ASSERT_EQ(all.size(), 6U);
+  std::vector<std::uint64_t> order;
+  for (const cloud_work_queue::item& it : all) order.push_back(it.record.id);
+  // interactive: 4 (50 ms) before 2 (500 ms), then 1 and 5 (no deadline,
+  // arrival order); batch lane strictly behind: 0 (5 ms) before 3.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 2, 1, 5, 0, 3}));
+  EXPECT_EQ(queue.size(), 0U);
+}
+
+TEST(transport, work_queue_pop_respects_batch_cap_and_drains_on_close) {
+  cloud_work_queue queue;
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    queue.push(make_appeal(id, priority_class::interactive,
+                           static_cast<double>(10 * (5 - id))), 0);
+  }
+  const std::vector<cloud_work_queue::item> first = queue.pop_batch(3);
+  ASSERT_EQ(first.size(), 3U);  // tightest three: ids 4, 3, 2
+  EXPECT_EQ(first.front().record.id, 4U);
+  queue.close();
+  EXPECT_EQ(queue.pop_batch(16).size(), 2U);  // drains the rest...
+  EXPECT_TRUE(queue.pop_batch(16).empty());   // ...then reports closed
+}
+
+TEST(transport, stub_sheds_blown_deadlines_as_cloud_expired) {
+  // Appeal A (no deadline) occupies the stub's single scorer worker long
+  // enough that appeal B's deadline blows while B waits in the cloud work
+  // queue. The stub must shed B with an `expired` response — surfaced to
+  // the client as request_status::expired on the cloud route and counted
+  // as cloud_expired in serve_stats — instead of scoring it late.
+  std::atomic<bool> scoring_started{false};
+  stub_server_config scfg;
+  scfg.kind = transport_kind::uds;
+  scfg.endpoint = unique_uds_path("shed");
+  scfg.workers = 1;
+  stub_server stub(scfg, [&](const wire::appeal_record& a) -> std::size_t {
+    scoring_started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return a.key % 10;
+  });
+  stub.start();
+
+  replay_edge_backend edge(std::vector<std::size_t>(8, 1),
+                           std::vector<double>(8, 0.1));  // always appeals
+  replay_cloud_backend cloud(std::vector<std::size_t>(8, 7));
+  engine_config cfg;
+  cfg.batching.max_batch_size = 1;
+  cfg.batching.max_wait = std::chrono::microseconds(100);
+  cfg.num_workers = 1;
+  cfg.threshold.adapt = threshold_config::mode::fixed;
+  cfg.threshold.initial_delta = 0.5;
+  cfg.channel.transport = transport_kind::uds;
+  cfg.channel.endpoint = scfg.endpoint;
+  engine eng(cfg, edge, cloud);
+
+  std::future<response> a = eng.submit(tensor(), /*key=*/0, /*label=*/1);
+  // B enters the cloud work queue only after A holds the worker; its
+  // 50 ms budget is long enough to clear the edge but is gone well
+  // before A's 300 ms of scoring ends.
+  for (int i = 0; i < 200 && !scoring_started.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(scoring_started.load()) << "appeal A never reached the scorer";
+  inference_request req;
+  req.input = tensor();
+  req.key = 1;
+  req.label = 1;
+  req.deadline = std::chrono::milliseconds(50);
+  std::future<response> b = eng.submit(std::move(req));
+
+  const response ra = a.get();
+  EXPECT_EQ(ra.status, request_status::ok);
+  EXPECT_EQ(ra.predicted_class, 0U);
+  EXPECT_GT(ra.cloud_ms, 0.0) << "stub must report queue + scoring time";
+  const response rb = b.get();
+  EXPECT_EQ(rb.status, request_status::expired);
+  EXPECT_EQ(rb.taken, route::cloud);
+
+  eng.drain();
+  const stats_snapshot s = eng.snapshot();
+  EXPECT_EQ(s.cloud_expired, 1U);
+  EXPECT_EQ(s.expired, 0U);
+  EXPECT_EQ(s.appealed, 1U);
+  eng.shutdown();
+  stub.stop();
+  EXPECT_EQ(stub.counters().expired, 1U);
+  EXPECT_EQ(stub.counters().scored, 1U);
+}
+
+TEST(transport, full_work_queue_sheds_arrivals_as_expired) {
+  // A scorer slower than the arrival rate must not buffer appeals
+  // without bound: beyond max_queue_depth, arrivals shed at admission
+  // with an immediate `expired` response. One appeal occupies the single
+  // worker; one fits in the depth-1 queue; the rest of the burst sheds.
+  std::atomic<bool> scoring_started{false};
+  stub_server_config scfg;
+  scfg.kind = transport_kind::uds;
+  scfg.endpoint = unique_uds_path("overload");
+  scfg.workers = 1;
+  scfg.max_cloud_batch = 1;
+  scfg.max_queue_depth = 1;
+  stub_server stub(scfg, [&](const wire::appeal_record& a) -> std::size_t {
+    scoring_started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    return a.key % 10;
+  });
+  stub.start();
+
+  replay_cloud_backend fallback(std::vector<std::size_t>(16, 7));
+  link_config cfg;
+  cfg.transport = transport_kind::uds;
+  cfg.endpoint = scfg.endpoint;
+  cloud_channel channel(fallback, collab::cost_model{}, cfg, "overload");
+
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> expired{0};
+  const auto on_done = [&](request&&, const appeal_outcome& out) {
+    (out.expired ? expired : ok).fetch_add(1);
+  };
+  channel.appeal(make_request(0), on_done);
+  for (int i = 0; i < 200 && !scoring_started.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(scoring_started.load());
+  // Burst while the worker sleeps: one appeal queues, three shed.
+  for (std::uint64_t key = 1; key < 5; ++key) {
+    channel.appeal(make_request(key), on_done);
+  }
+  channel.drain();
+  EXPECT_EQ(ok.load(), 2U);       // the in-flight appeal + the queued one
+  EXPECT_EQ(expired.load(), 3U);  // shed at the full queue
+  EXPECT_EQ(channel.counters().local_fallbacks, 0U);
+  stub.stop();
+  EXPECT_EQ(stub.counters().overloaded, 3U);
+  EXPECT_EQ(stub.counters().scored, 2U);
+}
+
+TEST(transport, network_scorer_matches_local_backend_bit_exact) {
+  // The acceptance invariant behind `cloud_stub --scorer=network`: the
+  // stub's batched scoring of serialized weights must equal the local
+  // network_cloud_backend's per-appeal forwards bit for bit — through
+  // save -> load -> conv+BN fold -> stacked batch inference -> the wire.
+  cloud_model_config model_cfg;
+  model_cfg.init_seed = 0xFEED;
+
+  const std::string weights =
+      "/tmp/appeal-test-bignet-" + std::to_string(::getpid()) + ".apnw";
+  {
+    cloud_model_config trainable = model_cfg;
+    trainable.fold = false;  // saved in trainable form, like a real model
+    nn::save_model(*make_cloud_model(trainable), weights);
+  }
+  model_cfg.weights_path = weights;
+
+  const std::size_t n = 24;
+  util::rng gen(99);
+  std::vector<tensor> images;
+  images.reserve(n);
+  const std::size_t hw = model_cfg.spec.image_size;
+  for (std::size_t i = 0; i < n; ++i) {
+    images.push_back(tensor::rand_uniform(
+        shape{model_cfg.spec.in_channels, hw, hw}, gen, -1.0F, 1.0F));
+  }
+
+  // Local reference: the simulator's cloud path (single-input forwards).
+  std::unique_ptr<nn::sequential> local_net = make_cloud_model(model_cfg);
+  network_cloud_backend local(*local_net);
+  std::vector<std::size_t> expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    request r = make_request(i);
+    r.input = images[i];
+    expected[i] = local.infer(r);
+  }
+
+  stub_server_config scfg;
+  scfg.kind = transport_kind::uds;
+  scfg.endpoint = unique_uds_path("network");
+  scfg.workers = 2;
+  scfg.max_cloud_batch = 8;
+  stub_server stub(scfg, make_network_scorer_factory(model_cfg));
+  stub.start();
+
+  replay_cloud_backend fallback(std::vector<std::size_t>(n, 0));
+  link_config cfg;
+  cfg.transport = transport_kind::uds;
+  cfg.endpoint = scfg.endpoint;
+  cfg.coalesce_window_ms = 20.0;  // pack several appeals per frame
+  cloud_channel channel(fallback, collab::cost_model{}, cfg, "bignet");
+  std::mutex mutex;
+  std::vector<std::size_t> got(n, static_cast<std::size_t>(-1));
+  for (std::uint64_t key = 0; key < n; ++key) {
+    request r = make_request(key);
+    r.input = images[key];
+    channel.appeal(std::move(r), [&](request&& done,
+                                     const appeal_outcome& out) {
+      EXPECT_FALSE(out.expired);
+      EXPECT_GT(out.cloud_ms, 0.0);
+      std::lock_guard<std::mutex> lock(mutex);
+      got[done.key] = out.prediction;
+    });
+  }
+  channel.drain();
+  EXPECT_EQ(channel.counters().local_fallbacks, 0U);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "prediction diverged for input " << i;
+  }
+  stub.stop();
+  EXPECT_EQ(stub.counters().scored, n);
+  EXPECT_EQ(stub.counters().expired, 0U);
+  ::unlink(weights.c_str());
 }
 
 }  // namespace

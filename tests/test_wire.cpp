@@ -89,12 +89,16 @@ TEST(wire, encoded_size_matches_wire_bytes_prediction) {
 
 TEST(wire, response_batch_round_trips_in_any_order) {
   // The cloud may answer a coalesced batch in any order (or split it);
-  // the per-record id is the demux key and must survive untouched.
+  // the per-record id is the demux key and must survive untouched. The
+  // middle record is a deadline-shed appeal: its `expired` status must
+  // round trip too (the whole point of answering instead of dropping).
   std::vector<wire::response_record> batch;
   for (const std::uint64_t id : {9ULL, 2ULL, 5ULL}) {
     wire::response_record r;
     r.id = id;
     r.prediction = 100 + id;
+    r.status = id == 2 ? wire::response_status::expired
+                       : wire::response_status::ok;
     r.cloud_ms = 0.5 * static_cast<double>(id);
     batch.push_back(r);
   }
@@ -108,8 +112,21 @@ TEST(wire, response_batch_round_trips_in_any_order) {
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(decoded[i].id, batch[i].id);
     EXPECT_EQ(decoded[i].prediction, batch[i].prediction);
+    EXPECT_EQ(decoded[i].status, batch[i].status);
     EXPECT_DOUBLE_EQ(decoded[i].cloud_ms, batch[i].cloud_ms);
   }
+}
+
+TEST(wire, rejects_unknown_response_status) {
+  wire::response_record r;
+  r.id = 1;
+  r.prediction = 4;
+  std::vector<std::uint8_t> bytes = wire::encode_response_batch({r});
+  // The status byte sits after the header and id + prediction.
+  bytes[wire::kHeaderBytes + 16] = 0x7F;
+  const std::optional<wire::frame> f = split_one(bytes);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_THROW(wire::decode_response_batch(*f), util::error);
 }
 
 TEST(wire, splitter_assembles_frames_from_single_byte_reads) {

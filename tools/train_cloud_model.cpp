@@ -1,0 +1,67 @@
+// Trains and serializes the canonical cloud (big) network.
+//
+// Produces the weights file `cloud_stub --scorer=network --weights=...`
+// and `bench_serving --cloud=network --weights=...` load: the canonical
+// serve::cloud_model architecture (ResNet cloud family at bench
+// geometry), trained briefly on a synthetic preset and saved in
+// trainable (unfolded) form via nn/serialize. Both loaders rebuild the
+// identical architecture from the same spec, so the load is
+// name-and-shape checked end to end. CI's loopback-uds job uses this to
+// put a real trained model behind the socket.
+//
+// Run:  ./train_cloud_model --out=/tmp/big.apnw
+//       [--preset=cifar10] [--epochs=2] [--seed=7] [--init_seed=0xB16]
+//       [--family=resnet] [--depth=2] [--width=1.0] [--image_size=16]
+//       [--classes=10]
+#include <cstdio>
+#include <string>
+
+#include "core/joint_trainer.hpp"
+#include "data/presets.hpp"
+#include "nn/serialize.hpp"
+#include "serve/cloud_model.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+int main(int argc, char** argv) {
+  using namespace appeal;
+  const util::config args = util::config::from_args(argc, argv);
+  util::set_log_level(util::log_level::info);
+
+  const std::string out = args.get_string_or("out", "");
+  APPEAL_CHECK(!out.empty(), "--out=<path> is required");
+
+  serve::cloud_model_config cfg;
+  cfg.spec.family = models::parse_family(args.get_string_or("family", "resnet"));
+  cfg.spec.depth = static_cast<std::size_t>(args.get_int_or("depth", 2));
+  cfg.spec.width = static_cast<float>(args.get_double_or("width", 1.0));
+  cfg.spec.image_size =
+      static_cast<std::size_t>(args.get_int_or("image_size", 16));
+  cfg.spec.num_classes =
+      static_cast<std::size_t>(args.get_int_or("classes", 10));
+  cfg.init_seed =
+      static_cast<std::uint64_t>(args.get_int_or("init_seed", 0xB16));
+  cfg.fold = false;  // keep batchnorm unfolded: this model is trained
+
+  std::unique_ptr<nn::sequential> net = serve::make_cloud_model(cfg);
+
+  const data::dataset_bundle bundle = data::make_small_bundle(
+      data::parse_preset(args.get_string_or("preset", "cifar10")),
+      static_cast<std::uint64_t>(args.get_int_or("seed", 7)));
+  APPEAL_CHECK(bundle.train->num_classes() == cfg.spec.num_classes &&
+                   bundle.train->config().image_size == cfg.spec.image_size,
+               "preset geometry must match the model spec");
+
+  core::trainer_config train_cfg;
+  train_cfg.epochs = static_cast<std::size_t>(args.get_int_or("epochs", 2));
+  train_cfg.verbose = true;
+  const core::training_log log =
+      core::train_classifier(*net, *bundle.train, bundle.val.get(), train_cfg);
+
+  nn::save_model(*net, out);
+  std::printf("trained %s for %zu epochs (val accuracy %.2f%%), saved to %s\n",
+              cfg.spec.canonical().c_str(), train_cfg.epochs,
+              log.val_accuracy * 100.0, out.c_str());
+  return 0;
+}
