@@ -118,10 +118,10 @@ int main(int argc, char** argv) {
   core::two_head_network posthoc_net(net_cfg);  // identical init/seed
   core::pretrain_two_head(posthoc_net, *bundle.train, nullptr, pretrain_cfg);
 
-  APPEAL_LOG_INFO << "training joint variant";
+  APPEAL_LOG_INFO("bench") << "training joint variant";
   core::train_joint(joint_net, *bundle.train, nullptr, {}, head_cfg,
                     loss_cfg);
-  APPEAL_LOG_INFO << "training post-hoc variant (frozen backbone)";
+  APPEAL_LOG_INFO("bench") << "training post-hoc variant (frozen backbone)";
   train_posthoc_head(posthoc_net, *bundle.train, head_cfg, loss_cfg);
 
   util::ascii_table table(

@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   loss_cfg.beta = 0.05;
   loss_cfg.black_box = true;
 
-  APPEAL_LOG_INFO << "training the two-head model once (fp32 reference)";
+  APPEAL_LOG_INFO("bench") << "training the two-head model once (fp32 reference)";
   core::pretrain_two_head(net, *bundle.train, nullptr, pretrain_cfg);
   core::train_joint(net, *bundle.train, nullptr, {}, joint_cfg, loss_cfg);
 

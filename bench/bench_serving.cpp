@@ -48,6 +48,18 @@
 //       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
 //       [--coalesce_ms=0] [--max_batch_appeals=64]
 //       [--json=results/serving.json]
+//
+// Observability: --trace_sample=0.01 samples every 100th request into a
+// trace span stamped at each stage boundary; --trace=<path> writes the
+// sampled spans as JSONL (feed to tools/trace_report for the per-stage
+// waterfall). --metrics=<port|uds-path> serves the process metrics
+// registry as a Prometheus-text /metrics endpoint for the whole run;
+// --metrics_dump=<path> writes a final scrape to a file at exit.
+// --gemm_threads=N sets the (process-global) intra-GEMM parallelism of
+// edge forwards. Each run labels its registry instruments
+// {deployment="bench-fixed"|"bench-adaptive"}; the fixed run has no
+// warmup, so its cumulative counters equal its final snapshot — the
+// loopback CI gate asserts exactly that.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -59,6 +71,9 @@
 
 #include "bench_common.hpp"
 #include "collab/system_eval.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/two_head_network.hpp"
 #include "serve/cloud_model.hpp"
 #include "serve/server.hpp"
@@ -280,7 +295,9 @@ void append_run_json(std::FILE* f, const char* mode, const run_result& r,
       " \"mean_cloud_ms\": %.4f,"
       " \"appeal_batches\": %zu, \"appeals_on_wire\": %zu,"
       " \"mean_appeals_per_batch\": %.4f, \"wire_bytes_tx\": %zu,"
-      " \"wire_bytes_rx\": %zu, \"link_fallbacks\": %zu}%s\n",
+      " \"wire_bytes_rx\": %zu, \"link_fallbacks\": %zu,"
+      " \"submitted\": %zu, \"completed\": %zu, \"edge_kept\": %zu,"
+      " \"edge_degraded\": %zu, \"appealed\": %zu}%s\n",
       mode, r.stats.throughput_rps, r.stats.p50_ms, r.stats.p95_ms,
       r.stats.p99_ms, r.stats.achieved_sr, r.stats.online_accuracy,
       r.stats.shed_rate, r.stats.shed, r.stats.expired, r.stats.cloud_expired,
@@ -288,7 +305,8 @@ void append_run_json(std::FILE* f, const char* mode, const run_result& r,
       r.stats.cloud_labeled, r.stats.mean_cloud_ms, r.stats.appeal_batches,
       r.stats.appeals_on_wire, r.stats.mean_appeals_per_batch,
       r.stats.wire_bytes_tx, r.stats.wire_bytes_rx, r.stats.link_fallbacks,
-      last ? "" : ",");
+      r.stats.submitted, r.stats.completed, r.stats.edge_kept,
+      r.stats.edge_degraded, r.stats.appealed, last ? "" : ",");
 }
 
 }  // namespace
@@ -339,6 +357,26 @@ int main(int argc, char** argv) {
       args.get_bool_or("edge_sim", !network_backend);
   cfg.shard.admission.policy =
       parse_admission(args.get_string_or("admission", "block"));
+  cfg.shard.trace_sample_rate = args.get_double_or("trace_sample", 0.0);
+  cfg.shard.gemm_threads =
+      static_cast<std::size_t>(args.get_int_or("gemm_threads", 0));
+  const std::string trace_path = args.get_string_or("trace", "");
+  const std::string metrics_endpoint = args.get_string_or("metrics", "");
+  const std::string metrics_dump = args.get_string_or("metrics_dump", "");
+
+  // Sampled spans also feed the appeal_stage_ms summaries, so a /metrics
+  // scrape carries the per-stage waterfall alongside the counters.
+  if (cfg.shard.trace_sample_rate > 0.0) {
+    obs::default_collector().attach_registry(&obs::default_registry());
+  }
+  std::unique_ptr<obs::metrics_http_server> metrics_server;
+  if (!metrics_endpoint.empty()) {
+    metrics_server = std::make_unique<obs::metrics_http_server>(
+        obs::default_registry(), metrics_endpoint);
+    std::printf("metrics: serving /metrics on %s (port %u)\n",
+                metrics_endpoint.c_str(),
+                static_cast<unsigned>(metrics_server->port()));
+  }
 
   // Workload + edge backend factory for the chosen mode. Both modes share
   // the replay-table scheduler comparison; network mode also carries the
@@ -428,8 +466,11 @@ int main(int argc, char** argv) {
       "offline system_eval: delta %.4f -> SR %.2f%%, accuracy %.2f%%\n\n",
       offline.delta, offline.achieved_sr * 100.0, offline.accuracy * 100.0);
 
-  // Run 1: offline-calibrated fixed δ.
+  // Run 1: offline-calibrated fixed δ. Its own {deployment=...} label so
+  // cumulative registry counters stay per-run (and, with no warmup, equal
+  // to the run's snapshot).
   serve::deployment_config fixed_cfg = cfg;
+  fixed_cfg.shard.stats.deployment = "bench-fixed";
   fixed_cfg.shard.threshold.adapt = serve::threshold_config::mode::fixed;
   fixed_cfg.shard.threshold.initial_delta = offline.delta;
   const run_result fixed = run_mode(w, images, fixed_cfg, edge_factory,
@@ -441,6 +482,7 @@ int main(int argc, char** argv) {
   // recalibration windows to find δ, so a warmup slice of the workload
   // primes it and every reported metric covers the steady state only.
   serve::deployment_config adaptive_cfg = cfg;
+  adaptive_cfg.shard.stats.deployment = "bench-adaptive";
   adaptive_cfg.shard.threshold.adapt =
       serve::threshold_config::mode::track_sr;
   adaptive_cfg.shard.threshold.target_sr = target_sr;
@@ -508,6 +550,31 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    const std::string jsonl = obs::default_collector().render_jsonl();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%llu spans sampled)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    obs::default_collector().recorded()));
+  }
+  if (!metrics_dump.empty()) {
+    const std::string text = obs::default_registry().render_prometheus();
+    std::FILE* f = std::fopen(metrics_dump.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_dump.c_str());
+      return 1;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_dump.c_str());
   }
 
   // Acceptance: SR within 2 pp of target (steady state for the adaptive

@@ -48,9 +48,9 @@ int main(int argc, char** argv) {
   loss_cfg.black_box = true;
   loss_cfg.beta = args.get_double_or("beta", 0.05);
 
-  APPEAL_LOG_INFO << "pretraining the edge model (no cloud access needed)";
+  APPEAL_LOG_INFO("example") << "pretraining the edge model (no cloud access needed)";
   core::pretrain_two_head(net, *bundle.train, bundle.val.get(), pretrain_cfg);
-  APPEAL_LOG_INFO << "joint training with the black-box objective (Eq. 10)";
+  APPEAL_LOG_INFO("example") << "joint training with the black-box objective (Eq. 10)";
   core::train_joint(net, *bundle.train, bundle.val.get(), {}, joint_cfg,
                     loss_cfg);
 

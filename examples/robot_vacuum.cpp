@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   cfg.loss.beta = 0.05;
   cfg.target_skipping_rate = args.get_double_or("target_sr", 0.9);
 
-  APPEAL_LOG_INFO << "training the robot's edge/cloud system...";
+  APPEAL_LOG_INFO("example") << "training the robot's edge/cloud system...";
   core::appealnet_system system =
       core::build_appealnet(*bundle.train, *bundle.val, cfg);
 

@@ -191,13 +191,13 @@ experiment_outputs run_experiment(const experiment_config& cfg,
                                   get("test.joint"), get("test.q"),
                                   out.num_classes);
       fill_headline_accuracies(out);
-      APPEAL_LOG_DEBUG << "experiment loaded from cache: " << key;
+      APPEAL_LOG_DEBUG("experiment") << "experiment loaded from cache: " << key;
       return out;
     }
   }
 
   util::timer total_timer;
-  APPEAL_LOG_INFO << "running experiment " << key;
+  APPEAL_LOG_INFO("experiment") << "running experiment " << key;
 
   const data::dataset_bundle bundle = data::make_bundle(cfg.dataset, cfg.seed);
   const models::model_spec edge_spec = edge_spec_for(cfg);
@@ -302,7 +302,7 @@ experiment_outputs run_experiment(const experiment_config& cfg,
   out.big_mflops = static_cast<double>(big->flops(single)) / 1e6;
   fill_headline_accuracies(out);
 
-  APPEAL_LOG_INFO << "experiment finished in "
+  APPEAL_LOG_INFO("experiment") << "experiment finished in "
                   << util::format_fixed(total_timer.seconds(), 1) << "s ("
                   << "little=" << util::format_percent(out.little_joint_accuracy)
                   << ", big=" << util::format_percent(out.big_accuracy) << ")";

@@ -109,7 +109,7 @@ appealnet_system build_appealnet(const data::dataset& train,
   if (big == nullptr) {
     util::rng gen(cfg.seed);
     big = models::make_classifier(cfg.big_spec, gen);
-    APPEAL_LOG_INFO << "training big network ("
+    APPEAL_LOG_INFO("builder") << "training big network ("
                     << models::family_name(cfg.big_spec.family) << ")";
     rep.big_log = train_classifier(*big, train, &val, cfg.big_training);
   }
@@ -117,13 +117,13 @@ appealnet_system build_appealnet(const data::dataset& train,
 
   // 2. Two-head little network, phase-1 pretraining (Algorithm 1, line 1).
   auto little = std::make_unique<two_head_network>(cfg.little);
-  APPEAL_LOG_INFO << "pretraining little network ("
+  APPEAL_LOG_INFO("builder") << "pretraining little network ("
                   << models::family_name(cfg.little.spec.family) << ")";
   rep.pretrain_log = pretrain_two_head(*little, train, &val, cfg.pretraining);
 
   // 3+4. Joint training (Algorithm 1, lines 2-9); the frozen big model
   // supplies l0 on each training batch in white-box mode.
-  APPEAL_LOG_INFO << "joint training (beta="
+  APPEAL_LOG_INFO("builder") << "joint training (beta="
                   << cfg.loss.beta << (cfg.loss.black_box ? ", black-box)"
                                                           : ", white-box)");
   rep.joint_log =

@@ -87,7 +87,7 @@ training_log train_classifier(nn::layer& model, const data::dataset& train,
     stats.train_accuracy = acc_total / static_cast<double>(batches);
     log.epochs.push_back(stats);
     if (cfg.verbose) {
-      APPEAL_LOG_INFO << "epoch " << epoch + 1 << "/" << cfg.epochs
+      APPEAL_LOG_INFO("trainer") << "epoch " << epoch + 1 << "/" << cfg.epochs
                       << " loss=" << util::format_fixed(stats.mean_loss, 4)
                       << " acc="
                       << util::format_percent(stats.train_accuracy);
@@ -98,7 +98,7 @@ training_log train_classifier(nn::layer& model, const data::dataset& train,
     const tensor val_logits = eval_logits(model, *val);
     log.val_accuracy = logits_accuracy(val_logits, *val);
     if (cfg.verbose) {
-      APPEAL_LOG_INFO << "validation acc="
+      APPEAL_LOG_INFO("trainer") << "validation acc="
                       << util::format_percent(log.val_accuracy);
     }
   }
@@ -215,7 +215,7 @@ training_log train_joint(two_head_network& net, const data::dataset& train,
     stats.mean_q = q_total / static_cast<double>(batches);
     log.epochs.push_back(stats);
     if (cfg.verbose) {
-      APPEAL_LOG_INFO << "joint epoch " << epoch + 1 << "/" << cfg.epochs
+      APPEAL_LOG_INFO("trainer") << "joint epoch " << epoch + 1 << "/" << cfg.epochs
                       << " loss=" << util::format_fixed(stats.mean_loss, 4)
                       << " acc=" << util::format_percent(stats.train_accuracy)
                       << " mean_q=" << util::format_fixed(stats.mean_q, 3);
@@ -226,7 +226,7 @@ training_log train_joint(two_head_network& net, const data::dataset& train,
     const two_head_eval eval = eval_two_head(net, *val);
     log.val_accuracy = logits_accuracy(eval.logits, *val);
     if (cfg.verbose) {
-      APPEAL_LOG_INFO << "joint validation acc="
+      APPEAL_LOG_INFO("trainer") << "joint validation acc="
                       << util::format_percent(log.val_accuracy);
     }
   }

@@ -1,0 +1,87 @@
+// Exporters for the metrics registry.
+//
+//   metrics_http_server  — minimal HTTP/1.1 listener (TCP "host:port" or
+//                          a UDS path) serving GET /metrics as Prometheus
+//                          text and GET /metrics.json as the JSON render.
+//                          One connection at a time, close-after-response:
+//                          a scraper hits it once a second, not a fleet.
+//   json_snapshot_writer — background thread that rewrites a JSON file
+//                          with the registry snapshot every interval
+//                          (atomic rename so a reader never sees a torn
+//                          file). For runs where nothing scrapes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/net.hpp"
+
+namespace appeal::obs {
+
+class metrics_http_server {
+ public:
+  /// Binds and starts the accept loop. TCP endpoints are "host:port"
+  /// (port 0 picks an ephemeral port — read it back with port()); a
+  /// UDS path is anything containing '/'.
+  metrics_http_server(metrics_registry& registry, const std::string& endpoint);
+  ~metrics_http_server();
+
+  metrics_http_server(const metrics_http_server&) = delete;
+  metrics_http_server& operator=(const metrics_http_server&) = delete;
+
+  /// 0 for UDS endpoints.
+  std::uint16_t port() const { return port_; }
+
+  /// Requests served (any path, including 404s). Tests poll this.
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_one(net::fd conn);
+
+  metrics_registry& registry_;
+  net::fd listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+class json_snapshot_writer {
+ public:
+  json_snapshot_writer(metrics_registry& registry, std::string path,
+                       std::chrono::milliseconds interval);
+  ~json_snapshot_writer();
+
+  json_snapshot_writer(const json_snapshot_writer&) = delete;
+  json_snapshot_writer& operator=(const json_snapshot_writer&) = delete;
+
+  /// Writes one snapshot immediately (also called on stop, so the file
+  /// always ends at the final state).
+  void flush();
+
+  void stop();
+
+ private:
+  void loop();
+
+  metrics_registry& registry_;
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  std::atomic<bool> running_{true};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::thread thread_;
+};
+
+}  // namespace appeal::obs

@@ -14,10 +14,32 @@ std::size_t scaled_limit(std::size_t capacity, double factor) {
   return std::max<std::size_t>(1, static_cast<std::size_t>(raw));
 }
 
+const char* policy_name(admission_policy p) {
+  switch (p) {
+    case admission_policy::block:
+      return "block";
+    case admission_policy::shed:
+      return "shed";
+    case admission_policy::edge_only:
+      return "edge_only";
+  }
+  return "unknown";
+}
+
+obs::counter& verdict_counter(admission_policy p, const char* verdict) {
+  return obs::default_registry().get_counter(
+      "appeal_admission_total", {{"policy", policy_name(p)},
+                                 {"verdict", verdict}},
+      "admission verdicts at submit(), by policy");
+}
+
 }  // namespace
 
 admission_controller::admission_controller(const admission_config& cfg)
-    : config_(cfg) {
+    : config_(cfg),
+      metric_admitted_(verdict_counter(cfg.policy, "admitted")),
+      metric_degraded_(verdict_counter(cfg.policy, "degraded")),
+      metric_shed_(verdict_counter(cfg.policy, "shed")) {
   APPEAL_CHECK(cfg.batch_headroom > 0.0 && cfg.batch_headroom <= 1.0,
                "batch_headroom must be in (0, 1]");
   APPEAL_CHECK(cfg.degrade_headroom >= 1.0,
@@ -28,12 +50,15 @@ admission_verdict admission_controller::count(admission_verdict v) {
   switch (v) {
     case admission_verdict::admitted:
       admitted_.fetch_add(1, std::memory_order_relaxed);
+      metric_admitted_.add(1);
       break;
     case admission_verdict::degraded:
       degraded_.fetch_add(1, std::memory_order_relaxed);
+      metric_degraded_.add(1);
       break;
     case admission_verdict::shed:
       shed_.fetch_add(1, std::memory_order_relaxed);
+      metric_shed_.add(1);
       break;
     case admission_verdict::closed:
       break;

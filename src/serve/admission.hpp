@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstddef>
 
+#include "obs/metrics.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
 
@@ -75,6 +76,12 @@ class admission_controller {
   std::atomic<std::size_t> admitted_{0};
   std::atomic<std::size_t> degraded_{0};
   std::atomic<std::size_t> shed_{0};
+  /// Registry mirrors of the verdict counters, labeled {policy=...}. The
+  /// local atomics stay authoritative for per-instance reads (several
+  /// engines with the same policy share one registry instrument).
+  obs::counter& metric_admitted_;
+  obs::counter& metric_degraded_;
+  obs::counter& metric_shed_;
 };
 
 }  // namespace appeal::serve

@@ -4,8 +4,27 @@
 
 namespace appeal::serve {
 
+namespace {
+
+obs::counter& flush_counter(const char* reason) {
+  return obs::default_registry().get_counter(
+      "appeal_batch_flush_total", {{"reason", reason}},
+      "batches emitted, by what triggered the flush");
+}
+
+}  // namespace
+
 batcher::batcher(request_queue& queue, const batch_policy& policy)
-    : queue_(queue), policy_(policy) {
+    : queue_(queue),
+      policy_(policy),
+      // Fixed binning (1 request per bin) so every batcher, whatever its
+      // max_batch_size, shares one instrument; larger batches clamp.
+      metric_batch_size_(obs::default_registry().get_histogram(
+          "appeal_batch_size", {}, 0.0, 256.0, 256,
+          "requests per emitted batch")),
+      metric_flush_full_(flush_counter("full")),
+      metric_flush_timeout_(flush_counter("timeout")),
+      metric_flush_closed_(flush_counter("closed")) {
   APPEAL_CHECK(policy.max_batch_size > 0, "max_batch_size must be positive");
   APPEAL_CHECK(policy.max_wait.count() >= 0, "max_wait must be non-negative");
   APPEAL_CHECK(policy.deadline_margin.count() >= 0,
@@ -15,6 +34,23 @@ batcher::batcher(request_queue& queue, const batch_policy& policy)
 batch batcher::next_batch() {
   using clock = std::chrono::steady_clock;
   batch out;
+  // Instruments only real batches: the empty queue-closed batch is the
+  // worker-exit signal, not a flush.
+  const auto record = [this](const batch& b) {
+    if (b.empty()) return;
+    metric_batch_size_.observe(static_cast<double>(b.requests.size()));
+    switch (b.reason) {
+      case flush_reason::batch_full:
+        metric_flush_full_.add(1);
+        break;
+      case flush_reason::wait_expired:
+        metric_flush_timeout_.add(1);
+        break;
+      case flush_reason::queue_closed:
+        metric_flush_closed_.add(1);
+        break;
+    }
+  };
 
   // Block indefinitely for the first request (poll in coarse slices so a
   // close() during the wait is picked up promptly even on platforms with
@@ -26,6 +62,7 @@ batch batcher::next_batch() {
     if (result == request_queue::pop_result::item) break;
     if (result == request_queue::pop_result::closed) {
       out.reason = flush_reason::queue_closed;
+      record(out);
       return out;
     }
   }
@@ -56,9 +93,11 @@ batch batcher::next_batch() {
     out.reason = result == request_queue::pop_result::closed
                      ? flush_reason::queue_closed
                      : flush_reason::wait_expired;
+    record(out);
     return out;
   }
   out.reason = flush_reason::batch_full;
+  record(out);
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/request_queue.hpp"
 
 namespace appeal::serve {
@@ -59,6 +60,12 @@ class batcher {
  private:
   request_queue& queue_;
   batch_policy policy_;
+  /// Registry instruments shared by every batcher (one per edge worker):
+  /// emitted batch sizes and flush reasons, {reason=full|timeout|closed}.
+  obs::histogram& metric_batch_size_;
+  obs::counter& metric_flush_full_;
+  obs::counter& metric_flush_timeout_;
+  obs::counter& metric_flush_closed_;
 };
 
 }  // namespace appeal::serve

@@ -127,6 +127,12 @@ void cloud_channel::run() {
     for (std::size_t i = 0; i < take; ++i) {
       pending p = std::move(pending_.front());
       pending_.pop_front();
+      if (p.req.trace != nullptr) {
+        p.req.trace->set(obs::stage::appeal_coalesce,
+                         std::chrono::duration<double, std::milli>(
+                             batched_at - p.arrived)
+                             .count());
+      }
       const std::uint64_t id = next_wire_id_++;
       wire_ids.push_back(id);
       in_flight_.emplace(
@@ -163,6 +169,16 @@ void cloud_channel::run() {
     }
     lock.lock();
     sending_ids_.clear();
+    if (sent) {
+      // Stamp the wire-tx window on whatever this batch still has in
+      // flight. An appeal the cloud already answered mid-send missed the
+      // stamp — its span's wire_rx residual absorbs the time instead.
+      const double tx_ms = ms_since(batched_at);
+      for (const std::uint64_t id : wire_ids) {
+        auto it = in_flight_.find(id);
+        if (it != in_flight_.end()) it->second.tx_ms = tx_ms;
+      }
+    }
     if (!sent || link_down_) {
       // Send failed, or the link died while this batch was in the air
       // (on_link_failure left the pinned entries for us): whatever the
@@ -218,9 +234,11 @@ void cloud_channel::reap_overdue(std::unique_lock<std::mutex>& lock) {
   std::vector<in_flight> entries = extract_locked(overdue);
   local_fallbacks_ += entries.size();
   lock.unlock();
-  APPEAL_LOG_WARN << "cloud link '" << name_ << "': no response in "
-                  << config_.response_timeout_ms << " ms; completing "
-                  << entries.size() << " appeals locally";
+  APPEAL_LOG_WARN("cloud_channel")
+      << "no response before the watchdog; completing appeals locally"
+      << util::kv("link", name_)
+      << util::kv("timeout_ms", config_.response_timeout_ms)
+      << util::kv("appeals", entries.size());
   complete_locally(std::move(entries));
   lock.lock();
 }
@@ -237,6 +255,8 @@ void cloud_channel::on_completions(
       appeal_outcome outcome;
       outcome.prediction = c.prediction;
       outcome.cloud_ms = c.cloud_ms;
+      outcome.cloud_queue_ms = c.cloud_queue_ms;
+      outcome.cloud_score_ms = c.cloud_score_ms;
       outcome.expired = c.expired;
       done.emplace_back(std::move(it->second), outcome);
       in_flight_.erase(it);
@@ -289,6 +309,20 @@ void cloud_channel::complete_locally(std::vector<in_flight>&& entries) {
 
 void cloud_channel::finish(in_flight&& entry, appeal_outcome outcome) {
   outcome.link_ms = ms_since(entry.batched_at);
+  if (entry.req.trace != nullptr) {
+    obs::trace_span& span = *entry.req.trace;
+    span.set(obs::stage::wire_tx, entry.tx_ms);
+    span.set(obs::stage::cloud_queue, outcome.cloud_queue_ms);
+    span.set(obs::stage::cloud_score, outcome.cloud_score_ms);
+    // The rest of the link round trip. The cloud stages are durations on
+    // the cloud's clock, so no cross-clock sync is needed; set() clamps
+    // a negative remainder (clock disagreement) to 0, which shows up as
+    // a reconciliation gap in tools/trace_report rather than a negative
+    // stage.
+    span.set(obs::stage::wire_rx,
+             outcome.link_ms - entry.tx_ms - outcome.cloud_queue_ms -
+                 outcome.cloud_score_ms);
+  }
   entry.on_complete(std::move(entry.req), outcome);
   std::lock_guard<std::mutex> lock(mutex_);
   ++completed_;

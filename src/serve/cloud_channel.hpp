@@ -79,6 +79,10 @@ struct appeal_outcome {
   std::size_t prediction = 0;
   double link_ms = 0.0;   // batched -> completed, client clock
   double cloud_ms = 0.0;  // cloud-reported queue wait + scoring time
+  /// The cloud_ms total split into queue wait and batched scoring (wire
+  /// v3 peers only; 0 otherwise). Feeds the trace spans' cloud stages.
+  double cloud_queue_ms = 0.0;
+  double cloud_score_ms = 0.0;
   bool expired = false;
 };
 
@@ -120,6 +124,9 @@ class cloud_channel {
     request req;
     completion_fn on_complete;
     std::chrono::steady_clock::time_point batched_at;
+    /// Time send_batch spent shipping this entry's frame (stamped after
+    /// the send returns; 0 if the completion raced the send back).
+    double tx_ms = 0.0;
   };
 
   void run();

@@ -15,6 +15,14 @@ cloud_backend& require_cloud(const std::unique_ptr<cloud_backend>& cloud) {
   return *cloud;
 }
 
+/// The deployment's name becomes the {deployment=...} label on its
+/// registry instruments unless the caller already chose one.
+serve_stats_config labeled_stats(serve_stats_config cfg,
+                                 const std::string& name) {
+  if (cfg.deployment.empty()) cfg.deployment = name;
+  return cfg;
+}
+
 }  // namespace
 
 deployment::deployment(std::string name, const deployment_config& cfg,
@@ -22,7 +30,7 @@ deployment::deployment(std::string name, const deployment_config& cfg,
     : name_(std::move(name)),
       config_(cfg),
       cloud_(cloud ? cloud() : nullptr),
-      stats_(cfg.shard.stats),
+      stats_(labeled_stats(cfg.shard.stats, name_)),
       controller_(cfg.shard.threshold, &config_.shard.link),
       channel_(require_cloud(cloud_), config_.shard.link,
                config_.shard.channel, name_) {

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "tensor/gemm.hpp"
 #include "util/error.hpp"
 
 namespace appeal::serve {
@@ -16,11 +18,24 @@ double ms_between(clock::time_point from, clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/// Applies cfg.gemm_threads (process-global, last writer wins) and keeps
+/// the appeal_gemm_threads gauge telling the truth about what is in
+/// force — whether this engine set it or an earlier one / the
+/// APPEAL_GEMM_THREADS environment did.
+void apply_gemm_threads(const engine_config& cfg) {
+  if (cfg.gemm_threads > 0) ops::set_gemm_threads(cfg.gemm_threads);
+  obs::default_registry()
+      .get_gauge("appeal_gemm_threads", {},
+                 "intra-GEMM parallelism of edge forwards (process-global)")
+      .set(static_cast<double>(ops::gemm_threads()));
+}
+
 }  // namespace
 
 engine::engine(const engine_config& cfg, edge_backend& edge,
                cloud_backend& cloud)
     : config_(cfg),
+      sampler_(cfg.trace_sample_rate),
       edge_backends_(cfg.num_workers, &edge),
       queue_(cfg.queue_capacity),
       owned_controller_(
@@ -38,6 +53,7 @@ engine::engine(const engine_config& cfg, edge_backend& edge,
 engine::engine(const engine_config& cfg, worker_edge_factory edge_factory,
                std::function<std::unique_ptr<cloud_backend>()> cloud_factory)
     : config_(cfg),
+      sampler_(cfg.trace_sample_rate),
       queue_(cfg.queue_capacity),
       owned_controller_(
           std::make_unique<threshold_controller>(cfg.threshold, &config_.link)),
@@ -67,6 +83,7 @@ engine::engine(const engine_config& cfg,
                cloud_channel& channel, threshold_controller& controller,
                serve_stats& stats)
     : config_(cfg),
+      sampler_(cfg.trace_sample_rate),
       owned_edge_(std::move(per_worker_edge)),
       queue_(cfg.queue_capacity),
       controller_(&controller),
@@ -80,6 +97,7 @@ engine::engine(const engine_config& cfg,
 }
 
 void engine::start_workers() {
+  apply_gemm_threads(config_);
   APPEAL_CHECK(config_.num_workers > 0, "engine needs at least one worker");
   APPEAL_CHECK(edge_backends_.size() == config_.num_workers,
                "one edge backend per worker required");
@@ -114,6 +132,7 @@ std::future<response> engine::submit(inference_request&& req) {
   // Zero means "no deadline"; a negative remaining budget (client's SLO
   // already blown) becomes a deadline in the past and expires at dequeue.
   if (req.deadline.count() != 0) r.deadline = r.enqueue_time + req.deadline;
+  r.trace = sampler_.sample(r.key, r.enqueue_time);
   std::future<response> future = r.promise.get_future();
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   switch (admission_.try_admit(queue_, r)) {
@@ -167,6 +186,19 @@ void engine::complete(request&& r, response&& resp) {
       resp.status == request_status::ok && r.label != request::no_label;
   const bool correct = labeled && resp.predicted_class == r.label;
   resp.latency_ms = ms_between(r.enqueue_time, clock::now());
+  if (r.trace != nullptr) {
+    obs::trace_span& span = *r.trace;
+    span.total_ms = resp.latency_ms;
+    span.appealed = resp.taken == route::cloud;
+    span.expired = resp.status == request_status::expired;
+    // Whatever the stamped stages do not account for (demux, stats,
+    // promise fulfillment, scheduling gaps between boundaries) is the
+    // final stage, so the stages always sum to ~total and trace_report's
+    // reconciliation check is meaningful.
+    span.set(obs::stage::complete, span.total_ms - span.stage_sum());
+    obs::default_collector().record(std::move(span));
+    r.trace.reset();
+  }
   stats_->record(resp, labeled, correct);
   r.promise.set_value(std::move(resp));
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -194,12 +226,25 @@ void engine::worker_loop(edge_backend& edge) {
         resp.status = request_status::expired;
         resp.shard = config_.shard_id;
         resp.queue_ms = ms_between(r.enqueue_time, r.dequeue_time);
+        if (r.trace != nullptr) {
+          r.trace->set(obs::stage::queue_wait, resp.queue_ms);
+        }
         complete(std::move(r), std::move(resp));
       } else {
         live.push_back(std::move(r));
       }
     }
     if (live.empty()) continue;
+
+    const clock::time_point infer_start = clock::now();
+    for (request& r : live) {
+      if (r.trace != nullptr) {
+        r.trace->set(obs::stage::queue_wait,
+                     ms_between(r.enqueue_time, r.dequeue_time));
+        r.trace->set(obs::stage::batch_form,
+                     ms_between(r.dequeue_time, infer_start));
+      }
+    }
 
     const edge_inference inference = edge.infer(live);
     APPEAL_CHECK(inference.predictions.size() == live.size() &&
@@ -211,6 +256,15 @@ void engine::worker_loop(edge_backend& edge) {
       if (scaled > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(scaled));
+      }
+    }
+    // The simulated accelerator pass (when on) is part of the edge
+    // forward as far as attribution goes.
+    const clock::time_point infer_end = clock::now();
+    for (request& r : live) {
+      if (r.trace != nullptr) {
+        r.trace->set(obs::stage::edge_infer,
+                     ms_between(infer_start, infer_end));
       }
     }
 
@@ -236,6 +290,9 @@ void engine::worker_loop(edge_backend& edge) {
       request& r = live[i];
       const double score = inference.scores[i];
       const double queue_ms = ms_between(r.enqueue_time, r.dequeue_time);
+      if (r.trace != nullptr) {
+        r.trace->set(obs::stage::decide, ms_between(infer_end, clock::now()));
+      }
       if (r.force_edge || score >= delta) {
         response resp;
         resp.id = r.id;

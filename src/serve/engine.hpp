@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "collab/cost_model.hpp"
+#include "obs/trace.hpp"
 #include "serve/admission.hpp"
 #include "serve/backends.hpp"
 #include "serve/batcher.hpp"
@@ -70,6 +71,16 @@ struct engine_config {
   bool simulate_edge_compute = false;
   /// Stamped into response::shard; set by the owning deployment.
   std::size_t shard_id = 0;
+  /// Fraction of requests that get a trace span (0 = tracing off,
+  /// 1 = every request; 0.01 traces every 100th). Sampled spans are
+  /// stamped at each stage boundary and land in obs::default_collector().
+  double trace_sample_rate = 0.0;
+  /// When > 0, sets ops::set_gemm_threads at engine construction — the
+  /// intra-GEMM parallelism of this engine's edge forwards. The setting
+  /// is PROCESS-GLOBAL (one shared pool under every backend), so the
+  /// last-constructed engine wins; it is exported as the
+  /// appeal_gemm_threads gauge so a scrape shows what is in force.
+  std::size_t gemm_threads = 0;
 };
 
 class engine {
@@ -146,6 +157,7 @@ class engine {
   void complete(request&& r, response&& resp);
 
   engine_config config_;
+  obs::trace_sampler sampler_;  // every-Nth from config_.trace_sample_rate
   std::vector<std::unique_ptr<edge_backend>> owned_edge_;
   std::unique_ptr<cloud_backend> owned_cloud_;
   std::vector<edge_backend*> edge_backends_;

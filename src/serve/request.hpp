@@ -13,8 +13,10 @@
 #include <cstdint>
 #include <future>
 #include <limits>
+#include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace appeal::serve {
@@ -86,6 +88,10 @@ struct request {
   std::chrono::steady_clock::time_point enqueue_time;
   std::chrono::steady_clock::time_point dequeue_time;
   std::promise<response> promise;
+  /// Sampled trace span riding the request (null for the unsampled
+  /// majority). Stages are stamped at each boundary; the engine
+  /// finalizes and hands it to the trace collector at completion.
+  std::unique_ptr<obs::trace_span> trace;
 };
 
 }  // namespace appeal::serve

@@ -6,15 +6,53 @@
 
 namespace appeal::serve {
 
+namespace {
+
+obs::label_set deployment_labels(const std::string& deployment) {
+  if (deployment.empty()) return {};
+  return {{"deployment", deployment}};
+}
+
+}  // namespace
+
 serve_stats::serve_stats(const serve_stats_config& cfg)
-    : config_(cfg), latency_(0.0, cfg.latency_range_ms, cfg.latency_bins) {
+    : config_(cfg),
+      latency_(0.0, cfg.latency_range_ms, cfg.latency_bins),
+      metric_submitted_(obs::default_registry().get_counter(
+          "appeal_requests_total", deployment_labels(cfg.deployment),
+          "requests that entered submit() and have completed (any status)")),
+      metric_completed_(obs::default_registry().get_counter(
+          "appeal_completed_total", deployment_labels(cfg.deployment),
+          "requests that produced a prediction")),
+      metric_edge_(obs::default_registry().get_counter(
+          "appeal_edge_total", deployment_labels(cfg.deployment),
+          "requests answered on the edge (score >= delta or degraded)")),
+      metric_appealed_(obs::default_registry().get_counter(
+          "appeal_appealed_total", deployment_labels(cfg.deployment),
+          "requests appealed to the cloud")),
+      metric_shed_(obs::default_registry().get_counter(
+          "appeal_shed_total", deployment_labels(cfg.deployment),
+          "requests refused at admission")),
+      metric_expired_(obs::default_registry().get_counter(
+          "appeal_expired_total", deployment_labels(cfg.deployment),
+          "requests whose deadline passed before an edge worker")),
+      metric_cloud_expired_(obs::default_registry().get_counter(
+          "appeal_cloud_expired_requests_total",
+          deployment_labels(cfg.deployment),
+          "appealed requests shed in the cloud's work queue")),
+      metric_latency_(obs::default_registry().get_histogram(
+          "appeal_latency_ms", deployment_labels(cfg.deployment), 0.0,
+          cfg.latency_range_ms, cfg.latency_bins,
+          "end-to-end latency of completed requests")) {
   APPEAL_CHECK(cfg.latency_range_ms > 0.0, "latency range must be positive");
 }
 
 void serve_stats::record(const response& r, bool labeled, bool correct) {
+  metric_submitted_.add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   if (r.status == request_status::shed) {
     ++shed_;
+    metric_shed_.add(1);
     return;
   }
   if (r.status == request_status::expired) {
@@ -23,21 +61,27 @@ void serve_stats::record(const response& r, bool labeled, bool correct) {
     // edge-side expiry so deadline pressure on the link is visible.
     if (r.taken == route::cloud) {
       ++cloud_expired_;
+      metric_cloud_expired_.add(1);
     } else {
       ++expired_;
+      metric_expired_.add(1);
     }
     return;
   }
   ++completed_;
+  metric_completed_.add(1);
   switch (r.taken) {
     case route::edge:
       ++edge_kept_;
+      metric_edge_.add(1);
       break;
     case route::edge_degraded:
       ++edge_degraded_;
+      metric_edge_.add(1);
       break;
     case route::cloud:
       ++appealed_;
+      metric_appealed_.add(1);
       link_ms_sum_ += r.link_ms;
       cloud_ms_sum_ += r.cloud_ms;
       if (labeled) {
@@ -53,6 +97,7 @@ void serve_stats::record(const response& r, bool labeled, bool correct) {
   queue_ms_sum_ += r.queue_ms;
   if (r.latency_ms >= config_.latency_range_ms) ++overflow_;
   latency_.add(r.latency_ms);
+  metric_latency_.observe(r.latency_ms);
 }
 
 void serve_stats::reset() {
@@ -105,6 +150,7 @@ stats_snapshot serve_stats::snapshot() const {
   s.labeled_correct = labeled_correct_;
   s.cloud_labeled = cloud_labeled_;
   s.cloud_labeled_correct = cloud_labeled_correct_;
+  s.submitted = completed_ + shed_ + expired_ + cloud_expired_;
   s.elapsed_seconds = clock_.elapsed_seconds();
   if (s.elapsed_seconds > 0.0) {
     s.throughput_rps = static_cast<double>(completed_) / s.elapsed_seconds;
@@ -114,9 +160,9 @@ stats_snapshot serve_stats::snapshot() const {
                     static_cast<double>(completed_);
     s.mean_queue_ms = queue_ms_sum_ / static_cast<double>(completed_);
   }
-  if (s.submitted() > 0) {
+  if (s.submitted > 0) {
     s.shed_rate = static_cast<double>(shed_ + expired_ + cloud_expired_) /
-                  static_cast<double>(s.submitted());
+                  static_cast<double>(s.submitted);
   }
   if (labeled_ > 0) {
     s.online_accuracy =
@@ -150,7 +196,7 @@ std::string serve_stats::render(const stats_snapshot& s) {
       "achieved SR      : %.2f%%\n"
       "online accuracy  : %.2f%% (%zu labeled)\n",
       s.completed, s.edge_kept, s.edge_degraded, s.appealed, s.shed,
-      s.expired, s.cloud_expired, s.shed_rate * 100.0, s.submitted(),
+      s.expired, s.cloud_expired, s.shed_rate * 100.0, s.submitted,
       s.throughput_rps, s.elapsed_seconds, s.p50_ms, s.p95_ms, s.p99_ms,
       s.overflow, s.mean_queue_ms, s.mean_link_ms, s.achieved_sr * 100.0,
       s.online_accuracy * 100.0, s.labeled);

@@ -19,6 +19,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/request.hpp"
 #include "util/histogram.hpp"
 #include "util/timer.hpp"
@@ -28,6 +29,12 @@ namespace appeal::serve {
 struct serve_stats_config {
   double latency_range_ms = 500.0;  // histogram upper edge (overflow clamps)
   std::size_t latency_bins = 5000;  // 0.1 ms resolution at the default range
+  /// Value of the {deployment=...} label on this instance's instruments
+  /// in obs::default_registry() (appeal_requests_total and friends, the
+  /// appeal_latency_ms summary). Empty = unlabeled. Registry counters
+  /// are process-cumulative — reset() opens a new snapshot window but
+  /// never rewinds them (Prometheus counters are monotonic by contract).
+  std::string deployment;
 };
 
 /// Point-in-time view of the counters.
@@ -70,11 +77,10 @@ struct stats_snapshot {
   std::size_t wire_bytes_rx = 0;        // response frames
   std::size_t link_fallbacks = 0;       // appeals answered locally (link down)
 
-  /// Everything that entered submit(): completed + shed + expired (both
-  /// edge-side and cloud-side).
-  std::size_t submitted() const {
-    return completed + shed + expired + cloud_expired;
-  }
+  /// Everything that entered submit() and has completed by now (any
+  /// status): completed + shed + expired + cloud_expired — shed_rate's
+  /// denominator, exported so consumers never have to re-derive it.
+  std::size_t submitted = 0;
 };
 
 class serve_stats {
@@ -117,6 +123,19 @@ class serve_stats {
   double queue_ms_sum_ = 0.0;
   double link_ms_sum_ = 0.0;
   double cloud_ms_sum_ = 0.0;
+
+  /// obs::default_registry() instruments mirroring the counters above,
+  /// labeled {deployment=config_.deployment}. Resolved once here; record()
+  /// bumps them wait-free outside this instance's mutex semantics (the
+  /// registry shards internally).
+  obs::counter& metric_submitted_;
+  obs::counter& metric_completed_;
+  obs::counter& metric_edge_;
+  obs::counter& metric_appealed_;
+  obs::counter& metric_shed_;
+  obs::counter& metric_expired_;
+  obs::counter& metric_cloud_expired_;
+  obs::histogram& metric_latency_;
 };
 
 }  // namespace appeal::serve

@@ -90,6 +90,11 @@ class cloud_transport {
     /// Cloud-side cost: work-queue wait + batch scoring time as the stub
     /// measured it (0 for the simulator, whose cloud time is modeled).
     double cloud_ms = 0.0;
+    /// The cloud_ms total split into queue wait and batched scoring
+    /// (wire v3; zero from a v2 peer or the simulator). Cloud-stamped
+    /// durations — trace spans use them without cross-clock sync.
+    double cloud_queue_ms = 0.0;
+    double cloud_score_ms = 0.0;
     /// The cloud shed this appeal because its deadline was already blown
     /// when a scorer worker reached it.
     bool expired = false;

@@ -68,6 +68,7 @@ void socket_transport::send_batch(const std::vector<const request*>& batch,
     v.label = batch[i]->label;
     v.priority = batch[i]->priority;
     v.deadline_ms = remaining_deadline_ms(*batch[i]);
+    v.trace_id = batch[i]->trace != nullptr ? batch[i]->trace->trace_id : 0;
     v.model = model;
     v.input = &batch[i]->input;
     views.push_back(v);
@@ -127,21 +128,25 @@ void socket_transport::reader_loop() {
           c.id = r.id;
           c.prediction = static_cast<std::size_t>(r.prediction);
           c.cloud_ms = r.cloud_ms;
+          c.cloud_queue_ms = r.cloud_queue_ms;
+          c.cloud_score_ms = r.cloud_score_ms;
           c.expired = r.status == wire::response_status::expired;
           done.push_back(c);
         }
         on_complete_(std::move(done));
       }
     } catch (const util::error& e) {
-      APPEAL_LOG_ERROR << "cloud link '" << endpoint_
-                       << "': corrupt response stream: " << e.what();
+      APPEAL_LOG_ERROR("socket_transport")
+          << "corrupt response stream" << util::kv("link", endpoint_)
+          << util::kv("error", e.what());
       break;
     }
   }
   if (!stopping_.load(std::memory_order_acquire)) {
     link_down_.store(true, std::memory_order_release);
-    APPEAL_LOG_WARN << "cloud link '" << endpoint_
-                    << "' closed mid-run; completing appeals locally";
+    APPEAL_LOG_WARN("socket_transport")
+        << "link closed mid-run; completing appeals locally"
+        << util::kv("link", endpoint_);
     on_failure_();
   }
 }

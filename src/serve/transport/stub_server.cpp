@@ -118,7 +118,23 @@ stub_server::stub_server(const stub_server_config& cfg, scorer_fn scorer)
     : stub_server(cfg, wrap_scorer(std::move(scorer))) {}
 
 stub_server::stub_server(const stub_server_config& cfg, scorer_factory factory)
-    : config_(cfg), scorer_factory_(std::move(factory)) {
+    : config_(cfg),
+      scorer_factory_(std::move(factory)),
+      metric_appeals_(obs::default_registry().get_counter(
+          "appeal_cloud_appeals_total", {},
+          "appeals received by the cloud stub")),
+      metric_scored_(obs::default_registry().get_counter(
+          "appeal_cloud_scored_total", {},
+          "appeals answered with a prediction")),
+      metric_expired_(obs::default_registry().get_counter(
+          "appeal_cloud_expired_total", {},
+          "appeals shed because their deadline was blown in the queue")),
+      metric_overloaded_(obs::default_registry().get_counter(
+          "appeal_cloud_overloaded_total", {},
+          "appeals shed at admission to a full work queue")),
+      metric_queue_depth_(obs::default_registry().get_gauge(
+          "appeal_cloud_queue_depth", {},
+          "appeals waiting in the cloud work queue")) {
   APPEAL_CHECK(config_.kind == transport_kind::uds ||
                    config_.kind == transport_kind::tcp,
                "stub_server listens on uds or tcp");
@@ -252,6 +268,9 @@ void stub_server::serve_connection(connection& conn) {
       while (std::optional<wire::frame> f = splitter.next()) {
         std::vector<wire::appeal_record> batch =
             wire::decode_appeal_batch(*f);
+        // Remember the dialect the peer speaks; responses (from any
+        // worker) go back at the same version.
+        conn.wire_version.store(f->version, std::memory_order_relaxed);
         batches += 1;
         appeals += batch.size();
         for (wire::appeal_record& a : batch) {
@@ -269,6 +288,9 @@ void stub_server::serve_connection(connection& conn) {
         }
       }
       if (!overloaded.empty()) write_responses(conn.id, overloaded);
+      metric_appeals_.add(appeals);
+      metric_overloaded_.add(overloaded.size());
+      metric_queue_depth_.set(static_cast<double>(queue_.size()));
       std::lock_guard<std::mutex> lock(mutex_);
       counters_.bytes_received += n;
       counters_.batches += batches;
@@ -279,7 +301,8 @@ void stub_server::serve_connection(connection& conn) {
     // Corrupt stream or dead client: drop the connection, keep serving
     // the others.
     if (!stopping_.load(std::memory_order_acquire)) {
-      APPEAL_LOG_WARN << "cloud_stub connection dropped: " << e.what();
+      APPEAL_LOG_WARN("cloud_stub")
+          << "connection dropped" << util::kv("error", e.what());
     }
   }
   // Hands the connection to the accept loop's reaper (the fd closes
@@ -311,6 +334,7 @@ void stub_server::scorer_loop(const batch_scorer_fn& score) {
         r.id = it.record.id;
         r.status = wire::response_status::expired;
         r.cloud_ms = ms_between(it.enqueued, popped_at);
+        r.cloud_queue_ms = r.cloud_ms;  // it only ever waited
         routed[it.owner].push_back(r);
         ++expired;
       } else {
@@ -338,8 +362,10 @@ void stub_server::scorer_loop(const batch_scorer_fn& score) {
         // A broken scorer must not take the server down; the unanswered
         // appeals hit the edge channel's response watchdog and complete
         // from its local fallback.
-        APPEAL_LOG_ERROR << "cloud_stub scorer failed on a batch of "
-                         << to_score.size() << ": " << e.what();
+        APPEAL_LOG_ERROR("cloud_stub")
+            << "scorer failed; the edge watchdog will fall back locally"
+            << util::kv("batch", to_score.size())
+            << util::kv("error", e.what());
         predictions.clear();
         live.clear();
       }
@@ -350,8 +376,11 @@ void stub_server::scorer_loop(const batch_scorer_fn& score) {
         r.prediction = predictions[i];
         // Queue wait + scoring: what this appeal actually cost cloud-side
         // (the whole batch's scoring time is charged to each member — it
-        // waited for the batch either way).
+        // waited for the batch either way). The v3 split lets the edge
+        // attribute the two separately in its trace spans.
         r.cloud_ms = ms_between(live[i]->enqueued, scored_at);
+        r.cloud_queue_ms = ms_between(live[i]->enqueued, popped_at);
+        r.cloud_score_ms = ms_between(popped_at, scored_at);
         routed[live[i]->owner].push_back(r);
       }
     }
@@ -359,6 +388,9 @@ void stub_server::scorer_loop(const batch_scorer_fn& score) {
     for (const auto& [owner, responses] : routed) {
       write_responses(owner, responses);
     }
+    metric_scored_.add(live.size());
+    metric_expired_.add(expired);
+    metric_queue_depth_.set(static_cast<double>(queue_.size()));
     std::lock_guard<std::mutex> lock(mutex_);
     counters_.cloud_batches += 1;
     counters_.scored += live.size();
@@ -375,8 +407,8 @@ void stub_server::write_responses(
     if (it != connections_.end()) conn = it->second;
   }
   if (conn == nullptr) return;  // client gone; nobody is listening
-  const std::vector<std::uint8_t> framed =
-      wire::encode_response_batch(responses);
+  const std::vector<std::uint8_t> framed = wire::encode_response_batch(
+      responses, conn->wire_version.load(std::memory_order_relaxed));
   try {
     std::lock_guard<std::mutex> write_lock(conn->write_mutex);
     net::write_all(conn->socket, framed.data(), framed.size());

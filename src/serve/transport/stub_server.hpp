@@ -44,6 +44,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/transport/cloud_transport.hpp"
 #include "serve/transport/socket_util.hpp"
 #include "serve/transport/wire.hpp"
@@ -185,6 +186,10 @@ class stub_server {
     std::thread thread;
     std::mutex write_mutex;  // response frames from multiple workers
     std::atomic<bool> done{false};
+    /// Highest wire version this peer has spoken (from its appeal frame
+    /// headers). Responses go out at the same version, so a v2 edge
+    /// never sees v3 response fields.
+    std::atomic<std::uint8_t> wire_version{wire::kVersionV2};
   };
 
   void accept_loop();
@@ -217,6 +222,15 @@ class stub_server {
   /// reaping, and shutdown cannot drift apart.
   std::unordered_map<std::uint64_t, std::shared_ptr<connection>> connections_;
   stub_server_counters counters_;
+
+  /// default_registry() instruments mirroring the counters above (plus
+  /// the live work-queue depth), resolved once at construction so the
+  /// hot paths pay one relaxed fetch_add each.
+  obs::counter& metric_appeals_;
+  obs::counter& metric_scored_;
+  obs::counter& metric_expired_;
+  obs::counter& metric_overloaded_;
+  obs::gauge& metric_queue_depth_;
 };
 
 }  // namespace appeal::serve

@@ -106,11 +106,16 @@ class cursor {
   std::size_t offset_ = 0;
 };
 
-void put_header(std::vector<std::uint8_t>& out, frame_type type,
-                std::size_t count) {
+void check_encodable_version(std::uint8_t version) {
+  APPEAL_CHECK(version == kVersionV2 || version == kVersion,
+               "cannot encode an unknown wire protocol version");
+}
+
+void put_header(std::vector<std::uint8_t>& out, std::uint8_t version,
+                frame_type type, std::size_t count) {
   APPEAL_CHECK(count <= 0xFFFF, "wire batch too large for a u16 count");
   put_u32(out, kMagic);
-  put_u8(out, kVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(type));
   put_u16(out, static_cast<std::uint16_t>(count));
   put_u32(out, 0);  // payload_bytes backpatched below
@@ -124,17 +129,23 @@ void patch_payload_bytes(std::vector<std::uint8_t>& out) {
   }
 }
 
-void put_appeal(std::vector<std::uint8_t>& out, const appeal_view& a) {
+/// flags bit0: a trace_id u64 follows deadline_ms (wire v3 only).
+inline constexpr std::uint8_t kAppealFlagTraced = 0x01;
+
+void put_appeal(std::vector<std::uint8_t>& out, const appeal_view& a,
+                std::uint8_t version) {
   static const tensor kEmpty;
   const tensor& t = a.input != nullptr ? *a.input : kEmpty;
   APPEAL_CHECK(a.model.size() <= 0xFFFF, "deployment name too long for wire");
+  const bool traced = version >= 3 && a.trace_id != 0;
   put_u64(out, a.id);
   put_u64(out, a.key);
   put_u64(out, a.label);
   put_u8(out, static_cast<std::uint8_t>(a.priority));
-  put_u8(out, 0);  // flags (reserved)
+  put_u8(out, traced ? kAppealFlagTraced : 0);  // flags
   put_u16(out, static_cast<std::uint16_t>(a.model.size()));
   put_f64(out, a.deadline_ms);
+  if (traced) put_u64(out, a.trace_id);
   put_u32(out, static_cast<std::uint32_t>(t.dims().rank()));
   for (const std::size_t d : t.dims().dims()) {
     put_u32(out, static_cast<std::uint32_t>(d));
@@ -154,35 +165,43 @@ void put_appeal(std::vector<std::uint8_t>& out, const appeal_view& a) {
 
 }  // namespace
 
-std::size_t appeal_wire_bytes(const appeal_view& a) {
+std::size_t appeal_wire_bytes(const appeal_view& a, std::uint8_t version) {
   const std::size_t rank = a.input != nullptr ? a.input->dims().rank() : 0;
   const std::size_t values = a.input != nullptr ? a.input->size() : 0;
-  // Fixed fields (36) + rank and value-count words + dims + name + floats.
-  return 36 + 4 + 4 * rank + 4 + a.model.size() + 4 * values;
+  const std::size_t trace = version >= 3 && a.trace_id != 0 ? 8 : 0;
+  // Fixed fields (36) + optional trace id + rank and value-count words +
+  // dims + name + floats.
+  return 36 + trace + 4 + 4 * rank + 4 + a.model.size() + 4 * values;
 }
 
 std::vector<std::uint8_t> encode_appeal_batch(
-    const std::vector<appeal_view>& batch) {
+    const std::vector<appeal_view>& batch, std::uint8_t version) {
+  check_encodable_version(version);
   std::vector<std::uint8_t> out;
   std::size_t total = kHeaderBytes;
-  for (const appeal_view& a : batch) total += appeal_wire_bytes(a);
+  for (const appeal_view& a : batch) total += appeal_wire_bytes(a, version);
   out.reserve(total);
-  put_header(out, frame_type::appeal_batch, batch.size());
-  for (const appeal_view& a : batch) put_appeal(out, a);
+  put_header(out, version, frame_type::appeal_batch, batch.size());
+  for (const appeal_view& a : batch) put_appeal(out, a, version);
   patch_payload_bytes(out);
   return out;
 }
 
 std::vector<std::uint8_t> encode_response_batch(
-    const std::vector<response_record>& batch) {
+    const std::vector<response_record>& batch, std::uint8_t version) {
+  check_encodable_version(version);
   std::vector<std::uint8_t> out;
   out.reserve(kHeaderBytes + kResponseRecordBytes * batch.size());
-  put_header(out, frame_type::response_batch, batch.size());
+  put_header(out, version, frame_type::response_batch, batch.size());
   for (const response_record& r : batch) {
     put_u64(out, r.id);
     put_u64(out, r.prediction);
     put_u8(out, static_cast<std::uint8_t>(r.status));
     put_f64(out, r.cloud_ms);
+    if (version >= 3) {
+      put_f64(out, r.cloud_queue_ms);
+      put_f64(out, r.cloud_score_ms);
+    }
   }
   patch_payload_bytes(out);
   return out;
@@ -203,9 +222,12 @@ std::vector<appeal_record> decode_appeal_batch(const frame& f) {
     APPEAL_CHECK(prio <= static_cast<std::uint8_t>(priority_class::batch),
                  "wire appeal carries an unknown priority class");
     a.priority = static_cast<priority_class>(prio);
-    c.u8();  // flags (reserved)
+    const std::uint8_t flags = c.u8();
     const std::uint16_t model_len = c.u16();
     a.deadline_ms = c.f64();
+    if (f.version >= 3 && (flags & kAppealFlagTraced) != 0) {
+      a.trace_id = c.u64();
+    }
     const std::uint32_t rank = c.u32();
     APPEAL_CHECK(rank <= 8, "wire tensor rank implausibly large");
     // No tensor a frame can carry has more floats than the frame cap;
@@ -251,6 +273,10 @@ std::vector<response_record> decode_response_batch(const frame& f) {
                  "wire response carries an unknown status");
     r.status = static_cast<response_status>(status);
     r.cloud_ms = c.f64();
+    if (f.version >= 3) {
+      r.cloud_queue_ms = c.f64();
+      r.cloud_score_ms = c.f64();
+    }
     out.push_back(r);
   }
   APPEAL_CHECK(c.remaining() == 0, "trailing bytes after the last record");
@@ -271,7 +297,9 @@ std::optional<frame> frame_splitter::next() {
   if (buffered() < kHeaderBytes) return std::nullopt;
   cursor header(buffer_.data() + consumed_, kHeaderBytes);
   APPEAL_CHECK(header.u32() == kMagic, "wire stream lost framing (bad magic)");
-  APPEAL_CHECK(header.u8() == kVersion, "unsupported wire protocol version");
+  const std::uint8_t version = header.u8();
+  APPEAL_CHECK(version == kVersionV2 || version == kVersion,
+               "unsupported wire protocol version");
   const std::uint8_t type = header.u8();
   APPEAL_CHECK(type == static_cast<std::uint8_t>(frame_type::appeal_batch) ||
                    type == static_cast<std::uint8_t>(frame_type::response_batch),
@@ -283,6 +311,7 @@ std::optional<frame> frame_splitter::next() {
   if (buffered() < kHeaderBytes + payload_bytes) return std::nullopt;
   frame f;
   f.type = static_cast<frame_type>(type);
+  f.version = version;
   f.count = count;
   const std::uint8_t* body = buffer_.data() + consumed_ + kHeaderBytes;
   f.payload.assign(body, body + payload_bytes);

@@ -4,7 +4,7 @@
 //
 //   ┌──────────┬─────────┬──────┬───────┬───────────────┬─────────────┐
 //   │ magic u32│ ver u8  │ type │ count │ payload_bytes │   payload   │
-//   │ "APL1"   │  (=1)   │  u8  │  u16  │      u32      │  (records)  │
+//   │ "APL1"   │ (2 or 3)│  u8  │  u16  │      u32      │  (records)  │
 //   └──────────┴─────────┴──────┴───────┴───────────────┴─────────────┘
 //     12-byte header, all integers little-endian, floats IEEE-754.
 //
@@ -15,6 +15,17 @@
 // compute time). Request ids are the demux key: the response side may
 // reorder or split batches and the channel still completes the right
 // appeal.
+//
+// Version negotiation is per-frame and backward compatible: a v3 peer
+// decodes v2 frames (the splitter accepts both and stamps the version on
+// the frame), and the stub replies to each connection at the version it
+// spoke, so an old edge never sees fields it can't parse. v3 adds
+//   - appeal records: flags bit0 ("traced") + an optional trace_id u64
+//     right after deadline_ms, propagating sampled trace spans across
+//     the link;
+//   - response records: cloud_queue_ms + cloud_score_ms f64s after
+//     cloud_ms, splitting the cloud-stamped cost into work-queue wait
+//     and batched scoring for per-stage latency attribution.
 //
 // Decoding is defensive: a frame_splitter accumulates an arbitrary byte
 // stream (torn reads hand it any prefix) and yields only complete,
@@ -38,7 +49,10 @@ namespace appeal::serve::wire {
 inline constexpr std::uint32_t kMagic = 0x314C5041;  // "APL1" little-endian
 /// v2: response records carry a status byte (deadline-shed appeals come
 /// back as `expired` instead of a made-up prediction).
-inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kVersionV2 = 2;
+/// v3 (current): optional trace_id on appeals, cloud-stamped queue/score
+/// split on responses. Decoders accept v2 and v3.
+inline constexpr std::uint8_t kVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Upper bound on one frame's payload; a peer announcing more is treated
 /// as corrupt (protects the receiver from attacker/garbage allocations).
@@ -58,6 +72,8 @@ struct appeal_record {
   priority_class priority = priority_class::interactive;
   /// Remaining deadline budget at send time (ms); < 0 means "none".
   double deadline_ms = -1.0;
+  /// Trace span id riding the appeal (wire v3, flags bit0); 0 = unsampled.
+  std::uint64_t trace_id = 0;
   std::string model;  // deployment name
   tensor input;       // may be empty (replay workloads ship no pixels)
 };
@@ -70,6 +86,7 @@ struct appeal_view {
   std::uint64_t label = request::no_label;
   priority_class priority = priority_class::interactive;
   double deadline_ms = -1.0;
+  std::uint64_t trace_id = 0;  // 0 = unsampled (not encoded, even on v3)
   std::string_view model;
   const tensor* input = nullptr;  // nullptr encodes as an empty tensor
 };
@@ -86,28 +103,40 @@ struct response_record {
   /// Stub-side cost of the appeal: work-queue wait + batch scoring time.
   /// The client compares this against its cost model's cloud term.
   double cloud_ms = 0.0;
+  /// wire v3: the cloud_ms total split into work-queue wait and batched
+  /// scoring, stamped on the cloud's clock. Zero when decoded from v2.
+  double cloud_queue_ms = 0.0;
+  double cloud_score_ms = 0.0;
 };
 
 /// One complete, validated frame (header parsed, payload bounds known).
 struct frame {
   frame_type type = frame_type::appeal_batch;
+  /// Protocol version the sender spoke (2 or 3); decoders branch on it
+  /// and a server replies at the same version.
+  std::uint8_t version = kVersion;
   std::uint16_t count = 0;
   std::vector<std::uint8_t> payload;
 };
 
-/// Exact wire size of one appeal record (used by the simulator to count
-/// the bytes a real link would carry without encoding anything).
-std::size_t appeal_wire_bytes(const appeal_view& a);
+/// Exact wire size of one appeal record at `version` (used by the
+/// simulator to count the bytes a real link would carry without encoding
+/// anything).
+std::size_t appeal_wire_bytes(const appeal_view& a,
+                              std::uint8_t version = kVersion);
 
-/// Exact wire size of one response record (id + prediction + status +
-/// cloud_ms); the simulator uses it to count equivalent downlink bytes.
-inline constexpr std::size_t kResponseRecordBytes = 8 + 8 + 1 + 8;
+/// Exact wire size of one v3 response record (id + prediction + status +
+/// cloud_ms + queue/score split); the simulator uses it to count
+/// equivalent downlink bytes.
+inline constexpr std::size_t kResponseRecordBytes = 8 + 8 + 1 + 8 + 8 + 8;
 
-/// Frame size helpers (header + payload).
+/// Frame encoders. `version` selects the wire dialect (kVersionV2 for
+/// talking to old peers and crafting compat-test frames).
 std::vector<std::uint8_t> encode_appeal_batch(
-    const std::vector<appeal_view>& batch);
+    const std::vector<appeal_view>& batch, std::uint8_t version = kVersion);
 std::vector<std::uint8_t> encode_response_batch(
-    const std::vector<response_record>& batch);
+    const std::vector<response_record>& batch,
+    std::uint8_t version = kVersion);
 
 /// Decodes the records of a validated frame. Throws util::error when the
 /// frame type does not match or a record overruns the payload.

@@ -1,6 +1,8 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 namespace appeal::util {
@@ -9,31 +11,75 @@ namespace {
 
 std::atomic<log_level> g_level{log_level::info};
 
-const char* level_tag(log_level level) {
+const char* level_name(log_level level) {
   switch (level) {
     case log_level::debug:
-      return "[debug] ";
+      return "debug";
     case log_level::info:
-      return "[info ] ";
+      return "info";
     case log_level::warn:
-      return "[warn ] ";
+      return "warn";
     case log_level::err:
-      return "[error] ";
+      return "error";
     case log_level::off:
-      return "";
+      return "off";
   }
-  return "";
+  return "?";
 }
 
 }  // namespace
+
+namespace detail {
+
+std::string field_value(const std::string& value) {
+  bool needs_quotes = value.empty();
+  for (const char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace detail
 
 void set_log_level(log_level level) { g_level.store(level); }
 
 log_level get_log_level() { return g_level.load(); }
 
-void log_message(log_level level, const std::string& message) {
+void log_message(log_level level, const std::string& component,
+                 const std::string& message, const std::string& fields) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << level_tag(level) << message << '\n';
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  char ts_buf[32];
+  std::snprintf(ts_buf, sizeof(ts_buf), "%.3f", ts);
+  std::string line = "ts=";
+  line += ts_buf;
+  line += " level=";
+  line += level_name(level);
+  line += " component=";
+  line += detail::field_value(component);
+  line += " msg=";
+  line += detail::field_value(message);
+  line += fields;
+  line += '\n';
+  // One write so concurrent threads' lines don't interleave.
+  std::cerr << line;
 }
 
 }  // namespace appeal::util

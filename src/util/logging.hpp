@@ -1,7 +1,19 @@
-// Minimal leveled logger.
+// Minimal leveled, structured logger.
 //
-// Experiments and examples use this to narrate progress; the level is a
-// process-wide setting so benches can silence training chatter.
+// Lines are key=value structured so serving logs can be grepped and
+// post-processed: every line carries ts= (unix seconds), level=, and
+// component= tags, then msg="..." from the streamed text, then any
+// key=value fields appended with util::kv:
+//
+//   APPEAL_LOG_WARN("cloud_channel")
+//       << "no response before deadline"
+//       << util::kv("link", name) << util::kv("waited_ms", waited);
+//
+//   ts=1754650000.123 level=warn component=cloud_channel
+//       msg="no response before deadline" link=wan waited_ms=12.5
+//
+// The level is a process-wide setting so benches can silence training
+// chatter. Values containing spaces/quotes/'=' are quoted.
 #pragma once
 
 #include <sstream>
@@ -17,18 +29,40 @@ void set_log_level(log_level level);
 /// Returns the current global minimum level.
 log_level get_log_level();
 
-/// Emits `message` to stderr when `level` passes the global threshold.
-void log_message(log_level level, const std::string& message);
+/// Emits one structured line to stderr when `level` passes the global
+/// threshold. `fields` is the pre-rendered " key=value ..." suffix.
+void log_message(log_level level, const std::string& component,
+                 const std::string& message, const std::string& fields);
+
+namespace detail {
+/// Quotes `value` if it needs it (spaces, '=', '"'); passthrough otherwise.
+std::string field_value(const std::string& value);
+}  // namespace detail
+
+/// A key=value field for a log line. The value is stringified via
+/// ostream; strings with spaces are quoted on emission.
+template <typename T>
+struct kv_pair {
+  const char* key;
+  const T& value;
+};
+
+template <typename T>
+kv_pair<T> kv(const char* key, const T& value) {
+  return kv_pair<T>{key, value};
+}
 
 namespace detail {
 
-/// Stream-style log line that emits on destruction.
+/// Stream-style log line that emits on destruction. Plain << goes into
+/// msg="..."; << util::kv(...) appends a structured field.
 class log_line {
  public:
-  explicit log_line(log_level level) : level_(level) {}
+  log_line(log_level level, const char* component)
+      : level_(level), component_(component) {}
   log_line(const log_line&) = delete;
   log_line& operator=(const log_line&) = delete;
-  ~log_line() { log_message(level_, stream_.str()); }
+  ~log_line() { log_message(level_, component_, stream_.str(), fields_.str()); }
 
   template <typename T>
   log_line& operator<<(const T& value) {
@@ -36,16 +70,30 @@ class log_line {
     return *this;
   }
 
+  template <typename T>
+  log_line& operator<<(const kv_pair<T>& field) {
+    std::ostringstream v;
+    v << field.value;
+    fields_ << ' ' << field.key << '=' << field_value(v.str());
+    return *this;
+  }
+
  private:
   log_level level_;
+  const char* component_;
   std::ostringstream stream_;
+  std::ostringstream fields_;
 };
 
 }  // namespace detail
 
 }  // namespace appeal::util
 
-#define APPEAL_LOG_DEBUG ::appeal::util::detail::log_line(::appeal::util::log_level::debug)
-#define APPEAL_LOG_INFO ::appeal::util::detail::log_line(::appeal::util::log_level::info)
-#define APPEAL_LOG_WARN ::appeal::util::detail::log_line(::appeal::util::log_level::warn)
-#define APPEAL_LOG_ERROR ::appeal::util::detail::log_line(::appeal::util::log_level::err)
+#define APPEAL_LOG_DEBUG(component) \
+  ::appeal::util::detail::log_line(::appeal::util::log_level::debug, component)
+#define APPEAL_LOG_INFO(component) \
+  ::appeal::util::detail::log_line(::appeal::util::log_level::info, component)
+#define APPEAL_LOG_WARN(component) \
+  ::appeal::util::detail::log_line(::appeal::util::log_level::warn, component)
+#define APPEAL_LOG_ERROR(component) \
+  ::appeal::util::detail::log_line(::appeal::util::log_level::err, component)

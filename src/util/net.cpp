@@ -1,4 +1,4 @@
-#include "serve/transport/socket_util.hpp"
+#include "util/net.hpp"
 
 #include <netdb.h>
 #include <netinet/in.h>
@@ -13,7 +13,7 @@
 
 #include "util/error.hpp"
 
-namespace appeal::serve::net {
+namespace appeal::net {
 
 namespace {
 
@@ -196,4 +196,4 @@ std::size_t read_some(const fd& socket, std::uint8_t* data, std::size_t n) {
   }
 }
 
-}  // namespace appeal::serve::net
+}  // namespace appeal::net

@@ -1,0 +1,76 @@
+// Thin POSIX socket helpers shared by the serve transports
+// (socket_transport client side, stub_server listener side) and the
+// observability exporters (obs/exporter's /metrics HTTP listener) —
+// which is why they live in util/, below both.
+//
+// All helpers throw util::error with errno detail on failure and retry
+// EINTR internally. The fd wrapper is move-only RAII; shutdown() is
+// separate from close so one thread can unblock another's read().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace appeal::net {
+
+/// Move-only owning file descriptor.
+class fd {
+ public:
+  fd() = default;
+  explicit fd(int raw) : raw_(raw) {}
+  ~fd() { reset(); }
+
+  fd(fd&& other) noexcept : raw_(std::exchange(other.raw_, -1)) {}
+  fd& operator=(fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      raw_ = std::exchange(other.raw_, -1);
+    }
+    return *this;
+  }
+  fd(const fd&) = delete;
+  fd& operator=(const fd&) = delete;
+
+  int get() const { return raw_; }
+  bool valid() const { return raw_ >= 0; }
+
+  /// SHUT_RDWR: wakes any thread blocked in read()/write() on this fd.
+  void shutdown() noexcept;
+  void reset() noexcept;
+
+ private:
+  int raw_ = -1;
+};
+
+/// Client connects. TCP endpoints are "host:port" (numeric host or name);
+/// UDS endpoints are filesystem paths. TCP sockets get TCP_NODELAY — the
+/// channel's coalescing owns batching; Nagle would only add latency.
+fd connect_uds(const std::string& path);
+fd connect_tcp(const std::string& endpoint);
+
+/// Bounds blocking writes: after `ms` of a full send buffer (a stalled
+/// peer), write_all fails instead of blocking forever. 0 leaves the
+/// socket fully blocking.
+void set_send_timeout(const fd& socket, double ms);
+
+/// Server side. listen_uds unlinks a stale socket file first; listen_tcp
+/// binds "host:port" (port 0 picks an ephemeral port — read it back with
+/// local_tcp_port). Both use a small accept backlog.
+fd listen_uds(const std::string& path);
+fd listen_tcp(const std::string& endpoint);
+std::uint16_t local_tcp_port(const fd& listener);
+
+/// Blocking accept; returns an invalid fd when the listener was shut
+/// down (instead of throwing — that is the normal stop path).
+fd accept_connection(const fd& listener);
+
+/// Writes the whole buffer, retrying short writes and EINTR. Throws on
+/// a dead peer.
+void write_all(const fd& socket, const std::uint8_t* data, std::size_t n);
+
+/// Reads up to `n` bytes; returns 0 on orderly EOF or local shutdown.
+std::size_t read_some(const fd& socket, std::uint8_t* data, std::size_t n);
+
+}  // namespace appeal::net

@@ -128,8 +128,8 @@ TEST(logging, level_gate) {
   util::set_log_level(util::log_level::err);
   EXPECT_EQ(util::get_log_level(), util::log_level::err);
   // Emitting below the gate must be a no-op (no crash, nothing observable).
-  APPEAL_LOG_DEBUG << "hidden";
-  APPEAL_LOG_INFO << "hidden";
+  APPEAL_LOG_DEBUG("test") << "hidden";
+  APPEAL_LOG_INFO("test") << "hidden";
   util::set_log_level(saved);
 }
 

@@ -245,7 +245,7 @@ TEST(server, shed_admission_never_blocks_under_saturation) {
   const serve::stats_snapshot s = srv.at("slow").snapshot();
   EXPECT_EQ(s.shed, shed);
   EXPECT_EQ(s.completed, ok);
-  EXPECT_EQ(s.submitted(), n);
+  EXPECT_EQ(s.submitted, n);
   EXPECT_GT(s.shed_rate, 0.0);
   EXPECT_EQ(srv.at("slow").shed_total(), shed);
 }

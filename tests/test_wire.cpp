@@ -278,6 +278,87 @@ TEST(wire, rejects_dims_whose_product_overflows) {
   EXPECT_THROW(wire::decode_appeal_batch(*f), util::error);
 }
 
+TEST(wire, v3_appeal_trace_id_round_trips) {
+  const tensor t = make_tensor();
+  std::vector<wire::appeal_view> views = make_views(t);
+  views[0].trace_id = 0xFEEDFACE12345678ULL;  // views[1] stays untraced
+  const std::optional<wire::frame> f =
+      split_one(wire::encode_appeal_batch(views));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->version, wire::kVersion);
+  const std::vector<wire::appeal_record> decoded =
+      wire::decode_appeal_batch(*f);
+  ASSERT_EQ(decoded.size(), 2U);
+  EXPECT_EQ(decoded[0].trace_id, 0xFEEDFACE12345678ULL);
+  EXPECT_EQ(decoded[1].trace_id, 0U);
+}
+
+TEST(wire, v3_response_stage_split_round_trips) {
+  wire::response_record r;
+  r.id = 11;
+  r.prediction = 4;
+  r.cloud_ms = 3.5;
+  r.cloud_queue_ms = 2.25;
+  r.cloud_score_ms = 1.25;
+  const std::optional<wire::frame> f =
+      split_one(wire::encode_response_batch({r}));
+  ASSERT_TRUE(f.has_value());
+  const std::vector<wire::response_record> decoded =
+      wire::decode_response_batch(*f);
+  ASSERT_EQ(decoded.size(), 1U);
+  EXPECT_DOUBLE_EQ(decoded[0].cloud_queue_ms, 2.25);
+  EXPECT_DOUBLE_EQ(decoded[0].cloud_score_ms, 1.25);
+}
+
+TEST(wire, decodes_v2_appeal_frames_from_old_peers) {
+  // A v2 peer never sends trace ids; the trace_id on the view must not
+  // leak into the encoding and the decode must come back untraced.
+  const tensor t = make_tensor();
+  std::vector<wire::appeal_view> views = make_views(t);
+  views[0].trace_id = 42;
+  const std::vector<std::uint8_t> bytes =
+      wire::encode_appeal_batch(views, wire::kVersionV2);
+  EXPECT_EQ(bytes[4], wire::kVersionV2);
+  const std::optional<wire::frame> f = split_one(bytes);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->version, wire::kVersionV2);
+  const std::vector<wire::appeal_record> decoded =
+      wire::decode_appeal_batch(*f);
+  ASSERT_EQ(decoded.size(), 2U);
+  EXPECT_EQ(decoded[0].trace_id, 0U);
+  // Every v1/v2-era field still round trips through the old framing.
+  EXPECT_EQ(decoded[0].id, 7U);
+  EXPECT_DOUBLE_EQ(decoded[0].deadline_ms, 12.5);
+  EXPECT_EQ(decoded[0].input.dims(), t.dims());
+}
+
+TEST(wire, decodes_v2_response_frames_from_old_peers) {
+  wire::response_record r;
+  r.id = 3;
+  r.prediction = 9;
+  r.cloud_ms = 1.5;
+  r.cloud_queue_ms = 7.0;  // v2 framing cannot carry these
+  r.cloud_score_ms = 8.0;
+  const std::vector<std::uint8_t> bytes =
+      wire::encode_response_batch({r}, wire::kVersionV2);
+  const std::optional<wire::frame> f = split_one(bytes);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->version, wire::kVersionV2);
+  const std::vector<wire::response_record> decoded =
+      wire::decode_response_batch(*f);
+  ASSERT_EQ(decoded.size(), 1U);
+  EXPECT_EQ(decoded[0].prediction, 9U);
+  EXPECT_DOUBLE_EQ(decoded[0].cloud_ms, 1.5);
+  EXPECT_DOUBLE_EQ(decoded[0].cloud_queue_ms, 0.0);
+  EXPECT_DOUBLE_EQ(decoded[0].cloud_score_ms, 0.0);
+}
+
+TEST(wire, encoders_reject_unknown_versions) {
+  const tensor t = make_tensor();
+  EXPECT_THROW(wire::encode_appeal_batch(make_views(t), 1), util::error);
+  EXPECT_THROW(wire::encode_response_batch({}, 4), util::error);
+}
+
 TEST(wire, decoders_reject_mismatched_frame_type) {
   const std::optional<wire::frame> resp =
       split_one(wire::encode_response_batch({}));

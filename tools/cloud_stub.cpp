@@ -37,13 +37,20 @@
 //       ./cloud_stub --scorer=network --weights=big.apnw --workers=2
 //       [--scorer=synthetic] [--accuracy=0.97] [--classes=10] [--seed=42]
 //       [--workers=1] [--max_cloud_batch=16] [--shed_expired=1]
-//       [--max_queue_depth=4096]
+//       [--max_queue_depth=4096] [--metrics=<port|uds-path>]
+//
+// --metrics serves the stub's registry instruments (appeals received,
+// scored/expired/overloaded, work-queue depth) as a Prometheus /metrics
+// endpoint for the lifetime of the process.
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "models/model_spec.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
 #include "serve/cloud_model.hpp"
 #include "serve/transport/stub_server.hpp"
 #include "serve/transport/synthetic_scorer.hpp"
@@ -140,6 +147,15 @@ int main(int argc, char** argv) try {
       factory != nullptr ? serve::stub_server(cfg, std::move(factory))
                          : serve::stub_server(cfg, std::move(scorer));
   server.start();
+  std::unique_ptr<obs::metrics_http_server> metrics_server;
+  const std::string metrics_endpoint = args.get_string_or("metrics", "");
+  if (!metrics_endpoint.empty()) {
+    metrics_server = std::make_unique<obs::metrics_http_server>(
+        obs::default_registry(), metrics_endpoint);
+    std::printf("cloud_stub metrics on %s (port %u)\n",
+                metrics_endpoint.c_str(),
+                static_cast<unsigned>(metrics_server->port()));
+  }
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   // Built as a named local: the previous printf passed a temporary

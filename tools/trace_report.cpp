@@ -1,0 +1,247 @@
+// Per-stage latency waterfall from a trace JSONL file.
+//
+// Input: one obs::trace_collector::span_json line per sampled request
+// (bench_serving --trace=FILE writes one). Output: a waterfall of
+// p50/p95/p99 per stage — edge stages on the edge steady clock, cloud
+// stages from cloud-stamped durations — plus the end-to-end quantiles,
+// and a reconciliation check: per span, the stamped stages must sum to
+// the measured end-to-end latency within --tolerance (default 5%). A
+// waterfall whose stages do not add up means a stamping bug (a stage
+// counted twice, a boundary missed), so the check failing is a nonzero
+// exit for CI.
+//
+// Usage:
+//   trace_report [--tolerance=0.05] [--json=OUT.json] FILE.jsonl
+//
+// The parser is tailored to span_json's fixed field order and falls back
+// to key lookup, so hand-edited fixtures still load; lines that do not
+// parse are counted and reported, not silently dropped.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace {
+
+using appeal::obs::kNumStages;
+using appeal::obs::stage;
+using appeal::obs::stage_name;
+
+struct parsed_span {
+  bool appealed = false;
+  bool expired = false;
+  double total_ms = 0.0;
+  double stage_ms[kNumStages] = {};
+  double stage_sum() const {
+    double s = 0.0;
+    for (double v : stage_ms) s += v;
+    return s;
+  }
+};
+
+/// Finds `"key":` in `line` and parses the number (or true/false) after
+/// it. Returns false when the key is absent.
+bool find_number(const std::string& line, const char* key, double* out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* p = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  if (end == p) return false;
+  *out = v;
+  return true;
+}
+
+bool find_bool(const std::string& line, const char* key, bool* out) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  *out = line.compare(at + needle.size(), 4, "true") == 0;
+  return true;
+}
+
+bool parse_span(const std::string& line, parsed_span* out) {
+  if (!find_number(line, "total_ms", &out->total_ms)) return false;
+  find_bool(line, "appealed", &out->appealed);
+  find_bool(line, "expired", &out->expired);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (!find_number(line, stage_name(static_cast<stage>(i)),
+                     &out->stage_ms[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Exact quantile over a sorted sample (offline tool: no need for the
+/// registry's fixed-bin approximation).
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+struct stage_stats {
+  std::vector<double> samples;
+  double sum = 0.0;
+  void add(double v) {
+    samples.push_back(v);
+    sum += v;
+  }
+  void finish() { std::sort(samples.begin(), samples.end()); }
+  double mean() const {
+    return samples.empty() ? 0.0
+                           : sum / static_cast<double>(samples.size());
+  }
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tolerance=FRAC] [--json=OUT] FILE.jsonl\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.05;
+  std::string json_out;
+  std::string in_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      tolerance = std::atof(arg + 12);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_out = arg + 7;
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      in_path = arg;
+    }
+  }
+  if (in_path.empty()) return usage(argv[0]);
+
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", in_path.c_str());
+    return 2;
+  }
+
+  stage_stats per_stage[kNumStages];
+  stage_stats total;
+  std::size_t spans = 0, appealed = 0, expired = 0, bad_lines = 0;
+  std::size_t reconcile_failures = 0;
+  double worst_residual = 0.0;
+  const std::size_t last_edge_stage = static_cast<std::size_t>(stage::decide);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    parsed_span s;
+    if (!parse_span(line, &s)) {
+      ++bad_lines;
+      continue;
+    }
+    ++spans;
+    if (s.appealed) ++appealed;
+    if (s.expired) ++expired;
+    total.add(s.total_ms);
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      const bool on_path = s.appealed || i <= last_edge_stage ||
+                           i == static_cast<std::size_t>(stage::complete);
+      if (on_path) per_stage[i].add(s.stage_ms[i]);
+    }
+    // Sub-microsecond totals make the relative residual meaningless;
+    // floor the denominator at 1 µs.
+    const double denom = std::max(s.total_ms, 1e-3);
+    const double residual = std::fabs(s.stage_sum() - s.total_ms) / denom;
+    worst_residual = std::max(worst_residual, residual);
+    if (residual > tolerance) ++reconcile_failures;
+  }
+
+  if (spans == 0) {
+    std::fprintf(stderr, "trace_report: no spans in %s (%zu bad lines)\n",
+                 in_path.c_str(), bad_lines);
+    return 1;
+  }
+  for (auto& st : per_stage) st.finish();
+  total.finish();
+
+  std::printf("%zu spans (%zu appealed, %zu expired", spans, appealed,
+              expired);
+  if (bad_lines > 0) std::printf(", %zu unparsable lines", bad_lines);
+  std::printf(")\n\n");
+  std::printf("%-16s %8s %10s %10s %10s %10s\n", "stage", "count", "mean",
+              "p50", "p95", "p99");
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const stage_stats& st = per_stage[i];
+    if (st.samples.empty()) continue;
+    std::printf("%-16s %8zu %9.3f  %9.3f  %9.3f  %9.3f\n",
+                stage_name(static_cast<stage>(i)), st.samples.size(),
+                st.mean(), quantile(st.samples, 0.50),
+                quantile(st.samples, 0.95), quantile(st.samples, 0.99));
+  }
+  std::printf("%-16s %8zu %9.3f  %9.3f  %9.3f  %9.3f\n", "end_to_end",
+              total.samples.size(), total.mean(),
+              quantile(total.samples, 0.50), quantile(total.samples, 0.95),
+              quantile(total.samples, 0.99));
+
+  const double fail_rate =
+      static_cast<double>(reconcile_failures) / static_cast<double>(spans);
+  std::printf(
+      "\nreconciliation: %zu/%zu spans off by > %.1f%% "
+      "(worst residual %.2f%%)\n",
+      reconcile_failures, spans, tolerance * 100.0, worst_residual * 100.0);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "{\"spans\":" << spans << ",\"appealed\":" << appealed
+        << ",\"expired\":" << expired << ",\"bad_lines\":" << bad_lines
+        << ",\"reconcile_failures\":" << reconcile_failures
+        << ",\"worst_residual\":" << worst_residual << ",\"stages\":{";
+    bool first = true;
+    char buf[160];
+    for (std::size_t i = 0; i <= kNumStages; ++i) {
+      const bool is_total = i == kNumStages;
+      const stage_stats& st = is_total ? total : per_stage[i];
+      if (st.samples.empty()) continue;
+      if (!first) out << ',';
+      first = false;
+      std::snprintf(
+          buf, sizeof(buf),
+          "\"%s\":{\"count\":%zu,\"mean\":%.6f,\"p50\":%.6f,"
+          "\"p95\":%.6f,\"p99\":%.6f}",
+          is_total ? "end_to_end" : stage_name(static_cast<stage>(i)),
+          st.samples.size(), st.mean(), quantile(st.samples, 0.50),
+          quantile(st.samples, 0.95), quantile(st.samples, 0.99));
+      out << buf;
+    }
+    out << "}}\n";
+  }
+
+  // A handful of outlier spans (a completion racing the tx stamp) is
+  // tolerable; a systematic failure is not.
+  if (fail_rate > 0.01) {
+    std::fprintf(stderr,
+                 "trace_report: FAIL — %.1f%% of spans do not reconcile\n",
+                 fail_rate * 100.0);
+    return 1;
+  }
+  std::printf("reconciliation: OK\n");
+  return 0;
+}
