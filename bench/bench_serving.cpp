@@ -19,7 +19,10 @@
 //   --backend=network: every edge worker runs a real two-head MobileNet
 //     little network on synthetic images — the end-to-end edge fast path
 //     (batched NCHW forward, packed GEMM, inference workspace) shows up
-//     directly in the reported edge p50/p99.
+//     directly in the reported edge p50/p99. --edge_precision=int8 swaps
+//     the workers (and the offline tables) onto the quant:: int8 rewrite
+//     with δ recalibrated on the quantized score distribution; =auto
+//     additionally runs the per-layer bit-width autotuner first.
 //
 // Two clouds:
 //   --cloud=replay (default): the synthetic per-key big model;
@@ -43,7 +46,8 @@
 // Run:  ./bench_serving [--requests=20000] [--target_sr=0.9] [--seed=42]
 //       [--clients=64] [--shards=2] [--workers=2] [--batch=16]
 //       [--max_wait_us=200] [--time_scale=0.2] [--edge_sim=1]
-//       [--backend=replay|network] [--cloud=replay|network]
+//       [--backend=replay|network] [--edge_precision=fp32|int8|auto]
+//       [--cloud=replay|network]
 //       [--weights=<path>] [--admission=block|shed|edge_only]
 //       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
 //       [--coalesce_ms=0] [--max_batch_appeals=64]
@@ -75,6 +79,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "core/two_head_network.hpp"
+#include "quant/autotune.hpp"
+#include "quant/quantize.hpp"
+#include "quant/recalibrate.hpp"
 #include "serve/cloud_model.hpp"
 #include "serve/server.hpp"
 #include "serve/transport/synthetic_scorer.hpp"
@@ -147,9 +154,25 @@ core::two_head_config edge_net_config() {
 struct network_workload {
   std::vector<tensor> images;
   workload w;
+  /// Calibration sample (first kCalibration images stacked NCHW) — the
+  /// quantized modes hand it to every worker's rewrite so all instances
+  /// share one activation grid.
+  tensor calibration;
+  /// Per-layer weight bits served (empty in fp32 mode; all 8 for int8;
+  /// the autotuner's choice for auto).
+  std::vector<int> bits;
+  quant::quant_report report;
+  /// δ retuned on the quantized score distribution over the calibration
+  /// sample vs the same retuning on fp32 scores — the recalibration shift.
+  double recal_delta = 0.0;
+  double fp32_delta = 0.0;
 };
 
-network_workload make_network_workload(std::size_t n, std::uint64_t seed) {
+constexpr std::size_t kCalibration = 256;
+
+network_workload make_network_workload(std::size_t n, std::uint64_t seed,
+                                       serve::edge_precision precision,
+                                       double target_sr) {
   util::rng gen(seed);
   network_workload out;
   out.images.reserve(n);
@@ -169,10 +192,58 @@ network_workload make_network_workload(std::size_t n, std::uint64_t seed) {
         i, out.w.labels[i], cfg.spec.num_classes, seed, kBigAccuracy);
   }
 
-  core::two_head_network net(cfg);
-  // Same deployment rewrite the serving workers get, so the offline
-  // calibration tables match the served model bit for bit.
-  net.prepare_for_inference();
+  // Calibration sample for the quantized modes: the head of the workload
+  // (deterministic from the seed, so every worker and the offline tables
+  // quantize onto identical grids).
+  const std::size_t calib = std::min(kCalibration, n);
+  out.calibration = tensor(shape{calib, c, hw, hw});
+  for (std::size_t i = 0; i < calib; ++i) {
+    std::copy(out.images[i].values().begin(), out.images[i].values().end(),
+              out.calibration.data() + i * c * hw * hw);
+  }
+
+  // The reference network that computes the offline replay tables runs at
+  // the SAME precision the workers serve, so the scheduler comparison and
+  // the fixed-δ acceptance check see exactly the served model.
+  auto make_net = [&cfg] {
+    auto net = std::make_unique<core::two_head_network>(cfg);
+    net->prepare_for_inference();
+    return net;
+  };
+  std::unique_ptr<core::two_head_network> net = make_net();
+  if (precision == serve::edge_precision::int8) {
+    out.report = quant::quantize_two_head(*net, out.calibration);
+    out.bits.assign(out.report.layers.size(), 8);
+  } else if (precision == serve::edge_precision::autotuned) {
+    quant::autotune_config tune;
+    tune.target_skip_rate = target_sr;
+    std::vector<std::size_t> calib_labels(out.w.labels.begin(),
+                                          out.w.labels.begin() + calib);
+    quant::autotune_result tuned = quant::autotune_bit_widths(
+        make_net, out.calibration, calib_labels, tune);
+    std::printf(
+        "autotune: %zu/%zu layers below 8 bits after %zu trials "
+        "(fp32 %.2f%% -> quant %.2f%% collaborative accuracy)\n",
+        tuned.lowered, tuned.bits.size(), tuned.trials,
+        tuned.fp32_accuracy * 100.0, tuned.quant_accuracy * 100.0);
+    out.bits = tuned.bits;
+    out.report = std::move(tuned.report);
+    net = std::move(tuned.net);
+  }
+  if (precision != serve::edge_precision::fp32) {
+    // δ recalibration: the fp32-tuned threshold vs the one retuned on the
+    // quantized score distribution (the sweep below then tunes on the
+    // full quantized tables, which is the δ the fixed run serves).
+    const quant::recalibration recal =
+        quant::quant_recalibrate(*net, out.calibration, target_sr);
+    out.recal_delta = recal.delta;
+    std::unique_ptr<core::two_head_network> fp32_net = make_net();
+    const quant::scored_pass fp32_pass =
+        quant::run_scored(*fp32_net, out.calibration);
+    out.fp32_delta =
+        core::delta_for_skipping_rate(fp32_pass.scores, target_sr);
+  }
+
   constexpr std::size_t kChunk = 64;
   for (std::size_t begin = 0; begin < n; begin += kChunk) {
     const std::size_t end = std::min(begin + kChunk, n);
@@ -181,7 +252,7 @@ network_workload make_network_workload(std::size_t n, std::uint64_t seed) {
       std::copy(out.images[i].values().begin(), out.images[i].values().end(),
                 batch.data() + (i - begin) * c * hw * hw);
     }
-    const core::two_head_output fwd = net.forward(batch, /*training=*/false);
+    const core::two_head_output fwd = net->forward(batch, /*training=*/false);
     const std::vector<std::size_t> preds = ops::argmax_rows(fwd.logits);
     for (std::size_t i = begin; i < end; ++i) {
       out.w.little[i] = preds[i - begin];
@@ -333,6 +404,11 @@ int main(int argc, char** argv) {
   APPEAL_CHECK(!network_cloud || network_backend,
                "--cloud=network needs --backend=network (appeals must "
                "carry images)");
+  const serve::edge_precision precision =
+      serve::parse_edge_precision(args.get_string_or("edge_precision", "fp32"));
+  APPEAL_CHECK(precision == serve::edge_precision::fp32 || network_backend,
+               "--edge_precision=int8|auto needs --backend=network (replay "
+               "serves no model to quantize)");
 
   serve::deployment_config cfg;
   cfg.shards = shards;
@@ -385,14 +461,33 @@ int main(int argc, char** argv) {
   workload w;
   serve::edge_backend_factory edge_factory;
   if (network_backend) {
-    nw = make_network_workload(requests, seed);
+    nw = make_network_workload(requests, seed, precision, target_sr);
     w = nw.w;
-    edge_factory = [](std::size_t, std::size_t) {
-      auto net = std::make_unique<core::two_head_network>(edge_net_config());
-      net->prepare_for_inference();  // conv+BN folding at deployment load
-      return std::make_unique<serve::network_edge_backend>(
-          std::move(net), core::score_method::appealnet_q);
-    };
+    if (precision == serve::edge_precision::fp32) {
+      edge_factory = [](std::size_t, std::size_t) {
+        auto net = std::make_unique<core::two_head_network>(edge_net_config());
+        net->prepare_for_inference();  // conv+BN folding at deployment load
+        return std::make_unique<serve::network_edge_backend>(
+            std::move(net), core::score_method::appealnet_q);
+      };
+    } else {
+      std::printf(
+          "edge precision %s: %zu layers quantized (%zu skipped), min %d "
+          "bits; delta recalibration %.4f (fp32-tuned %.4f)\n",
+          serve::edge_precision_name(precision), nw.report.quantized,
+          nw.report.skipped, nw.report.min_bits(), nw.recal_delta,
+          nw.fp32_delta);
+      // Each worker rebuilds + requantizes from the shared calibration
+      // sample and bit vector — deterministic init makes every instance
+      // (and the offline tables above) bit-identical.
+      edge_factory = [calibration = nw.calibration,
+                      bits = nw.bits](std::size_t, std::size_t) {
+        auto net = std::make_unique<core::two_head_network>(edge_net_config());
+        quant::quantize_two_head(*net, calibration, bits);
+        return std::make_unique<serve::network_edge_backend>(
+            std::move(net), core::score_method::appealnet_q);
+      };
+    }
   } else {
     w = make_workload(requests, seed);
     edge_factory = [&w](std::size_t, std::size_t) {
@@ -401,6 +496,9 @@ int main(int argc, char** argv) {
   }
   const std::vector<tensor>* images =
       network_backend ? &nw.images : nullptr;
+  cfg.precision = precision;
+  cfg.edge_weight_bits =
+      precision == serve::edge_precision::fp32 ? 32 : nw.report.min_bits();
 
   // Cloud backend: the synthetic replay table, or the real big network.
   // In network-cloud mode the offline big-prediction table is recomputed
@@ -456,9 +554,9 @@ int main(int argc, char** argv) {
   const collab::sweep_point offline = curve.front();
   std::printf(
       "=== bench_serving: %zu requests, %zu clients, %zu shards, seed %llu, "
-      "backend %s, cloud %s, transport %s%s%s ===\n",
+      "backend %s (%s), cloud %s, transport %s%s%s ===\n",
       requests, clients, shards, static_cast<unsigned long long>(seed),
-      backend.c_str(), cloud.c_str(),
+      backend.c_str(), serve::edge_precision_name(precision), cloud.c_str(),
       serve::transport_kind_name(cfg.shard.channel.transport),
       cfg.shard.channel.endpoint.empty() ? "" : " @ ",
       cfg.shard.channel.endpoint.c_str());
@@ -529,6 +627,10 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"serving\",\n"
                  "  \"backend\": \"%s\",\n"
+                 "  \"edge_precision\": \"%s\",\n"
+                 "  \"edge_bits\": %d,\n"
+                 "  \"recal_delta\": %.6f,\n"
+                 "  \"fp32_delta\": %.6f,\n"
                  "  \"cloud\": \"%s\",\n"
                  "  \"transport\": \"%s\",\n"
                  "  \"coalesce_ms\": %.3f,\n"
@@ -540,7 +642,9 @@ int main(int argc, char** argv) {
                  "  \"offline\": {\"delta\": %.6f, \"achieved_sr\": %.6f,"
                  " \"accuracy\": %.6f},\n"
                  "  \"runs\": [\n",
-                 backend.c_str(), cloud.c_str(),
+                 backend.c_str(), serve::edge_precision_name(precision),
+                 cfg.edge_weight_bits, nw.recal_delta, nw.fp32_delta,
+                 cloud.c_str(),
                  serve::transport_kind_name(cfg.shard.channel.transport),
                  cfg.shard.channel.coalesce_window_ms, requests, clients,
                  shards, static_cast<unsigned long long>(seed), target_sr,

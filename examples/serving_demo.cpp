@@ -32,16 +32,22 @@
 //
 // Run:  ./example_serving_demo [--epochs=6] [--target_sr=0.9]
 //       [--time_scale=0.1] [--batch=16] [--save_big=<path>]
+//       [--edge_precision=fp32|int8]
 //       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
 //       [--coalesce_ms=0] [--max_batch_appeals=64]
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <numeric>
 
 #include "core/appealnet_builder.hpp"
 #include "data/presets.hpp"
 #include "nn/serialize.hpp"
+#include "quant/quantize.hpp"
+#include "quant/recalibrate.hpp"
 #include "serve/server.hpp"
 #include "util/config.hpp"
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 int main(int argc, char** argv) {
@@ -79,6 +85,36 @@ int main(int argc, char** argv) {
     std::printf("saved big-network weights to %s\n", save_big.c_str());
   }
 
+  // Optional quantized edge path (--edge_precision=int8): rewrite the
+  // little network onto the int8 kernels BEFORE both evaluations, so the
+  // offline/online comparison below still compares the same computation.
+  // δ is recalibrated on the quantized score distribution over a
+  // validation calibration sample (the fp32-tuned δ would miss the target
+  // skipping rate once the scores shift). The bit-width autotuner needs a
+  // factory of freshly trained networks — see bench_serving
+  // --edge_precision=auto for that mode.
+  const serve::edge_precision precision = serve::parse_edge_precision(
+      args.get_string_or("edge_precision", "fp32"));
+  APPEAL_CHECK(precision != serve::edge_precision::autotuned,
+               "serving_demo supports --edge_precision=fp32|int8 (auto "
+               "requires retraining; use bench_serving)");
+  if (precision == serve::edge_precision::int8) {
+    std::vector<std::size_t> rows(
+        std::min<std::size_t>(256, bundle.val->size()));
+    std::iota(rows.begin(), rows.end(), 0);
+    const data::batch calib = data::make_batch(*bundle.val, rows);
+    const quant::quant_report report =
+        quant::quantize_two_head(system.little(), calib.images);
+    quant::publish_edge_bits(report, "appealnet");
+    const quant::recalibration recal = quant::quant_recalibrate(
+        system.little(), calib.images, cfg.target_skipping_rate);
+    std::printf(
+        "int8 edge path: %zu layers quantized (%zu skipped); delta "
+        "%.4f -> %.4f after recalibration\n",
+        report.quantized, report.skipped, system.delta(), recal.delta);
+    system.set_delta(recal.delta);
+  }
+
   // 2. Offline reference: batch evaluation of the same system.
   const auto decisions = system.infer_all(*bundle.test);
   std::size_t offline_correct = 0;
@@ -97,6 +133,9 @@ int main(int argc, char** argv) {
   //    calibration.
   serve::deployment_config dep_cfg;
   dep_cfg.shards = 1;  // one trained system -> one shard in this demo
+  dep_cfg.precision = precision;
+  dep_cfg.edge_weight_bits =
+      precision == serve::edge_precision::fp32 ? 32 : 8;
   dep_cfg.shard.batching.max_batch_size =
       static_cast<std::size_t>(args.get_int_or("batch", 16));
   dep_cfg.shard.batching.max_wait = std::chrono::microseconds(500);

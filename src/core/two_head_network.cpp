@@ -72,7 +72,12 @@ tensor two_head_network::forward_approximator(const tensor& images,
 std::size_t two_head_network::prepare_for_inference() {
   if (folded_for_inference_) return 0;
   folded_for_inference_ = true;
-  return nn::fold_conv_batchnorm(*extractor_);
+  // Fold batchnorms into convs first so conv-bn-relu chains become
+  // conv-relu, then absorb the clamps into the conv store epilogues.
+  std::size_t changed = nn::fold_conv_batchnorm(*extractor_);
+  changed += nn::fuse_conv_activation(*extractor_);
+  changed += nn::fuse_conv_activation(*approx_head_);
+  return changed;
 }
 
 void two_head_network::backward(const tensor& grad_logits,

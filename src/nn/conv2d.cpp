@@ -1,6 +1,7 @@
 #include "nn/conv2d.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "nn/inference_workspace.hpp"
 #include "tensor/gemm.hpp"
@@ -97,7 +98,11 @@ namespace {
 /// loop reads each input once. Interior output rows skip bounds checks.
 void depthwise_direct(const ops::conv_geometry& g, std::size_t channels,
                       const float* input, const float* weights,
-                      const float* bias, std::size_t n, float* out) {
+                      const float* bias, float act_lo, float act_hi,
+                      std::size_t n, float* out) {
+  const bool clamp =
+      act_lo != -std::numeric_limits<float>::infinity() ||
+      act_hi != std::numeric_limits<float>::infinity();
   const std::size_t out_h = g.out_height();
   const std::size_t out_w = g.out_width();
   const std::size_t cols = out_h * out_w;
@@ -148,7 +153,7 @@ void depthwise_direct(const ops::conv_geometry& g, std::size_t channels,
               acc += wrow[kx] * srow[static_cast<std::size_t>(ix)];
             }
           }
-          drow[ox] = acc;
+          drow[ox] = clamp ? std::min(std::max(acc, act_lo), act_hi) : acc;
         };
 
         for (std::size_t ox = 0; ox < ox_lo; ++ox) checked(ox);
@@ -171,6 +176,11 @@ void depthwise_direct(const ops::conv_geometry& g, std::size_t channels,
               for (std::size_t t = 0; t < len; ++t) seg[t] += wv * sp[t];
             }
           }
+          if (clamp) {
+            for (std::size_t t = 0; t < len; ++t) {
+              seg[t] = std::min(std::max(seg[t], act_lo), act_hi);
+            }
+          }
         } else {
           for (std::size_t ox = ox_lo; ox < ox_hi; ++ox) {
             const std::size_t ix0 = ox * g.stride - g.padding;
@@ -183,7 +193,7 @@ void depthwise_direct(const ops::conv_geometry& g, std::size_t channels,
                 acc += wrow[kx] * srow[kx];
               }
             }
-            drow[ox] = acc;
+            drow[ox] = clamp ? std::min(std::max(acc, act_lo), act_hi) : acc;
           }
         }
         for (std::size_t ox = std::max(ox_lo, ox_hi); ox < out_w; ++ox) {
@@ -213,13 +223,14 @@ tensor conv2d::forward_inference(const tensor& input,
   // Depthwise: direct stencil, no lowering at all.
   if (ic_per_group == 1 && oc_per_group == 1) {
     depthwise_direct(g, in_channels_, input.data(), weight_.value.data(), pb,
-                     n, out.data());
+                     act_lo_, act_hi_, n, out.data());
     return out;
   }
 
   // Grouped (but not depthwise) convs keep the per-sample lowering: their
   // per-group GEMMs are too small for batch-concatenation to pay for the
-  // extra staging pass.
+  // extra staging pass. Bias and any fused activation ride the GEMM's
+  // store epilogue instead of separate passes over the output.
   if (groups_ > 1) {
     inference_workspace::buffer columns = ws.borrow(patch * cols);
     for (std::size_t s = 0; s < n; ++s) {
@@ -228,17 +239,12 @@ tensor conv2d::forward_inference(const tensor& input,
       for (std::size_t grp = 0; grp < groups_; ++grp) {
         ops::im2col(g, sample + grp * ic_per_group * in_plane,
                     columns.data());
-        ops::sgemm(oc_per_group, cols, patch, 1.0F,
-                   weight_.value.data() + grp * oc_per_group * patch,
-                   columns.data(), 0.0F,
-                   out_sample + grp * oc_per_group * cols);
-      }
-      if (pb != nullptr) {
-        for (std::size_t c = 0; c < out_channels_; ++c) {
-          float* plane = out_sample + c * cols;
-          const float b = pb[c];
-          for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
-        }
+        ops::sgemm_bias_act(oc_per_group, cols, patch, 1.0F,
+                            weight_.value.data() + grp * oc_per_group * patch,
+                            columns.data(),
+                            pb != nullptr ? pb + grp * oc_per_group : nullptr,
+                            act_lo_, act_hi_,
+                            out_sample + grp * oc_per_group * cols);
       }
     }
     return out;
@@ -255,31 +261,20 @@ tensor conv2d::forward_inference(const tensor& input,
   const float* wall = weight_.value.data();
   if (n == 1) {
     // Single sample: [oc, cols] GEMM output IS the NCHW layout.
-    ops::sgemm(out_channels_, cols, patch, 1.0F, wall, columns.data(), 0.0F,
-               out.data());
-    if (pb != nullptr) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        const float b = pb[c];
-        float* plane = out.data() + c * cols;
-        for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
-      }
-    }
+    ops::sgemm_bias_act(out_channels_, cols, patch, 1.0F, wall,
+                        columns.data(), pb, act_lo_, act_hi_, out.data());
     return out;
   }
   inference_workspace::buffer staged = ws.borrow(out_channels_ * batch_cols);
-  ops::sgemm(out_channels_, batch_cols, patch, 1.0F, wall, columns.data(),
-             0.0F, staged.data());
-  // Scatter [oc, N * cols] into NCHW, fusing the bias add.
+  ops::sgemm_bias_act(out_channels_, batch_cols, patch, 1.0F, wall,
+                      columns.data(), pb, act_lo_, act_hi_, staged.data());
+  // Scatter [oc, N * cols] into NCHW — bias and clamp already applied at
+  // the GEMM store, so this is a pure copy.
   for (std::size_t c = 0; c < out_channels_; ++c) {
     const float* src = staged.data() + c * batch_cols;
-    const float b = pb != nullptr ? pb[c] : 0.0F;
     for (std::size_t s = 0; s < n; ++s) {
       float* dst = out.data() + (s * out_channels_ + c) * cols;
-      if (pb != nullptr) {
-        for (std::size_t i = 0; i < cols; ++i) dst[i] = src[s * cols + i] + b;
-      } else {
-        std::memcpy(dst, src + s * cols, cols * sizeof(float));
-      }
+      std::memcpy(dst, src + s * cols, cols * sizeof(float));
     }
   }
   return out;

@@ -13,6 +13,8 @@
 // every panel and its output from the thread's inference_workspace.
 #pragma once
 
+#include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "nn/layer.hpp"
@@ -49,6 +51,24 @@ class conv2d : public layer {
   /// conv+batchnorm folding needs somewhere to put the shift term.
   void ensure_bias() { has_bias_ = true; }
 
+  /// Absorbs a following clamp activation (ReLU: [0, inf); ReLU6: [0, 6])
+  /// into this layer's inference epilogue — the GEMM / stencil store pass
+  /// applies it, deleting the separate full pass over the activation map.
+  /// Deployment-only, like batchnorm folding: the training-mode forward
+  /// and backward ignore the fused clamp (fuse_conv_activation removes the
+  /// activation layer, so further training is meaningless anyway).
+  /// Repeated calls intersect the ranges.
+  void fuse_activation(float act_lo, float act_hi) {
+    act_lo_ = std::max(act_lo_, act_lo);
+    act_hi_ = std::min(act_hi_, act_hi);
+  }
+  bool has_fused_activation() const {
+    return act_lo_ != -std::numeric_limits<float>::infinity() ||
+           act_hi_ != std::numeric_limits<float>::infinity();
+  }
+  float fused_act_lo() const { return act_lo_; }
+  float fused_act_hi() const { return act_hi_; }
+
  private:
   ops::conv_geometry group_geometry(const shape& input) const;
   tensor forward_inference(const tensor& input, const ops::conv_geometry& g);
@@ -60,6 +80,8 @@ class conv2d : public layer {
   std::size_t padding_;
   std::size_t groups_;
   bool has_bias_;
+  float act_lo_ = -std::numeric_limits<float>::infinity();
+  float act_hi_ = std::numeric_limits<float>::infinity();
   parameter weight_;  // [out_c, in_c/groups, k, k]
   parameter bias_;    // [out_c]
   tensor cached_input_;

@@ -1,7 +1,9 @@
 #include "nn/fold.hpp"
 
 #include <cmath>
+#include <limits>
 
+#include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/residual.hpp"
@@ -60,6 +62,43 @@ std::size_t fold_conv_batchnorm(sequential& net) {
     ++folded;
   }
   return folded;
+}
+
+std::size_t fuse_conv_activation(sequential& net) {
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+  std::size_t fused = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    layer& child = net.child(i);
+    if (auto* nested = dynamic_cast<sequential*>(&child)) {
+      fused += fuse_conv_activation(*nested);
+      continue;
+    }
+    if (auto* res = dynamic_cast<residual*>(&child)) {
+      // Only pairs INSIDE the body/projection fuse — an activation after
+      // the residual add is not adjacent to any conv and stays a layer.
+      fused += fuse_conv_activation(res->body());
+      if (res->has_projection()) {
+        fused += fuse_conv_activation(res->projection());
+      }
+      continue;
+    }
+    auto* conv = dynamic_cast<conv2d*>(&child);
+    if (conv == nullptr || i + 1 >= net.size()) continue;
+    layer& next = net.child(i + 1);
+    float lo = 0.0F;
+    float hi = kInf;
+    if (dynamic_cast<relu*>(&next) != nullptr) {
+      // lo/hi already the ReLU clamp.
+    } else if (dynamic_cast<relu6*>(&next) != nullptr) {
+      hi = 6.0F;
+    } else {
+      continue;  // sigmoid/silu/hardswish are not clamps
+    }
+    conv->fuse_activation(lo, hi);
+    net.remove_child(i + 1);
+    ++fused;
+  }
+  return fused;
 }
 
 }  // namespace appeal::nn

@@ -24,4 +24,13 @@ namespace appeal::nn {
 /// projection). Returns the number of pairs folded.
 std::size_t fold_conv_batchnorm(sequential& net);
 
+/// Absorbs every clamp activation (relu, relu6) that directly follows a
+/// conv2d into that conv's fused inference epilogue and deletes the
+/// activation layer — the clamp then happens in the GEMM/stencil store
+/// pass instead of a separate traversal of the activation map. Recurses
+/// like fold_conv_batchnorm; apply it AFTER batchnorm folding so
+/// conv-bn-relu chains collapse all the way. Returns the number of
+/// activations fused. Inference-only, same caveats as folding.
+std::size_t fuse_conv_activation(sequential& net);
+
 }  // namespace appeal::nn

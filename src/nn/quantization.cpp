@@ -21,18 +21,20 @@ quant_params choose_quant_params(std::span<const float> values, int bits,
 
   quant_params params;
   params.bits = bits;
+  params.symmetric = symmetric;
   const auto levels = static_cast<float>((1 << bits) - 1);
 
   if (symmetric) {
+    // Signed grid −(2^(b−1)−1) … 2^(b−1)−1, zero_point pinned to 0 — the
+    // representation the s8 kernel packs verbatim.
     const float bound = std::max(std::fabs(lo), std::fabs(hi));
     if (bound == 0.0F) {
       params.scale = 1.0F;
       params.zero_point = 0;
       return params;
     }
-    params.scale = 2.0F * bound / levels;
-    // Zero maps to the grid centre.
-    params.zero_point = (1 << (bits - 1));
+    params.scale = bound / static_cast<float>(params.q_max());
+    params.zero_point = 0;
     return params;
   }
 

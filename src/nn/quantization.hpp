@@ -16,13 +16,26 @@
 namespace appeal::nn {
 
 /// Affine quantizer parameters: real = scale * (q - zero_point).
+///
+/// Symmetric grids (weights) are SIGNED and centred on zero: the code
+/// domain is −(2^(b−1)−1) … 2^(b−1)−1 with zero_point == 0, so an int8
+/// weight grid is −127…127 and quantized weights store directly into
+/// std::int8_t — the packing contract of the s8 GEMM kernel
+/// (tensor/gemm_s8). The −2^(b−1) code is deliberately unused: the grid
+/// stays symmetric, so negating a weight never saturates. Asymmetric
+/// grids (activations) are UNSIGNED: 0 … 2^b−1 with a shifted zero point.
 struct quant_params {
   float scale = 1.0F;
   std::int32_t zero_point = 0;
   int bits = 8;
+  bool symmetric = false;
 
-  std::int32_t q_min() const { return 0; }
-  std::int32_t q_max() const { return (1 << bits) - 1; }
+  std::int32_t q_min() const {
+    return symmetric ? -((1 << (bits - 1)) - 1) : 0;
+  }
+  std::int32_t q_max() const {
+    return symmetric ? (1 << (bits - 1)) - 1 : (1 << bits) - 1;
+  }
 };
 
 /// Chooses affine parameters covering [min(values), max(values)].

@@ -27,6 +27,14 @@ layer_ptr sequential::remove_child(std::size_t i) {
   return out;
 }
 
+layer_ptr sequential::replace_child(std::size_t i, layer_ptr with) {
+  APPEAL_CHECK(i < children_.size(), "sequential child index out of range");
+  APPEAL_CHECK(with != nullptr, "sequential::replace_child(nullptr)");
+  layer_ptr out = std::move(children_[i]);
+  children_[i] = std::move(with);
+  return out;
+}
+
 tensor sequential::forward(const tensor& input, bool training) {
   if (children_.empty()) return input;
   if (!training) {

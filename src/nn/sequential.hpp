@@ -36,6 +36,10 @@ class sequential : public layer {
   /// folding); later children shift down one slot.
   layer_ptr remove_child(std::size_t i);
 
+  /// Swaps child i for `with` and returns the old child — rewrite support
+  /// for layer substitution (quantized kernels, calibration observers).
+  layer_ptr replace_child(std::size_t i, layer_ptr with);
+
   const char* kind() const override { return "sequential"; }
   tensor forward(const tensor& input, bool training) override;
   tensor backward(const tensor& grad_output) override;

@@ -1,0 +1,124 @@
+#include "quant/autotune.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/threshold.hpp"
+#include "quant/recalibrate.hpp"
+#include "util/error.hpp"
+
+namespace appeal::quant {
+
+namespace {
+
+/// Collaborative accuracy of one network at its own retuned δ, with an
+/// oracle cloud: inputs whose score falls below δ appeal and count
+/// correct. The returned operating point carries the δ and achieved SR.
+struct candidate_eval {
+  double accuracy = 0.0;
+  double delta = 0.5;
+  double skip_rate = 0.0;
+};
+
+candidate_eval evaluate(core::two_head_network& net, const tensor& calibration,
+                        const std::vector<std::size_t>& labels,
+                        const autotune_config& cfg) {
+  const scored_pass pass = run_scored(net, calibration, cfg.batch_size);
+  APPEAL_CHECK(pass.predictions.size() == labels.size(),
+               "autotune: labels do not align with the calibration batch");
+  candidate_eval out;
+  out.delta = core::delta_for_skipping_rate(pass.scores, cfg.target_skip_rate);
+  std::size_t little_correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (pass.predictions[i] == labels[i]) ++little_correct;
+  }
+  core::accuracy_context ctx;
+  ctx.little_accuracy = static_cast<double>(little_correct) /
+                        static_cast<double>(labels.size());
+  ctx.big_accuracy = 1.0;  // oracle cloud
+  if (ctx.little_accuracy == ctx.big_accuracy) {
+    // Degenerate: the little network is already perfect on the sample, so
+    // AccI (and evaluate_at_delta) is undefined — and so is any tuning
+    // signal. Every routing is equally accurate.
+    out.accuracy = 1.0;
+    out.skip_rate = cfg.target_skip_rate;
+    return out;
+  }
+  const core::operating_point op = core::evaluate_at_delta(
+      pass.predictions, /*big_predictions=*/labels, labels, pass.scores,
+      out.delta, ctx);
+  out.accuracy = op.overall_accuracy;
+  out.skip_rate = op.skipping_rate;
+  return out;
+}
+
+}  // namespace
+
+autotune_result autotune_bit_widths(const network_factory& make_network,
+                                    const tensor& calibration,
+                                    const std::vector<std::size_t>& labels,
+                                    const autotune_config& cfg) {
+  APPEAL_CHECK(static_cast<std::size_t>(calibration.batch()) == labels.size(),
+               "autotune: one label per calibration image required");
+  for (int b : cfg.candidate_bits) {
+    APPEAL_CHECK(b >= 2 && b < 8,
+                 "autotune: candidate bits must lie in [2, 8)");
+  }
+
+  autotune_result result;
+
+  // fp32 reference operating point — the budget is anchored here.
+  {
+    std::unique_ptr<core::two_head_network> ref = make_network();
+    APPEAL_CHECK(ref != nullptr, "autotune: factory returned null");
+    ref->prepare_for_inference();
+    result.fp32_accuracy = evaluate(*ref, calibration, labels, cfg).accuracy;
+  }
+
+  // 8-bit floor: accepted unconditionally — it IS the int8 deployment;
+  // the tuner only decides how much further each layer can fall.
+  result.net = make_network();
+  result.report = quantize_two_head(*result.net, calibration);
+  result.bits.assign(result.report.layers.size(), 8);
+  candidate_eval best = evaluate(*result.net, calibration, labels, cfg);
+  ++result.trials;
+
+  // Least-distorted layers first: their weights fit the 8-bit grid well,
+  // so they are the likeliest to survive a narrower one.
+  std::vector<std::size_t> order(result.bits.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.report.layers[a].weight_rmse <
+           result.report.layers[b].weight_rmse;
+  });
+
+  for (std::size_t layer : order) {
+    for (int bits : cfg.candidate_bits) {
+      std::vector<int> trial_bits = result.bits;
+      trial_bits[layer] = bits;
+      std::unique_ptr<core::two_head_network> trial = make_network();
+      quant_report trial_report =
+          quantize_two_head(*trial, calibration, trial_bits);
+      const candidate_eval eval = evaluate(*trial, calibration, labels, cfg);
+      ++result.trials;
+      if (result.fp32_accuracy - eval.accuracy > cfg.accuracy_budget) {
+        break;  // this layer is saturated; try the next one
+      }
+      result.bits = std::move(trial_bits);
+      result.net = std::move(trial);
+      result.report = std::move(trial_report);
+      best = eval;
+    }
+  }
+
+  result.quant_accuracy = best.accuracy;
+  result.delta = best.delta;
+  result.skip_rate = best.skip_rate;
+  for (int b : result.bits) {
+    if (b < 8) ++result.lowered;
+  }
+  return result;
+}
+
+}  // namespace appeal::quant

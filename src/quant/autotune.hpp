@@ -1,0 +1,70 @@
+// Per-layer weight bit-width auto-tuning under an accuracy budget.
+//
+// The tuner answers: "how far below 8 bits can each layer go before the
+// COLLABORATIVE system (edge + appeal to cloud) loses more accuracy than
+// the deployment tolerates?" It greedily lowers layers one at a time in
+// ascending weight-RMSE order (the distortion the 8-bit grid already
+// introduced is the cheapest available sensitivity prior — low-RMSE
+// layers have weight distributions the grid captures well and tolerate
+// narrower grids), accepting a candidate only if collaborative accuracy
+// with an oracle cloud stays within `accuracy_budget` of the fp32
+// reference. δ is retuned on EVERY candidate's own score distribution
+// (quant/recalibrate.hpp) so each is judged at its honest operating
+// point, and the appeal head's confidence routing is part of the
+// acceptance signal — a layer whose quantization error the cloud absorbs
+// (hard inputs appeal anyway) lowers further than isolated-accuracy
+// tuning would allow.
+//
+// Quantization is destructive (float weights are consumed by the
+// rewrite), so candidates are built from a factory producing fresh
+// identically-initialized networks — typically a lambda loading the same
+// checkpoint.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/two_head_network.hpp"
+#include "quant/quantize.hpp"
+
+namespace appeal::quant {
+
+/// Produces a fresh fp32 network with the deployment's trained weights.
+using network_factory =
+    std::function<std::unique_ptr<core::two_head_network>()>;
+
+struct autotune_config {
+  /// Bit-widths to try below 8, in descending order.
+  std::vector<int> candidate_bits = {6, 4};
+  /// Max tolerated drop in collaborative accuracy vs the fp32 reference.
+  double accuracy_budget = 0.005;
+  /// Deployment skipping-rate target — δ is retuned to this rate for the
+  /// reference and every candidate.
+  double target_skip_rate = 0.7;
+  std::size_t batch_size = 32;
+};
+
+struct autotune_result {
+  std::vector<int> bits;        // accepted bit-width per quantizable layer
+  double fp32_accuracy = 0.0;   // collaborative accuracy of the reference
+  double quant_accuracy = 0.0;  // ... of the accepted quantized network
+  double delta = 0.5;           // recalibrated δ of the accepted network
+  double skip_rate = 0.0;       // achieved at that δ on the sample
+  std::size_t lowered = 0;      // layers accepted below 8 bits
+  std::size_t trials = 0;       // candidate networks evaluated
+  quant_report report;          // report of the accepted network
+  /// The accepted quantized network, ready to serve.
+  std::unique_ptr<core::two_head_network> net;
+};
+
+/// Greedy per-layer lowering. `labels` must align with `calibration`
+/// rows; accuracy is measured on this sample with an oracle cloud (an
+/// appealed input is counted correct — the big model's accuracy bounds
+/// it from above, so the budget is conservative).
+autotune_result autotune_bit_widths(const network_factory& make_network,
+                                    const tensor& calibration,
+                                    const std::vector<std::size_t>& labels,
+                                    const autotune_config& cfg = {});
+
+}  // namespace appeal::quant

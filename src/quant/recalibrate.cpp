@@ -1,0 +1,58 @@
+#include "quant/recalibrate.hpp"
+
+#include <algorithm>
+
+#include "core/threshold.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "util/error.hpp"
+
+namespace appeal::quant {
+
+scored_pass run_scored(core::two_head_network& net, const tensor& images,
+                       std::size_t batch_size) {
+  APPEAL_CHECK(images.dims().rank() == 4 && images.batch() > 0,
+               "run_scored: expected a non-empty NCHW batch, got " +
+                   images.dims().to_string());
+  APPEAL_CHECK(batch_size > 0, "run_scored: batch_size must be positive");
+  const std::size_t n = images.batch();
+  const std::size_t sample =
+      images.channels() * images.height() * images.width();
+
+  scored_pass out;
+  out.predictions.reserve(n);
+  out.scores.reserve(n);
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    tensor chunk(shape{count, images.channels(), images.height(),
+                       images.width()});
+    std::copy(images.data() + start * sample,
+              images.data() + (start + count) * sample, chunk.data());
+    core::two_head_output fwd = net.forward(chunk, /*training=*/false);
+    const std::vector<std::size_t> preds = ops::argmax_rows(fwd.logits);
+    out.predictions.insert(out.predictions.end(), preds.begin(), preds.end());
+    for (float q : fwd.q) out.scores.push_back(static_cast<double>(q));
+  }
+  return out;
+}
+
+recalibration quant_recalibrate(core::two_head_network& net,
+                                const tensor& calibration,
+                                double target_skip_rate,
+                                std::size_t batch_size) {
+  const scored_pass pass = run_scored(net, calibration, batch_size);
+
+  recalibration out;
+  out.delta = core::delta_for_skipping_rate(pass.scores, target_skip_rate);
+  std::size_t kept = 0;
+  double sum = 0.0;
+  for (double s : pass.scores) {
+    if (s >= out.delta) ++kept;
+    sum += s;
+  }
+  const auto n = static_cast<double>(pass.scores.size());
+  out.skip_rate = static_cast<double>(kept) / n;
+  out.mean_score = sum / n;
+  return out;
+}
+
+}  // namespace appeal::quant

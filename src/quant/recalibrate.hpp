@@ -1,0 +1,43 @@
+// δ recalibration for the quantized edge path.
+//
+// Quantization shifts the whole appeal-score distribution: the predictor
+// head stays float, but it reads features produced by int8 arithmetic, so
+// the sigmoid scores move a little and an fp32-tuned δ no longer achieves
+// the deployment's target skipping rate (and can silently change which
+// inputs appeal to the cloud). quant_recalibrate() recomputes the
+// operating point ON THE QUANTIZED NETWORK's score distribution over the
+// same calibration sample used to set the activation grids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/two_head_network.hpp"
+
+namespace appeal::quant {
+
+/// Batched two-head inference over a sample: argmax predictions + appeal
+/// scores q(1|x), in input order. Runs in minibatches so im2col scratch
+/// stays bounded regardless of the sample size.
+struct scored_pass {
+  std::vector<std::size_t> predictions;
+  std::vector<double> scores;
+};
+scored_pass run_scored(core::two_head_network& net, const tensor& images,
+                       std::size_t batch_size = 32);
+
+/// A recalibrated threshold operating point.
+struct recalibration {
+  double delta = 0.5;       // q(1|x) >= delta keeps the input on the edge
+  double skip_rate = 0.0;   // achieved on the calibration sample
+  double mean_score = 0.0;  // diagnostic: centre of the score distribution
+};
+
+/// Retunes δ so the quantized network hits `target_skip_rate` on
+/// `calibration` (same ties-toward-higher-rate rule as the fp32 tuner).
+recalibration quant_recalibrate(core::two_head_network& net,
+                                const tensor& calibration,
+                                double target_skip_rate,
+                                std::size_t batch_size = 32);
+
+}  // namespace appeal::quant

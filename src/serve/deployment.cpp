@@ -3,6 +3,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
@@ -25,6 +26,26 @@ serve_stats_config labeled_stats(serve_stats_config cfg,
 
 }  // namespace
 
+edge_precision parse_edge_precision(const std::string& name) {
+  if (name == "fp32") return edge_precision::fp32;
+  if (name == "int8") return edge_precision::int8;
+  if (name == "auto") return edge_precision::autotuned;
+  throw util::error("unknown edge precision: " + name +
+                    " (expected fp32|int8|auto)");
+}
+
+const char* edge_precision_name(edge_precision p) {
+  switch (p) {
+    case edge_precision::fp32:
+      return "fp32";
+    case edge_precision::int8:
+      return "int8";
+    case edge_precision::autotuned:
+      return "auto";
+  }
+  return "fp32";
+}
+
 deployment::deployment(std::string name, const deployment_config& cfg,
                        edge_backend_factory edge, cloud_backend_factory cloud)
     : name_(std::move(name)),
@@ -36,6 +57,14 @@ deployment::deployment(std::string name, const deployment_config& cfg,
                config_.shard.channel, name_) {
   APPEAL_CHECK(config_.shards > 0, "deployment needs at least one shard");
   APPEAL_CHECK(edge != nullptr, "deployment needs an edge backend factory");
+  // Every deployment exports the bit-width of its edge path, so a scrape
+  // can tell a quantized deployment from a float one at a glance.
+  obs::default_registry()
+      .get_gauge("appeal_edge_bits",
+                 {{"deployment", labeled_stats(cfg.shard.stats, name_)
+                                     .deployment}},
+                 "narrowest weight bit-width deployed on the edge path")
+      .set(static_cast<double>(config_.edge_weight_bits));
   engines_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     engine_config shard_cfg = config_.shard;

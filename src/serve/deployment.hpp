@@ -34,6 +34,18 @@ using cloud_backend_factory =
 /// How the router spreads a deployment's traffic over its shards.
 enum class routing_policy { key_affine, least_loaded };
 
+/// Numeric precision of the edge (little-network) inference path.
+/// `fp32` serves the float network; `int8` serves the quant:: rewrite at
+/// 8 bits everywhere; `autotuned` serves per-layer bit-widths chosen by
+/// quant::autotune_bit_widths under an accuracy budget. The loader that
+/// builds the edge backends performs the actual quantization (it owns the
+/// calibration data); the deployment records the choice and exports it.
+enum class edge_precision { fp32, int8, autotuned };
+
+/// Parses "fp32" | "int8" | "auto"; throws on anything else.
+edge_precision parse_edge_precision(const std::string& name);
+const char* edge_precision_name(edge_precision p);
+
 struct deployment_config {
   std::size_t shards = 1;
   /// Per-shard engine configuration. `shard.threshold` configures the
@@ -43,6 +55,12 @@ struct deployment_config {
   /// queue; `shard.shard_id` is overwritten per shard.
   engine_config shard;
   routing_policy routing = routing_policy::key_affine;
+  /// Edge inference precision (metadata: the edge backend factory must
+  /// build matching backends). Exported as the appeal_edge_bits gauge.
+  edge_precision precision = edge_precision::fp32;
+  /// Narrowest weight bit-width the edge path deploys: 32 for fp32,
+  /// quant_report::min_bits() for the quantized modes.
+  int edge_weight_bits = 32;
 };
 
 class deployment {

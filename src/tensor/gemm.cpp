@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <vector>
 
@@ -48,6 +49,14 @@ struct matrix_view {
   float at(std::size_t i, std::size_t j) const {
     return p[i * row_stride + j * col_stride];
   }
+};
+
+/// Optional fused store epilogue: per-row bias plus activation clamp,
+/// applied exactly once, in the pass that stores the final K block.
+struct store_epilogue {
+  const float* bias = nullptr;  // per row of C, may be null
+  float act_lo = -std::numeric_limits<float>::infinity();
+  float act_hi = std::numeric_limits<float>::infinity();
 };
 
 void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
@@ -122,12 +131,25 @@ void micro_kernel(std::size_t kc, const float* ap, const float* bp,
 
 /// Writes one register tile into C. The first K-block applies alpha/beta
 /// (beta == 0 overwrites, so stale C values — even NaN — never leak);
-/// later K-blocks accumulate.
+/// later K-blocks accumulate. When this store completes the final K block
+/// and an epilogue is attached, bias and clamp ride the same pass —
+/// `bias` arrives pre-offset to this tile's first row.
 void store_tile(float* c, std::size_t ldc, const float* acc, std::size_t mr,
-                std::size_t nr, float alpha, float beta, bool first_k_block) {
+                std::size_t nr, float alpha, float beta, bool first_k_block,
+                const store_epilogue* epi, const float* bias) {
   for (std::size_t i = 0; i < mr; ++i) {
     float* crow = c + i * ldc;
     const float* arow = acc + i * NR;
+    if (epi != nullptr) {
+      const float b = bias != nullptr ? bias[i] : 0.0F;
+      for (std::size_t j = 0; j < nr; ++j) {
+        float v = first_k_block ? alpha * arow[j] : crow[j] + alpha * arow[j];
+        v += b;
+        v = std::min(std::max(v, epi->act_lo), epi->act_hi);
+        crow[j] = v;
+      }
+      continue;
+    }
     if (!first_k_block) {
       for (std::size_t j = 0; j < nr; ++j) crow[j] += alpha * arow[j];
     } else if (beta == 0.0F) {
@@ -147,7 +169,8 @@ void store_tile(float* c, std::size_t ldc, const float* acc, std::size_t mr,
 void run_m_block(const matrix_view& a, std::size_t i0, std::size_t mc,
                  std::size_t p0, std::size_t kc, std::size_t j0,
                  std::size_t nc, const float* bp, float alpha, float beta,
-                 bool first_k_block, float* c, std::size_t ldc) {
+                 bool first_k_block, const store_epilogue* epi, float* c,
+                 std::size_t ldc) {
   thread_local std::vector<float> apack;
   apack.resize(((mc + MR - 1) / MR) * MR * kc);
   pack_a(a, i0, p0, mc, kc, apack.data());
@@ -159,8 +182,11 @@ void run_m_block(const matrix_view& a, std::size_t i0, std::size_t mc,
     for (std::size_t ir = 0; ir < mc; ir += MR) {
       const std::size_t mr = std::min(MR, mc - ir);
       micro_kernel(kc, apack.data() + (ir / MR) * kc * MR, bpanel, acc);
+      const float* bias = epi != nullptr && epi->bias != nullptr
+                              ? epi->bias + i0 + ir
+                              : nullptr;
       store_tile(c + (i0 + ir) * ldc + (j0 + jr), ldc, acc, mr, nr, alpha,
-                 beta, first_k_block);
+                 beta, first_k_block, epi, bias);
     }
   }
 }
@@ -176,7 +202,7 @@ std::mutex gemm_pool_mutex;
 /// C = alpha * A[m x k] * B[k x n] + beta * C.
 void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
                  const matrix_view& a, const matrix_view& b, float beta,
-                 float* c, std::size_t ldc) {
+                 const store_epilogue* epi, float* c, std::size_t ldc) {
   thread_local std::vector<float> bpack;
   const std::size_t threads = gemm_threads();
 
@@ -187,6 +213,8 @@ void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
       bpack.resize(((nc + NR - 1) / NR) * NR * kc);
       pack_b(b, pc, jc, kc, nc, bpack.data());
       const bool first = pc == 0;
+      // The epilogue fires only on the store of the final K block.
+      const store_epilogue* block_epi = pc + kc == k ? epi : nullptr;
 
       const std::size_t blocks = (m + MC - 1) / MC;
       // NB: thread_locals are not captured — name the caller's packed-B
@@ -196,7 +224,7 @@ void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
       const auto run_block = [&](std::size_t blk) {
         const std::size_t i0 = blk * MC;
         run_m_block(a, i0, std::min(MC, m - i0), pc, kc, jc, nc, packed_b,
-                    alpha, beta, first, c, ldc);
+                    alpha, beta, first, block_epi, c, ldc);
       };
       if (threads > 1 && blocks > 1) {
         std::unique_lock<std::mutex> pool_lock(gemm_pool_mutex,
@@ -214,9 +242,11 @@ void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
 /// Direct register loop for shapes too small to amortize packing.
 void gemm_small(std::size_t m, std::size_t n, std::size_t k, float alpha,
                 const matrix_view& a, const matrix_view& b, float beta,
-                float* c) {
+                const store_epilogue* epi, float* c) {
   for (std::size_t i = 0; i < m; ++i) {
     float* crow = c + i * n;
+    const float bias =
+        epi != nullptr && epi->bias != nullptr ? epi->bias[i] : 0.0F;
     for (std::size_t j = 0; j < n; ++j) {
       float acc = 0.0F;
       const float* pa = a.p + i * a.row_stride;
@@ -224,8 +254,12 @@ void gemm_small(std::size_t m, std::size_t n, std::size_t k, float alpha,
       for (std::size_t kk = 0; kk < k; ++kk) {
         acc += pa[kk * a.col_stride] * pb[kk * b.row_stride];
       }
-      const float v = alpha * acc;
-      if (beta == 0.0F) {
+      float v = alpha * acc;
+      if (epi != nullptr) {
+        v += bias;
+        v = std::min(std::max(v, epi->act_lo), epi->act_hi);
+        crow[j] = v;
+      } else if (beta == 0.0F) {
         crow[j] = v;
       } else {
         crow[j] = v + beta * crow[j];
@@ -236,15 +270,24 @@ void gemm_small(std::size_t m, std::size_t n, std::size_t k, float alpha,
 
 void gemm_dispatch(std::size_t m, std::size_t n, std::size_t k, float alpha,
                    const matrix_view& a, const matrix_view& b, float beta,
-                   float* c) {
+                   const store_epilogue* epi, float* c) {
   if (alpha == 0.0F || m == 0 || n == 0 || k == 0) {
+    if (epi != nullptr) {
+      // Degenerate product is all zeros; the epilogue still applies.
+      for (std::size_t i = 0; i < m; ++i) {
+        const float b = epi->bias != nullptr ? epi->bias[i] : 0.0F;
+        const float v = std::min(std::max(b, epi->act_lo), epi->act_hi);
+        for (std::size_t j = 0; j < n; ++j) c[i * n + j] = v;
+      }
+      return;
+    }
     scale_c(m, n, beta, c);
     return;
   }
   if (m * n * k <= kSmallFlops) {
-    gemm_small(m, n, k, alpha, a, b, beta, c);
+    gemm_small(m, n, k, alpha, a, b, beta, epi, c);
   } else {
-    gemm_packed(m, n, k, alpha, a, b, beta, c, n);
+    gemm_packed(m, n, k, alpha, a, b, beta, epi, c, n);
   }
 }
 
@@ -281,21 +324,29 @@ void set_gemm_threads(std::size_t threads) {
 void sgemm(std::size_t m, std::size_t n, std::size_t k, float alpha,
            const float* a, const float* b, float beta, float* c) {
   gemm_dispatch(m, n, k, alpha, matrix_view{a, k, 1}, matrix_view{b, n, 1},
-                beta, c);
+                beta, nullptr, c);
 }
 
 void sgemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha,
               const float* a, const float* b, float beta, float* c) {
   // A stored [k x m]: A^T(i, kk) = a[kk * m + i].
   gemm_dispatch(m, n, k, alpha, matrix_view{a, 1, m}, matrix_view{b, n, 1},
-                beta, c);
+                beta, nullptr, c);
 }
 
 void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
               const float* a, const float* b, float beta, float* c) {
   // B stored [n x k]: B^T(kk, j) = b[j * k + kk].
   gemm_dispatch(m, n, k, alpha, matrix_view{a, k, 1}, matrix_view{b, 1, k},
-                beta, c);
+                beta, nullptr, c);
+}
+
+void sgemm_bias_act(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                    const float* a, const float* b, const float* bias,
+                    float act_lo, float act_hi, float* c) {
+  const store_epilogue epi{bias, act_lo, act_hi};
+  gemm_dispatch(m, n, k, alpha, matrix_view{a, k, 1}, matrix_view{b, n, 1},
+                0.0F, &epi, c);
 }
 
 tensor matmul(const tensor& a, const tensor& b) {

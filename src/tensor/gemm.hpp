@@ -45,6 +45,18 @@ void sgemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha,
 void sgemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha,
               const float* a, const float* b, float beta, float* c);
 
+/// Fused-epilogue GEMM for the conv/linear serving path:
+/// C = clamp(alpha * A * B + bias, [act_lo, act_hi]), overwriting C
+/// (beta == 0 semantics). `bias` is per row of C (length m) and may be
+/// null; act_lo/act_hi fuse the following ReLU/ReLU6 (pass +-infinity to
+/// leave values unclamped). Bias and clamp are applied in the final
+/// K-block's store pass — the same add and compare the separate passes
+/// would do, so results are bit-identical to sgemm + bias sweep +
+/// activation sweep, minus two full traversals of C.
+void sgemm_bias_act(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                    const float* a, const float* b, const float* bias,
+                    float act_lo, float act_hi, float* c);
+
 /// Tensor wrapper: returns A * B for rank-2 tensors with matching inner dim.
 tensor matmul(const tensor& a, const tensor& b);
 

@@ -1,0 +1,326 @@
+#include "tensor/gemm_s8.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace appeal::ops {
+
+namespace {
+
+// Register-tile geometry is chosen for the baseline-x86 integer ISA: the
+// workhorse is the SSE2 pairwise dot-product (pmaddwd), which multiplies
+// eight i16 lanes and horizontally adds adjacent pairs into four i32
+// accumulators — two k steps per instruction. Both panels are therefore
+// packed in interleaved k-PAIRS: B is zero-extended u8 -> i16 with the
+// two k codes of each column adjacent, and A stores each row's k-pair as
+// one i32 (low half = code at even k, high half = odd k), so the kernel
+// broadcasts it straight into the pmaddwd multiplier. A 6x8 i32
+// accumulator tile (12 of 16 xmm registers) leaves room for the two B
+// vectors and the broadcast.
+constexpr std::size_t MR = 6;
+constexpr std::size_t NR = 8;
+constexpr std::size_t MC = 120;   // multiple of MR
+constexpr std::size_t NC = 2048;  // multiple of NR
+
+// Below this MAC count the packing overhead outweighs the cache wins;
+// a direct loop with the same arithmetic is faster.
+constexpr std::size_t kSmallMacs = 32 * 32 * 32;
+
+std::size_t k_pairs(std::size_t k) { return (k + 1) / 2; }
+
+/// Packs rows [i0, i0+mc) of A (row-major s8 [m x lda], full k extent)
+/// into MR-row panels of i32 k-pair codes:
+/// ap[(r * kp + p) * MR + i] = pair(A(i0+r*MR+i, 2p), A(.., 2p+1)),
+/// zero-padded past the row edge and past odd k so the microkernel never
+/// branches (a zero A code contributes 0 * B = 0).
+void pack_a_pairs(const std::int8_t* a, std::size_t lda, std::size_t i0,
+                  std::size_t mc, std::size_t k, std::int32_t* ap) {
+  const std::size_t kp = k_pairs(k);
+  for (std::size_t r = 0; r * MR < mc; ++r) {
+    const std::size_t rows = std::min(MR, mc - r * MR);
+    for (std::size_t p = 0; p < kp; ++p) {
+      std::int32_t* dst = ap + (r * kp + p) * MR;
+      std::size_t i = 0;
+      for (; i < rows; ++i) {
+        const std::int8_t* src = a + (i0 + r * MR + i) * lda;
+        const std::int32_t a0 = src[2 * p];
+        const std::int32_t a1 =
+            2 * p + 1 < k ? static_cast<std::int32_t>(src[2 * p + 1]) : 0;
+        dst[i] = static_cast<std::int32_t>(
+                     static_cast<std::uint16_t>(static_cast<std::int16_t>(a0))) |
+                 (a1 << 16);
+      }
+      for (; i < MR; ++i) dst[i] = 0;
+    }
+  }
+}
+
+/// Packs cols [j0, j0+nc) of the B view into NR-column i16 panels with the
+/// k pairs of each column interleaved:
+/// bp[(q * kp + p) * 2 * NR + 2 * j + t] = B(2p + t, j0 + q*NR + j),
+/// zero-padded past the column edge and past odd k. Padded columns only
+/// feed accumulator lanes the store pass never reads.
+void pack_b_pairs(const u8_view& b, std::size_t j0, std::size_t nc,
+                  std::size_t k, std::int16_t* bp) {
+  const std::size_t kp = k_pairs(k);
+  for (std::size_t q = 0; q * NR < nc; ++q) {
+    const std::size_t cols = std::min(NR, nc - q * NR);
+    for (std::size_t p = 0; p < kp; ++p) {
+      std::int16_t* dst = bp + (q * kp + p) * 2 * NR;
+      const std::uint8_t* row0 = b.p + (2 * p) * b.row_stride;
+      const std::uint8_t* row1 = row0 + b.row_stride;
+      const bool has_odd = 2 * p + 1 < k;
+      std::size_t j = 0;
+      for (; j < cols; ++j) {
+        const std::size_t col = (j0 + q * NR + j) * b.col_stride;
+        dst[2 * j] = static_cast<std::int16_t>(row0[col]);
+        dst[2 * j + 1] =
+            has_odd ? static_cast<std::int16_t>(row1[col]) : std::int16_t{0};
+      }
+      for (; j < NR; ++j) {
+        dst[2 * j] = 0;
+        dst[2 * j + 1] = 0;
+      }
+    }
+  }
+}
+
+/// acc_i32[MR][NR] = Apanel * Bpanel over all kp k-pairs. Products are at
+/// most 127 * 255, so an i16 x i16 multiply is exact and the pairwise i32
+/// add cannot overflow; i32 accumulation is exact for every k the model
+/// zoo produces (overflow needs k > 2^31 / 32385).
+#if defined(__SSE2__)
+void micro_kernel_q(std::size_t kp, const std::int32_t* ap,
+                    const std::int16_t* bp, std::int32_t* acc) {
+  __m128i acc0[MR];
+  __m128i acc1[MR];
+  for (std::size_t i = 0; i < MR; ++i) {
+    acc0[i] = _mm_setzero_si128();
+    acc1[i] = _mm_setzero_si128();
+  }
+  for (std::size_t p = 0; p < kp; ++p, ap += MR, bp += 2 * NR) {
+    const __m128i vb0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp));
+    const __m128i vb1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + NR));
+    for (std::size_t i = 0; i < MR; ++i) {
+      const __m128i va = _mm_set1_epi32(ap[i]);
+      acc0[i] = _mm_add_epi32(acc0[i], _mm_madd_epi16(va, vb0));
+      acc1[i] = _mm_add_epi32(acc1[i], _mm_madd_epi16(va, vb1));
+    }
+  }
+  for (std::size_t i = 0; i < MR; ++i) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i * NR), acc0[i]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i * NR + 4), acc1[i]);
+  }
+}
+#else
+void micro_kernel_q(std::size_t kp, const std::int32_t* ap,
+                    const std::int16_t* bp, std::int32_t* acc) {
+  for (std::size_t i = 0; i < MR * NR; ++i) acc[i] = 0;
+  for (std::size_t p = 0; p < kp; ++p, ap += MR, bp += 2 * NR) {
+    for (std::size_t i = 0; i < MR; ++i) {
+      const std::int32_t pair = ap[i];
+      const std::int32_t a0 =
+          static_cast<std::int16_t>(pair & 0xFFFF);
+      const std::int32_t a1 = pair >> 16;
+      std::int32_t* row = acc + i * NR;
+#pragma omp simd
+      for (std::size_t j = 0; j < NR; ++j) {
+        row[j] += a0 * bp[2 * j] + a1 * bp[2 * j + 1];
+      }
+    }
+  }
+}
+#endif
+
+/// Requantize-on-store: one pass applies offset, scale, bias, and the
+/// fused activation clamp, then writes C through the strided layout.
+void store_tile_q(float* c, std::size_t c_row_stride, std::size_t c_col_stride,
+                  const std::int32_t* acc, std::size_t i_global,
+                  std::size_t mr, std::size_t nr, const qgemm_epilogue& epi) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    const std::size_t row = i_global + i;
+    const std::int32_t off =
+        epi.row_offset != nullptr ? epi.row_offset[row] : 0;
+    const float scale = epi.scale[row];
+    const float bias = epi.bias != nullptr ? epi.bias[row] : 0.0F;
+    const std::int32_t* arow = acc + i * NR;
+    float* crow = c + row * c_row_stride;
+    for (std::size_t j = 0; j < nr; ++j) {
+      float v = scale * static_cast<float>(arow[j] + off) + bias;
+      v = std::min(std::max(v, epi.act_lo), epi.act_hi);
+      crow[j * c_col_stride] = v;
+    }
+  }
+}
+
+/// One MC-row block: pack this thread's A panels, sweep the shared packed
+/// B panels. Each block owns a disjoint row range of C; integer
+/// accumulation is exact, so any thread assignment computes identical
+/// bits.
+void run_m_block_q(const std::int8_t* a, std::size_t lda, std::size_t i0,
+                   std::size_t mc, std::size_t k, std::size_t j0,
+                   std::size_t nc, const std::int16_t* bp,
+                   const qgemm_epilogue& epi, float* c,
+                   std::size_t c_row_stride, std::size_t c_col_stride) {
+  const std::size_t kp = k_pairs(k);
+  thread_local std::vector<std::int32_t> apack;
+  apack.resize(((mc + MR - 1) / MR) * kp * MR);
+  pack_a_pairs(a, lda, i0, mc, k, apack.data());
+
+  alignas(64) std::int32_t acc[MR * NR];
+  for (std::size_t jr = 0; jr < nc; jr += NR) {
+    const std::size_t nr = std::min(NR, nc - jr);
+    const std::int16_t* bpanel = bp + (jr / NR) * kp * 2 * NR;
+    for (std::size_t ir = 0; ir < mc; ir += MR) {
+      const std::size_t mr = std::min(MR, mc - ir);
+      micro_kernel_q(kp, apack.data() + (ir / MR) * kp * MR, bpanel, acc);
+      store_tile_q(c + (j0 + jr) * c_col_stride, c_row_stride, c_col_stride,
+                   acc, i0 + ir, mr, nr, epi);
+    }
+  }
+}
+
+/// Direct loop for shapes too small to amortize packing — identical
+/// integer arithmetic, same epilogue.
+void qgemm_small(std::size_t m, std::size_t n, std::size_t k,
+                 const std::int8_t* a, const u8_view& b,
+                 const qgemm_epilogue& epi, float* c,
+                 std::size_t c_row_stride, std::size_t c_col_stride) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    const std::int32_t off =
+        epi.row_offset != nullptr ? epi.row_offset[i] : 0;
+    const float scale = epi.scale[i];
+    const float bias = epi.bias != nullptr ? epi.bias[i] : 0.0F;
+    float* crow = c + i * c_row_stride;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint8_t* bcol = b.p + j * b.col_stride;
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(arow[kk]) *
+               static_cast<std::int32_t>(bcol[kk * b.row_stride]);
+      }
+      float v = scale * static_cast<float>(acc + off) + bias;
+      v = std::min(std::max(v, epi.act_lo), epi.act_hi);
+      crow[j * c_col_stride] = v;
+    }
+  }
+}
+
+/// The shared pool runs one job at a time; concurrent quantized GEMMs
+/// (several serve::engine workers) fall back to single-threaded execution
+/// instead of queueing — same policy as the float kernel.
+std::mutex qgemm_pool_mutex;
+
+}  // namespace
+
+void qgemm_s8u8(std::size_t m, std::size_t n, std::size_t k,
+                const std::int8_t* a, const u8_view& b,
+                const qgemm_epilogue& epi, float* c, std::size_t c_row_stride,
+                std::size_t c_col_stride) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::int32_t off =
+          epi.row_offset != nullptr ? epi.row_offset[i] : 0;
+      const float bias = epi.bias != nullptr ? epi.bias[i] : 0.0F;
+      float v = epi.scale[i] * static_cast<float>(off) + bias;
+      v = std::min(std::max(v, epi.act_lo), epi.act_hi);
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * c_row_stride + j * c_col_stride] = v;
+      }
+    }
+    return;
+  }
+  if (m * n * k <= kSmallMacs) {
+    qgemm_small(m, n, k, a, b, epi, c, c_row_stride, c_col_stride);
+    return;
+  }
+
+  const std::size_t kp = k_pairs(k);
+  thread_local std::vector<std::int16_t> bpack;
+  const std::size_t threads = gemm_threads();
+  for (std::size_t jc = 0; jc < n; jc += NC) {
+    const std::size_t nc = std::min(NC, n - jc);
+    bpack.resize(((nc + NR - 1) / NR) * kp * 2 * NR);
+    pack_b_pairs(b, jc, nc, k, bpack.data());
+
+    const std::size_t blocks = (m + MC - 1) / MC;
+    // Name the caller's packed-B pointer in a local so pool workers see
+    // THIS thread's buffer, not their own thread_local.
+    const std::int16_t* packed_b = bpack.data();
+    const auto run_block = [&](std::size_t blk) {
+      const std::size_t i0 = blk * MC;
+      run_m_block_q(a, k, i0, std::min(MC, m - i0), k, jc, nc, packed_b, epi,
+                    c, c_row_stride, c_col_stride);
+    };
+    if (threads > 1 && blocks > 1) {
+      std::unique_lock<std::mutex> pool_lock(qgemm_pool_mutex,
+                                             std::try_to_lock);
+      if (pool_lock.owns_lock()) {
+        util::thread_pool::shared().parallel_for(blocks, run_block);
+        continue;
+      }
+    }
+    for (std::size_t blk = 0; blk < blocks; ++blk) run_block(blk);
+  }
+}
+
+void quantize_u8(const float* src, std::size_t n, float scale,
+                 std::int32_t zero_point, std::uint8_t* dst) {
+  const float inv = 1.0F / scale;
+  // Round half away from zero — the same tie behaviour as
+  // nn::fake_quantize_value's lround, so real and fake paths agree on
+  // every code. Vectorized as trunc(x + copysign(0.5, x)): identical
+  // operations to the scalar tail (multiply, +-0.5, truncate), so both
+  // paths produce the same code for every input. The two saturating
+  // packs (i32 -> i16 -> u8) implement the [0, 255] clamp.
+  const __m128 vinv = _mm_set1_ps(inv);
+  const __m128 vhalf = _mm_set1_ps(0.5F);
+  const __m128 vsign = _mm_set1_ps(-0.0F);
+  const __m128i vzp = _mm_set1_epi32(zero_point);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i q[4];
+    for (int v = 0; v < 4; ++v) {
+      const __m128 x = _mm_mul_ps(_mm_loadu_ps(src + i + 4 * v), vinv);
+      const __m128 half = _mm_or_ps(vhalf, _mm_and_ps(x, vsign));
+      q[v] = _mm_add_epi32(_mm_cvttps_epi32(_mm_add_ps(x, half)), vzp);
+    }
+    const __m128i lo = _mm_packs_epi32(q[0], q[1]);
+    const __m128i hi = _mm_packs_epi32(q[2], q[3]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_packus_epi16(lo, hi));
+  }
+  for (; i < n; ++i) {
+    const float scaled = src[i] * inv;
+    const float rounded =
+        scaled >= 0.0F ? scaled + 0.5F : scaled - 0.5F;
+    std::int32_t q = static_cast<std::int32_t>(rounded) + zero_point;
+    q = std::min(std::max(q, 0), 255);
+    dst[i] = static_cast<std::uint8_t>(q);
+  }
+}
+
+void s8_row_sums(const std::int8_t* a, std::size_t m, std::size_t k,
+                 std::int32_t* sums) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* row = a + i * k;
+    std::int32_t acc = 0;
+    for (std::size_t kk = 0; kk < k; ++kk) acc += row[kk];
+    sums[i] = acc;
+  }
+}
+
+}  // namespace appeal::ops

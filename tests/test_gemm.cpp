@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_s8.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -223,6 +224,203 @@ TEST(gemm, matmul_validates_shapes) {
   const tensor b(shape{4, 2});
   EXPECT_THROW(ops::matmul(a, b), appeal::util::error);
   EXPECT_THROW(ops::matmul(a, tensor(shape{3})), appeal::util::error);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized int8 GEMM (tensor/gemm_s8).
+
+/// Scalar reference for qgemm_s8u8: plain int32 accumulation plus the
+/// requantize epilogue, no packing, no blocking.
+void naive_qgemm(std::size_t m, std::size_t n, std::size_t k,
+                 const std::int8_t* a, const ops::u8_view& b,
+                 const ops::qgemm_epilogue& epi, float* c,
+                 std::size_t c_row_stride, std::size_t c_col_stride) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(a[i * k + kk]) *
+               static_cast<std::int32_t>(
+                   b.p[kk * b.row_stride + j * b.col_stride]);
+      }
+      const std::int32_t off =
+          epi.row_offset != nullptr ? epi.row_offset[i] : 0;
+      const float bias = epi.bias != nullptr ? epi.bias[i] : 0.0F;
+      float v = epi.scale[i] * static_cast<float>(acc + off) + bias;
+      v = std::min(std::max(v, epi.act_lo), epi.act_hi);
+      c[i * c_row_stride + j * c_col_stride] = v;
+    }
+  }
+}
+
+std::vector<std::int8_t> random_s8(std::size_t count, appeal::util::rng& gen) {
+  std::vector<std::int8_t> out(count);
+  for (auto& v : out) v = static_cast<std::int8_t>(gen.uniform_int(-127, 127));
+  return out;
+}
+
+std::vector<std::uint8_t> random_u8(std::size_t count, appeal::util::rng& gen) {
+  std::vector<std::uint8_t> out(count);
+  for (auto& v : out) v = static_cast<std::uint8_t>(gen.uniform_int(0, 255));
+  return out;
+}
+
+// Randomized shapes crossing the small-kernel/packed-kernel dispatch and
+// the MR/NR/MC block edges, with the full epilogue (scale + bias +
+// row_offset + clamp), against the scalar reference. Integer arithmetic is
+// exact, so the comparison is equality on every element.
+TEST(qgemm, randomized_shapes_match_naive) {
+  appeal::util::rng gen(1812);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto m = static_cast<std::size_t>(gen.uniform_int(1, 200));
+    const auto n = static_cast<std::size_t>(gen.uniform_int(1, 80));
+    const auto k = static_cast<std::size_t>(gen.uniform_int(1, 120));
+
+    const auto a = random_s8(m * k, gen);
+    const auto bbuf = random_u8(k * n, gen);
+    const ops::u8_view b{bbuf.data(), n, 1};
+
+    std::vector<float> scale(m);
+    std::vector<float> bias(m);
+    std::vector<std::int32_t> off(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      scale[i] = gen.uniform(1e-4F, 1e-2F);
+      bias[i] = gen.uniform(-1.0F, 1.0F);
+      off[i] = gen.uniform_int(-5000, 5000);
+    }
+    ops::qgemm_epilogue epi;
+    epi.scale = scale.data();
+    epi.bias = bias.data();
+    epi.row_offset = off.data();
+    if (gen.bernoulli(0.5)) {
+      epi.act_lo = 0.0F;  // fused ReLU
+      if (gen.bernoulli(0.5)) epi.act_hi = 6.0F;
+    }
+
+    std::vector<float> c(m * n, -42.0F);
+    std::vector<float> c_ref(m * n, -42.0F);
+    ops::qgemm_s8u8(m, n, k, a.data(), b, epi, c.data(), n, 1);
+    naive_qgemm(m, n, k, a.data(), b, epi, c_ref.data(), n, 1);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c[i], c_ref[i])
+          << "qgemm " << m << "x" << n << "x" << k << " element " << i;
+    }
+  }
+}
+
+// The qlinear layout: B is a transposed view of a row-major [n x k]
+// activation block, C stores transposed [n x m]. Both strides exercised
+// together, against the reference on the same views.
+TEST(qgemm, transposed_view_and_strided_store_match_naive) {
+  appeal::util::rng gen(426);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto m = static_cast<std::size_t>(gen.uniform_int(1, 96));
+    const auto n = static_cast<std::size_t>(gen.uniform_int(1, 48));
+    const auto k = static_cast<std::size_t>(gen.uniform_int(1, 100));
+
+    const auto a = random_s8(m * k, gen);
+    // x stored row-major [n x k]; the view reads it as B[k x n].
+    const auto x = random_u8(n * k, gen);
+    const ops::u8_view b{x.data(), 1, k};
+
+    std::vector<float> scale(m, 3e-3F);
+    ops::qgemm_epilogue epi;
+    epi.scale = scale.data();
+
+    // C stored transposed: y[n x m], element (i, j) at y[j * m + i].
+    std::vector<float> y(m * n, 0.0F);
+    std::vector<float> y_ref(m * n, 0.0F);
+    ops::qgemm_s8u8(m, n, k, a.data(), b, epi, y.data(), 1, m);
+    naive_qgemm(m, n, k, a.data(), b, epi, y_ref.data(), 1, m);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_EQ(y[i], y_ref[i]) << "qgemm^T " << m << "x" << n << "x" << k;
+    }
+  }
+}
+
+TEST(qgemm, results_bit_stable_across_thread_counts) {
+  const std::size_t m = 512, n = 64, k = 144;
+  appeal::util::rng gen(77);
+  const auto a = random_s8(m * k, gen);
+  const auto bbuf = random_u8(k * n, gen);
+  const ops::u8_view b{bbuf.data(), n, 1};
+  std::vector<float> scale(m, 1e-3F);
+  std::vector<std::int32_t> off(m);
+  for (std::size_t i = 0; i < m; ++i) off[i] = gen.uniform_int(-9000, 9000);
+  ops::qgemm_epilogue epi;
+  epi.scale = scale.data();
+  epi.row_offset = off.data();
+
+  const std::size_t original = ops::gemm_threads();
+  std::vector<std::vector<float>> results;
+  for (const std::size_t threads : {1, 2, 4}) {
+    ops::set_gemm_threads(threads);
+    std::vector<float> c(m * n, -1.0F);
+    ops::qgemm_s8u8(m, n, k, a.data(), b, epi, c.data(), n, 1);
+    results.push_back(std::move(c));
+  }
+  ops::set_gemm_threads(original);
+
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    for (std::size_t i = 0; i < results[0].size(); ++i) {
+      ASSERT_EQ(results[0][i], results[r][i])
+          << "qgemm thread run " << r << " diverged at element " << i;
+    }
+  }
+}
+
+TEST(qgemm, k_zero_writes_epilogue_constant) {
+  std::vector<float> scale{2.0F};
+  std::vector<float> bias{1.0F};
+  std::vector<std::int32_t> off{3};
+  ops::qgemm_epilogue epi;
+  epi.scale = scale.data();
+  epi.bias = bias.data();
+  epi.row_offset = off.data();
+  std::vector<float> c(4, -9.0F);
+  const ops::u8_view b{nullptr, 0, 0};
+  ops::qgemm_s8u8(1, 4, 0, nullptr, b, epi, c.data(), 4, 1);
+  for (const float v : c) EXPECT_EQ(v, 2.0F * 3.0F + 1.0F);
+}
+
+// quantize_u8 round trip: codes match the scalar rounding contract
+// (half away from zero, same as nn::fake_quantize_value), saturate at the
+// grid edges, and survive zero_point extremes.
+TEST(qgemm, quantize_u8_matches_lround_contract) {
+  appeal::util::rng gen(55);
+  const float scale = 0.037F;
+  for (const std::int32_t zp : {0, 1, 128, 254, 255}) {
+    std::vector<float> src(257);
+    for (auto& v : src) v = gen.uniform(-12.0F, 12.0F);
+    // Include exact ties and the saturation extremes.
+    src[0] = 0.5F * scale;
+    src[1] = -0.5F * scale;
+    src[2] = 1e6F;
+    src[3] = -1e6F;
+    src[4] = 0.0F;
+    std::vector<std::uint8_t> dst(src.size());
+    ops::quantize_u8(src.data(), src.size(), scale, zp, dst.data());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const auto q = static_cast<std::int32_t>(
+          std::lround(static_cast<double>(src[i] / scale)) + zp);
+      const std::int32_t expected = std::min(std::max(q, 0), 255);
+      ASSERT_EQ(static_cast<std::int32_t>(dst[i]), expected)
+          << "zp=" << zp << " x=" << src[i];
+    }
+  }
+}
+
+TEST(qgemm, s8_row_sums_matches_manual) {
+  appeal::util::rng gen(12);
+  const std::size_t m = 7, k = 33;
+  const auto a = random_s8(m * k, gen);
+  std::vector<std::int32_t> sums(m, 99);
+  ops::s8_row_sums(a.data(), m, k, sums.data());
+  for (std::size_t i = 0; i < m; ++i) {
+    std::int32_t expect = 0;
+    for (std::size_t kk = 0; kk < k; ++kk) expect += a[i * k + kk];
+    EXPECT_EQ(sums[i], expect);
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "core/two_head_network.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/activations.hpp"
 #include "nn/fold.hpp"
 #include "nn/inference_workspace.hpp"
 #include "nn/init.hpp"
@@ -137,6 +138,45 @@ TEST(fold, conv_batchnorm_folding_preserves_inference_outputs) {
   const tensor after = net.forward(x, /*training=*/false);
   EXPECT_EQ(before.dims(), after.dims());
   EXPECT_LE(ops::max_abs_diff(before, after), 2e-5F);
+}
+
+/// Activation fusion is a pure store-pass rewrite: the clamp moves into
+/// the conv's GEMM/stencil epilogue, so outputs are BIT-identical to the
+/// separate activation layer, across the dense (n==1 and batched+scatter),
+/// grouped, and depthwise inference paths.
+TEST(fold, conv_activation_fusion_is_bit_exact) {
+  nn::sequential net;
+  net.emplace<nn::conv2d>(3, 16, 3, 1, 1, 1, /*bias=*/false);
+  net.emplace<nn::batchnorm2d>(16);
+  net.emplace<nn::relu6>();
+  net.emplace<nn::conv2d>(16, 16, 3, 2, 1, /*groups=*/16, /*bias=*/true);
+  net.emplace<nn::relu>();
+  net.emplace<nn::conv2d>(16, 16, 3, 1, 1, /*groups=*/4, /*bias=*/true);
+  net.emplace<nn::relu6>();
+  net.emplace<nn::conv2d>(16, 8, 1, 1, 0, 1, /*bias=*/true);
+  net.emplace<nn::relu>();
+  appeal::util::rng gen(52);
+  nn::initialize_model(net, gen);
+  for (int step = 0; step < 3; ++step) {
+    tensor x = random_input(shape{6, 3, 8, 8}, 53 + step);
+    net.forward(x, /*training=*/true);
+  }
+
+  // Fold batchnorm first so its (tolerance-bearing) rewrite is not part
+  // of the comparison; fusion itself must be exact.
+  EXPECT_EQ(nn::fold_conv_batchnorm(net), 1U);
+  const tensor x1 = random_input(shape{1, 3, 8, 8}, 57);
+  const tensor xn = random_input(shape{4, 3, 8, 8}, 58);
+  const tensor before1 = net.forward(x1, /*training=*/false);
+  const tensor beforen = net.forward(xn, /*training=*/false);
+
+  EXPECT_EQ(nn::fuse_conv_activation(net), 4U);
+  EXPECT_EQ(net.size(), 4U);  // only the convs remain
+
+  const tensor after1 = net.forward(x1, /*training=*/false);
+  const tensor aftern = net.forward(xn, /*training=*/false);
+  EXPECT_EQ(ops::max_abs_diff(before1, after1), 0.0F);
+  EXPECT_EQ(ops::max_abs_diff(beforen, aftern), 0.0F);
 }
 
 TEST(fold, two_head_prepare_for_inference_is_idempotent) {

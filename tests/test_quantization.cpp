@@ -36,6 +36,26 @@ TEST(quantization, symmetric_grid_represents_zero_exactly) {
   EXPECT_EQ(nn::fake_quantize_value(0.0F, p), 0.0F);
 }
 
+TEST(quantization, symmetric_grid_is_signed_zero_point_zero) {
+  // The s8 GEMM packing contract: symmetric weight grids are signed
+  // −(2^(b−1)−1)…2^(b−1)−1 with zero_point 0, so quantized codes store
+  // into std::int8_t verbatim and negation never saturates.
+  const std::vector<float> values{-1.0F, 0.25F, 0.75F};
+  const nn::quant_params p = nn::choose_quant_params(values, 8, true);
+  EXPECT_TRUE(p.symmetric);
+  EXPECT_EQ(p.zero_point, 0);
+  EXPECT_EQ(p.q_min(), -127);
+  EXPECT_EQ(p.q_max(), 127);
+  // The grid extreme reproduces the data extreme exactly: q_max * scale.
+  EXPECT_NEAR(nn::fake_quantize_value(1.0F, p), 1.0F, 1e-6F);
+  EXPECT_NEAR(nn::fake_quantize_value(-1.0F, p), -1.0F, 1e-6F);
+
+  const nn::quant_params a = nn::choose_quant_params(values, 8, false);
+  EXPECT_FALSE(a.symmetric);
+  EXPECT_EQ(a.q_min(), 0);
+  EXPECT_EQ(a.q_max(), 255);
+}
+
 TEST(quantization, fake_quantize_is_idempotent) {
   util::rng gen(3);
   tensor values = tensor::randn(shape{256}, gen);
