@@ -44,14 +44,23 @@
 //     sim run bit for bit (the loopback CI gate asserts this).
 //
 // Run:  ./bench_serving [--requests=20000] [--target_sr=0.9] [--seed=42]
-//       [--clients=64] [--shards=2] [--workers=2] [--batch=16]
+//       [--clients=64] [--pace_us=0] [--shards=2] [--workers=2] [--batch=16]
 //       [--max_wait_us=200] [--time_scale=0.2] [--edge_sim=1]
 //       [--backend=replay|network] [--edge_precision=fp32|int8|auto]
 //       [--cloud=replay|network]
 //       [--weights=<path>] [--admission=block|shed|edge_only]
 //       [--transport=sim|uds|tcp] [--endpoint=<path|host:port>]
 //       [--coalesce_ms=0] [--max_batch_appeals=64]
+//       [--max_retries=2] [--retry_backoff_ms=25]
+//       [--breaker_threshold=4] [--breaker_open_ms=1000]
+//       [--response_timeout_ms=30000]
+//       [--fault=drop=0.05,delay_ms=1,dup=0.02,kill_at=0,seed=7]
 //       [--json=results/serving.json]
+//
+// Robustness: the retry/breaker flags tune the channel's overload
+// handling (see serve/cloud_channel.hpp); --fault wraps the transport in
+// a deterministic fault injector (serve/transport/fault_transport.hpp)
+// for chaos runs — the chaos-uds CI job drives this.
 //
 // Observability: --trace_sample=0.01 samples every 100th request into a
 // trace span stamped at each stage boundary; --trace=<path> writes the
@@ -267,10 +276,15 @@ constexpr const char* kModel = "bench";
 /// Closed-loop drive over workload indices [begin, end): `clients`
 /// threads, each submits one request and blocks on its completion before
 /// taking the next index (shed responses resolve immediately, so load
-/// shedding speeds the loop up instead of wedging it).
+/// shedding speeds the loop up instead of wedging it). A nonzero `pace`
+/// inserts that gap between a client's completions and its next submit,
+/// bounding the loop's rate — chaos runs use it so the run's wall-clock
+/// length stays fixed even while the breaker answers everything locally
+/// at fallback speed.
 void drive_closed_loop(serve::server& srv, const workload& w,
                        const std::vector<tensor>* images, std::size_t clients,
-                       std::size_t begin, std::size_t end) {
+                       std::size_t begin, std::size_t end,
+                       std::chrono::microseconds pace) {
   std::atomic<std::size_t> next{begin};
   std::vector<std::thread> pool;
   pool.reserve(clients);
@@ -285,6 +299,7 @@ void drive_closed_loop(serve::server& srv, const workload& w,
         req.label = w.labels[i];
         if (images != nullptr) req.input = (*images)[i];
         srv.submit(std::move(req)).get();
+        if (pace.count() > 0) std::this_thread::sleep_for(pace);
       }
     });
   }
@@ -308,19 +323,20 @@ run_result run_mode(const workload& w, const std::vector<tensor>* images,
                     serve::edge_backend_factory edge_factory,
                     std::function<std::unique_ptr<serve::cloud_backend>()>
                         cloud_factory,
-                    std::size_t clients, std::size_t warmup) {
+                    std::size_t clients, std::size_t warmup,
+                    std::chrono::microseconds pace) {
   serve::server srv;
   serve::deployment& dep = srv.register_deployment(
       kModel, cfg, std::move(edge_factory), std::move(cloud_factory));
   util::stopwatch phases;
   if (warmup > 0) {
-    drive_closed_loop(srv, w, images, clients, 0, warmup);
+    drive_closed_loop(srv, w, images, clients, 0, warmup, pace);
     srv.drain();
     dep.reset_stats();
   }
   run_result r;
   if (warmup > 0) r.warmup_seconds = phases.lap_seconds();
-  drive_closed_loop(srv, w, images, clients, warmup, w.labels.size());
+  drive_closed_loop(srv, w, images, clients, warmup, w.labels.size(), pace);
   srv.drain();
   r.measured_seconds = phases.lap_seconds();
   r.stats = dep.snapshot();
@@ -368,7 +384,9 @@ void append_run_json(std::FILE* f, const char* mode, const run_result& r,
       " \"mean_appeals_per_batch\": %.4f, \"wire_bytes_tx\": %zu,"
       " \"wire_bytes_rx\": %zu, \"link_fallbacks\": %zu,"
       " \"submitted\": %zu, \"completed\": %zu, \"edge_kept\": %zu,"
-      " \"edge_degraded\": %zu, \"appealed\": %zu}%s\n",
+      " \"edge_degraded\": %zu, \"appealed\": %zu,"
+      " \"appeal_retries\": %zu, \"appeal_overloaded\": %zu,"
+      " \"breaker_opens\": %zu, \"breaker_state\": %u}%s\n",
       mode, r.stats.throughput_rps, r.stats.p50_ms, r.stats.p95_ms,
       r.stats.p99_ms, r.stats.achieved_sr, r.stats.online_accuracy,
       r.stats.shed_rate, r.stats.shed, r.stats.expired, r.stats.cloud_expired,
@@ -377,7 +395,9 @@ void append_run_json(std::FILE* f, const char* mode, const run_result& r,
       r.stats.appeals_on_wire, r.stats.mean_appeals_per_batch,
       r.stats.wire_bytes_tx, r.stats.wire_bytes_rx, r.stats.link_fallbacks,
       r.stats.submitted, r.stats.completed, r.stats.edge_kept,
-      r.stats.edge_degraded, r.stats.appealed, last ? "" : ",");
+      r.stats.edge_degraded, r.stats.appealed, r.stats.appeal_retries,
+      r.stats.appeal_overloaded, r.stats.breaker_opens,
+      static_cast<unsigned>(r.stats.breaker_state), last ? "" : ",");
 }
 
 }  // namespace
@@ -391,6 +411,7 @@ int main(int argc, char** argv) {
   const double target_sr = args.get_double_or("target_sr", 0.9);
   const std::uint64_t seed = bench::bench_seed(args);
   const auto clients = static_cast<std::size_t>(args.get_int_or("clients", 64));
+  const std::chrono::microseconds pace(args.get_int_or("pace_us", 0));
   const auto shards = static_cast<std::size_t>(args.get_int_or("shards", 2));
   const std::string json_path = args.get_string_or("json", "");
   const std::string backend = args.get_string_or("backend", "replay");
@@ -427,6 +448,17 @@ int main(int argc, char** argv) {
   cfg.shard.channel.coalesce_window_ms = args.get_double_or("coalesce_ms", 0.0);
   cfg.shard.channel.max_batch_appeals =
       static_cast<std::size_t>(args.get_int_or("max_batch_appeals", 64));
+  cfg.shard.channel.max_retries =
+      static_cast<std::size_t>(args.get_int_or("max_retries", 2));
+  cfg.shard.channel.retry_backoff_ms =
+      args.get_double_or("retry_backoff_ms", 25.0);
+  cfg.shard.channel.breaker_threshold =
+      static_cast<std::size_t>(args.get_int_or("breaker_threshold", 4));
+  cfg.shard.channel.breaker_open_ms =
+      args.get_double_or("breaker_open_ms", 1000.0);
+  cfg.shard.channel.response_timeout_ms =
+      args.get_double_or("response_timeout_ms", 30000.0);
+  cfg.shard.channel.fault = args.get_string_or("fault", "");
   // Network mode pays real edge compute, so the simulated edge sleep
   // defaults off there (replay keeps it: compute is otherwise free).
   cfg.shard.simulate_edge_compute =
@@ -572,7 +604,8 @@ int main(int argc, char** argv) {
   fixed_cfg.shard.threshold.adapt = serve::threshold_config::mode::fixed;
   fixed_cfg.shard.threshold.initial_delta = offline.delta;
   const run_result fixed = run_mode(w, images, fixed_cfg, edge_factory,
-                                    cloud_factory, clients, /*warmup=*/0);
+                                    cloud_factory, clients, /*warmup=*/0,
+                                    pace);
   report("fixed delta (offline calibration)", fixed, target_sr,
          offline.accuracy, cfg.shard.link);
 
@@ -587,7 +620,7 @@ int main(int argc, char** argv) {
   adaptive_cfg.shard.threshold.initial_delta = 0.99;
   const std::size_t warmup = std::min<std::size_t>(2048, requests / 5);
   const run_result adaptive = run_mode(w, images, adaptive_cfg, edge_factory,
-                                       cloud_factory, clients, warmup);
+                                       cloud_factory, clients, warmup, pace);
   report("adaptive delta (track_sr, cold start)", adaptive, target_sr,
          offline.accuracy, cfg.shard.link);
 

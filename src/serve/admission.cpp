@@ -44,6 +44,12 @@ admission_controller::admission_controller(const admission_config& cfg)
                "batch_headroom must be in (0, 1]");
   APPEAL_CHECK(cfg.degrade_headroom >= 1.0,
                "degrade_headroom must be >= 1");
+  APPEAL_CHECK(cfg.pressure_batch_scale > 0.0 &&
+                   cfg.pressure_batch_scale <= 1.0,
+               "pressure_batch_scale must be in (0, 1]");
+  APPEAL_CHECK(cfg.pressure_degrade_fraction > 0.0 &&
+                   cfg.pressure_degrade_fraction <= 1.0,
+               "pressure_degrade_fraction must be in (0, 1]");
 }
 
 admission_verdict admission_controller::count(admission_verdict v) {
@@ -68,10 +74,21 @@ admission_verdict admission_controller::count(admission_verdict v) {
 
 admission_verdict admission_controller::try_admit(request_queue& queue,
                                                   request& r) {
-  const std::size_t class_limit =
+  const bool pressured = pressure_.load(std::memory_order_relaxed);
+  std::size_t class_limit =
       r.priority == priority_class::batch
-          ? scaled_limit(queue.capacity(), config_.batch_headroom)
+          ? scaled_limit(queue.capacity(),
+                         config_.batch_headroom *
+                             (pressured ? config_.pressure_batch_scale : 1.0))
           : queue.capacity();
+  if (pressured && config_.policy == admission_policy::edge_only &&
+      r.priority != priority_class::batch) {
+    // Under cloud pressure interactive traffic degrades to the edge
+    // early: filling the queue with appeals bound for an overloaded
+    // uplink only converts backlog into retries.
+    class_limit =
+        scaled_limit(queue.capacity(), config_.pressure_degrade_fraction);
+  }
 
   if (config_.policy == admission_policy::block) {
     // Backpressure for every class: the queue's own wait is the policy

@@ -20,6 +20,14 @@
 // traffic in every policy (under `block` they wait at that limit, under
 // `shed`/`edge_only` they shed there — the degrade overflow band is
 // interactive-only).
+//
+// The controller also reacts to cloud-link pressure: when the engine
+// reports the channel's circuit breaker open or an overload streak in
+// progress (set_cloud_pressure), batch admission tightens by
+// `pressure_batch_scale` and — under `edge_only` — interactive requests
+// degrade to the edge at `pressure_degrade_fraction` × capacity instead
+// of waiting for the queue to fill, since appeals would only feed the
+// overload.
 #pragma once
 
 #include <atomic>
@@ -40,6 +48,13 @@ struct admission_config {
   double batch_headroom = 0.75;
   /// `edge_only` overflow bound as a multiple of queue capacity.
   double degrade_headroom = 2.0;
+  /// Under cloud pressure, batch_headroom is multiplied by this (batch
+  /// traffic is the first to give way when the uplink is sick).
+  double pressure_batch_scale = 0.5;
+  /// Under cloud pressure with `edge_only`, interactive requests degrade
+  /// to the edge once the queue passes this fraction of capacity
+  /// (instead of only when full).
+  double pressure_degrade_fraction = 0.5;
 };
 
 /// What happened to a request at the admission boundary.
@@ -61,6 +76,15 @@ class admission_controller {
 
   const admission_config& config() const { return config_; }
 
+  /// Cloud-link pressure signal (engine::submit polls the channel's
+  /// breaker/overload state and mirrors it here). Lock-free.
+  void set_cloud_pressure(bool pressured) {
+    pressure_.store(pressured, std::memory_order_relaxed);
+  }
+  bool cloud_pressure() const {
+    return pressure_.load(std::memory_order_relaxed);
+  }
+
   std::size_t admitted() const {
     return admitted_.load(std::memory_order_relaxed);
   }
@@ -73,6 +97,7 @@ class admission_controller {
   admission_verdict count(admission_verdict v);
 
   admission_config config_;
+  std::atomic<bool> pressure_{false};
   std::atomic<std::size_t> admitted_{0};
   std::atomic<std::size_t> degraded_{0};
   std::atomic<std::size_t> shed_{0};

@@ -134,6 +134,12 @@ std::future<response> engine::submit(inference_request&& req) {
   if (req.deadline.count() != 0) r.deadline = r.enqueue_time + req.deadline;
   r.trace = sampler_.sample(r.key, r.enqueue_time);
   std::future<response> future = r.promise.get_future();
+  // Mirror the cloud link's health into admission: with the breaker open
+  // or an overload streak in progress, batch headroom tightens and
+  // edge_only degrades early instead of queueing appeals for a sick
+  // uplink. Polled here (one relaxed load) rather than pushed so the
+  // signal is fresh at every admission decision.
+  admission_.set_cloud_pressure(channel_->under_pressure());
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   switch (admission_.try_admit(queue_, r)) {
     case admission_verdict::admitted:
@@ -318,6 +324,11 @@ void engine::worker_loop(edge_backend& edge) {
               resp.queue_ms = queue_ms;
               resp.link_ms = outcome.link_ms;
               resp.cloud_ms = outcome.cloud_ms;
+              // Feed the measured offload round trip back into the
+              // latency-SLO controller (no-op in the other modes): a
+              // cloud_ms spike backs δ off toward edge-only and it
+              // recovers when the link normalizes.
+              controller_->observe_cloud_ms(outcome.link_ms);
               if (outcome.expired) {
                 // The cloud shed the appeal (deadline blown in its work
                 // queue): the client gets an honest `expired`, not a

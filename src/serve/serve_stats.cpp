@@ -217,6 +217,17 @@ std::string serve_stats::render(const stats_snapshot& s) {
         s.wire_bytes_tx, s.wire_bytes_rx, s.mean_cloud_ms, s.link_fallbacks);
     out += buf;
   }
+  if (s.appeal_overloaded > 0 || s.appeal_retries > 0 || s.breaker_opens > 0) {
+    static const char* kBreakerNames[] = {"closed", "open", "half-open"};
+    const char* state =
+        s.breaker_state < 3 ? kBreakerNames[s.breaker_state] : "?";
+    std::snprintf(buf, sizeof(buf),
+                  "link robustness  : %zu overloaded answers, %zu retries, "
+                  "%zu breaker opens (breaker %s)\n",
+                  s.appeal_overloaded, s.appeal_retries, s.breaker_opens,
+                  state);
+    out += buf;
+  }
   return out;
 }
 

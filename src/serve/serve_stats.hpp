@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 
@@ -76,6 +77,10 @@ struct stats_snapshot {
   std::size_t wire_bytes_tx = 0;        // appeal frames (or sim-equivalent)
   std::size_t wire_bytes_rx = 0;        // response frames
   std::size_t link_fallbacks = 0;       // appeals answered locally (link down)
+  std::size_t appeal_retries = 0;       // overloaded appeals re-sent
+  std::size_t appeal_overloaded = 0;    // overloaded answers received
+  std::size_t breaker_opens = 0;        // circuit-breaker trips
+  std::uint8_t breaker_state = 0;       // 0 closed / 1 open / 2 half-open
 
   /// Everything that entered submit() and has completed by now (any
   /// status): completed + shed + expired + cloud_expired — shed_rate's

@@ -32,12 +32,34 @@ threshold_controller::threshold_controller(const threshold_config& cfg,
                "ema_alpha outside (0, 1]");
   if (cfg.adapt == threshold_config::mode::latency_slo) {
     APPEAL_CHECK(link != nullptr, "latency_slo mode requires a cost model");
-    target_sr_ = target_sr_for_latency_slo(*link, cfg.latency_slo_ms);
+    target_sr_.store(target_sr_for_latency_slo(*link, cfg.latency_slo_ms),
+                     std::memory_order_relaxed);
+    // Seed the moving offload estimate with the model's prediction;
+    // observe_cloud_ms replaces it with measurements as appeals complete.
+    slo_edge_ms_ = link->overall_latency_ms(1.0);
+    offload_ema_ms_ = link->overall_latency_ms(0.0) - slo_edge_ms_;
   }
-  APPEAL_CHECK(target_sr_ >= 0.0 && target_sr_ <= 1.0,
+  const double target = target_sr_.load(std::memory_order_relaxed);
+  APPEAL_CHECK(target >= 0.0 && target <= 1.0,
                "target skipping rate outside [0, 1]");
-  observed_sr_.store(target_sr_, std::memory_order_relaxed);
+  observed_sr_.store(target, std::memory_order_relaxed);
   window_.resize(config_.window, 0.0);
+}
+
+void threshold_controller::observe_cloud_ms(double offload_ms) {
+  if (config_.adapt != threshold_config::mode::latency_slo) return;
+  if (!(offload_ms > 0.0)) return;  // also drops NaN
+  std::lock_guard<std::mutex> lock(mutex_);
+  offload_ema_ms_ += config_.ema_alpha * (offload_ms - offload_ema_ms_);
+  if (offload_ema_ms_ <= 0.0) return;
+  const double sr =
+      1.0 - (config_.latency_slo_ms - slo_edge_ms_) / offload_ema_ms_;
+  target_sr_.store(std::clamp(sr, 0.0, 1.0), std::memory_order_relaxed);
+}
+
+double threshold_controller::offload_estimate_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return offload_ema_ms_;
 }
 
 void threshold_controller::observe(const std::vector<double>& scores,
@@ -71,7 +93,8 @@ void threshold_controller::observe(const std::vector<double>& scores,
   std::vector<double> sample(window_.begin(),
                              window_.begin() +
                                  static_cast<std::ptrdiff_t>(window_count_));
-  delta_.store(core::delta_for_skipping_rate(sample, target_sr_),
+  delta_.store(core::delta_for_skipping_rate(
+                   sample, target_sr_.load(std::memory_order_relaxed)),
                std::memory_order_relaxed);
   recalibrations_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -11,6 +11,11 @@
 //   - mode `latency_slo`: the target SR is derived from a latency SLO by
 //     inverting the cost model's linear latency-vs-SR relation
 //     (collab::cost_model::overall_latency_ms), then tracked as above.
+//     The offload-latency term is not frozen at the model's prediction:
+//     observe_cloud_ms() feeds the measured appeal round trip (engine
+//     completion callbacks), an EMA replaces the modeled offload cost,
+//     and the target SR is re-derived — a cloud_ms spike pushes δ toward
+//     edge-only, and it relaxes again when the link recovers.
 #pragma once
 
 #include <atomic>
@@ -45,8 +50,20 @@ class threshold_controller {
   double delta() const { return delta_.load(std::memory_order_relaxed); }
 
   /// The SR the controller is steering toward (derived from the SLO in
-  /// latency_slo mode).
-  double target_sr() const { return target_sr_; }
+  /// latency_slo mode, where it moves with the observed cloud latency).
+  double target_sr() const {
+    return target_sr_.load(std::memory_order_relaxed);
+  }
+
+  /// latency_slo mode: one measured offload round trip (appeal link_ms).
+  /// Re-derives the target SR from an EMA of these instead of the cost
+  /// model's static offload term. No-op in the other modes.
+  void observe_cloud_ms(double offload_ms);
+
+  /// latency_slo mode: the offload-latency estimate currently driving
+  /// the target SR (the cost model's prediction until a measurement
+  /// arrives).
+  double offload_estimate_ms() const;
 
   /// EMA of the per-batch skipping rate observed so far (target_sr before
   /// any observation).
@@ -65,12 +82,16 @@ class threshold_controller {
 
  private:
   threshold_config config_;
-  double target_sr_;
+  std::atomic<double> target_sr_;
   std::atomic<double> delta_;
   std::atomic<double> observed_sr_;
   std::atomic<std::size_t> recalibrations_{0};
+  /// latency_slo mode: the SLO inversion's fixed edge term and the
+  /// moving offload estimate (mutex_-guarded EMA).
+  double slo_edge_ms_ = 0.0;
+  double offload_ema_ms_ = 0.0;
 
-  std::mutex mutex_;                // guards the window state below
+  mutable std::mutex mutex_;        // guards the window state below
   std::vector<double> window_;      // ring buffer of recent scores
   std::size_t window_next_ = 0;     // next write slot
   std::size_t window_count_ = 0;    // filled entries (<= config.window)

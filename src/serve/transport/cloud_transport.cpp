@@ -1,5 +1,6 @@
 #include "serve/transport/cloud_transport.hpp"
 
+#include "serve/transport/fault_transport.hpp"
 #include "serve/transport/sim_transport.hpp"
 #include "serve/transport/socket_transport.hpp"
 #include "util/error.hpp"
@@ -27,16 +28,29 @@ const char* transport_kind_name(transport_kind kind) {
 
 std::unique_ptr<cloud_transport> make_cloud_transport(
     const link_config& cfg, cloud_backend& fallback,
-    const collab::cost_model& link) {
+    const collab::cost_model& link, std::uint64_t fault_salt) {
+  std::unique_ptr<cloud_transport> transport;
   switch (cfg.transport) {
     case transport_kind::sim:
-      return std::make_unique<sim_transport>(fallback, link, cfg.time_scale);
+      transport =
+          std::make_unique<sim_transport>(fallback, link, cfg.time_scale);
+      break;
     case transport_kind::uds:
     case transport_kind::tcp:
-      return std::make_unique<socket_transport>(cfg.transport, cfg.endpoint,
-                                                cfg.response_timeout_ms);
+      transport = std::make_unique<socket_transport>(
+          cfg.transport, cfg.endpoint, cfg.response_timeout_ms);
+      break;
   }
-  throw util::error("unreachable transport kind");
+  APPEAL_CHECK(transport != nullptr, "unreachable transport kind");
+  if (!cfg.fault.empty()) {
+    fault_config fault = parse_fault_spec(cfg.fault);
+    // Decorrelate the fault plan from reconnects (still deterministic:
+    // the same run reconnects at the same epochs).
+    fault.seed ^= fault_salt * 0x9E3779B97F4A7C15ULL;
+    transport = std::make_unique<fault_transport>(std::move(transport),
+                                                  fault);
+  }
+  return transport;
 }
 
 }  // namespace appeal::serve

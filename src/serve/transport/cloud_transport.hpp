@@ -64,6 +64,36 @@ struct link_config {
   /// watchdog. The simulator ignores this (its completions are
   /// internally guaranteed).
   double response_timeout_ms = 30000.0;
+
+  // --- retry policy (socket transports; the simulator never overloads) ---
+  /// Extra wire attempts an `overloaded` appeal gets before it completes
+  /// from the local fallback backend. 0 = fall back on first overload.
+  std::size_t max_retries = 2;
+  /// Exponential backoff base: attempt k waits ~retry_backoff_ms * 2^k,
+  /// capped at retry_backoff_max_ms, never below the cloud's
+  /// retry-after hint.
+  double retry_backoff_ms = 25.0;
+  double retry_backoff_max_ms = 2000.0;
+  /// Jitter fraction applied to the backoff (delay scales by a uniform
+  /// factor in [1-j, 1+j]) from a generator seeded with retry_seed, so
+  /// chaos runs stay reproducible.
+  double retry_jitter = 0.2;
+  std::uint64_t retry_seed = 0x5EEDu;
+
+  // --- circuit breaker (socket transports) ---
+  /// Consecutive `overloaded` answers that open the breaker (hard link
+  /// failures — send error, EOF, response watchdog — open it
+  /// immediately). While open every appeal completes locally; after
+  /// breaker_open_ms a half-open probe batch tests the link (reconnecting
+  /// if it died) and a wire completion re-closes it.
+  std::size_t breaker_threshold = 4;
+  double breaker_open_ms = 1000.0;
+
+  /// Deterministic fault-injection spec applied as a fault_transport
+  /// decorator around the transport ("" = none). See
+  /// transport/fault_transport.hpp for the grammar, e.g.
+  /// "drop=0.05,delay_ms=1,dup=0.02,kill_at=40,seed=7".
+  std::string fault;
 };
 
 /// Wire-level counters every transport keeps (the simulator reports the
@@ -98,6 +128,11 @@ class cloud_transport {
     /// The cloud shed this appeal because its deadline was already blown
     /// when a scorer worker reached it.
     bool expired = false;
+    /// The cloud refused this appeal without scoring (wire v4: full work
+    /// queue or projected deadline miss); the channel retries it after
+    /// retry_after_ms or completes it locally.
+    bool overloaded = false;
+    double retry_after_ms = 0.0;
   };
   using completion_sink = std::function<void(std::vector<completion>&&)>;
   using failure_sink = std::function<void()>;
@@ -127,8 +162,15 @@ class cloud_transport {
 /// backend (the simulator scores with it; socket transports only use it
 /// indirectly, via the channel's failure path). The cost model drives the
 /// simulator's timing and is ignored by socket transports.
+///
+/// `fault_salt` deterministically re-seeds the fault decorator per link
+/// incarnation (the channel passes its reconnect epoch). Without it a
+/// rebuilt wrapper replays the exact fault sequence of the one it
+/// replaces — and a seed whose first draw says "drop" would then eat the
+/// half-open probe after every reconnect, pinning the breaker open
+/// forever. Salt 0 (the first link) keeps the user's seed untouched.
 std::unique_ptr<cloud_transport> make_cloud_transport(
     const link_config& cfg, cloud_backend& fallback,
-    const collab::cost_model& link);
+    const collab::cost_model& link, std::uint64_t fault_salt = 0);
 
 }  // namespace appeal::serve

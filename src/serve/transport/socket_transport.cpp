@@ -131,6 +131,8 @@ void socket_transport::reader_loop() {
           c.cloud_queue_ms = r.cloud_queue_ms;
           c.cloud_score_ms = r.cloud_score_ms;
           c.expired = r.status == wire::response_status::expired;
+          c.overloaded = r.status == wire::response_status::overloaded;
+          c.retry_after_ms = r.retry_after_ms;
           done.push_back(c);
         }
         on_complete_(std::move(done));

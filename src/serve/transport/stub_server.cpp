@@ -20,8 +20,8 @@ double ms_between(clock::time_point from, clock::time_point to) {
 
 // --- cloud_work_queue ------------------------------------------------------
 
-bool cloud_work_queue::push(wire::appeal_record&& record,
-                            std::uint64_t owner) {
+cloud_work_queue::admit cloud_work_queue::push(wire::appeal_record&& record,
+                                               std::uint64_t owner) {
   item it;
   it.enqueued = clock::now();
   it.deadline = clock::time_point::max();
@@ -30,7 +30,9 @@ bool cloud_work_queue::push(wire::appeal_record&& record,
   // duration_cast (float -> integer conversion of a huge/inf value is
   // undefined behavior, not just a silly deadline).
   constexpr double kMaxDeadlineMs = 86'400'000.0;
-  if (record.deadline_ms >= 0.0 && record.deadline_ms < kMaxDeadlineMs) {
+  const bool deadlined =
+      record.deadline_ms >= 0.0 && record.deadline_ms < kMaxDeadlineMs;
+  if (deadlined) {
     it.deadline = it.enqueued +
                   std::chrono::duration_cast<clock::duration>(
                       std::chrono::duration<double, std::milli>(
@@ -40,9 +42,24 @@ bool cloud_work_queue::push(wire::appeal_record&& record,
   it.record = std::move(record);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return false;
-    if (capacity_ > 0 && interactive_.size() + batch_.size() >= capacity_) {
-      return false;  // at capacity: the caller sheds
+    if (closed_) return admit::closed;
+    const std::size_t depth = interactive_.size() + batch_.size();
+    if (capacity_ > 0 && depth >= capacity_) {
+      return admit::full;  // at capacity: the caller sheds
+    }
+    if (batch_capacity_ > 0 &&
+        it.record.priority == priority_class::batch &&
+        batch_.size() >= batch_capacity_) {
+      return admit::full;  // batch lane over its budget
+    }
+    // Projected deadline miss: the arrival queues behind `depth` items
+    // at the measured drain rate; if its whole deadline budget is spent
+    // before a worker could reach it, queueing it only manufactures an
+    // expiry. Needs a warmed-up estimate (two pops) to ever fire.
+    if (shed_projected_ && deadlined && ema_ms_per_item_ > 0.0 &&
+        static_cast<double>(depth + 1) * ema_ms_per_item_ >
+            it.record.deadline_ms) {
+      return admit::projected_miss;
     }
     lane& l = it.record.priority == priority_class::interactive ? interactive_
                                                                 : batch_;
@@ -52,12 +69,13 @@ bool cloud_work_queue::push(wire::appeal_record&& record,
     l.emplace(std::make_pair(it.deadline, next_seq_++), std::move(it));
   }
   ready_.notify_one();
-  return true;
+  return admit::ok;
 }
 
 std::vector<cloud_work_queue::item> cloud_work_queue::pop_batch(
     std::size_t max_items) {
   std::unique_lock<std::mutex> lock(mutex_);
+  const bool was_idle = interactive_.empty() && batch_.empty();
   ready_.wait(lock, [&] {
     return closed_ || !interactive_.empty() || !batch_.empty();
   });
@@ -68,6 +86,27 @@ std::vector<cloud_work_queue::item> cloud_work_queue::pop_batch(
       out.push_back(std::move(l->begin()->second));
       l->erase(l->begin());
     }
+  }
+  // Drain-rate EMA feeding the overload retry-after hints: the interval
+  // between successive pops across the whole worker pool, per item
+  // popped — but only intervals where work was waiting the whole time.
+  // Counting an idle gap (empty queue, worker parked in the wait above)
+  // as drain time would inflate the estimate, and since the hints set
+  // retry backoffs, longer hints create longer idle gaps: a feedback
+  // loop. After idling, the clock re-arms instead.
+  if (!out.empty()) {
+    const clock::time_point now = clock::now();
+    if (have_last_pop_ && !was_idle) {
+      const double per_item =
+          ms_between(last_pop_, now) / static_cast<double>(out.size());
+      ema_ms_per_item_ = ema_ms_per_item_ == 0.0
+                             ? per_item
+                             : ema_ms_per_item_ +
+                                   0.2 * (per_item - ema_ms_per_item_);
+    }
+    have_last_pop_ = true;
+    last_pop_ = now;
+    drained_ += out.size();
   }
   // More work than one batch: pass the baton to the next worker instead
   // of letting it sleep until the next push.
@@ -90,6 +129,21 @@ void cloud_work_queue::close(bool discard) {
 std::size_t cloud_work_queue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return interactive_.size() + batch_.size();
+}
+
+cloud_work_queue::queue_stats cloud_work_queue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_stats s;
+  s.depth = interactive_.size() + batch_.size();
+  s.ms_per_item = ema_ms_per_item_;
+  s.drained = drained_;
+  return s;
+}
+
+double cloud_work_queue::estimated_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<double>(interactive_.size() + batch_.size()) *
+         ema_ms_per_item_;
 }
 
 // --- stub_server -----------------------------------------------------------
@@ -132,6 +186,10 @@ stub_server::stub_server(const stub_server_config& cfg, scorer_factory factory)
       metric_overloaded_(obs::default_registry().get_counter(
           "appeal_cloud_overloaded_total", {},
           "appeals shed at admission to a full work queue")),
+      metric_projected_(obs::default_registry().get_counter(
+          "appeal_cloud_projected_total", {},
+          "appeals shed at admission because the queue wait alone would "
+          "blow their deadline")),
       metric_queue_depth_(obs::default_registry().get_gauge(
           "appeal_cloud_queue_depth", {},
           "appeals waiting in the cloud work queue")) {
@@ -264,7 +322,9 @@ void stub_server::serve_connection(connection& conn) {
       splitter.feed(chunk, n);
       std::size_t batches = 0;
       std::size_t appeals = 0;
-      std::vector<wire::response_record> overloaded;
+      std::size_t full_sheds = 0;
+      std::size_t projected_sheds = 0;
+      std::vector<wire::response_record> shed;
       while (std::optional<wire::frame> f = splitter.next()) {
         std::vector<wire::appeal_record> batch =
             wire::decode_appeal_batch(*f);
@@ -275,27 +335,39 @@ void stub_server::serve_connection(connection& conn) {
         appeals += batch.size();
         for (wire::appeal_record& a : batch) {
           const std::uint64_t id = a.id;
-          if (!queue_.push(std::move(a), conn.id)) {
-            // The work queue is at capacity (scorers can't keep up):
-            // shed at admission with an immediate `expired`, the same
-            // honest answer a blown deadline gets — never buffer
-            // without bound.
-            wire::response_record r;
-            r.id = id;
-            r.status = wire::response_status::expired;
-            overloaded.push_back(r);
+          const cloud_work_queue::admit verdict =
+              queue_.push(std::move(a), conn.id);
+          if (verdict == cloud_work_queue::admit::ok) continue;
+          // The queue won't take it — full lane (scorers can't keep up)
+          // or a projected deadline miss. Either way this is OVERLOAD,
+          // not expiry: the appeal never waited, so answer `overloaded`
+          // with a retry-after hint sized to the current backlog and let
+          // the edge decide between retrying and its local fallback.
+          // (Peers at wire v2/v3 can't express `overloaded`; the encoder
+          // downgrades it to `expired` for them.)
+          wire::response_record r;
+          r.id = id;
+          r.status = wire::response_status::overloaded;
+          r.retry_after_ms = std::max(1.0, queue_.estimated_wait_ms());
+          shed.push_back(r);
+          if (verdict == cloud_work_queue::admit::projected_miss) {
+            ++projected_sheds;
+          } else {
+            ++full_sheds;
           }
         }
       }
-      if (!overloaded.empty()) write_responses(conn.id, overloaded);
+      if (!shed.empty()) write_responses(conn.id, shed);
       metric_appeals_.add(appeals);
-      metric_overloaded_.add(overloaded.size());
+      metric_overloaded_.add(full_sheds);
+      metric_projected_.add(projected_sheds);
       metric_queue_depth_.set(static_cast<double>(queue_.size()));
       std::lock_guard<std::mutex> lock(mutex_);
       counters_.bytes_received += n;
       counters_.batches += batches;
       counters_.appeals += appeals;
-      counters_.overloaded += overloaded.size();
+      counters_.overloaded += full_sheds;
+      counters_.projected += projected_sheds;
     }
   } catch (const util::error& e) {
     // Corrupt stream or dead client: drop the connection, keep serving

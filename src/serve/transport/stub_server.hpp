@@ -20,9 +20,15 @@
 // im2col + GEMM per layer for the whole cloud batch. Each response
 // carries cloud_ms = work-queue wait + scoring time, the honest number
 // the edge holds against its cost model. The queue is bounded
-// (max_queue_depth): when appeals outrun the scorer pool, arrivals shed
-// at admission with an immediate `expired` instead of buffering decoded
-// tensors without bound.
+// (max_queue_depth, with a separate batch-lane budget so background
+// traffic cannot starve interactive appeals of queue space): when appeals
+// outrun the scorer pool, arrivals shed at admission with an immediate
+// `overloaded` response (wire v4) carrying a retry-after hint derived
+// from the queue's own drain-rate estimate — distinct from `expired`,
+// which means a deadline died *inside* the queue. The same drain-rate
+// estimate powers projected-deadline-miss shedding: an arrival whose
+// deadline cannot survive the current queue wait is refused up front
+// instead of burning queue space on a guaranteed expiry.
 //
 // The scorer is pluggable, from an echo lambda to the real big network
 // (serve/cloud_model.hpp builds one from serialized weights). Workers get
@@ -67,10 +73,19 @@ struct stub_server_config {
   bool shed_expired = true;
   /// Work-queue capacity — the stub's admission bound. When appeals
   /// arrive faster than the scorer pool drains them, arrivals beyond
-  /// this depth are shed immediately with an `expired` response instead
-  /// of buffering without bound (each queued appeal holds its decoded
-  /// tensor). 0 = unbounded.
+  /// this depth are shed immediately with an `overloaded` response
+  /// (carrying a retry-after hint) instead of buffering without bound
+  /// (each queued appeal holds its decoded tensor). 0 = unbounded.
   std::size_t max_queue_depth = 4096;
+  /// Depth budget of the batch-priority lane (0 = only the shared
+  /// max_queue_depth applies). A lower budget keeps background traffic
+  /// from filling the whole queue ahead of interactive appeals.
+  std::size_t max_batch_queue_depth = 0;
+  /// Shed arrivals whose deadline is projected to die in the queue: when
+  /// the queue's drain-rate estimate says the wait already exceeds the
+  /// appeal's remaining deadline, answer `overloaded` up front instead
+  /// of queueing a guaranteed expiry.
+  bool shed_projected = true;
 };
 
 struct stub_server_counters {
@@ -80,6 +95,7 @@ struct stub_server_counters {
   std::size_t scored = 0;         // appeals answered with a prediction
   std::size_t expired = 0;        // appeals shed (deadline blown in queue)
   std::size_t overloaded = 0;     // appeals shed at the full work queue
+  std::size_t projected = 0;      // appeals shed on a projected deadline miss
   std::size_t cloud_batches = 0;  // batches formed by the scorer workers
   std::size_t bytes_received = 0;
   std::size_t bytes_sent = 0;
@@ -93,8 +109,16 @@ struct stub_server_counters {
 class cloud_work_queue {
  public:
   /// `capacity` bounds the queue (pushes beyond it are refused so the
-  /// caller can shed); 0 = unbounded.
-  explicit cloud_work_queue(std::size_t capacity = 0) : capacity_(capacity) {}
+  /// caller can shed); 0 = unbounded. `batch_capacity` additionally
+  /// bounds the batch-priority lane. `shed_projected` refuses arrivals
+  /// whose deadline the drain-rate estimate says cannot survive the
+  /// queue wait.
+  explicit cloud_work_queue(std::size_t capacity = 0,
+                            std::size_t batch_capacity = 0,
+                            bool shed_projected = false)
+      : capacity_(capacity),
+        batch_capacity_(batch_capacity),
+        shed_projected_(shed_projected) {}
 
   struct item {
     wire::appeal_record record;
@@ -108,12 +132,18 @@ class cloud_work_queue {
     std::uint64_t owner = 0;
   };
 
+  /// Why a push was refused (ok = it wasn't). `full` covers both the
+  /// shared capacity and the batch-lane budget; `projected_miss` means
+  /// the drain-rate estimate already exceeds the appeal's deadline. Both
+  /// are overload answers — the caller responds `overloaded` with the
+  /// current wait estimate as the retry-after hint.
+  enum class admit : std::uint8_t { ok, full, projected_miss, closed };
+
   /// Enqueues one decoded appeal, stamping its arrival time and the
   /// absolute deadline from record.deadline_ms (< 0 = none). Never
-  /// blocks. Returns false — record untouched apart from the move —
-  /// when the queue is at capacity (caller sheds) or closed (caller is
-  /// shutting down anyway).
-  bool push(wire::appeal_record&& record, std::uint64_t owner);
+  /// blocks. On any non-ok verdict the record is untouched apart from
+  /// the move and the caller sheds (or is shutting down, for `closed`).
+  admit push(wire::appeal_record&& record, std::uint64_t owner);
 
   /// Blocks until at least one item is available (or the queue is closed
   /// and empty — returns an empty vector, the worker should exit), then
@@ -129,17 +159,45 @@ class cloud_work_queue {
 
   std::size_t size() const;
 
+  /// Throughput view the overload answers are derived from: current
+  /// depth, the EMA of per-item drain time (ms; 0 until two pops have
+  /// happened), and total items drained.
+  struct queue_stats {
+    std::size_t depth = 0;
+    double ms_per_item = 0.0;
+    std::size_t drained = 0;
+  };
+  queue_stats stats() const;
+
+  /// Estimated wait of an arrival admitted now: depth × the drain-rate
+  /// EMA (0 until the estimate warms up). This is the retry-after hint
+  /// on `overloaded` responses.
+  double estimated_wait_ms() const;
+
  private:
   using lane = std::map<
       std::pair<std::chrono::steady_clock::time_point, std::uint64_t>, item>;
 
   const std::size_t capacity_;
+  const std::size_t batch_capacity_;
+  const bool shed_projected_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   lane interactive_;
   lane batch_;
   std::uint64_t next_seq_ = 0;
   bool closed_ = false;
+  /// Drain-rate EMA: ms between successive pop_batch calls divided by
+  /// the items each popped, smoothed. Fed under mutex_ by every worker,
+  /// so it measures the pool's aggregate throughput. Intervals where a
+  /// worker found the queue empty (idle, not draining) re-arm the clock
+  /// instead of feeding the EMA — idle time is not drain time, and
+  /// inflated hints would lengthen retry backoffs, which lengthens the
+  /// idle gaps in turn.
+  double ema_ms_per_item_ = 0.0;
+  std::chrono::steady_clock::time_point last_pop_{};
+  bool have_last_pop_ = false;
+  std::size_t drained_ = 0;
 };
 
 class stub_server {
@@ -210,7 +268,9 @@ class stub_server {
   net::fd listener_;
   std::thread acceptor_;
   std::vector<std::thread> scorers_;
-  cloud_work_queue queue_{config_.max_queue_depth};
+  cloud_work_queue queue_{config_.max_queue_depth,
+                          config_.max_batch_queue_depth,
+                          config_.shed_projected};
   std::atomic<bool> stopping_{false};
   bool started_ = false;
   std::uint64_t next_connection_id_ = 0;
@@ -230,6 +290,7 @@ class stub_server {
   obs::counter& metric_scored_;
   obs::counter& metric_expired_;
   obs::counter& metric_overloaded_;
+  obs::counter& metric_projected_;
   obs::gauge& metric_queue_depth_;
 };
 

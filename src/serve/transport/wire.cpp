@@ -107,7 +107,8 @@ class cursor {
 };
 
 void check_encodable_version(std::uint8_t version) {
-  APPEAL_CHECK(version == kVersionV2 || version == kVersion,
+  APPEAL_CHECK(version == kVersionV2 || version == kVersionV3 ||
+                   version == kVersion,
                "cannot encode an unknown wire protocol version");
 }
 
@@ -194,14 +195,21 @@ std::vector<std::uint8_t> encode_response_batch(
   out.reserve(kHeaderBytes + kResponseRecordBytes * batch.size());
   put_header(out, version, frame_type::response_batch, batch.size());
   for (const response_record& r : batch) {
+    // v2/v3 framing cannot say `overloaded`; the closest honest answer an
+    // old edge understands is `expired` (don't wait for a prediction).
+    response_status status = r.status;
+    if (version < 4 && status == response_status::overloaded) {
+      status = response_status::expired;
+    }
     put_u64(out, r.id);
     put_u64(out, r.prediction);
-    put_u8(out, static_cast<std::uint8_t>(r.status));
+    put_u8(out, static_cast<std::uint8_t>(status));
     put_f64(out, r.cloud_ms);
     if (version >= 3) {
       put_f64(out, r.cloud_queue_ms);
       put_f64(out, r.cloud_score_ms);
     }
+    if (version >= 4) put_f64(out, r.retry_after_ms);
   }
   patch_payload_bytes(out);
   return out;
@@ -269,7 +277,12 @@ std::vector<response_record> decode_response_batch(const frame& f) {
     r.id = c.u64();
     r.prediction = c.u64();
     const std::uint8_t status = c.u8();
-    APPEAL_CHECK(status <= static_cast<std::uint8_t>(response_status::expired),
+    // `overloaded` only exists in the v4 dialect; on an older frame the
+    // byte is as unknown as any other garbage.
+    const std::uint8_t max_status = static_cast<std::uint8_t>(
+        f.version >= 4 ? response_status::overloaded
+                       : response_status::expired);
+    APPEAL_CHECK(status <= max_status,
                  "wire response carries an unknown status");
     r.status = static_cast<response_status>(status);
     r.cloud_ms = c.f64();
@@ -277,6 +290,7 @@ std::vector<response_record> decode_response_batch(const frame& f) {
       r.cloud_queue_ms = c.f64();
       r.cloud_score_ms = c.f64();
     }
+    if (f.version >= 4) r.retry_after_ms = c.f64();
     out.push_back(r);
   }
   APPEAL_CHECK(c.remaining() == 0, "trailing bytes after the last record");
@@ -298,7 +312,8 @@ std::optional<frame> frame_splitter::next() {
   cursor header(buffer_.data() + consumed_, kHeaderBytes);
   APPEAL_CHECK(header.u32() == kMagic, "wire stream lost framing (bad magic)");
   const std::uint8_t version = header.u8();
-  APPEAL_CHECK(version == kVersionV2 || version == kVersion,
+  APPEAL_CHECK(version == kVersionV2 || version == kVersionV3 ||
+                   version == kVersion,
                "unsupported wire protocol version");
   const std::uint8_t type = header.u8();
   APPEAL_CHECK(type == static_cast<std::uint8_t>(frame_type::appeal_batch) ||

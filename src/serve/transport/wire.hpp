@@ -4,7 +4,7 @@
 //
 //   ┌──────────┬─────────┬──────┬───────┬───────────────┬─────────────┐
 //   │ magic u32│ ver u8  │ type │ count │ payload_bytes │   payload   │
-//   │ "APL1"   │ (2 or 3)│  u8  │  u16  │      u32      │  (records)  │
+//   │ "APL1"   │ (2,3,4) │  u8  │  u16  │      u32      │  (records)  │
 //   └──────────┴─────────┴──────┴───────┴───────────────┴─────────────┘
 //     12-byte header, all integers little-endian, floats IEEE-754.
 //
@@ -16,16 +16,24 @@
 // reorder or split batches and the channel still completes the right
 // appeal.
 //
-// Version negotiation is per-frame and backward compatible: a v3 peer
-// decodes v2 frames (the splitter accepts both and stamps the version on
-// the frame), and the stub replies to each connection at the version it
-// spoke, so an old edge never sees fields it can't parse. v3 adds
+// Version negotiation is per-frame and backward compatible: a v4 peer
+// decodes v2/v3 frames (the splitter accepts all three and stamps the
+// version on the frame), and the stub replies to each connection at the
+// version it spoke, so an old edge never sees fields it can't parse.
+// v3 adds
 //   - appeal records: flags bit0 ("traced") + an optional trace_id u64
 //     right after deadline_ms, propagating sampled trace spans across
 //     the link;
 //   - response records: cloud_queue_ms + cloud_score_ms f64s after
 //     cloud_ms, splitting the cloud-stamped cost into work-queue wait
 //     and batched scoring for per-stage latency attribution.
+// v4 adds
+//   - response_status::overloaded: the cloud refused the appeal without
+//     scoring it (full work queue or a projected deadline miss), plus a
+//     retry_after_ms f64 hint after cloud_score_ms telling the edge how
+//     long the queue-wait estimate says to back off. Encoding an
+//     overloaded response at v2/v3 downgrades the status to `expired` —
+//     the strongest "don't wait for me" an old edge understands.
 //
 // Decoding is defensive: a frame_splitter accumulates an arbitrary byte
 // stream (torn reads hand it any prefix) and yields only complete,
@@ -50,9 +58,12 @@ inline constexpr std::uint32_t kMagic = 0x314C5041;  // "APL1" little-endian
 /// v2: response records carry a status byte (deadline-shed appeals come
 /// back as `expired` instead of a made-up prediction).
 inline constexpr std::uint8_t kVersionV2 = 2;
-/// v3 (current): optional trace_id on appeals, cloud-stamped queue/score
-/// split on responses. Decoders accept v2 and v3.
-inline constexpr std::uint8_t kVersion = 3;
+/// v3: optional trace_id on appeals, cloud-stamped queue/score split on
+/// responses.
+inline constexpr std::uint8_t kVersionV3 = 3;
+/// v4 (current): `overloaded` response status + retry_after_ms hint.
+/// Decoders accept v2, v3, and v4.
+inline constexpr std::uint8_t kVersion = 4;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Upper bound on one frame's payload; a peer announcing more is treated
 /// as corrupt (protects the receiver from attacker/garbage allocations).
@@ -94,7 +105,10 @@ struct appeal_view {
 /// How the cloud disposed of one appeal. `expired` means the appeal's
 /// remaining deadline was already blown when a cloud worker reached it:
 /// the cloud shed it without scoring, and `prediction` is meaningless.
-enum class response_status : std::uint8_t { ok = 0, expired = 1 };
+/// `overloaded` (wire v4) means the cloud refused the appeal without
+/// scoring — full work queue or a projected deadline miss — and the edge
+/// should back off (retry after retry_after_ms, or answer locally).
+enum class response_status : std::uint8_t { ok = 0, expired = 1, overloaded = 2 };
 
 struct response_record {
   std::uint64_t id = 0;
@@ -107,13 +121,17 @@ struct response_record {
   /// scoring, stamped on the cloud's clock. Zero when decoded from v2.
   double cloud_queue_ms = 0.0;
   double cloud_score_ms = 0.0;
+  /// wire v4: how long the cloud suggests the edge wait before retrying
+  /// an `overloaded` appeal (its queue-wait estimate); 0 on other
+  /// statuses and when decoded from v2/v3.
+  double retry_after_ms = 0.0;
 };
 
 /// One complete, validated frame (header parsed, payload bounds known).
 struct frame {
   frame_type type = frame_type::appeal_batch;
-  /// Protocol version the sender spoke (2 or 3); decoders branch on it
-  /// and a server replies at the same version.
+  /// Protocol version the sender spoke (2, 3, or 4); decoders branch on
+  /// it and a server replies at the same version.
   std::uint8_t version = kVersion;
   std::uint16_t count = 0;
   std::vector<std::uint8_t> payload;
@@ -125,10 +143,10 @@ struct frame {
 std::size_t appeal_wire_bytes(const appeal_view& a,
                               std::uint8_t version = kVersion);
 
-/// Exact wire size of one v3 response record (id + prediction + status +
-/// cloud_ms + queue/score split); the simulator uses it to count
-/// equivalent downlink bytes.
-inline constexpr std::size_t kResponseRecordBytes = 8 + 8 + 1 + 8 + 8 + 8;
+/// Exact wire size of one v4 response record (id + prediction + status +
+/// cloud_ms + queue/score split + retry_after); the simulator uses it to
+/// count equivalent downlink bytes.
+inline constexpr std::size_t kResponseRecordBytes = 8 + 8 + 1 + 8 + 8 + 8 + 8;
 
 /// Frame encoders. `version` selects the wire dialect (kVersionV2 for
 /// talking to old peers and crafting compat-test frames).

@@ -351,4 +351,56 @@ TEST(admission, batch_headroom_and_degrade_limits) {
   EXPECT_EQ(ctl.try_admit(queue, r7), serve::admission_verdict::closed);
 }
 
+TEST(admission, cloud_pressure_tightens_batch_and_degrades_interactive_early) {
+  // The breaker/overload signal from the cloud channel: batch admission
+  // tightens by pressure_batch_scale, and interactive traffic degrades
+  // to the edge at pressure_degrade_fraction × capacity instead of
+  // waiting for the queue to fill with appeals bound for a sick uplink.
+  serve::request_queue queue(4);
+  serve::admission_config cfg;
+  cfg.policy = serve::admission_policy::edge_only;
+  cfg.batch_headroom = 0.5;          // 2 of 4 slots normally
+  cfg.pressure_batch_scale = 0.5;    // 1 slot under pressure
+  cfg.pressure_degrade_fraction = 0.5;  // degrade at 2 of 4
+  serve::admission_controller ctl(cfg);
+  EXPECT_FALSE(ctl.cloud_pressure());
+  ctl.set_cloud_pressure(true);
+  EXPECT_TRUE(ctl.cloud_pressure());
+
+  auto make = [](std::uint64_t id, serve::priority_class pri) {
+    serve::request r;
+    r.id = id;
+    r.priority = pri;
+    return r;
+  };
+  serve::request b0 = make(0, serve::priority_class::batch);
+  serve::request b1 = make(1, serve::priority_class::batch);
+  EXPECT_EQ(ctl.try_admit(queue, b0), serve::admission_verdict::admitted);
+  // The tightened batch lane (1 slot) refuses the second batch request —
+  // and batch traffic never enters the degrade band.
+  EXPECT_EQ(ctl.try_admit(queue, b1), serve::admission_verdict::shed);
+
+  serve::request i0 = make(2, serve::priority_class::interactive);
+  serve::request i1 = make(3, serve::priority_class::interactive);
+  EXPECT_EQ(ctl.try_admit(queue, i0), serve::admission_verdict::admitted);
+  // Queue depth 2 = pressure_degrade_fraction × capacity: interactive
+  // now degrades to the edge even though the queue is half empty.
+  EXPECT_EQ(ctl.try_admit(queue, i1), serve::admission_verdict::degraded);
+
+  // Releasing the pressure restores the plain limits immediately.
+  ctl.set_cloud_pressure(false);
+  serve::request i2 = make(4, serve::priority_class::interactive);
+  EXPECT_EQ(ctl.try_admit(queue, i2), serve::admission_verdict::admitted);
+
+  EXPECT_EQ(ctl.admitted(), 3U);
+  EXPECT_EQ(ctl.degraded(), 1U);
+  EXPECT_EQ(ctl.shed(), 1U);
+  serve::request out;
+  std::size_t forced = 0;
+  while (queue.try_pop(out)) {
+    if (out.force_edge) ++forced;
+  }
+  EXPECT_EQ(forced, 1U);
+}
+
 }  // namespace

@@ -148,6 +148,54 @@ TEST(threshold_controller, latency_slo_maps_to_target_sr) {
   EXPECT_NEAR(achieved, 0.5, 0.02);
 }
 
+TEST(threshold_controller, latency_slo_backs_off_during_cloud_spike) {
+  // The SLO inversion must not trust the cost model's offload term
+  // forever: when measured appeal round trips spike (congested uplink,
+  // overloaded cloud), the target SR climbs toward 1 — push work back
+  // onto the edge — and relaxes again when the link recovers.
+  collab::cost_model link;
+  const double edge_ms = link.overall_latency_ms(1.0);
+  const double cloud_only_ms = link.overall_latency_ms(0.0);
+  const double offload_ms = cloud_only_ms - edge_ms;
+  const double mid = 0.5 * (edge_ms + cloud_only_ms);
+
+  serve::threshold_config cfg;
+  cfg.adapt = serve::threshold_config::mode::latency_slo;
+  cfg.latency_slo_ms = mid;
+  cfg.ema_alpha = 0.2;
+  serve::threshold_controller controller(cfg, &link);
+  const double baseline = controller.target_sr();
+  EXPECT_NEAR(baseline, 0.5, 1e-9);
+  EXPECT_NEAR(controller.offload_estimate_ms(), offload_ms, 1e-9);
+
+  // A 10x cloud-latency spike: the measured offload EMA overtakes the
+  // model and the derived target SR backs off toward edge-only.
+  for (int i = 0; i < 100; ++i) {
+    controller.observe_cloud_ms(10.0 * offload_ms);
+  }
+  EXPECT_GT(controller.offload_estimate_ms(), 5.0 * offload_ms);
+  EXPECT_GT(controller.target_sr(), 0.9);
+
+  // Recovery: measurements return to the modeled cost and the target SR
+  // relaxes back to the original inversion.
+  for (int i = 0; i < 200; ++i) {
+    controller.observe_cloud_ms(offload_ms);
+  }
+  EXPECT_NEAR(controller.target_sr(), baseline, 0.02);
+  EXPECT_NEAR(controller.offload_estimate_ms(), offload_ms,
+              0.05 * offload_ms);
+
+  // Garbage measurements and other modes must not move the target.
+  controller.observe_cloud_ms(0.0);
+  controller.observe_cloud_ms(-5.0);
+  EXPECT_NEAR(controller.target_sr(), baseline, 0.02);
+  serve::threshold_config fixed;
+  fixed.adapt = serve::threshold_config::mode::fixed;
+  serve::threshold_controller still(fixed);
+  still.observe_cloud_ms(1e6);
+  EXPECT_DOUBLE_EQ(still.target_sr(), fixed.target_sr);
+}
+
 TEST(threshold_controller, invalid_configs_throw) {
   serve::threshold_config cfg;
   cfg.window = 0;

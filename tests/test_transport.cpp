@@ -4,9 +4,11 @@
 // counters, and graceful local fallback when the link dies mid-run.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <future>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <unistd.h>
@@ -18,6 +20,7 @@
 #include "serve/cloud_channel.hpp"
 #include "serve/cloud_model.hpp"
 #include "serve/engine.hpp"
+#include "serve/transport/fault_transport.hpp"
 #include "serve/transport/socket_transport.hpp"
 #include "serve/transport/socket_util.hpp"
 #include "serve/transport/stub_server.hpp"
@@ -513,11 +516,13 @@ TEST(transport, stub_sheds_blown_deadlines_as_cloud_expired) {
   EXPECT_EQ(stub.counters().scored, 1U);
 }
 
-TEST(transport, full_work_queue_sheds_arrivals_as_expired) {
+TEST(transport, full_work_queue_sheds_arrivals_as_overloaded) {
   // A scorer slower than the arrival rate must not buffer appeals
-  // without bound: beyond max_queue_depth, arrivals shed at admission
-  // with an immediate `expired` response. One appeal occupies the single
-  // worker; one fits in the depth-1 queue; the rest of the burst sheds.
+  // without bound: beyond max_queue_depth, arrivals are refused with an
+  // `overloaded` answer (wire v4 backpressure) — distinct from `expired`,
+  // which means a deadline died inside the queue. With retries disabled
+  // the channel resolves every overload from the local fallback backend,
+  // so the caller always gets a real prediction, never a bogus expiry.
   std::atomic<bool> scoring_started{false};
   stub_server_config scfg;
   scfg.kind = transport_kind::uds;
@@ -536,29 +541,486 @@ TEST(transport, full_work_queue_sheds_arrivals_as_expired) {
   link_config cfg;
   cfg.transport = transport_kind::uds;
   cfg.endpoint = scfg.endpoint;
+  cfg.max_retries = 0;  // overloads resolve locally, deterministically
   cloud_channel channel(fallback, collab::cost_model{}, cfg, "overload");
 
   std::atomic<std::size_t> ok{0};
   std::atomic<std::size_t> expired{0};
+  std::atomic<std::size_t> fallback_answers{0};
   const auto on_done = [&](request&&, const appeal_outcome& out) {
     (out.expired ? expired : ok).fetch_add(1);
+    if (!out.expired && out.prediction == 7U) fallback_answers.fetch_add(1);
   };
   channel.appeal(make_request(0), on_done);
   for (int i = 0; i < 200 && !scoring_started.load(); ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   ASSERT_TRUE(scoring_started.load());
-  // Burst while the worker sleeps: one appeal queues, three shed.
+  // Burst while the worker sleeps: one appeal queues, three overflow.
   for (std::uint64_t key = 1; key < 5; ++key) {
     channel.appeal(make_request(key), on_done);
   }
   channel.drain();
-  EXPECT_EQ(ok.load(), 2U);       // the in-flight appeal + the queued one
-  EXPECT_EQ(expired.load(), 3U);  // shed at the full queue
-  EXPECT_EQ(channel.counters().local_fallbacks, 0U);
+  EXPECT_EQ(ok.load(), 5U);       // every appeal gets a real answer
+  EXPECT_EQ(expired.load(), 0U);  // overload is not expiry
+  EXPECT_EQ(fallback_answers.load(), 3U);  // the three refused appeals
+  const link_counters lc = channel.counters();
+  EXPECT_EQ(lc.overloaded, 3U);
+  EXPECT_EQ(lc.local_fallbacks, 3U);
+  EXPECT_EQ(lc.retries, 0U);
+  // A streak of 3 overloads stays under breaker_threshold (4).
+  EXPECT_EQ(channel.breaker(), breaker_state::closed);
   stub.stop();
   EXPECT_EQ(stub.counters().overloaded, 3U);
   EXPECT_EQ(stub.counters().scored, 2U);
+}
+
+TEST(transport, overloaded_appeals_retry_until_the_queue_drains) {
+  // Same burst shape, but with retries enabled: every overloaded appeal
+  // must eventually score on the wire (predictions are key % 10, never
+  // the fallback's constant 7) once the worker drains the depth-1 queue.
+  std::atomic<bool> scoring_started{false};
+  stub_server_config scfg;
+  scfg.kind = transport_kind::uds;
+  scfg.endpoint = unique_uds_path("retry");
+  scfg.workers = 1;
+  scfg.max_cloud_batch = 1;
+  scfg.max_queue_depth = 1;
+  stub_server stub(scfg, [&](const wire::appeal_record& a) -> std::size_t {
+    scoring_started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    return a.key % 10;
+  });
+  stub.start();
+
+  replay_cloud_backend fallback(std::vector<std::size_t>(16, 7));
+  link_config cfg;
+  cfg.transport = transport_kind::uds;
+  cfg.endpoint = scfg.endpoint;
+  cfg.max_retries = 8;
+  cfg.retry_backoff_ms = 20.0;
+  cfg.breaker_threshold = 100;  // keep the breaker out of this test
+  cloud_channel channel(fallback, collab::cost_model{}, cfg, "retry");
+
+  std::mutex mutex;
+  std::map<std::uint64_t, std::size_t> got;
+  const auto on_done = [&](request&& r, const appeal_outcome& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    got[r.key] = out.prediction;
+  };
+  channel.appeal(make_request(0), on_done);
+  for (int i = 0; i < 200 && !scoring_started.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(scoring_started.load());
+  for (std::uint64_t key = 1; key < 5; ++key) {
+    channel.appeal(make_request(key), on_done);
+  }
+  channel.drain();  // waits for parked retries too
+  ASSERT_EQ(got.size(), 5U);
+  for (const auto& [key, prediction] : got) {
+    EXPECT_EQ(prediction, key % 10) << "appeal " << key
+                                    << " completed off the wire";
+  }
+  const link_counters lc = channel.counters();
+  EXPECT_GE(lc.retries, 1U);
+  EXPECT_GE(lc.overloaded, 3U);
+  EXPECT_EQ(lc.local_fallbacks, 0U);
+  EXPECT_EQ(lc.completed, 5U);
+  stub.stop();
+  EXPECT_EQ(stub.counters().scored, 5U);
+}
+
+TEST(transport, stub_death_mid_flight_completes_every_appeal_exactly_once) {
+  // The chaos-gate regression: kill the cloud while appeals are in
+  // flight. Every submitted appeal must complete exactly once via the
+  // local fallback — never zero times (drain would wedge) and never
+  // twice (double completion corrupts engine accounting).
+  std::atomic<bool> scoring_started{false};
+  stub_server_config scfg;
+  scfg.kind = transport_kind::uds;
+  scfg.endpoint = unique_uds_path("midflight");
+  scfg.workers = 1;
+  stub_server stub(scfg, [&](const wire::appeal_record& a) -> std::size_t {
+    scoring_started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return a.key % 10;
+  });
+  stub.start();
+
+  constexpr std::size_t n = 8;
+  replay_cloud_backend fallback(std::vector<std::size_t>(n, 7));
+  link_config cfg;
+  cfg.transport = transport_kind::uds;
+  cfg.endpoint = scfg.endpoint;
+  cloud_channel channel(fallback, collab::cost_model{}, cfg, "midflight");
+
+  std::array<std::atomic<int>, n> completions{};
+  for (std::uint64_t key = 0; key < n; ++key) {
+    channel.appeal(make_request(key),
+                   [&](request&& r, const appeal_outcome&) {
+                     completions[r.key].fetch_add(1);
+                   });
+  }
+  for (int i = 0; i < 200 && !scoring_started.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(scoring_started.load()) << "no appeal reached the scorer";
+  stub.stop();      // the cloud dies with appeals in flight
+  channel.drain();  // must not wedge
+  for (std::size_t key = 0; key < n; ++key) {
+    EXPECT_EQ(completions[key].load(), 1) << "appeal " << key;
+  }
+  EXPECT_EQ(channel.counters().completed, n);
+  // A hard link failure opens the breaker (half-open reconnects keep
+  // failing against the dead endpoint, so it never re-closes here).
+  EXPECT_NE(channel.breaker(), breaker_state::closed);
+  EXPECT_GE(channel.counters().breaker_opens, 1U);
+}
+
+TEST(transport, breaker_recovers_after_the_cloud_returns) {
+  // The full circuit: a live link dies (hard open), appeals complete
+  // locally while the cloud is gone, a replacement stub binds the same
+  // endpoint, and the half-open probe re-closes the breaker — appeals
+  // score on the wire again instead of staying edge-only forever.
+  const std::string path = unique_uds_path("recover");
+  stub_server_config scfg;
+  scfg.kind = transport_kind::uds;
+  scfg.endpoint = path;
+  auto stub1 = std::make_unique<stub_server>(scfg, key_scorer);
+  stub1->start();
+
+  replay_cloud_backend fallback(std::vector<std::size_t>(64, 7));
+  link_config cfg;
+  cfg.transport = transport_kind::uds;
+  cfg.endpoint = path;
+  cfg.breaker_open_ms = 100.0;  // short cool-off keeps the test fast
+  cloud_channel channel(fallback, collab::cost_model{}, cfg, "recover");
+
+  const auto ask = [&](std::uint64_t key) {
+    std::promise<std::size_t> answered;
+    channel.appeal(make_request(key),
+                   [&](request&&, const appeal_outcome& out) {
+                     answered.set_value(out.prediction);
+                   });
+    return answered.get_future().get();
+  };
+  EXPECT_EQ(ask(3), 3U);  // the wire works
+
+  stub1->stop();
+  stub1.reset();
+  EXPECT_EQ(ask(14), 7U);  // link dead: the local fallback answers
+  EXPECT_NE(channel.breaker(), breaker_state::closed);
+  EXPECT_GE(channel.counters().breaker_opens, 1U);
+
+  stub_server stub2(scfg, key_scorer);
+  stub2.start();
+  // Appeals keep completing while the breaker is open (locally, as 7);
+  // once the cool-off elapses the half-open probe reaches stub2, closes
+  // the breaker, and answers key % 10 over the wire again.
+  bool recovered = false;
+  for (int i = 0; i < 300 && !recovered; ++i) {
+    recovered = ask(5) == 5U && channel.breaker() == breaker_state::closed;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(recovered) << "breaker never re-closed after the stub returned";
+  EXPECT_EQ(ask(6), 6U);  // and it stays recovered
+  EXPECT_EQ(channel.breaker(), breaker_state::closed);
+  stub2.stop();
+}
+
+TEST(transport, lost_frame_on_a_live_link_does_not_trip_the_breaker) {
+  // One frame swallowed in transit while the peer keeps answering
+  // everything else: the response watchdog must complete the lost
+  // appeals locally WITHOUT retiring the link — only a peer silent for
+  // the whole budget is dead. Chaos runs rely on this distinction:
+  // under sustained random frame drop a healthy link would otherwise
+  // cycle open/half-open forever, paying breaker_open_ms of all-local
+  // serving per lost frame.
+  const std::string path = unique_uds_path("lostframe");
+  net::fd listener = net::listen_uds(path);
+  std::atomic<bool> closing{false};
+  std::thread cloud([&] {
+    net::fd conn = net::accept_connection(listener);
+    if (!conn.valid()) return;
+    wire::frame_splitter splitter;
+    std::uint8_t chunk[4096];
+    while (!closing.load()) {
+      const std::size_t n = net::read_some(conn, chunk, sizeof(chunk));
+      if (n == 0) break;
+      splitter.feed(chunk, n);
+      while (std::optional<wire::frame> f = splitter.next()) {
+        for (const wire::appeal_record& a : wire::decode_appeal_batch(*f)) {
+          if (a.key == 3) continue;  // this frame is "lost in transit"
+          wire::response_record r;
+          r.id = a.id;
+          r.prediction = static_cast<std::size_t>(a.key * 7 % 10);
+          const std::vector<std::uint8_t> one =
+              wire::encode_response_batch({r});
+          net::write_all(conn, one.data(), one.size());
+        }
+      }
+    }
+  });
+
+  {
+    replay_cloud_backend fallback(std::vector<std::size_t>(512, 9));
+    link_config cfg;
+    cfg.transport = transport_kind::uds;
+    cfg.endpoint = path;
+    cfg.max_batch_appeals = 1;  // one frame per appeal
+    cfg.response_timeout_ms = 200.0;
+    cloud_channel channel(fallback, collab::cost_model{}, cfg, "lostframe");
+
+    const auto ask = [&](std::uint64_t key) {
+      std::promise<std::size_t> answered;
+      channel.appeal(make_request(key),
+                     [&](request&&, const appeal_outcome& out) {
+                       answered.set_value(out.prediction);
+                     });
+      return answered.get_future().get();
+    };
+    EXPECT_EQ(ask(2), 4U);  // the wire works
+
+    std::promise<std::size_t> lost_promise;
+    std::future<std::size_t> lost = lost_promise.get_future();
+    channel.appeal(make_request(3),
+                   [&](request&&, const appeal_outcome& out) {
+                     lost_promise.set_value(out.prediction);
+                   });
+    // Keep the link demonstrably alive while appeal 3 hangs, so the
+    // watchdog sees fresh completions when its deadline passes.
+    std::uint64_t key = 10;
+    while (lost.wait_for(std::chrono::milliseconds(0)) !=
+           std::future_status::ready) {
+      EXPECT_EQ(ask(key), key * 7 % 10);
+      ++key;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ASSERT_LT(key, 200U) << "the lost appeal never completed";
+    }
+    EXPECT_EQ(lost.get(), 9U) << "lost frame must complete from the fallback";
+    EXPECT_EQ(channel.breaker(), breaker_state::closed);
+    const link_counters lc = channel.counters();
+    EXPECT_EQ(lc.breaker_opens, 0U) << "a live link must not be retired";
+    EXPECT_EQ(lc.local_fallbacks, 1U);
+    EXPECT_EQ(ask(5), 5U);  // still on the wire afterwards
+  }
+  closing.store(true);
+  listener.shutdown();
+  cloud.join();
+  ::unlink(path.c_str());
+}
+
+TEST(transport, channel_survives_a_cloud_that_is_down_at_startup) {
+  // Deploying the edge while the cloud is unreachable must not throw
+  // out of the channel constructor (it used to: the initial connect's
+  // util::error escaped and took the whole process down). The channel
+  // comes up with the breaker already open, answers locally from the
+  // first appeal, and recovers through the ordinary half-open probe
+  // once something binds the endpoint.
+  const std::string path = unique_uds_path("coldstart");
+  replay_cloud_backend fallback(std::vector<std::size_t>(64, 7));
+  link_config cfg;
+  cfg.transport = transport_kind::uds;
+  cfg.endpoint = path;  // nothing is listening here
+  cfg.breaker_open_ms = 100.0;
+  cloud_channel channel(fallback, collab::cost_model{}, cfg, "coldstart");
+  EXPECT_EQ(channel.breaker(), breaker_state::open);
+  EXPECT_GE(channel.counters().breaker_opens, 1U);
+
+  const auto ask = [&](std::uint64_t key) {
+    std::promise<std::size_t> answered;
+    channel.appeal(make_request(key),
+                   [&](request&&, const appeal_outcome& out) {
+                     answered.set_value(out.prediction);
+                   });
+    return answered.get_future().get();
+  };
+  EXPECT_EQ(ask(13), 7U);  // local fallback, immediately, no wedge
+
+  stub_server_config scfg;
+  scfg.kind = transport_kind::uds;
+  scfg.endpoint = path;
+  stub_server stub(scfg, key_scorer);
+  stub.start();
+  bool recovered = false;
+  for (int i = 0; i < 300 && !recovered; ++i) {
+    recovered = ask(5) == 5U && channel.breaker() == breaker_state::closed;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(recovered) << "breaker never closed after the cloud appeared";
+  stub.stop();
+}
+
+TEST(transport, work_queue_enforces_batch_lane_budget_and_capacity) {
+  using admit = cloud_work_queue::admit;
+  cloud_work_queue queue(/*capacity=*/3, /*batch_capacity=*/1);
+  EXPECT_EQ(queue.push(make_appeal(0, priority_class::batch, -1.0), 0),
+            admit::ok);
+  // The batch lane's own budget fills before the shared capacity does.
+  EXPECT_EQ(queue.push(make_appeal(1, priority_class::batch, -1.0), 0),
+            admit::full);
+  EXPECT_EQ(queue.push(make_appeal(2, priority_class::interactive, -1.0), 0),
+            admit::ok);
+  EXPECT_EQ(queue.push(make_appeal(3, priority_class::interactive, -1.0), 0),
+            admit::ok);
+  EXPECT_EQ(queue.push(make_appeal(4, priority_class::interactive, -1.0), 0),
+            admit::full);  // shared capacity
+  EXPECT_EQ(queue.size(), 3U);
+  queue.close();
+  EXPECT_EQ(queue.push(make_appeal(5, priority_class::interactive, -1.0), 0),
+            admit::closed);
+  EXPECT_EQ(queue.pop_batch(16).size(), 3U);  // close() still drains
+}
+
+TEST(transport, work_queue_projects_deadline_misses_from_drain_rate) {
+  using admit = cloud_work_queue::admit;
+  cloud_work_queue queue(/*capacity=*/0, /*batch_capacity=*/0,
+                         /*shed_projected=*/true);
+  // Warm the drain-rate EMA: the first pop arms the clock, the second
+  // (≈40 ms later) yields the first per-item estimate.
+  EXPECT_EQ(queue.push(make_appeal(0, priority_class::interactive, -1.0), 0),
+            admit::ok);
+  EXPECT_EQ(queue.pop_batch(1).size(), 1U);
+  EXPECT_EQ(queue.push(make_appeal(1, priority_class::interactive, -1.0), 0),
+            admit::ok);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(queue.pop_batch(1).size(), 1U);
+
+  const cloud_work_queue::queue_stats st = queue.stats();
+  EXPECT_EQ(st.depth, 0U);
+  EXPECT_EQ(st.drained, 2U);
+  EXPECT_GT(st.ms_per_item, 0.0);
+  EXPECT_DOUBLE_EQ(queue.estimated_wait_ms(), 0.0);  // empty queue
+
+  // A deadline far below the projected wait is refused up front; a
+  // generous one and a deadline-free appeal are admitted.
+  EXPECT_EQ(queue.push(make_appeal(2, priority_class::interactive, 0.01), 0),
+            admit::projected_miss);
+  EXPECT_EQ(queue.push(make_appeal(3, priority_class::interactive, 1e6), 0),
+            admit::ok);
+  EXPECT_EQ(queue.push(make_appeal(4, priority_class::interactive, -1.0), 0),
+            admit::ok);
+  EXPECT_GT(queue.estimated_wait_ms(), 0.0);
+  queue.close(/*discard=*/true);
+}
+
+/// Fake inner transport for fault-injection tests: records every frame
+/// that gets through and exposes the completion sink so tests can push
+/// synthetic completion batches upward.
+struct recording_transport : cloud_transport {
+  cloud_transport::completion_sink sink;
+  std::vector<std::vector<std::uint64_t>> frames;  // wire ids, per frame
+  std::atomic<bool> stopped{false};
+
+  void start(cloud_transport::completion_sink on_complete,
+             cloud_transport::failure_sink) override {
+    sink = std::move(on_complete);
+  }
+  void send_batch(const std::vector<const request*>&,
+                  const std::vector<std::uint64_t>& wire_ids,
+                  const std::string&) override {
+    frames.push_back(wire_ids);
+  }
+  void stop() override { stopped.store(true); }
+  transport_counters counters() const override { return {}; }
+};
+
+TEST(transport, fault_spec_parses_every_key_and_rejects_garbage) {
+  const fault_config cfg =
+      parse_fault_spec("drop=0.25,delay_ms=2,trunc=0.1,dup=1,kill_at=3,seed=9");
+  EXPECT_DOUBLE_EQ(cfg.drop, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.delay_ms, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.trunc, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.dup, 1.0);
+  EXPECT_EQ(cfg.kill_at, 3U);
+  EXPECT_EQ(cfg.seed, 9U);
+  EXPECT_DOUBLE_EQ(parse_fault_spec("").drop, 0.0);  // empty = no faults
+
+  EXPECT_THROW(parse_fault_spec("jitter=1"), util::error);    // unknown key
+  EXPECT_THROW(parse_fault_spec("drop=1.5"), util::error);    // not a prob.
+  EXPECT_THROW(parse_fault_spec("drop=abc"), util::error);    // not a number
+  EXPECT_THROW(parse_fault_spec("drop"), util::error);        // no '='
+  EXPECT_THROW(parse_fault_spec("delay_ms=-1"), util::error);
+}
+
+TEST(transport, fault_drops_are_seed_deterministic) {
+  // Two decorators with the same seed must drop exactly the same frames;
+  // a different seed must produce a different schedule.
+  const auto kept_frames = [](std::uint64_t seed) {
+    auto inner = std::make_unique<recording_transport>();
+    recording_transport* raw = inner.get();
+    fault_config cfg;
+    cfg.drop = 0.5;
+    cfg.seed = seed;
+    fault_transport faulty(std::move(inner), cfg);
+    faulty.start([](std::vector<cloud_transport::completion>&&) {}, [] {});
+    request r;
+    std::vector<std::uint64_t> kept;
+    for (std::uint64_t id = 0; id < 64; ++id) {
+      faulty.send_batch({&r}, {id}, "m");
+    }
+    EXPECT_EQ(faulty.faults().frames_seen, 64U);
+    EXPECT_EQ(faulty.faults().dropped, 64U - raw->frames.size());
+    EXPECT_GT(faulty.faults().dropped, 0U);
+    EXPECT_GT(raw->frames.size(), 0U);
+    for (const auto& f : raw->frames) kept.push_back(f.front());
+    return kept;
+  };
+  EXPECT_EQ(kept_frames(7), kept_frames(7));
+  EXPECT_NE(kept_frames(7), kept_frames(8));
+}
+
+TEST(transport, fault_kill_at_stops_the_inner_link_and_stays_dead) {
+  auto inner = std::make_unique<recording_transport>();
+  recording_transport* raw = inner.get();
+  fault_config cfg;
+  cfg.kill_at = 3;
+  fault_transport faulty(std::move(inner), cfg);
+  faulty.start([](std::vector<cloud_transport::completion>&&) {}, [] {});
+  request r;
+  faulty.send_batch({&r}, {1}, "m");
+  faulty.send_batch({&r}, {2}, "m");
+  EXPECT_EQ(raw->frames.size(), 2U);
+  EXPECT_THROW(faulty.send_batch({&r}, {3}, "m"), util::error);
+  EXPECT_TRUE(raw->stopped.load()) << "kill_at must take the inner link down";
+  EXPECT_THROW(faulty.send_batch({&r}, {4}, "m"), util::error);  // stays dead
+  EXPECT_EQ(raw->frames.size(), 2U);
+  EXPECT_EQ(faulty.faults().killed, 1U);
+}
+
+TEST(transport, fault_dup_delivers_the_completion_batch_twice) {
+  auto inner = std::make_unique<recording_transport>();
+  recording_transport* raw = inner.get();
+  fault_config cfg;
+  cfg.dup = 1.0;
+  fault_transport faulty(std::move(inner), cfg);
+  std::vector<std::uint64_t> delivered;
+  faulty.start(
+      [&](std::vector<cloud_transport::completion>&& done) {
+        for (const auto& c : done) delivered.push_back(c.id);
+      },
+      [] {});
+  cloud_transport::completion c;
+  c.id = 42;
+  c.prediction = 2;
+  raw->sink({c});
+  EXPECT_EQ(delivered, (std::vector<std::uint64_t>{42, 42}));
+  EXPECT_EQ(faulty.faults().duplicated, 1U);
+}
+
+TEST(transport, fault_trunc_forwards_only_the_frame_head) {
+  auto inner = std::make_unique<recording_transport>();
+  recording_transport* raw = inner.get();
+  fault_config cfg;
+  cfg.trunc = 1.0;
+  fault_transport faulty(std::move(inner), cfg);
+  faulty.start([](std::vector<cloud_transport::completion>&&) {}, [] {});
+  request r;
+  faulty.send_batch({&r, &r, &r, &r}, {0, 1, 2, 3}, "m");
+  ASSERT_EQ(raw->frames.size(), 1U);
+  EXPECT_EQ(raw->frames[0], (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(faulty.faults().truncated, 1U);
 }
 
 TEST(transport, network_scorer_matches_local_backend_bit_exact) {

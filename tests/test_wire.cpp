@@ -353,10 +353,59 @@ TEST(wire, decodes_v2_response_frames_from_old_peers) {
   EXPECT_DOUBLE_EQ(decoded[0].cloud_score_ms, 0.0);
 }
 
+TEST(wire, v4_overloaded_status_round_trips_with_retry_hint) {
+  // The v4 backpressure answer: `overloaded` plus the cloud's queue-wait
+  // estimate as a retry-after hint, alongside an ok record in the same
+  // frame (whose hint must stay zero).
+  wire::response_record shed;
+  shed.id = 21;
+  shed.status = wire::response_status::overloaded;
+  shed.retry_after_ms = 37.5;
+  wire::response_record ok;
+  ok.id = 22;
+  ok.prediction = 6;
+  ok.cloud_ms = 1.5;
+  const std::optional<wire::frame> f =
+      split_one(wire::encode_response_batch({shed, ok}));
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->version, wire::kVersion);
+  const std::vector<wire::response_record> decoded =
+      wire::decode_response_batch(*f);
+  ASSERT_EQ(decoded.size(), 2U);
+  EXPECT_EQ(decoded[0].status, wire::response_status::overloaded);
+  EXPECT_DOUBLE_EQ(decoded[0].retry_after_ms, 37.5);
+  EXPECT_EQ(decoded[1].status, wire::response_status::ok);
+  EXPECT_EQ(decoded[1].prediction, 6U);
+  EXPECT_DOUBLE_EQ(decoded[1].retry_after_ms, 0.0);
+}
+
+TEST(wire, overloaded_downgrades_to_expired_for_old_peers) {
+  // v2/v3 framing has no `overloaded` status and no retry_after field: a
+  // stub answering an old edge downgrades the shed to `expired`, the
+  // strongest "no prediction for you" those dialects can express.
+  wire::response_record r;
+  r.id = 8;
+  r.status = wire::response_status::overloaded;
+  r.retry_after_ms = 12.0;
+  for (const std::uint8_t version : {wire::kVersionV2, wire::kVersionV3}) {
+    const std::vector<std::uint8_t> bytes =
+        wire::encode_response_batch({r}, version);
+    const std::optional<wire::frame> f = split_one(bytes);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->version, version);
+    const std::vector<wire::response_record> decoded =
+        wire::decode_response_batch(*f);
+    ASSERT_EQ(decoded.size(), 1U);
+    EXPECT_EQ(decoded[0].status, wire::response_status::expired)
+        << "v" << int(version);
+    EXPECT_DOUBLE_EQ(decoded[0].retry_after_ms, 0.0);
+  }
+}
+
 TEST(wire, encoders_reject_unknown_versions) {
   const tensor t = make_tensor();
   EXPECT_THROW(wire::encode_appeal_batch(make_views(t), 1), util::error);
-  EXPECT_THROW(wire::encode_response_batch({}, 4), util::error);
+  EXPECT_THROW(wire::encode_response_batch({}, 5), util::error);
 }
 
 TEST(wire, decoders_reject_mismatched_frame_type) {

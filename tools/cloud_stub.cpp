@@ -37,7 +37,8 @@
 //       ./cloud_stub --scorer=network --weights=big.apnw --workers=2
 //       [--scorer=synthetic] [--accuracy=0.97] [--classes=10] [--seed=42]
 //       [--workers=1] [--max_cloud_batch=16] [--shed_expired=1]
-//       [--max_queue_depth=4096] [--metrics=<port|uds-path>]
+//       [--max_queue_depth=4096] [--max_batch_queue_depth=0]
+//       [--shed_projected=1] [--metrics=<port|uds-path>]
 //
 // --metrics serves the stub's registry instruments (appeals received,
 // scored/expired/overloaded, work-queue depth) as a Prometheus /metrics
@@ -94,6 +95,9 @@ int main(int argc, char** argv) try {
   cfg.shed_expired = args.get_bool_or("shed_expired", true);
   cfg.max_queue_depth =
       static_cast<std::size_t>(args.get_int_or("max_queue_depth", 4096));
+  cfg.max_batch_queue_depth =
+      static_cast<std::size_t>(args.get_int_or("max_batch_queue_depth", 0));
+  cfg.shed_projected = args.get_bool_or("shed_projected", true);
   const std::string scorer_name = args.get_string_or("scorer", "synthetic");
   const auto classes =
       static_cast<std::size_t>(args.get_int_or("classes", 10));
@@ -180,9 +184,10 @@ int main(int argc, char** argv) try {
   std::printf(
       "cloud_stub served %zu appeals in %zu frames over %zu connections: "
       "%zu scored in %zu cloud batches, %zu shed expired, %zu shed at the "
-      "full queue (%zu B in / %zu B out)\n",
+      "full queue, %zu shed on projected deadline misses "
+      "(%zu B in / %zu B out)\n",
       c.appeals, c.batches, c.connections, c.scored, c.cloud_batches,
-      c.expired, c.overloaded, c.bytes_received, c.bytes_sent);
+      c.expired, c.overloaded, c.projected, c.bytes_received, c.bytes_sent);
   return 0;
 } catch (const std::exception& e) {
   // Bad flags, unbindable endpoint, missing/mismatched weights: a usable
