@@ -24,7 +24,28 @@ serve_stats_config labeled_stats(serve_stats_config cfg,
   return cfg;
 }
 
+deployment_config validated(deployment_config cfg) {
+  validate(cfg);
+  return cfg;
+}
+
 }  // namespace
+
+void validate(const deployment_config& cfg) {
+  APPEAL_CHECK(cfg.shards > 0, "deployment needs at least one shard");
+  APPEAL_CHECK(cfg.shard.num_workers > 0,
+               "each shard needs at least one edge worker");
+  APPEAL_CHECK(cfg.shard.queue_capacity > 0,
+               "request queue capacity must be positive");
+  APPEAL_CHECK(cfg.shard.pipeline.batch_queue_depth > 0,
+               "pipeline batch_queue_depth must be positive");
+  APPEAL_CHECK(cfg.shard.pipeline.decide_queue_depth > 0,
+               "pipeline decide_queue_depth must be positive");
+  APPEAL_CHECK(cfg.shard.pipeline.appeal_queue_depth > 0,
+               "pipeline appeal_queue_depth must be positive");
+  APPEAL_CHECK(cfg.shard.batching.max_batch_size > 0,
+               "max_batch_size must be positive");
+}
 
 edge_precision parse_edge_precision(const std::string& name) {
   if (name == "fp32") return edge_precision::fp32;
@@ -49,13 +70,12 @@ const char* edge_precision_name(edge_precision p) {
 deployment::deployment(std::string name, const deployment_config& cfg,
                        edge_backend_factory edge, cloud_backend_factory cloud)
     : name_(std::move(name)),
-      config_(cfg),
+      config_(validated(cfg)),
       cloud_(cloud ? cloud() : nullptr),
       stats_(labeled_stats(cfg.shard.stats, name_)),
       controller_(cfg.shard.threshold, &config_.shard.link),
       channel_(require_cloud(cloud_), config_.shard.link,
                config_.shard.channel, name_) {
-  APPEAL_CHECK(config_.shards > 0, "deployment needs at least one shard");
   APPEAL_CHECK(edge != nullptr, "deployment needs an edge backend factory");
   // Every deployment exports the bit-width of its edge path, so a scrape
   // can tell a quantized deployment from a float one at a glance.
@@ -69,6 +89,12 @@ deployment::deployment(std::string name, const deployment_config& cfg,
   for (std::size_t s = 0; s < config_.shards; ++s) {
     engine_config shard_cfg = config_.shard;
     shard_cfg.shard_id = s;
+    // Shard mode ignores shard_cfg.stats for stats creation (the shared
+    // sink above is the aggregation point), but its deployment name
+    // labels the shard's per-node appeal_node_* ledgers — all shards
+    // share one labeled instrument family, so conservation holds at
+    // deployment granularity.
+    shard_cfg.stats = labeled_stats(config_.shard.stats, name_);
     std::vector<std::unique_ptr<edge_backend>> per_worker;
     per_worker.reserve(shard_cfg.num_workers);
     for (std::size_t w = 0; w < shard_cfg.num_workers; ++w) {
@@ -77,7 +103,9 @@ deployment::deployment(std::string name, const deployment_config& cfg,
                    "edge factory returned null");
     }
     engines_.push_back(std::make_unique<engine>(
-        shard_cfg, std::move(per_worker), channel_, controller_, stats_));
+        shard_cfg,
+        engine_resources::shard(std::move(per_worker), channel_, controller_,
+                                stats_)));
   }
 }
 
@@ -96,6 +124,10 @@ std::size_t deployment::shard_for_key(std::uint64_t key) const {
 }
 
 std::future<response> deployment::submit(inference_request&& req) {
+  // The model field's job ended when the server picked this deployment;
+  // strip it at the routing boundary so nothing below can depend on it
+  // (and a replayed request cannot smuggle a stale model name).
+  req.model.clear();
   std::size_t target = 0;
   if (engines_.size() > 1) {
     if (config_.routing == routing_policy::key_affine) {

@@ -52,7 +52,12 @@ struct deployment_config {
   /// per-deployment δ controller, `shard.link`/`shard.channel` the shared
   /// cloud uplink, `shard.stats` the shared stats sink, and
   /// `shard.admission` the admission policy applied at each shard's
-  /// queue; `shard.shard_id` is overwritten per shard.
+  /// queue; `shard.shard_id` is overwritten per shard. The serving-scale
+  /// knobs — `shard.num_workers` (edge threads per shard),
+  /// `shard.queue_capacity` (the request queue work waits in), and
+  /// `shard.pipeline` (the bounded hand-off queues between pipeline
+  /// stages) — are validated by the deployment constructor; see
+  /// validate().
   engine_config shard;
   routing_policy routing = routing_policy::key_affine;
   /// Edge inference precision (metadata: the edge backend factory must
@@ -62,6 +67,15 @@ struct deployment_config {
   /// quant_report::min_bits() for the quantized modes.
   int edge_weight_bits = 32;
 };
+
+/// Rejects configurations that would deadlock or serve nothing: zero
+/// shards/workers, any zero-capacity queue (the request queue or a
+/// pipeline hand-off queue), a zero max batch size. Throws util::error;
+/// the deployment constructor runs this before building any resource.
+/// (A cross-deployment `gemm_threads` conflict is NOT an error — the
+/// pool is process-global and the last writer wins — but the engine logs
+/// it instead of clobbering silently.)
+void validate(const deployment_config& cfg);
 
 class deployment {
  public:

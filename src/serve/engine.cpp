@@ -1,12 +1,12 @@
 #include "serve/engine.hpp"
 
-#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace appeal::serve {
 
@@ -21,104 +21,175 @@ double ms_between(clock::time_point from, clock::time_point to) {
 /// Applies cfg.gemm_threads (process-global, last writer wins) and keeps
 /// the appeal_gemm_threads gauge telling the truth about what is in
 /// force — whether this engine set it or an earlier one / the
-/// APPEAL_GEMM_THREADS environment did.
+/// APPEAL_GEMM_THREADS environment did. A conflicting request is logged
+/// (with both deployments named) instead of silently clobbered.
 void apply_gemm_threads(const engine_config& cfg) {
-  if (cfg.gemm_threads > 0) ops::set_gemm_threads(cfg.gemm_threads);
+  if (cfg.gemm_threads > 0) {
+    static std::mutex mutex;
+    static std::size_t last_value = 0;
+    static std::string last_owner;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (last_value != 0 && last_value != cfg.gemm_threads) {
+        APPEAL_LOG_WARN("engine")
+            << "gemm_threads conflict: the GEMM pool is process-global and "
+               "the last writer wins"
+            << util::kv("in_force", last_value)
+            << util::kv("in_force_deployment", last_owner)
+            << util::kv("requested", cfg.gemm_threads)
+            << util::kv("deployment", cfg.stats.deployment);
+      }
+      last_value = cfg.gemm_threads;
+      last_owner = cfg.stats.deployment;
+    }
+    ops::set_gemm_threads(cfg.gemm_threads);
+  }
   obs::default_registry()
       .get_gauge("appeal_gemm_threads", {},
                  "intra-GEMM parallelism of edge forwards (process-global)")
       .set(static_cast<double>(ops::gemm_threads()));
 }
 
+/// Resolves the per-worker backend pointers from an engine_resources:
+/// one shared backend fanned out, or exactly one owned backend per
+/// worker.
+std::vector<edge_backend*> resolve_edge_backends(
+    edge_backend* shared, const std::vector<std::unique_ptr<edge_backend>>& owned,
+    std::size_t num_workers) {
+  APPEAL_CHECK(num_workers > 0, "engine needs at least one worker");
+  std::vector<edge_backend*> backends;
+  backends.reserve(num_workers);
+  if (shared != nullptr) {
+    APPEAL_CHECK(owned.empty(),
+                 "engine_resources: shared_edge excludes owned_edge");
+    backends.assign(num_workers, shared);
+    return backends;
+  }
+  APPEAL_CHECK(owned.size() == num_workers,
+               "one edge backend per worker required");
+  for (const auto& backend : owned) {
+    APPEAL_CHECK(backend != nullptr, "edge backend must not be null");
+    backends.push_back(backend.get());
+  }
+  return backends;
+}
+
+/// Builds the engine-owned channel when no shared one was supplied.
+std::unique_ptr<cloud_channel> resolve_channel(const engine_resources& res,
+                                               cloud_backend* owned_cloud,
+                                               const engine_config& cfg) {
+  if (res.shared_channel != nullptr) return nullptr;
+  cloud_backend* cloud =
+      res.shared_cloud != nullptr ? res.shared_cloud : owned_cloud;
+  APPEAL_CHECK(cloud != nullptr,
+               "engine needs a cloud backend or a shared channel");
+  return std::make_unique<cloud_channel>(*cloud, cfg.link, cfg.channel);
+}
+
 }  // namespace
+
+engine_resources engine_resources::standalone(edge_backend& edge,
+                                              cloud_backend& cloud) {
+  engine_resources res;
+  res.shared_edge = &edge;
+  res.shared_cloud = &cloud;
+  return res;
+}
+
+engine_resources engine_resources::owning(
+    const engine_config& cfg, const worker_edge_factory& edge_factory,
+    const std::function<std::unique_ptr<cloud_backend>()>& cloud_factory) {
+  APPEAL_CHECK(edge_factory != nullptr && cloud_factory != nullptr,
+               "engine backend factories must not be null");
+  engine_resources res;
+  res.owned_edge.reserve(cfg.num_workers);
+  for (std::size_t w = 0; w < cfg.num_workers; ++w) {
+    res.owned_edge.push_back(edge_factory(w));
+  }
+  res.owned_cloud = cloud_factory();
+  APPEAL_CHECK(res.owned_cloud != nullptr, "cloud factory returned null");
+  return res;
+}
+
+engine_resources engine_resources::shard(
+    std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
+    cloud_channel& channel, threshold_controller& controller,
+    serve_stats& stats) {
+  engine_resources res;
+  res.owned_edge = std::move(per_worker_edge);
+  res.shared_channel = &channel;
+  res.shared_controller = &controller;
+  res.shared_stats = &stats;
+  return res;
+}
+
+engine::engine(const engine_config& cfg, engine_resources&& res)
+    : config_(cfg),
+      sampler_(cfg.trace_sample_rate),
+      owned_edge_(std::move(res.owned_edge)),
+      owned_cloud_(std::move(res.owned_cloud)),
+      edge_backends_(resolve_edge_backends(res.shared_edge, owned_edge_,
+                                           cfg.num_workers)),
+      queue_(cfg.queue_capacity),
+      owned_controller_(res.shared_controller != nullptr
+                            ? nullptr
+                            : std::make_unique<threshold_controller>(
+                                  cfg.threshold, &config_.link)),
+      owned_stats_(res.shared_stats != nullptr
+                       ? nullptr
+                       : std::make_unique<serve_stats>(cfg.stats)),
+      owned_channel_(resolve_channel(res, owned_cloud_.get(), config_)),
+      controller_(res.shared_controller != nullptr ? res.shared_controller
+                                                   : owned_controller_.get()),
+      stats_(res.shared_stats != nullptr ? res.shared_stats
+                                         : owned_stats_.get()),
+      channel_(res.shared_channel != nullptr ? res.shared_channel
+                                             : owned_channel_.get()),
+      admission_(cfg.admission),
+      cloud_node_(cfg.stats.deployment, *channel_, *controller_, cfg.shard_id,
+                  cfg.pipeline.appeal_queue_depth, completion()),
+      decide_node_(cfg.stats.deployment, *controller_, cfg.shard_id,
+                   cfg.pipeline.decide_queue_depth, cloud_node_.input(),
+                   completion()),
+      edge_node_(cfg.stats.deployment, edge_backends_,
+                 cfg.simulate_edge_compute,
+                 config_.link.overall_latency_ms(1.0),
+                 cfg.channel.time_scale, cfg.pipeline.batch_queue_depth,
+                 decide_node_.input()),
+      batch_node_(cfg.stats.deployment, queue_, cfg.batching,
+                  edge_node_.input()),
+      ingress_node_(cfg.stats.deployment, admission_, queue_, cfg.shard_id,
+                    completion()) {
+  apply_gemm_threads(config_);
+  graph_.add(ingress_node_);
+  graph_.add(batch_node_);
+  graph_.add(edge_node_);
+  graph_.add(decide_node_);
+  graph_.add(cloud_node_);
+  graph_.start_all();
+}
 
 engine::engine(const engine_config& cfg, edge_backend& edge,
                cloud_backend& cloud)
-    : config_(cfg),
-      sampler_(cfg.trace_sample_rate),
-      edge_backends_(cfg.num_workers, &edge),
-      queue_(cfg.queue_capacity),
-      owned_controller_(
-          std::make_unique<threshold_controller>(cfg.threshold, &config_.link)),
-      owned_stats_(std::make_unique<serve_stats>(cfg.stats)),
-      owned_channel_(
-          std::make_unique<cloud_channel>(cloud, config_.link, cfg.channel)),
-      controller_(owned_controller_.get()),
-      stats_(owned_stats_.get()),
-      channel_(owned_channel_.get()),
-      admission_(cfg.admission) {
-  start_workers();
-}
+    : engine(cfg, engine_resources::standalone(edge, cloud)) {}
 
 engine::engine(const engine_config& cfg, worker_edge_factory edge_factory,
                std::function<std::unique_ptr<cloud_backend>()> cloud_factory)
-    : config_(cfg),
-      sampler_(cfg.trace_sample_rate),
-      queue_(cfg.queue_capacity),
-      owned_controller_(
-          std::make_unique<threshold_controller>(cfg.threshold, &config_.link)),
-      owned_stats_(std::make_unique<serve_stats>(cfg.stats)),
-      controller_(owned_controller_.get()),
-      stats_(owned_stats_.get()),
-      admission_(cfg.admission) {
-  APPEAL_CHECK(edge_factory != nullptr && cloud_factory != nullptr,
-               "engine backend factories must not be null");
-  owned_edge_.reserve(config_.num_workers);
-  for (std::size_t w = 0; w < config_.num_workers; ++w) {
-    owned_edge_.push_back(edge_factory(w));
-  }
-  owned_cloud_ = cloud_factory();
-  APPEAL_CHECK(owned_cloud_ != nullptr, "cloud factory returned null");
-  for (const auto& backend : owned_edge_) {
-    edge_backends_.push_back(backend.get());
-  }
-  owned_channel_ = std::make_unique<cloud_channel>(*owned_cloud_, config_.link,
-                                                   config_.channel);
-  channel_ = owned_channel_.get();
-  start_workers();
-}
+    : engine(cfg, engine_resources::owning(cfg, edge_factory, cloud_factory)) {}
 
 engine::engine(const engine_config& cfg,
                std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
                cloud_channel& channel, threshold_controller& controller,
                serve_stats& stats)
-    : config_(cfg),
-      sampler_(cfg.trace_sample_rate),
-      owned_edge_(std::move(per_worker_edge)),
-      queue_(cfg.queue_capacity),
-      controller_(&controller),
-      stats_(&stats),
-      channel_(&channel),
-      admission_(cfg.admission) {
-  for (const auto& backend : owned_edge_) {
-    edge_backends_.push_back(backend.get());
-  }
-  start_workers();
-}
-
-void engine::start_workers() {
-  apply_gemm_threads(config_);
-  APPEAL_CHECK(config_.num_workers > 0, "engine needs at least one worker");
-  APPEAL_CHECK(edge_backends_.size() == config_.num_workers,
-               "one edge backend per worker required");
-  for (edge_backend* backend : edge_backends_) {
-    APPEAL_CHECK(backend != nullptr, "edge backend must not be null");
-  }
-  workers_.reserve(config_.num_workers);
-  for (std::size_t w = 0; w < config_.num_workers; ++w) {
-    workers_.emplace_back([this, w] { worker_loop(*edge_backends_[w]); });
-  }
-}
+    : engine(cfg, engine_resources::shard(std::move(per_worker_edge), channel,
+                                          controller, stats)) {}
 
 engine::~engine() { shutdown(); }
 
-std::future<response> engine::submit(tensor input, std::uint64_t key,
-                                     std::size_t label) {
-  inference_request req;
-  req.input = std::move(input);
-  req.key = key;
-  req.label = label;
-  return submit(std::move(req));
+pipeline::complete_fn engine::completion() {
+  return [this](request&& r, response&& resp) {
+    complete(std::move(r), std::move(resp));
+  };
 }
 
 std::future<response> engine::submit(inference_request&& req) {
@@ -141,20 +212,8 @@ std::future<response> engine::submit(inference_request&& req) {
   // signal is fresh at every admission decision.
   admission_.set_cloud_pressure(channel_->under_pressure());
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  switch (admission_.try_admit(queue_, r)) {
-    case admission_verdict::admitted:
-    case admission_verdict::degraded:
-      return future;
-    case admission_verdict::shed: {
-      response resp;
-      resp.id = r.id;
-      resp.status = request_status::shed;
-      resp.shard = config_.shard_id;
-      complete(std::move(r), std::move(resp));
-      return future;
-    }
-    case admission_verdict::closed:
-      break;
+  if (ingress_node_.submit(std::move(r)) != admission_verdict::closed) {
+    return future;  // admitted, degraded, or shed-and-completed
   }
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(drain_mutex_);
@@ -182,8 +241,10 @@ void engine::shutdown() {
     if (shut_down_) return;
     shut_down_ = true;
   }
-  queue_.close();
-  for (std::thread& t : workers_) t.join();
+  // Topological drain: each stage's input closes only after the previous
+  // stage finished pushing into it, so nothing in flight is stranded;
+  // the channel drain then waits out the appeals the sink handed off.
+  graph_.drain_and_stop();
   channel_->drain();
 }
 
@@ -210,139 +271,6 @@ void engine::complete(request&& r, response&& resp) {
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(drain_mutex_);
     drained_.notify_all();
-  }
-}
-
-void engine::worker_loop(edge_backend& edge) {
-  batcher form(queue_, config_.batching);
-  const double edge_ms = config_.link.overall_latency_ms(1.0);
-  for (;;) {
-    batch b = form.next_batch();
-    if (b.empty()) return;  // queue closed and drained
-
-    // Expire requests whose deadline passed while queued: no inference,
-    // the client gets an immediate `expired` status.
-    std::vector<request> live;
-    live.reserve(b.requests.size());
-    const clock::time_point now = clock::now();
-    for (request& r : b.requests) {
-      if (r.deadline != request::no_deadline && now > r.deadline) {
-        response resp;
-        resp.id = r.id;
-        resp.status = request_status::expired;
-        resp.shard = config_.shard_id;
-        resp.queue_ms = ms_between(r.enqueue_time, r.dequeue_time);
-        if (r.trace != nullptr) {
-          r.trace->set(obs::stage::queue_wait, resp.queue_ms);
-        }
-        complete(std::move(r), std::move(resp));
-      } else {
-        live.push_back(std::move(r));
-      }
-    }
-    if (live.empty()) continue;
-
-    const clock::time_point infer_start = clock::now();
-    for (request& r : live) {
-      if (r.trace != nullptr) {
-        r.trace->set(obs::stage::queue_wait,
-                     ms_between(r.enqueue_time, r.dequeue_time));
-        r.trace->set(obs::stage::batch_form,
-                     ms_between(r.dequeue_time, infer_start));
-      }
-    }
-
-    const edge_inference inference = edge.infer(live);
-    APPEAL_CHECK(inference.predictions.size() == live.size() &&
-                     inference.scores.size() == live.size(),
-                 "edge backend must return one result per request");
-
-    if (config_.simulate_edge_compute) {
-      const double scaled = edge_ms * config_.channel.time_scale;
-      if (scaled > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(scaled));
-      }
-    }
-    // The simulated accelerator pass (when on) is part of the edge
-    // forward as far as attribution goes.
-    const clock::time_point infer_end = clock::now();
-    for (request& r : live) {
-      if (r.trace != nullptr) {
-        r.trace->set(obs::stage::edge_infer,
-                     ms_between(infer_start, infer_end));
-      }
-    }
-
-    // One δ for the whole batch: the decision the paper's predictor head
-    // makes per input, applied at batch granularity. Degraded-admission
-    // requests bypass the decision entirely (they may never appeal) and
-    // are excluded from the controller's observation — both the skip
-    // count and the score denominator — so observed_sr stays the rate
-    // over δ-decided traffic.
-    const bool any_forced =
-        std::any_of(live.begin(), live.end(),
-                    [](const request& r) { return r.force_edge; });
-    std::vector<double> decided_scores;
-    if (any_forced) {
-      decided_scores.reserve(live.size());
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        if (!live[i].force_edge) decided_scores.push_back(inference.scores[i]);
-      }
-    }
-    const double delta = controller_->delta();
-    std::size_t skipped = 0;
-    for (std::size_t i = 0; i < live.size(); ++i) {
-      request& r = live[i];
-      const double score = inference.scores[i];
-      const double queue_ms = ms_between(r.enqueue_time, r.dequeue_time);
-      if (r.trace != nullptr) {
-        r.trace->set(obs::stage::decide, ms_between(infer_end, clock::now()));
-      }
-      if (r.force_edge || score >= delta) {
-        response resp;
-        resp.id = r.id;
-        resp.predicted_class = inference.predictions[i];
-        resp.taken = r.force_edge ? route::edge_degraded : route::edge;
-        resp.shard = config_.shard_id;
-        resp.score = score;
-        resp.delta = delta;
-        resp.queue_ms = queue_ms;
-        if (!r.force_edge) ++skipped;
-        complete(std::move(r), std::move(resp));
-      } else {
-        channel_->appeal(
-            std::move(r),
-            [this, score, delta, queue_ms](request&& done,
-                                           const appeal_outcome& outcome) {
-              response resp;
-              resp.id = done.id;
-              resp.taken = route::cloud;
-              resp.shard = config_.shard_id;
-              resp.score = score;
-              resp.delta = delta;
-              resp.queue_ms = queue_ms;
-              resp.link_ms = outcome.link_ms;
-              resp.cloud_ms = outcome.cloud_ms;
-              // Feed the measured offload round trip back into the
-              // latency-SLO controller (no-op in the other modes): a
-              // cloud_ms spike backs δ off toward edge-only and it
-              // recovers when the link normalizes.
-              controller_->observe_cloud_ms(outcome.link_ms);
-              if (outcome.expired) {
-                // The cloud shed the appeal (deadline blown in its work
-                // queue): the client gets an honest `expired`, not a
-                // fabricated prediction.
-                resp.status = request_status::expired;
-              } else {
-                resp.predicted_class = outcome.prediction;
-              }
-              complete(std::move(done), std::move(resp));
-            });
-      }
-    }
-    controller_->observe(any_forced ? decided_scores : inference.scores,
-                         skipped);
   }
 }
 

@@ -1,31 +1,37 @@
 // The online edge/cloud collaborative inference engine (one shard).
 //
-// Request lifecycle:
-//   submit() -> admission_controller (block / shed / edge_only degrade)
-//     -> request_queue (priority lanes) -> batcher (dynamic batch)
-//     -> edge worker -> edge_backend (two-head little network / replay)
-//     -> deadline check -> score >= δ (or degraded) ? complete on the edge
-//                                                   : cloud_channel appeal
-//                                                     -> cloud_backend
-//                                                     -> complete
-// Every completion fulfills the request's promise and feeds serve_stats;
-// the threshold_controller watches per-batch scores and steers δ toward
-// the configured skipping-rate target (or latency SLO).
+// The engine is a pipeline graph of five bounded, backpressured stages
+// (src/serve/pipeline/):
 //
-// Ownership: an engine built from factories owns its backends; an engine
-// built inside a serve::deployment is one shard of it and shares the
-// deployment's cloud_channel, threshold_controller (the per-deployment δ),
-// and serve_stats (the per-deployment aggregation point). The standalone
-// reference constructor keeps single-model tests minimal.
+//   submit() -> [ingress]       admission verdict (block / shed / degrade)
+//            -> [batch_former]  request_queue -> dynamic batch
+//            -> [edge_infer]    worker pool, one edge_backend per thread
+//            -> [appeal_decide] deadline check + score >= δ
+//            -> [cloud_appeal]  cloud_channel -> cloud_backend
 //
-// Threading: `num_workers` edge workers pull batches concurrently (the
-// factory is invoked once per worker so stateful backends such as
-// network_edge_backend stay single-threaded); one background thread
-// inside cloud_channel simulates the uplink and completes appeals.
-// Each worker thread owns a thread-local nn::inference_workspace, so a
-// network edge backend runs its whole batch as one NCHW forward — one
-// im2col + packed GEMM per layer — out of that worker's arena with zero
-// steady-state allocations and zero sharing between workers.
+// Requests leave the graph (promise fulfilled, serve_stats fed) at three
+// egress points: ingress (admission shed), appeal_decide (edge-kept,
+// degraded, and expired), and cloud_appeal (appeals, including
+// cloud-expired ones). Every stage hand-off is a bounded node_queue, so
+// overload backs up hop by hop until admission sheds at the front door;
+// per-node in/out/egress ledgers (appeal_node_* metrics) let a scrape
+// pinpoint the stage where traffic queues or leaks. The engine itself is
+// graph assembly + config + the completion path; the threshold_controller
+// watches per-batch scores and steers δ toward the configured
+// skipping-rate target (or latency SLO).
+//
+// Ownership: engine_resources says what the engine owns vs shares. A
+// standalone engine owns its channel/controller/stats; a serve::deployment
+// shard shares the deployment's cloud_channel, threshold_controller (the
+// per-deployment δ), and serve_stats (the per-deployment aggregation
+// point).
+//
+// Threading: `num_workers` edge-infer threads pull batches concurrently
+// (one backend per worker so stateful backends such as
+// network_edge_backend stay single-threaded, each with its thread-local
+// nn::inference_workspace arena); one batch-former thread, one decide
+// thread, one appeal hand-off thread, and the channel's transport threads
+// complete the picture.
 #pragma once
 
 #include <atomic>
@@ -35,7 +41,6 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "collab/cost_model.hpp"
@@ -44,6 +49,8 @@
 #include "serve/backends.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cloud_channel.hpp"
+#include "serve/pipeline/pipeline_node.hpp"
+#include "serve/pipeline/stage_nodes.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/threshold_controller.hpp"
@@ -54,11 +61,28 @@ namespace appeal::serve {
 using worker_edge_factory =
     std::function<std::unique_ptr<edge_backend>(std::size_t worker)>;
 
+/// Capacities of the bounded queues between pipeline stages, in items of
+/// the stage's own granularity (formed batches, scored batches, single
+/// appeals). Small on purpose: the queues are hand-off points, not
+/// buffers — the request_queue (engine_config::queue_capacity) is where
+/// work waits, and a deep internal queue would only hide backpressure
+/// from admission.
+struct pipeline_config {
+  /// Formed batches awaiting an edge worker.
+  std::size_t batch_queue_depth = 4;
+  /// Scored batches awaiting the δ decision.
+  std::size_t decide_queue_depth = 8;
+  /// Decided appeals awaiting hand-off to the cloud_channel.
+  std::size_t appeal_queue_depth = 256;
+};
+
 struct engine_config {
   batch_policy batching;
   std::size_t num_workers = 2;
   std::size_t queue_capacity = 1024;
   admission_config admission;     // full-queue policy at submit()
+  /// Bounded hand-off queues between the pipeline stages.
+  pipeline_config pipeline;
   threshold_config threshold;
   collab::cost_model link;        // cost model: edge/cloud compute + uplink
   /// Cloud-link setup: transport (sim | uds | tcp), endpoint, coalescing
@@ -78,28 +102,73 @@ struct engine_config {
   /// When > 0, sets ops::set_gemm_threads at engine construction — the
   /// intra-GEMM parallelism of this engine's edge forwards. The setting
   /// is PROCESS-GLOBAL (one shared pool under every backend), so the
-  /// last-constructed engine wins; it is exported as the
-  /// appeal_gemm_threads gauge so a scrape shows what is in force.
+  /// last-constructed engine wins; conflicting values are logged and the
+  /// winner is exported as the appeal_gemm_threads gauge so a scrape
+  /// shows what is in force.
   std::size_t gemm_threads = 0;
+};
+
+/// Everything an engine runs on, bundled so one constructor covers the
+/// owned-vs-shared matrix the three legacy constructors hardwired.
+/// Members left unset are built by the engine from its engine_config:
+///
+///   edge   — either `shared_edge` (one thread-safe backend used by every
+///            worker; must be thread-safe or num_workers == 1) or
+///            `owned_edge` (exactly one backend per worker, engine-owned);
+///   cloud  — when `shared_channel` is set the backends here are ignored
+///            (the channel already has one); otherwise the engine builds
+///            its own cloud_channel over `shared_cloud` or `owned_cloud`;
+///   shared_controller / shared_stats — deployment mode: the engine
+///            records into the deployment's shared instances and
+///            cfg.threshold / cfg.stats are not used to build anything.
+///
+/// Use the named factories below rather than filling fields by hand.
+struct engine_resources {
+  std::vector<std::unique_ptr<edge_backend>> owned_edge;
+  edge_backend* shared_edge = nullptr;
+  std::unique_ptr<cloud_backend> owned_cloud;
+  cloud_backend* shared_cloud = nullptr;
+  cloud_channel* shared_channel = nullptr;
+  threshold_controller* shared_controller = nullptr;
+  serve_stats* shared_stats = nullptr;
+
+  /// Single shared edge backend + shared cloud backend, nothing owned —
+  /// the minimal single-model test setup.
+  static engine_resources standalone(edge_backend& edge, cloud_backend& cloud);
+
+  /// Invokes the factories (edge once per worker, cloud once); the
+  /// engine keeps the backends alive for its lifetime.
+  static engine_resources owning(
+      const engine_config& cfg, const worker_edge_factory& edge_factory,
+      const std::function<std::unique_ptr<cloud_backend>()>& cloud_factory);
+
+  /// Deployment shard: owns its per-worker edge backends, shares the
+  /// deployment's channel, δ controller, and stats sink.
+  static engine_resources shard(
+      std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
+      cloud_channel& channel, threshold_controller& controller,
+      serve_stats& stats);
 };
 
 class engine {
  public:
-  /// Single shared edge backend (must be thread-safe or num_workers == 1);
-  /// neither backend is owned.
+  /// The one constructor: cfg describes the graph, res supplies (or
+  /// names) what it runs on. See engine_resources for the resolution
+  /// rules.
+  engine(const engine_config& cfg, engine_resources&& res);
+
+  /// Deprecated: use engine(cfg, engine_resources::standalone(edge,
+  /// cloud)). Forwarding shim kept for one PR.
   engine(const engine_config& cfg, edge_backend& edge, cloud_backend& cloud);
 
-  /// Owning constructor: the factories are invoked (once per worker /
-  /// once) and the engine keeps the backends alive for its lifetime.
+  /// Deprecated: use engine(cfg, engine_resources::owning(cfg,
+  /// edge_factory, cloud_factory)). Forwarding shim kept for one PR.
   engine(const engine_config& cfg, worker_edge_factory edge_factory,
          std::function<std::unique_ptr<cloud_backend>()> cloud_factory);
 
-  /// Shard constructor (used by serve::deployment): owns its per-worker
-  /// edge backends but shares the deployment's channel, δ controller, and
-  /// stats sink. cfg.threshold / cfg.stats are ignored in this mode (the
-  /// shared objects already embody them); cfg.link still drives the
-  /// simulated edge compute, so pass the same cost model the shared
-  /// channel was built from (deployment does).
+  /// Deprecated: use engine(cfg, engine_resources::shard(...)). cfg
+  /// .threshold / cfg.stats are ignored in this mode (the shared objects
+  /// already embody them). Forwarding shim kept for one PR.
   engine(const engine_config& cfg,
          std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
          cloud_channel& channel, threshold_controller& controller,
@@ -107,22 +176,32 @@ class engine {
 
   ~engine();
 
-  /// Enqueues one request under the configured admission policy. `block`
-  /// waits for queue space (PR 1 behavior); `shed` and `edge_only` never
-  /// block — a refused request resolves its future immediately with
-  /// request_status::shed. Throws util::error after shutdown.
+  /// Convenience wrapper over submit(inference_request&&): interactive
+  /// priority, no deadline, no model (this engine IS the routing target).
   std::future<response> submit(tensor input, std::uint64_t key,
-                               std::size_t label = request::no_label);
+                               std::size_t label = request::no_label) {
+    inference_request req;
+    req.input = std::move(input);
+    req.key = key;
+    req.label = label;
+    return submit(std::move(req));
+  }
 
-  /// Full-control submission (priority class, relative deadline). The
-  /// `model` field is ignored at engine level — routing happened above.
+  /// Full-control submission (priority class, relative deadline) under
+  /// the configured admission policy. `block` waits for queue space;
+  /// `shed` and `edge_only` never block — a refused request resolves its
+  /// future immediately with request_status::shed. The `model` field is
+  /// ignored here: routing happened above (serve::server picked the
+  /// deployment, the deployment picked this shard and strips the field).
+  /// Throws util::error after shutdown.
   std::future<response> submit(inference_request&& req);
 
   /// Blocks until every submitted request has completed.
   void drain();
 
-  /// Stops accepting work, drains, and joins all threads. Idempotent;
-  /// also invoked by the destructor.
+  /// Stops accepting work, drains the pipeline graph in topological
+  /// order, and joins all threads. Idempotent; also invoked by the
+  /// destructor.
   void shutdown();
 
   const serve_stats& stats() const { return *stats_; }
@@ -130,6 +209,13 @@ class engine {
   /// Stats snapshot with the cloud link's wire counters overlaid (bytes,
   /// batches, appeals/batch, local fallbacks).
   stats_snapshot snapshot() const;
+
+  /// Per-node conservation ledgers (in/out/egress per pipeline stage),
+  /// in topological order. Once drained: in == out + egress at every
+  /// node and the egress sum equals the submitted count.
+  std::vector<pipeline::node_stats> node_stats() const {
+    return graph_.stats();
+  }
 
   /// The cloud link this engine appeals over (shared across shards when
   /// the engine belongs to a deployment).
@@ -152,9 +238,8 @@ class engine {
   std::size_t queue_depth() const { return queue_.approx_size(); }
 
  private:
-  void start_workers();
-  void worker_loop(edge_backend& edge);
   void complete(request&& r, response&& resp);
+  pipeline::complete_fn completion();
 
   engine_config config_;
   obs::trace_sampler sampler_;  // every-Nth from config_.trace_sample_rate
@@ -177,9 +262,17 @@ class engine {
   std::atomic<std::size_t> outstanding_{0};
   std::mutex drain_mutex_;
   std::condition_variable drained_;
-  std::vector<std::thread> workers_;
   bool shut_down_ = false;
   std::mutex shutdown_mutex_;
+
+  // The graph, downstream stages first so each upstream node can take a
+  // reference to its successor's input queue at construction.
+  pipeline::cloud_appeal_node cloud_node_;
+  pipeline::appeal_decide_node decide_node_;
+  pipeline::edge_infer_node edge_node_;
+  pipeline::batch_former_node batch_node_;
+  pipeline::ingress_node ingress_node_;
+  pipeline::pipeline_graph graph_;
 };
 
 }  // namespace appeal::serve

@@ -1,0 +1,116 @@
+// Bounded MPMC hand-off queue between two pipeline nodes.
+//
+// One node_queue<T> is the input edge of one pipeline_node: upstream
+// threads push work items, the owning node's worker threads pop them.
+// The capacity bound is the backpressure mechanism of the whole graph —
+// a full queue blocks the producing node's thread, which stops popping
+// ITS input, and the stall propagates upstream hop by hop until it
+// reaches the admission controller at the front door (which sheds,
+// degrades, or blocks the client according to policy). Nothing in the
+// pipeline buffers unboundedly.
+//
+// close() follows the request_queue convention: pushes fail afterwards,
+// pops drain the remaining items first and only then report closed — so
+// a graph that closes its queues in topological order never strands an
+// item (see pipeline_graph::drain_and_stop).
+//
+// The optional depth gauge mirrors the instantaneous occupancy into the
+// obs metrics registry (`appeal_node_queue_depth{node=...}`), which is
+// how a scrape pinpoints the stage a million-request load is actually
+// queueing at.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace appeal::serve::pipeline {
+
+template <typename T>
+class node_queue {
+ public:
+  enum class pop_result { item, closed };
+  enum class push_result { ok, full, closed };
+
+  explicit node_queue(std::size_t capacity, obs::gauge* depth = nullptr)
+      : capacity_(capacity), depth_(depth) {
+    APPEAL_CHECK(capacity > 0, "node_queue capacity must be positive");
+  }
+
+  /// Blocks while the queue is full (backpressure); false when closed.
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (depth_ != nullptr) depth_->set(static_cast<double>(items_.size()));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Never blocks; `full` leaves the item valid in the caller's hands.
+  push_result try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return push_result::closed;
+      if (items_.size() >= capacity_) return push_result::full;
+      items_.push_back(std::move(item));
+      if (depth_ != nullptr) depth_->set(static_cast<double>(items_.size()));
+    }
+    not_empty_.notify_one();
+    return push_result::ok;
+  }
+
+  /// Blocks until an item arrives or the queue is closed AND drained.
+  pop_result pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return pop_result::closed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    if (depth_ != nullptr) depth_->set(static_cast<double>(items_.size()));
+    lock.unlock();
+    not_full_.notify_one();
+    return pop_result::item;
+  }
+
+  /// Closes the queue: future pushes fail, pops drain then report closed.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  obs::gauge* depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace appeal::serve::pipeline
