@@ -43,10 +43,12 @@ backbone make_mobilenet_backbone(const model_spec& spec) {
   const std::size_t c2 = scaled_channels(64, spec.width);
   const std::size_t c3 = scaled_channels(128, spec.width);
 
-  // Stem.
+  // Stem. Cut points sit on the stage seams — the natural split-computing
+  // hand-off boundaries (activation maps shrink at every downsample).
   net->emplace<nn::conv2d>(spec.in_channels, c0, 3, 1, 1, 1, false);
   net->emplace<nn::batchnorm2d>(c0);
   net->emplace<nn::relu6>();
+  net->mark_cut("stem");
 
   // Body: three downsampling separable blocks with `depth` extra
   // stride-1 blocks interleaved per stage.
@@ -54,13 +56,17 @@ backbone make_mobilenet_backbone(const model_spec& spec) {
   for (std::size_t d = 1; d < spec.depth; ++d) {
     append_dw_separable(*net, c1, c1, 1);
   }
+  net->mark_cut("stage1");
   append_dw_separable(*net, c1, c2, 2);
   for (std::size_t d = 1; d < spec.depth; ++d) {
     append_dw_separable(*net, c2, c2, 1);
   }
+  net->mark_cut("stage2");
   append_dw_separable(*net, c2, c3, 2);
+  net->mark_cut("stage3");
 
   net->emplace<nn::global_avgpool>();
+  net->mark_cut("features");
 
   backbone out;
   out.features = std::move(net);

@@ -24,6 +24,13 @@ layer_ptr sequential::remove_child(std::size_t i) {
   APPEAL_CHECK(i < children_.size(), "sequential child index out of range");
   layer_ptr out = std::move(children_[i]);
   children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(i));
+  // Keep cut boundaries pointing at the same architectural seam: any cut
+  // past the removed slot shifts down with the children (conv+batchnorm
+  // folding removes the absorbed batchnorm this way, and both ends of a
+  // split link fold identically, so their cut tables stay in lockstep).
+  for (cut_point& cut : cuts_) {
+    if (cut.boundary > i) --cut.boundary;
+  }
   return out;
 }
 
@@ -35,16 +42,60 @@ layer_ptr sequential::replace_child(std::size_t i, layer_ptr with) {
   return out;
 }
 
-tensor sequential::forward(const tensor& input, bool training) {
-  if (children_.empty()) return input;
+void sequential::mark_cut(std::string name) {
+  APPEAL_CHECK(!children_.empty(),
+               "mark_cut before any child: a cut at boundary 0 is just the "
+               "raw input");
+  APPEAL_CHECK(cuts_.empty() || cuts_.back().boundary < children_.size(),
+               "duplicate cut boundary: " + name);
+  cuts_.push_back(cut_point{std::move(name), children_.size()});
+}
+
+std::vector<cut_info> sequential::cut_table(const shape& single_input) const {
+  std::vector<cut_info> out;
+  out.reserve(cuts_.size());
+  std::uint64_t total = 0;
+  shape current = single_input;
+  std::size_t next_cut = 0;
+  std::vector<std::uint64_t> prefix(cuts_.size(), 0);
+  std::vector<shape> at_cut(cuts_.size());
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    total += children_[i]->flops(current);
+    current = children_[i]->output_shape(current);
+    while (next_cut < cuts_.size() && cuts_[next_cut].boundary == i + 1) {
+      prefix[next_cut] = total;
+      at_cut[next_cut] = current;
+      ++next_cut;
+    }
+  }
+  APPEAL_CHECK(next_cut == cuts_.size(),
+               "cut boundary beyond the last child");
+  for (std::size_t c = 0; c < cuts_.size(); ++c) {
+    cut_info info;
+    info.name = cuts_[c].name;
+    info.boundary = cuts_[c].boundary;
+    info.output = at_cut[c];
+    info.feature_bytes = at_cut[c].element_count() * sizeof(float);
+    info.prefix_flops = prefix[c];
+    info.suffix_flops = total - prefix[c];
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+tensor sequential::forward_range(const tensor& input, std::size_t begin,
+                                 std::size_t end, bool training) {
+  APPEAL_CHECK(begin <= end && end <= children_.size(),
+               "sequential::forward_range bounds out of range");
+  if (begin == end) return input;
   if (!training) {
     // Inference: each child's input becomes garbage the moment the next
     // child has produced its output — recycle it into the thread's
     // workspace so the whole chain allocates nothing once warm. The
     // caller's `input` is never recycled (not ours to reuse).
     inference_workspace& ws = inference_workspace::local();
-    tensor current = children_.front()->forward(input, false);
-    for (std::size_t i = 1; i < children_.size(); ++i) {
+    tensor current = children_[begin]->forward(input, false);
+    for (std::size_t i = begin + 1; i < end; ++i) {
       tensor next = children_[i]->forward(current, false);
       ws.recycle(std::move(current));
       current = std::move(next);
@@ -52,10 +103,14 @@ tensor sequential::forward(const tensor& input, bool training) {
     return current;
   }
   tensor current = input;
-  for (const layer_ptr& child : children_) {
-    current = child->forward(current, training);
+  for (std::size_t i = begin; i < end; ++i) {
+    current = children_[i]->forward(current, training);
   }
   return current;
+}
+
+tensor sequential::forward(const tensor& input, bool training) {
+  return forward_range(input, 0, children_.size(), training);
 }
 
 tensor sequential::backward(const tensor& grad_output) {

@@ -31,6 +31,19 @@
 //     breaker, another failure re-opens it.
 // Serving therefore degrades under overload and RECOVERS when the cloud
 // comes back, instead of staying edge-only for the rest of the run.
+//
+// Split-computing appeals (link_config::split): instead of re-uploading
+// the raw input, the channel can run the canonical cloud model's PREFIX
+// on the edge (its fallback backend is a bit-identical copy built from
+// the shared serve/cloud_model spec) and ship the intermediate feature
+// map at a named cut; the cloud scores only the suffix. Prefix + suffix
+// is forward_range over the same folded weights, so the answers are
+// bit-identical to full recompute while the wire carries fewer bytes.
+// `fixed` mode pins the cut; `auto` picks per batch from the paper's
+// cost model extended with the measured link bandwidth (EMA of encoded
+// bytes per send-occupancy ms) and the cloud's reported queue wait. A
+// `rejected` answer (wire v5: the peer's model lacks the cut) completes
+// locally and blacklists that cut for the rest of the run.
 #pragma once
 
 #include <atomic>
@@ -73,9 +86,14 @@ struct link_counters {
   std::size_t retries = 0;        // overloaded appeals re-sent after backoff
   std::size_t overloaded = 0;     // overloaded answers received
   std::size_t breaker_opens = 0;  // breaker closed -> open transitions
+  std::size_t split_appeals = 0;  // appeals shipped as feature maps
+  std::size_t split_bytes_saved = 0;  // uplink bytes saved vs raw input
+  std::size_t split_rejected = 0;     // split appeals the cloud rejected
   /// Breaker state at capture time (a state, not a counter: since()
   /// keeps the current value rather than differencing it).
   std::uint8_t breaker = 0;
+  /// Active split cut at capture time (a state like `breaker`).
+  std::uint32_t split_cut = 0;
 
   /// Counters accumulated since `baseline` was captured (how
   /// engine/deployment::reset_stats keeps the wire statistics aligned
@@ -91,6 +109,9 @@ struct link_counters {
     d.retries -= baseline.retries;
     d.overloaded -= baseline.overloaded;
     d.breaker_opens -= baseline.breaker_opens;
+    d.split_appeals -= baseline.split_appeals;
+    d.split_bytes_saved -= baseline.split_bytes_saved;
+    d.split_rejected -= baseline.split_rejected;
     return d;
   }
 };
@@ -108,6 +129,10 @@ inline void apply_link_counters(stats_snapshot& s, const link_counters& c) {
   s.appeal_overloaded = c.overloaded;
   s.breaker_opens = c.breaker_opens;
   s.breaker_state = c.breaker;
+  s.split_appeals = c.split_appeals;
+  s.split_bytes_saved = c.split_bytes_saved;
+  s.split_rejected = c.split_rejected;
+  s.split_cut = c.split_cut;
 }
 
 /// What came back for one appeal. `expired` means the cloud shed the
@@ -232,6 +257,17 @@ class cloud_channel {
   /// Backoff for attempt `attempts` (0-based), jittered, never below the
   /// cloud's retry-after hint. Caller holds mutex_ (jitter_rng_).
   double backoff_delay_ms(std::size_t attempts, double hint);
+  /// Split cut for the next batch: 0 (raw input) when split is off or
+  /// unsupported; the configured cut in fixed mode; in auto mode the
+  /// candidate minimizing uplink(bytes @ measured-bandwidth EMA) + cloud
+  /// suffix compute + cloud-wait EMA. Edge prefix compute is NOT charged
+  /// — a cut reuses backbone compute the edge already paid for. Caller
+  /// holds mutex_.
+  std::uint32_t choose_cut_locked();
+  /// Marks a cut the cloud answered `rejected` so it is never shipped
+  /// again (no retry can fix a cut the peer's model lacks). Caller holds
+  /// mutex_.
+  void reject_cut_locked(std::uint32_t cut);
 
   cloud_backend& backend_;
   link_config config_;
@@ -281,6 +317,23 @@ class cloud_channel {
   std::size_t overloaded_ = 0;
   std::size_t breaker_opens_ = 0;
   std::size_t overload_streak_ = 0;  // consecutive overloaded answers
+  // --- split computing (config_.split; guarded by mutex_) ---
+  /// Cleared the first time backend_.prefix_feature returns empty (a
+  /// replay/oracle backend has no layers to partition); every later
+  /// appeal ships the raw input without re-trying.
+  bool split_supported_ = true;
+  std::uint32_t active_cut_ = 0;  // 0 = raw input
+  std::vector<bool> cut_rejected_;  // indexed by cut id - 1
+  /// Measured uplink bandwidth: EMA of encoded bytes / send_batch wall
+  /// time, fed on every successful send. 0 until the first measurement
+  /// (the cost model's comm_ms_per_kb stands in).
+  double bw_ema_bytes_per_ms_ = 0.0;
+  /// EMA of the cloud's reported work-queue wait (cloud_queue_ms on ok
+  /// answers, retry-after hints on overloads).
+  double cloud_wait_ema_ms_ = 0.0;
+  std::size_t split_appeals_ = 0;
+  std::size_t split_bytes_saved_ = 0;
+  std::size_t split_rejected_ = 0;
   breaker_state breaker_ = breaker_state::closed;
   std::chrono::steady_clock::time_point open_until_{};
   /// Half-open sends exactly one appeal at a time; set while that probe
@@ -298,6 +351,8 @@ class cloud_channel {
   obs::counter& metric_retries_;
   obs::counter& metric_overloaded_;
   obs::gauge& metric_breaker_;
+  obs::gauge& metric_split_cut_;
+  obs::counter& metric_split_bytes_saved_;
   std::thread worker_;
 };
 

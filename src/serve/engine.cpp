@@ -169,21 +169,6 @@ engine::engine(const engine_config& cfg, engine_resources&& res)
   graph_.start_all();
 }
 
-engine::engine(const engine_config& cfg, edge_backend& edge,
-               cloud_backend& cloud)
-    : engine(cfg, engine_resources::standalone(edge, cloud)) {}
-
-engine::engine(const engine_config& cfg, worker_edge_factory edge_factory,
-               std::function<std::unique_ptr<cloud_backend>()> cloud_factory)
-    : engine(cfg, engine_resources::owning(cfg, edge_factory, cloud_factory)) {}
-
-engine::engine(const engine_config& cfg,
-               std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
-               cloud_channel& channel, threshold_controller& controller,
-               serve_stats& stats)
-    : engine(cfg, engine_resources::shard(std::move(per_worker_edge), channel,
-                                          controller, stats)) {}
-
 engine::~engine() { shutdown(); }
 
 pipeline::complete_fn engine::completion() {

@@ -157,23 +157,6 @@ class engine {
   /// rules.
   engine(const engine_config& cfg, engine_resources&& res);
 
-  /// Deprecated: use engine(cfg, engine_resources::standalone(edge,
-  /// cloud)). Forwarding shim kept for one PR.
-  engine(const engine_config& cfg, edge_backend& edge, cloud_backend& cloud);
-
-  /// Deprecated: use engine(cfg, engine_resources::owning(cfg,
-  /// edge_factory, cloud_factory)). Forwarding shim kept for one PR.
-  engine(const engine_config& cfg, worker_edge_factory edge_factory,
-         std::function<std::unique_ptr<cloud_backend>()> cloud_factory);
-
-  /// Deprecated: use engine(cfg, engine_resources::shard(...)). cfg
-  /// .threshold / cfg.stats are ignored in this mode (the shared objects
-  /// already embody them). Forwarding shim kept for one PR.
-  engine(const engine_config& cfg,
-         std::vector<std::unique_ptr<edge_backend>> per_worker_edge,
-         cloud_channel& channel, threshold_controller& controller,
-         serve_stats& stats);
-
   ~engine();
 
   /// Convenience wrapper over submit(inference_request&&): interactive

@@ -81,6 +81,10 @@ struct stats_snapshot {
   std::size_t appeal_overloaded = 0;    // overloaded answers received
   std::size_t breaker_opens = 0;        // circuit-breaker trips
   std::uint8_t breaker_state = 0;       // 0 closed / 1 open / 2 half-open
+  std::size_t split_appeals = 0;        // appeals shipped as feature maps
+  std::size_t split_bytes_saved = 0;    // uplink bytes saved vs raw input
+  std::size_t split_rejected = 0;       // split appeals the cloud rejected
+  std::uint32_t split_cut = 0;          // active cut id (0 = raw input)
 
   /// Everything that entered submit() and has completed by now (any
   /// status): completed + shed + expired + cloud_expired — shed_rate's

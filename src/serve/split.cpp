@@ -1,0 +1,27 @@
+#include "serve/split.hpp"
+
+#include "util/error.hpp"
+
+namespace appeal::serve {
+
+split_mode parse_split_mode(const std::string& name) {
+  if (name == "off") return split_mode::off;
+  if (name == "fixed") return split_mode::fixed;
+  if (name == "auto") return split_mode::autosel;
+  throw util::error("unknown split mode: " + name +
+                    " (expected off|fixed|auto)");
+}
+
+const char* split_mode_name(split_mode m) {
+  switch (m) {
+    case split_mode::off:
+      return "off";
+    case split_mode::fixed:
+      return "fixed";
+    case split_mode::autosel:
+      return "auto";
+  }
+  return "off";
+}
+
+}  // namespace appeal::serve

@@ -1,0 +1,55 @@
+// Split-computing appeal configuration (Neurosurgeon-style partitioning).
+//
+// An appeal normally re-uploads the raw input and the cloud recomputes the
+// big model from scratch. In split mode the edge runs the *cloud model's*
+// prefix locally (the channel's fallback backend is a bit-identical copy —
+// both ends build serve::make_cloud_model from the same canonical spec)
+// and ships the intermediate feature map plus a cut id; the cloud scores
+// only the suffix. Because prefix-then-suffix is forward_range over the
+// same folded weights, split predictions are bit-exact with full
+// recompute — the mode changes bytes and cloud compute, never answers.
+//
+// Cut ids are 1-based indices into the canonical model's cut table
+// (nn::sequential::cuts(), enumerated by serve::enumerate_cloud_cuts);
+// id 0 means "raw input" and stays a candidate — when the measured link
+// is fast and the cloud queue deep, shipping the input can still win.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace appeal::serve {
+
+/// off: every appeal ships the raw input (the pre-split behavior).
+/// fixed: every appeal ships the feature map at `split_config::cut`.
+/// autosel ("auto" on the command line): the channel picks the cut per
+/// batch from the cost model + measured link bandwidth + cloud wait.
+enum class split_mode { off, fixed, autosel };
+
+/// Parses "off" | "fixed" | "auto"; throws util::error on anything else.
+split_mode parse_split_mode(const std::string& name);
+const char* split_mode_name(split_mode m);
+
+/// One candidate partition point of the canonical cloud model, as both
+/// link ends derive it from the shared spec (serve::enumerate_cloud_cuts).
+struct split_cut_spec {
+  std::uint32_t id = 0;  // wire cut id (1-based; 0 = raw input)
+  std::string name;      // the builder's cut name ("stem", "stage2", ...)
+  std::vector<std::size_t> feature_dims;  // per-sample feature shape
+  std::size_t wire_bytes = 0;             // float payload bytes at this cut
+  std::uint64_t prefix_flops = 0;         // compute the edge pays
+  std::uint64_t suffix_flops = 0;         // compute the cloud still owes
+};
+
+/// Threaded through link_config as `channel.split`.
+struct split_config {
+  split_mode mode = split_mode::off;
+  /// Fixed mode: the wire cut id every appeal ships.
+  std::uint32_t cut = 0;
+  /// Candidate cuts of the deployment's cloud model (required for both
+  /// split modes; bench_serving fills it from enumerate_cloud_cuts).
+  std::vector<split_cut_spec> cuts;
+};
+
+}  // namespace appeal::serve

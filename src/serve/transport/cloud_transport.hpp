@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "serve/request.hpp"
+#include "serve/split.hpp"
 
 namespace appeal::collab {
 struct cost_model;
@@ -94,6 +95,11 @@ struct link_config {
   /// transport/fault_transport.hpp for the grammar, e.g.
   /// "drop=0.05,delay_ms=1,dup=0.02,kill_at=40,seed=7".
   std::string fault;
+
+  /// Split-computing appeal policy (see serve/split.hpp): whether appeals
+  /// ship raw inputs or intermediate feature maps, and the candidate cut
+  /// table of the deployment's canonical cloud model.
+  split_config split;
 };
 
 /// Wire-level counters every transport keeps (the simulator reports the
@@ -133,6 +139,10 @@ class cloud_transport {
     /// retry_after_ms or completes it locally.
     bool overloaded = false;
     double retry_after_ms = 0.0;
+    /// The cloud could not score this appeal as sent (wire v5: unknown
+    /// split cut id or a feature shape that matches no cut). The channel
+    /// completes it locally and stops shipping that cut.
+    bool rejected = false;
   };
   using completion_sink = std::function<void(std::vector<completion>&&)>;
   using failure_sink = std::function<void()>;

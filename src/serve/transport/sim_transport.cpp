@@ -20,7 +20,7 @@ sim_transport::sim_transport(cloud_backend& backend,
                              const collab::cost_model& link,
                              double time_scale)
     : backend_(backend),
-      transmit_ms_(link.input_kb * link.comm_ms_per_kb),
+      comm_ms_per_kb_(link.comm_ms_per_kb),
       // Propagation + cloud compute = the cost model's offload latency
       // minus the transmit share (L(0) - L(1) is the full offload term).
       overlap_ms_(link.overall_latency_ms(0.0) - link.overall_latency_ms(1.0) -
@@ -47,29 +47,39 @@ void sim_transport::send_batch(const std::vector<const request*>& batch,
   APPEAL_CHECK(batch.size() == wire_ids.size(),
                "one wire id per appeal required");
   // Occupancy backpressure: wait for the radio, then hold it for the
-  // batch's serialized transmission.
+  // batch's serialized transmission — timed from the ACTUAL encoded frame
+  // size, so a split appeal shipping a small feature map pays
+  // proportionally less uplink than one shipping the raw input.
   const clock::time_point now = clock::now();
   const clock::time_point send_start = std::max(now, link_free_at_);
   if (send_start > now) std::this_thread::sleep_until(send_start);
-  const clock::time_point send_end =
-      send_start +
-      scaled_ms(transmit_ms_ * static_cast<double>(batch.size()), time_scale_);
-  link_free_at_ = send_end;
 
-  scheduled s;
-  s.due = send_end + scaled_ms(overlap_ms_, time_scale_);
-  s.batch.reserve(batch.size());
   std::size_t bytes = wire::kHeaderBytes;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     wire::appeal_view v;
     v.id = wire_ids[i];
     v.key = batch[i]->key;
     v.label = batch[i]->label;
+    v.split_cut = batch[i]->split_cut;
+    v.feature = &batch[i]->feature;
     v.model = model;
     v.input = &batch[i]->input;
     bytes += wire::appeal_wire_bytes(v);
+  }
+  const clock::time_point send_end =
+      send_start + scaled_ms(
+                       comm_ms_per_kb_ * static_cast<double>(bytes) / 1024.0,
+                       time_scale_);
+  link_free_at_ = send_end;
+
+  scheduled s;
+  s.due = send_end + scaled_ms(overlap_ms_, time_scale_);
+  s.batch.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
     // The local big model scores inline, off every lock (it may be
-    // arbitrarily expensive).
+    // arbitrarily expensive). Split appeals score by full recompute from
+    // the raw input the request still carries — the backend is the same
+    // bit-identical model, so the answer matches the suffix path.
     s.batch.push_back(completion{wire_ids[i], backend_.infer(*batch[i])});
   }
 

@@ -1,9 +1,12 @@
 // Deterministic in-process appeal link (the PR-1 simulator, now one
 // cloud_transport among three).
 //
-// Timing comes from the collab::cost_model latency coefficients exactly
-// as before:
-//   transmit = Σ input_kb * comm_ms_per_kb over the batch  (serialized)
+// Timing comes from the collab::cost_model latency coefficients:
+//   transmit = encoded_frame_kb * comm_ms_per_kb  (serialized; the ACTUAL
+//              wire size of the batch, so a split appeal shipping a small
+//              feature map pays proportionally less uplink than one
+//              shipping the raw input — without this the cost model could
+//              never prefer a cut in simulation)
 //   overlap  = comm_round_trip_ms + cloud_mflops/cloud_gflops (pipelined)
 // send_batch() *blocks until the link is free* — that occupancy is the
 // backpressure that makes the channel's coalescing observable even in
@@ -49,8 +52,8 @@ class sim_transport : public cloud_transport {
   void run();
 
   cloud_backend& backend_;
-  double transmit_ms_;  // serialized uplink occupancy per appeal
-  double overlap_ms_;   // propagation + cloud compute (pipelined)
+  double comm_ms_per_kb_;  // uplink cost per encoded KiB (serialized)
+  double overlap_ms_;      // propagation + cloud compute (pipelined)
   double time_scale_;
   completion_sink on_complete_;
 

@@ -107,8 +107,7 @@ class cursor {
 };
 
 void check_encodable_version(std::uint8_t version) {
-  APPEAL_CHECK(version == kVersionV2 || version == kVersionV3 ||
-                   version == kVersion,
+  APPEAL_CHECK(version >= kVersionV2 && version <= kVersion,
                "cannot encode an unknown wire protocol version");
 }
 
@@ -132,21 +131,35 @@ void patch_payload_bytes(std::vector<std::uint8_t>& out) {
 
 /// flags bit0: a trace_id u64 follows deadline_ms (wire v3 only).
 inline constexpr std::uint8_t kAppealFlagTraced = 0x01;
+/// flags bit1: a cut_id u32 follows the (optional) trace_id, and the
+/// tensor payload is the feature map at that cut (wire v5 only).
+inline constexpr std::uint8_t kAppealFlagSplit = 0x02;
+
+/// A split appeal only rides a v5 frame with a real feature tensor;
+/// anything else degrades to the raw input the receiver can always score.
+bool encodes_split(const appeal_view& a, std::uint8_t version) {
+  return version >= kVersion && a.split_cut != 0 && a.feature != nullptr &&
+         a.feature->size() > 0;
+}
 
 void put_appeal(std::vector<std::uint8_t>& out, const appeal_view& a,
                 std::uint8_t version) {
   static const tensor kEmpty;
-  const tensor& t = a.input != nullptr ? *a.input : kEmpty;
+  const bool split = encodes_split(a, version);
+  const tensor& t = split ? *a.feature
+                          : (a.input != nullptr ? *a.input : kEmpty);
   APPEAL_CHECK(a.model.size() <= 0xFFFF, "deployment name too long for wire");
   const bool traced = version >= 3 && a.trace_id != 0;
   put_u64(out, a.id);
   put_u64(out, a.key);
   put_u64(out, a.label);
   put_u8(out, static_cast<std::uint8_t>(a.priority));
-  put_u8(out, traced ? kAppealFlagTraced : 0);  // flags
+  put_u8(out, static_cast<std::uint8_t>((traced ? kAppealFlagTraced : 0) |
+                                        (split ? kAppealFlagSplit : 0)));
   put_u16(out, static_cast<std::uint16_t>(a.model.size()));
   put_f64(out, a.deadline_ms);
   if (traced) put_u64(out, a.trace_id);
+  if (split) put_u32(out, a.split_cut);
   put_u32(out, static_cast<std::uint32_t>(t.dims().rank()));
   for (const std::size_t d : t.dims().dims()) {
     put_u32(out, static_cast<std::uint32_t>(d));
@@ -167,12 +180,15 @@ void put_appeal(std::vector<std::uint8_t>& out, const appeal_view& a,
 }  // namespace
 
 std::size_t appeal_wire_bytes(const appeal_view& a, std::uint8_t version) {
-  const std::size_t rank = a.input != nullptr ? a.input->dims().rank() : 0;
-  const std::size_t values = a.input != nullptr ? a.input->size() : 0;
+  const bool split = encodes_split(a, version);
+  const tensor* payload = split ? a.feature : a.input;
+  const std::size_t rank = payload != nullptr ? payload->dims().rank() : 0;
+  const std::size_t values = payload != nullptr ? payload->size() : 0;
   const std::size_t trace = version >= 3 && a.trace_id != 0 ? 8 : 0;
-  // Fixed fields (36) + optional trace id + rank and value-count words +
-  // dims + name + floats.
-  return 36 + trace + 4 + 4 * rank + 4 + a.model.size() + 4 * values;
+  const std::size_t cut = split ? 4 : 0;
+  // Fixed fields (36) + optional trace id + optional cut id + rank and
+  // value-count words + dims + name + floats.
+  return 36 + trace + cut + 4 + 4 * rank + 4 + a.model.size() + 4 * values;
 }
 
 std::vector<std::uint8_t> encode_appeal_batch(
@@ -195,10 +211,14 @@ std::vector<std::uint8_t> encode_response_batch(
   out.reserve(kHeaderBytes + kResponseRecordBytes * batch.size());
   put_header(out, version, frame_type::response_batch, batch.size());
   for (const response_record& r : batch) {
-    // v2/v3 framing cannot say `overloaded`; the closest honest answer an
-    // old edge understands is `expired` (don't wait for a prediction).
+    // v2/v3 framing cannot say `overloaded`, and only v5 knows
+    // `rejected`; the closest honest answer an old edge understands is
+    // `expired` (don't wait for a prediction).
     response_status status = r.status;
     if (version < 4 && status == response_status::overloaded) {
+      status = response_status::expired;
+    }
+    if (version < 5 && status == response_status::rejected) {
       status = response_status::expired;
     }
     put_u64(out, r.id);
@@ -235,6 +255,11 @@ std::vector<appeal_record> decode_appeal_batch(const frame& f) {
     a.deadline_ms = c.f64();
     if (f.version >= 3 && (flags & kAppealFlagTraced) != 0) {
       a.trace_id = c.u64();
+    }
+    if (f.version >= 5 && (flags & kAppealFlagSplit) != 0) {
+      a.split_cut = c.u32();
+      APPEAL_CHECK(a.split_cut != 0,
+                   "wire split appeal carries cut id 0 (raw input)");
     }
     const std::uint32_t rank = c.u32();
     APPEAL_CHECK(rank <= 8, "wire tensor rank implausibly large");
@@ -277,11 +302,12 @@ std::vector<response_record> decode_response_batch(const frame& f) {
     r.id = c.u64();
     r.prediction = c.u64();
     const std::uint8_t status = c.u8();
-    // `overloaded` only exists in the v4 dialect; on an older frame the
-    // byte is as unknown as any other garbage.
+    // `overloaded` only exists from the v4 dialect and `rejected` from
+    // v5; on an older frame the byte is as unknown as any other garbage.
     const std::uint8_t max_status = static_cast<std::uint8_t>(
-        f.version >= 4 ? response_status::overloaded
-                       : response_status::expired);
+        f.version >= 5   ? response_status::rejected
+        : f.version >= 4 ? response_status::overloaded
+                         : response_status::expired);
     APPEAL_CHECK(status <= max_status,
                  "wire response carries an unknown status");
     r.status = static_cast<response_status>(status);
@@ -312,8 +338,7 @@ std::optional<frame> frame_splitter::next() {
   cursor header(buffer_.data() + consumed_, kHeaderBytes);
   APPEAL_CHECK(header.u32() == kMagic, "wire stream lost framing (bad magic)");
   const std::uint8_t version = header.u8();
-  APPEAL_CHECK(version == kVersionV2 || version == kVersionV3 ||
-                   version == kVersion,
+  APPEAL_CHECK(version >= kVersionV2 && version <= kVersion,
                "unsupported wire protocol version");
   const std::uint8_t type = header.u8();
   APPEAL_CHECK(type == static_cast<std::uint8_t>(frame_type::appeal_batch) ||

@@ -4,7 +4,7 @@
 //
 //   ┌──────────┬─────────┬──────┬───────┬───────────────┬─────────────┐
 //   │ magic u32│ ver u8  │ type │ count │ payload_bytes │   payload   │
-//   │ "APL1"   │ (2,3,4) │  u8  │  u16  │      u32      │  (records)  │
+//   │ "APL1"   │ (2..5)  │  u8  │  u16  │      u32      │  (records)  │
 //   └──────────┴─────────┴──────┴───────┴───────────────┴─────────────┘
 //     12-byte header, all integers little-endian, floats IEEE-754.
 //
@@ -34,6 +34,18 @@
 //     long the queue-wait estimate says to back off. Encoding an
 //     overloaded response at v2/v3 downgrades the status to `expired` —
 //     the strongest "don't wait for me" an old edge understands.
+// v5 adds
+//   - split-computing appeals: flags bit1 ("split") + a cut_id u32 right
+//     after the optional trace_id. The tensor payload is then the
+//     intermediate feature map at that cut of the canonical cloud model
+//     (cut ids are 1-based indices into its nn::sequential cut table),
+//     not the raw input; the cloud scores only the suffix. Encoding a
+//     split appeal at v2-v4 falls back to shipping the raw input — an
+//     old cloud transparently recomputes in full, same answers.
+//   - response_status::rejected: the cloud could not score the appeal as
+//     sent (unknown cut id / feature shape); the edge answers it from
+//     its local copy and stops shipping that cut. Downgrades to
+//     `expired` at v2-v4.
 //
 // Decoding is defensive: a frame_splitter accumulates an arbitrary byte
 // stream (torn reads hand it any prefix) and yields only complete,
@@ -61,9 +73,11 @@ inline constexpr std::uint8_t kVersionV2 = 2;
 /// v3: optional trace_id on appeals, cloud-stamped queue/score split on
 /// responses.
 inline constexpr std::uint8_t kVersionV3 = 3;
-/// v4 (current): `overloaded` response status + retry_after_ms hint.
-/// Decoders accept v2, v3, and v4.
-inline constexpr std::uint8_t kVersion = 4;
+/// v4: `overloaded` response status + retry_after_ms hint.
+inline constexpr std::uint8_t kVersionV4 = 4;
+/// v5 (current): split-computing appeals (cut_id + feature-map payload)
+/// and the `rejected` response status. Decoders accept v2 through v5.
+inline constexpr std::uint8_t kVersion = 5;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Upper bound on one frame's payload; a peer announcing more is treated
 /// as corrupt (protects the receiver from attacker/garbage allocations).
@@ -85,6 +99,10 @@ struct appeal_record {
   double deadline_ms = -1.0;
   /// Trace span id riding the appeal (wire v3, flags bit0); 0 = unsampled.
   std::uint64_t trace_id = 0;
+  /// Split-computing cut id (wire v5, flags bit1); 0 = raw-input appeal.
+  /// When > 0, `input` holds the feature map at that cut of the canonical
+  /// cloud model and the receiver scores only the suffix.
+  std::uint32_t split_cut = 0;
   std::string model;  // deployment name
   tensor input;       // may be empty (replay workloads ship no pixels)
 };
@@ -98,6 +116,12 @@ struct appeal_view {
   priority_class priority = priority_class::interactive;
   double deadline_ms = -1.0;
   std::uint64_t trace_id = 0;  // 0 = unsampled (not encoded, even on v3)
+  /// Split-computing appeal (wire v5): ship `*feature` tagged with
+  /// `split_cut` instead of the input. Encoding at v2-v4 — or with a null
+  /// or empty feature — falls back to the raw input, so an old peer
+  /// receives an appeal it can score by full recompute.
+  std::uint32_t split_cut = 0;
+  const tensor* feature = nullptr;
   std::string_view model;
   const tensor* input = nullptr;  // nullptr encodes as an empty tensor
 };
@@ -108,7 +132,15 @@ struct appeal_view {
 /// `overloaded` (wire v4) means the cloud refused the appeal without
 /// scoring — full work queue or a projected deadline miss — and the edge
 /// should back off (retry after retry_after_ms, or answer locally).
-enum class response_status : std::uint8_t { ok = 0, expired = 1, overloaded = 2 };
+/// `rejected` (wire v5) means the cloud could not score the appeal as
+/// sent — unknown split cut id or a feature shape matching no cut — and
+/// the edge should answer it locally (no retry can fix a bad cut).
+enum class response_status : std::uint8_t {
+  ok = 0,
+  expired = 1,
+  overloaded = 2,
+  rejected = 3,
+};
 
 struct response_record {
   std::uint64_t id = 0;
@@ -130,7 +162,7 @@ struct response_record {
 /// One complete, validated frame (header parsed, payload bounds known).
 struct frame {
   frame_type type = frame_type::appeal_batch;
-  /// Protocol version the sender spoke (2, 3, or 4); decoders branch on
+  /// Protocol version the sender spoke (2 through 5); decoders branch on
   /// it and a server replies at the same version.
   std::uint8_t version = kVersion;
   std::uint16_t count = 0;

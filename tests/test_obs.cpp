@@ -316,10 +316,15 @@ TEST(trace, engine_spans_reconcile_with_measured_latency) {
   {
     serve::engine eng(
         cfg,
-        [&](std::size_t) {
-          return std::make_unique<serve::replay_edge_backend>(preds, scores);
-        },
-        [&] { return std::make_unique<serve::replay_cloud_backend>(big); });
+        serve::engine_resources::owning(
+            cfg,
+            [&](std::size_t) {
+              return std::make_unique<serve::replay_edge_backend>(preds,
+                                                                  scores);
+            },
+            [&] {
+              return std::make_unique<serve::replay_cloud_backend>(big);
+            }));
     std::vector<std::future<serve::response>> futures;
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {

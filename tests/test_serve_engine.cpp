@@ -69,7 +69,8 @@ TEST(engine, fixed_delta_matches_offline_evaluation) {
   serve::engine_config cfg = fast_config();
   cfg.threshold.adapt = serve::threshold_config::mode::fixed;
   cfg.threshold.initial_delta = delta;
-  serve::engine eng(cfg, edge, cloud);
+  serve::engine eng(
+      cfg, serve::engine_resources::standalone(edge, cloud));
 
   std::vector<std::future<serve::response>> futures;
   futures.reserve(n);
@@ -121,7 +122,8 @@ TEST(engine, adaptive_mode_tracks_target_sr) {
   cfg.threshold.initial_delta = 0.99;  // start far off target
   cfg.threshold.recalibrate_every = 128;
   cfg.threshold.window = 1024;
-  serve::engine eng(cfg, edge, cloud);
+  serve::engine eng(
+      cfg, serve::engine_resources::standalone(edge, cloud));
 
   // Warm the controller through its first recalibration windows, then
   // measure steady state only (the serving bench does the same): how
@@ -156,7 +158,8 @@ TEST(engine, unlabeled_requests_are_excluded_from_accuracy) {
 
   serve::engine_config cfg = fast_config();
   cfg.threshold.adapt = serve::threshold_config::mode::fixed;
-  serve::engine eng(cfg, edge, cloud);
+  serve::engine eng(
+      cfg, serve::engine_resources::standalone(edge, cloud));
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t label =
         i % 2 == 0 ? p.labels[i] : serve::request::no_label;
@@ -178,11 +181,15 @@ TEST(engine, owning_factory_constructor_serves_like_references) {
   cfg.threshold.initial_delta = delta;
   serve::engine eng(
       cfg,
-      [&p](std::size_t) {
-        return std::make_unique<serve::replay_edge_backend>(p.little,
-                                                            p.scores);
-      },
-      [&p] { return std::make_unique<serve::replay_cloud_backend>(p.big); });
+      serve::engine_resources::owning(
+          cfg,
+          [&p](std::size_t) {
+            return std::make_unique<serve::replay_edge_backend>(p.little,
+                                                                p.scores);
+          },
+          [&p] {
+            return std::make_unique<serve::replay_cloud_backend>(p.big);
+          }));
 
   for (std::size_t i = 0; i < n; ++i) {
     eng.submit(tensor(), i, p.labels[i]);
@@ -207,7 +214,8 @@ TEST(engine, expired_deadline_skips_inference) {
   cfg.num_workers = 1;
   cfg.batching.max_batch_size = n;
   cfg.batching.max_wait = std::chrono::microseconds(20'000);
-  serve::engine eng(cfg, edge, cloud);
+  serve::engine eng(
+      cfg, serve::engine_resources::standalone(edge, cloud));
 
   std::vector<std::future<serve::response>> futures;
   for (std::size_t i = 0; i < n; ++i) {
@@ -240,7 +248,8 @@ TEST(engine, submit_after_shutdown_throws) {
   serve::replay_edge_backend edge(p.little, p.scores);
   serve::replay_cloud_backend cloud(p.big);
   serve::engine_config cfg = fast_config();
-  serve::engine eng(cfg, edge, cloud);
+  serve::engine eng(
+      cfg, serve::engine_resources::standalone(edge, cloud));
   eng.submit(tensor(), 0, p.labels[0]);
   eng.shutdown();
   EXPECT_THROW(eng.submit(tensor(), 1, p.labels[1]), util::error);
@@ -257,7 +266,8 @@ TEST(engine, simulated_link_delay_shows_up_in_cloud_latency) {
   cfg.threshold.adapt = serve::threshold_config::mode::fixed;
   cfg.threshold.initial_delta = 2.0;  // appeal everything
   cfg.channel.time_scale = 0.05;      // 5% of the modeled delays
-  serve::engine eng(cfg, edge, cloud);
+  serve::engine eng(
+      cfg, serve::engine_resources::standalone(edge, cloud));
 
   std::vector<std::future<serve::response>> futures;
   for (std::size_t i = 0; i < n; ++i) {

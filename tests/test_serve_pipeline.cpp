@@ -393,10 +393,12 @@ TEST(pipeline_engine, unified_constructor_matches_legacy_shims) {
                         serve::engine_resources::standalone(edge, cloud));
   const serve::stats_snapshot a = run(unified);
 
+  // A second independently-built standalone engine must serve the same
+  // replay workload identically (resource wiring is stateless).
   serve::replay_edge_backend edge2(p.little, p.scores);
   serve::replay_cloud_backend cloud2(p.big);
-  serve::engine legacy(cfg, edge2, cloud2);  // deprecated forwarding shim
-  const serve::stats_snapshot b = run(legacy);
+  serve::engine again(cfg, serve::engine_resources::standalone(edge2, cloud2));
+  const serve::stats_snapshot b = run(again);
 
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.edge_kept, b.edge_kept);

@@ -369,7 +369,7 @@ TEST(transport, engine_serves_identically_over_sim_and_uds) {
     cfg.threshold.adapt = threshold_config::mode::fixed;
     cfg.threshold.initial_delta = 0.55;
     cfg.channel = channel_cfg;
-    engine eng(cfg, edge, cloud);
+    engine eng(cfg, engine_resources::standalone(edge, cloud));
     for (std::size_t i = 0; i < n; ++i) {
       eng.submit(tensor(), i, labels[i]);
     }
@@ -480,7 +480,7 @@ TEST(transport, stub_sheds_blown_deadlines_as_cloud_expired) {
   cfg.threshold.initial_delta = 0.5;
   cfg.channel.transport = transport_kind::uds;
   cfg.channel.endpoint = scfg.endpoint;
-  engine eng(cfg, edge, cloud);
+  engine eng(cfg, engine_resources::standalone(edge, cloud));
 
   std::future<response> a = eng.submit(tensor(), /*key=*/0, /*label=*/1);
   // B enters the cloud work queue only after A holds the worker; its

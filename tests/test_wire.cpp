@@ -405,7 +405,8 @@ TEST(wire, overloaded_downgrades_to_expired_for_old_peers) {
 TEST(wire, encoders_reject_unknown_versions) {
   const tensor t = make_tensor();
   EXPECT_THROW(wire::encode_appeal_batch(make_views(t), 1), util::error);
-  EXPECT_THROW(wire::encode_response_batch({}, 5), util::error);
+  EXPECT_THROW(wire::encode_response_batch({}, wire::kVersion + 1),
+               util::error);
 }
 
 TEST(wire, decoders_reject_mismatched_frame_type) {
